@@ -1,0 +1,230 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§VI), plus ablation and substrate micro-benchmarks.
+//
+// The experiment benchmarks execute the scaled workload for real and
+// report the simulated cluster seconds of the headline series via
+// b.ReportMetric (sim_s_* metrics); ns/op measures the reproduction
+// itself. Run with:
+//
+//	go test -bench=. -benchmem
+package dualtable_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dualtable"
+	"dualtable/internal/costmodel"
+	"dualtable/internal/datum"
+	"dualtable/internal/harness"
+	"dualtable/internal/workload"
+)
+
+// runExperiment executes one harness experiment per iteration and
+// reports the simulated seconds found in the named column of the
+// first and last rows.
+func runExperiment(b *testing.B, id string, metricCols ...int) {
+	b.Helper()
+	exp, ok := harness.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := harness.DefaultConfig()
+	cfg.Quick = true
+	var last *harness.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last == nil || len(last.Rows) == 0 {
+		return
+	}
+	for _, col := range metricCols {
+		if col >= len(last.Header) {
+			continue
+		}
+		name := strings.ReplaceAll(strings.Fields(last.Header[col])[0], "-", "_")
+		if v, err := strconv.ParseFloat(strings.TrimSuffix(last.Rows[len(last.Rows)-1][col], "%"), 64); err == nil {
+			b.ReportMetric(v, "sim_s_"+name)
+		}
+	}
+}
+
+// ---- One benchmark per paper table/figure ----
+
+func BenchmarkTable1DMLRatio(b *testing.B)        { runExperiment(b, "table1") }
+func BenchmarkFig4ReadOverhead(b *testing.B)      { runExperiment(b, "fig4", 1, 2) }
+func BenchmarkFig5UpdateRatio(b *testing.B)       { runExperiment(b, "fig5", 1, 2, 3) }
+func BenchmarkFig6DeleteRatio(b *testing.B)       { runExperiment(b, "fig6", 1, 2, 3) }
+func BenchmarkFig7SelectAfterUpdate(b *testing.B) { runExperiment(b, "fig7", 1, 2) }
+func BenchmarkFig8UpdatePlusRead(b *testing.B)    { runExperiment(b, "fig8", 1, 2) }
+func BenchmarkFig9SelectAfterDelete(b *testing.B) { runExperiment(b, "fig9", 1, 2) }
+func BenchmarkFig10DeletePlusRead(b *testing.B)   { runExperiment(b, "fig10", 1, 2) }
+func BenchmarkTable4GridStatements(b *testing.B)  { runExperiment(b, "table4", 2, 3) }
+func BenchmarkFig11TPCHRead(b *testing.B)         { runExperiment(b, "fig11", 1, 2, 3) }
+func BenchmarkFig12TPCHDML(b *testing.B)          { runExperiment(b, "fig12", 1, 2, 3) }
+func BenchmarkFig13UpdateSweep(b *testing.B)      { runExperiment(b, "fig13", 1, 2, 3) }
+func BenchmarkFig14DeleteSweep(b *testing.B)      { runExperiment(b, "fig14", 1, 2, 3) }
+func BenchmarkFig15ReadAfterUpdate(b *testing.B)  { runExperiment(b, "fig15", 1, 2) }
+func BenchmarkFig16UpdatePlusRead(b *testing.B)   { runExperiment(b, "fig16", 1, 2) }
+func BenchmarkFig17ReadAfterDelete(b *testing.B)  { runExperiment(b, "fig17", 1, 2) }
+func BenchmarkFig18DeletePlusRead(b *testing.B)   { runExperiment(b, "fig18", 1, 2) }
+func BenchmarkAblationACIDDelta(b *testing.B)     { runExperiment(b, "ablacid", 1, 2, 3, 4) }
+func BenchmarkAblationUnionRead(b *testing.B)     { runExperiment(b, "ablunion", 1, 2) }
+
+// ---- Substrate micro-benchmarks (real wall time) ----
+
+func benchDB(b *testing.B) *dualtable.DB {
+	b.Helper()
+	db, err := dualtable.Open(dualtable.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkEditUpdateLatency measures one EDIT-plan UPDATE end to end
+// (scan + attached-table puts) on a 10k-row DualTable.
+func BenchmarkEditUpdateLatency(b *testing.B) {
+	db := benchDB(b)
+	db.SetForcePlan("EDIT")
+	db.MustExec("CREATE TABLE t (id BIGINT, grp BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	rows := make([]datum.Row, 10000)
+	for i := range rows {
+		rows[i] = datum.Row{datum.Int(int64(i)), datum.Int(int64(i % 100)), datum.Float(float64(i))}
+	}
+	if _, err := db.Engine.BulkLoad("t", rows); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(fmt.Sprintf("UPDATE t SET v = %d.5 WHERE grp = %d", i, i%100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnionReadScan measures a full UNION READ scan with a 5%
+// dirty attached table.
+func BenchmarkUnionReadScan(b *testing.B) {
+	db := benchDB(b)
+	db.SetForcePlan("EDIT")
+	db.MustExec("CREATE TABLE t (id BIGINT, grp BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	rows := make([]datum.Row, 20000)
+	for i := range rows {
+		rows[i] = datum.Row{datum.Int(int64(i)), datum.Int(int64(i % 100)), datum.Float(float64(i))}
+	}
+	if _, err := db.Engine.BulkLoad("t", rows); err != nil {
+		b.Fatal(err)
+	}
+	db.MustExec("UPDATE t SET v = 0.5 WHERE grp < 5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := db.MustExec("SELECT COUNT(*), SUM(v) FROM t")
+		if rs.Rows[0][0].I != 20000 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+// BenchmarkOverwritePlan measures the full INSERT OVERWRITE rewrite.
+func BenchmarkOverwritePlan(b *testing.B) {
+	db := benchDB(b)
+	db.SetForcePlan("OVERWRITE")
+	db.MustExec("CREATE TABLE t (id BIGINT, grp BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	rows := make([]datum.Row, 10000)
+	for i := range rows {
+		rows[i] = datum.Row{datum.Int(int64(i)), datum.Int(int64(i % 100)), datum.Float(float64(i))}
+	}
+	if _, err := db.Engine.BulkLoad("t", rows); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(fmt.Sprintf("UPDATE t SET v = %d.5 WHERE grp = 1", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompact measures COMPACT on a table with a dirty attached
+// table (rebuilt every iteration).
+func BenchmarkCompact(b *testing.B) {
+	db := benchDB(b)
+	db.SetForcePlan("EDIT")
+	db.MustExec("CREATE TABLE t (id BIGINT, grp BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	rows := make([]datum.Row, 10000)
+	for i := range rows {
+		rows[i] = datum.Row{datum.Int(int64(i)), datum.Int(int64(i % 100)), datum.Float(float64(i))}
+	}
+	if _, err := db.Engine.BulkLoad("t", rows); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db.MustExec(fmt.Sprintf("UPDATE t SET v = %d.5 WHERE grp < 10", i))
+		b.StartTimer()
+		db.MustExec("COMPACT TABLE t")
+	}
+}
+
+// BenchmarkTPCHQ1DualTable measures the paper's Query-a on a
+// DualTable (real wall time of the whole MapReduce pipeline).
+func BenchmarkTPCHQ1DualTable(b *testing.B) {
+	db := benchDB(b)
+	cfg := workload.DefaultTPCHConfig()
+	cfg.LineitemRows = 20000
+	cfg.OrdersRows = 5000
+	if err := workload.SetupTPCH(db.Engine, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(workload.QueryA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostModelDecision measures one cost-model evaluation.
+func BenchmarkCostModelDecision(b *testing.B) {
+	db := benchDB(b)
+	model := db.CostModel()
+	w := dualtableWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Ratio = float64(i%100+1) / 100
+		model.ChooseUpdate(w)
+	}
+}
+
+// BenchmarkLineitemGen measures workload generation throughput.
+func BenchmarkLineitemGen(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := workload.GenLineitem(10000, int64(i))
+		if len(rows) != 10000 {
+			b.Fatal("bad gen")
+		}
+	}
+}
+
+// dualtableWorkload is a representative cost-model input.
+func dualtableWorkload() costmodel.Workload {
+	return costmodel.Workload{
+		TableBytes:         20e9,
+		TableRows:          200e6,
+		FollowingReads:     1,
+		AvgRowBytes:        100,
+		MarkerBytes:        16,
+		UpdatedBytesPerRow: 16,
+	}
+}

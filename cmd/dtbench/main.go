@@ -1,0 +1,94 @@
+// Command dtbench reproduces the paper's evaluation tables and
+// figures on the simulated cluster.
+//
+// Usage:
+//
+//	dtbench -list
+//	dtbench -run fig5,fig13
+//	dtbench -all [-quick] [-scale 4000] [-markdown out.md]
+//	dtbench -probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dualtable/internal/harness"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		runIDs   = flag.String("run", "", "comma-separated experiment ids to run")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "smaller sweeps (for smoke testing)")
+		scale    = flag.Float64("scale", 4000, "data scale divisor vs the paper (e.g. 4000 = 1/4000 of paper volume)")
+		seed     = flag.Int64("seed", 20150413, "data generation seed")
+		markdown = flag.String("markdown", "", "also write results as markdown to this file")
+		probe    = flag.Bool("probe", false, "print sizing diagnostics and exit")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if *scale > 0 {
+		cfg.Scale = 1.0 / *scale
+	}
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+
+	switch {
+	case *probe:
+		harness.Probe(cfg)
+		return
+	case *list:
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *all {
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	} else if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	} else {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var md strings.Builder
+	md.WriteString("# DualTable reproduction results\n\n")
+	fmt.Fprintf(&md, "Configuration: scale 1/%g, quick=%v, seed %d.\n\n", 1/cfg.Scale, cfg.Quick, cfg.Seed)
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		exp, ok := harness.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			failed++
+			continue
+		}
+		res, err := exp.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(res.Format())
+		md.WriteString(res.Markdown())
+	}
+	if *markdown != "" {
+		if err := os.WriteFile(*markdown, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "write markdown:", err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

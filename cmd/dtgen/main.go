@@ -1,0 +1,79 @@
+// Command dtgen writes the paper's data sets as delimited text files
+// (loadable with LOAD DATA INPATH) to the local filesystem, for
+// inspection or external use.
+//
+//	dtgen -dataset tpch -rows 100000 -out /tmp/tpch
+//	dtgen -dataset grid -scale 10000 -out /tmp/grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "tpch", "tpch or grid")
+		rows    = flag.Int("rows", 100000, "tpch: lineitem rows (orders = rows/4)")
+		scale   = flag.Float64("scale", 10000, "grid: divisor of the paper's record counts")
+		seed    = flag.Int64("seed", 62701, "generation seed")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	switch *dataset {
+	case "tpch":
+		write(*out, "lineitem.tbl", workload.GenLineitem(*rows, *seed))
+		write(*out, "orders.tbl", workload.GenOrders(*rows/4, *seed))
+	case "grid":
+		cfg := workload.DefaultGridConfig()
+		cfg.Scale = 1.0 / *scale
+		cfg.Seed = *seed
+		for _, t := range append(workload.GridTablesII(), workload.GridTablesIII()...) {
+			write(*out, t.Name+".tbl", t.Rows(cfg))
+			fmt.Printf("-- %s\n%s;\n", t.Name, t.CreateSQL(cfg))
+		}
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+}
+
+func write(dir, name string, rows []datum.Row) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var sb strings.Builder
+	for _, r := range rows {
+		sb.Reset()
+		for i, d := range r {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			if d.IsNull() {
+				sb.WriteString(`\N`)
+			} else {
+				sb.WriteString(d.String())
+			}
+		}
+		sb.WriteByte('\n')
+		if _, err := f.WriteString(sb.String()); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wrote %s (%d rows)\n", filepath.Join(dir, name), len(rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtgen:", err)
+	os.Exit(1)
+}

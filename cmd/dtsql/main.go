@@ -1,0 +1,123 @@
+// Command dtsql is an interactive SQL shell over an in-memory
+// DualTable cluster — a stand-in for the Hive CLI of the paper's
+// Figure 3. Statements end with ';'. Meta commands: \q quits,
+// \plans shows the cost-model decision log, \t toggles timing.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dualtable"
+	"dualtable/internal/sim"
+)
+
+func main() {
+	var (
+		cluster = flag.String("cluster", "grid", "simulated cluster: grid (26 nodes) or tpch (10 nodes)")
+		script  = flag.String("f", "", "execute a SQL script file and exit")
+		quiet   = flag.Bool("q", false, "suppress the banner")
+	)
+	flag.Parse()
+
+	cfg := dualtable.DefaultConfig()
+	if *cluster == "tpch" {
+		cfg.Cluster = sim.TPCHCluster()
+	}
+	db, err := dualtable.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rs, err := db.ExecScript(string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printResult(rs, true)
+		return
+	}
+
+	if !*quiet {
+		fmt.Printf("DualTable SQL shell — simulated %s cluster\n", cfg.Cluster.Name)
+		fmt.Println(`Statements end with ';'.  \q quits, \plans shows plan decisions, \t toggles timing.`)
+	}
+	timing := true
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("dualtable> ")
+		} else {
+			fmt.Print("       ...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, "exit", "quit":
+			return
+		case `\t`:
+			timing = !timing
+			fmt.Println("timing:", timing)
+			prompt()
+			continue
+		case `\plans`:
+			for _, d := range db.PlanLog() {
+				fmt.Printf("%-9s ratio=%.4f (%s) Δ=%.2fs  %s\n", d.Plan, d.Ratio, d.RatioSrc, d.CostDelta, d.Statement)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		sqlText := buf.String()
+		buf.Reset()
+		rs, err := db.ExecScript(sqlText)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+		} else {
+			printResult(rs, timing)
+		}
+		prompt()
+	}
+}
+
+func printResult(rs *dualtable.ResultSet, timing bool) {
+	if rs == nil {
+		return
+	}
+	if len(rs.Columns) > 0 {
+		fmt.Println(strings.Join(rs.Columns, "\t"))
+		for _, r := range rs.Rows {
+			fmt.Println(r.String())
+		}
+		fmt.Printf("%d row(s)", len(rs.Rows))
+	} else {
+		fmt.Printf("OK, %d row(s) affected", rs.Affected)
+	}
+	if rs.Plan != "" {
+		fmt.Printf("  [plan: %s]", rs.Plan)
+	}
+	if timing {
+		fmt.Printf("  (%.2f simulated cluster seconds)", rs.SimSeconds)
+	}
+	fmt.Println()
+}

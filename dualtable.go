@@ -1,0 +1,150 @@
+// Package dualtable is the public API of the DualTable reproduction:
+// a hybrid storage model for update optimization in Hive (Hu et al.,
+// ICDE 2015). It assembles the full simulated stack — an HDFS-like
+// distributed file system, an HBase-like LSM key-value store, a
+// MapReduce engine, and a Hive-like SQL layer — and registers the
+// DualTable storage handler, whose cost model picks between OVERWRITE
+// and EDIT plans for UPDATE/DELETE at run time.
+//
+// Quick start:
+//
+//	db, _ := dualtable.Open(dualtable.DefaultConfig())
+//	db.MustExec(`CREATE TABLE t (id BIGINT, v DOUBLE) STORED AS DUALTABLE`)
+//	db.MustExec(`INSERT INTO t VALUES (1, 10.0), (2, 20.0)`)
+//	db.MustExec(`UPDATE t SET v = 99.0 WHERE id = 2`)
+//	rs, _ := db.Exec(`SELECT * FROM t ORDER BY id`)
+//	fmt.Println(rs.Rows)
+package dualtable
+
+import (
+	"fmt"
+
+	"dualtable/internal/acid"
+	"dualtable/internal/core"
+	"dualtable/internal/costmodel"
+	"dualtable/internal/dfs"
+	"dualtable/internal/hive"
+	"dualtable/internal/kvstore"
+	"dualtable/internal/mapred"
+	"dualtable/internal/sim"
+)
+
+// Config assembles a simulated cluster.
+type Config struct {
+	// Cluster holds the calibrated cost parameters (defaults to the
+	// paper's 26-node grid cluster; sim.TPCHCluster() gives the
+	// 10-node TPC-H cluster).
+	Cluster sim.CostParams
+	// Parallelism bounds real goroutine concurrency (0 = NumCPU).
+	Parallelism int
+	// FollowingReads is the cost model's k (reads after each DML).
+	FollowingReads float64
+	// BlockSizeBytes is the DFS chunk size (default 64 MB).
+	BlockSizeBytes int64
+	// Replication is the DFS replica count (default 3).
+	Replication int
+	// KVFlushThresholdBytes is the LSM memtable flush threshold.
+	KVFlushThresholdBytes int
+}
+
+// DefaultConfig mirrors the paper's cluster settings.
+func DefaultConfig() Config {
+	return Config{
+		Cluster:        sim.GridCluster(),
+		FollowingReads: 1,
+	}
+}
+
+// DB is an open DualTable instance: the SQL engine plus handles to
+// every substrate for advanced use and instrumentation.
+type DB struct {
+	Engine  *hive.Engine
+	FS      *dfs.FileSystem
+	KV      *kvstore.Cluster
+	MR      *mapred.Cluster
+	Handler *core.Handler
+}
+
+// ResultSet re-exports the engine result type.
+type ResultSet = hive.ResultSet
+
+// Open builds a fresh in-memory cluster and SQL engine.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Cluster.Nodes == 0 {
+		cfg.Cluster = sim.GridCluster()
+	}
+	if cfg.FollowingReads == 0 {
+		cfg.FollowingReads = 1
+	}
+	dfsCfg := dfs.DefaultConfig()
+	if cfg.BlockSizeBytes > 0 {
+		dfsCfg.BlockSize = cfg.BlockSizeBytes
+	}
+	if cfg.Replication > 0 {
+		dfsCfg.Replication = cfg.Replication
+	}
+	workers := cfg.Cluster.Nodes - 1
+	if workers > 0 {
+		dfsCfg.DataNodes = workers
+	}
+	fs := dfs.New(dfsCfg)
+	kvCfg := kvstore.DefaultStoreConfig()
+	if cfg.KVFlushThresholdBytes > 0 {
+		kvCfg.FlushThresholdBytes = cfg.KVFlushThresholdBytes
+	}
+	kv, err := kvstore.NewCluster(fs, "/hbase", kvCfg)
+	if err != nil {
+		return nil, err
+	}
+	mr := mapred.NewCluster(cfg.Cluster)
+	mr.Parallelism = cfg.Parallelism
+	engine, err := hive.NewEngine(hive.Config{FS: fs, KV: kv, MR: mr})
+	if err != nil {
+		return nil, err
+	}
+	handler, err := core.Register(engine, core.Options{FollowingReads: cfg.FollowingReads})
+	if err != nil {
+		return nil, err
+	}
+	// The Hive-ACID-style baseline (STORED AS ACID) for ablations.
+	if _, err := acid.Register(engine); err != nil {
+		return nil, err
+	}
+	return &DB{Engine: engine, FS: fs, KV: kv, MR: mr, Handler: handler}, nil
+}
+
+// Exec runs one SQL statement.
+func (db *DB) Exec(sql string) (*ResultSet, error) { return db.Engine.Execute(sql) }
+
+// ExecScript runs a semicolon-separated script, returning the last
+// result.
+func (db *DB) ExecScript(sql string) (*ResultSet, error) { return db.Engine.ExecuteScript(sql) }
+
+// MustExec runs a statement and panics on error (examples, tests).
+func (db *DB) MustExec(sql string) *ResultSet {
+	rs, err := db.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("dualtable: %s: %v", sql, err))
+	}
+	return rs
+}
+
+// SetForcePlan forces EDIT or OVERWRITE plans on DualTable DML
+// ("" restores cost-model selection) — the knob behind the paper's
+// "DualTable EDIT" experiment lines.
+func (db *DB) SetForcePlan(plan string) { db.Handler.SetForcePlan(plan) }
+
+// SetFollowingReads sets the cost model's k.
+func (db *DB) SetFollowingReads(k float64) { db.Handler.SetFollowingReads(k) }
+
+// SetRatioHint pins the modification-ratio estimate of a DML
+// statement (the designer-given α/β of the paper's §IV).
+func (db *DB) SetRatioHint(sql string, ratio float64) error {
+	return db.Handler.SetRatioHint(sql, ratio)
+}
+
+// PlanLog returns the DualTable cost-model decisions made so far.
+func (db *DB) PlanLog() []core.PlanDecision { return db.Handler.PlanLog() }
+
+// CostModel exposes the §IV model for direct evaluation.
+func (db *DB) CostModel() *costmodel.Model { return db.Handler.Model() }

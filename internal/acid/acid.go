@@ -1,0 +1,639 @@
+// Package acid implements a Hive-ACID-style storage handler (the
+// HIVE-5317 design the paper compares against conceptually in §V-C):
+// base ORC files plus one delta file per transaction, all on the
+// distributed file system. The differences from DualTable that the
+// paper calls out are faithfully reproduced:
+//
+//   - the whole updated record goes into the delta, "even if only one
+//     cell is changed";
+//   - each transaction creates a new delta, so readers merge-sort the
+//     base with a growing pile of deltas — sequential scans, no random
+//     access;
+//   - there is no run-time plan selection: DML always writes deltas.
+//
+// Minor compaction merges all deltas into one; major compaction folds
+// them into a new base. Registered as STORED AS ACID so the ablation
+// benchmarks can compare it with DualTable on the same workloads.
+package acid
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/dfs"
+	"dualtable/internal/hive"
+	"dualtable/internal/mapred"
+	"dualtable/internal/metastore"
+	"dualtable/internal/orcfile"
+	"dualtable/internal/sim"
+	"dualtable/internal/sqlparser"
+)
+
+const (
+	fileIDMetaKey = "acid.fileid"
+	opUpsert      = int64(0)
+	opDelete      = int64(1)
+)
+
+// Handler implements hive.StorageHandler + DMLHandler + Compactor.
+type Handler struct {
+	e *hive.Engine
+
+	mu      sync.Mutex
+	nextTxn map[string]int // per-table transaction counter
+	nextFid map[string]uint32
+}
+
+// Register installs the handler for metastore.StorageAcid.
+func Register(e *hive.Engine) (*Handler, error) {
+	h := &Handler{e: e, nextTxn: map[string]int{}, nextFid: map[string]uint32{}}
+	e.RegisterHandler(metastore.StorageAcid, h)
+	return h, nil
+}
+
+func baseDir(desc *metastore.TableDesc) string  { return path.Join(desc.Location, "base") }
+func deltaDir(desc *metastore.TableDesc) string { return path.Join(desc.Location, "deltas") }
+
+// deltaSchema prefixes the table schema with (rid, op).
+func deltaSchema(desc *metastore.TableDesc) datum.Schema {
+	s := datum.Schema{{Name: "__rid", Kind: datum.KindInt}, {Name: "__op", Kind: datum.KindInt}}
+	return append(s, desc.Schema...)
+}
+
+// Create provisions base and delta directories.
+func (h *Handler) Create(desc *metastore.TableDesc) error {
+	if err := h.e.FS.MkdirAll(baseDir(desc)); err != nil {
+		return err
+	}
+	return h.e.FS.MkdirAll(deltaDir(desc))
+}
+
+// Drop removes everything.
+func (h *Handler) Drop(desc *metastore.TableDesc) error {
+	if h.e.FS.Exists(desc.Location) {
+		return h.e.FS.Delete(desc.Location, true)
+	}
+	return nil
+}
+
+func (h *Handler) allocFid(desc *metastore.TableDesc) uint32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := strings.ToLower(desc.Name)
+	h.nextFid[key]++
+	return h.nextFid[key]
+}
+
+func (h *Handler) allocTxn(desc *metastore.TableDesc) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := strings.ToLower(desc.Name)
+	h.nextTxn[key]++
+	return h.nextTxn[key]
+}
+
+// baseFiles opens the base file footers.
+type baseFile struct {
+	path   string
+	size   int64
+	fileID uint32
+	rows   int64
+}
+
+func (h *Handler) baseFiles(desc *metastore.TableDesc) ([]baseFile, error) {
+	infos, err := h.e.FS.ListFiles(baseDir(desc))
+	if err != nil {
+		return nil, err
+	}
+	var out []baseFile
+	for _, fi := range infos {
+		if strings.HasPrefix(fi.Name, ".") {
+			continue
+		}
+		fr, err := h.e.FS.Open(fi.Path)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := orcfile.Open(fr, fr.Size())
+		if err != nil {
+			fr.Close()
+			return nil, err
+		}
+		var fid uint64
+		fmt.Sscanf(rd.UserMeta()[fileIDMetaKey], "%d", &fid)
+		fr.Close()
+		out = append(out, baseFile{path: fi.Path, size: fi.Size, fileID: uint32(fid), rows: rd.NumRows()})
+	}
+	return out, nil
+}
+
+// deltaEntry is one modification record in memory.
+type deltaEntry struct {
+	rid uint64
+	op  int64
+	row datum.Row
+	seq int // delta ordinal: later transactions win
+}
+
+// loadDeltas reads every delta file (the merge-on-read cost Hive ACID
+// pays), charging the meter.
+func (h *Handler) loadDeltas(desc *metastore.TableDesc, m *sim.Meter) ([]deltaEntry, error) {
+	infos, err := h.e.FS.ListFiles(deltaDir(desc))
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	var out []deltaEntry
+	for seq, fi := range infos {
+		fr, err := h.e.FS.OpenMeter(fi.Path, m)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := orcfile.Open(fr, fr.Size())
+		if err != nil {
+			fr.Close()
+			return nil, err
+		}
+		rr := rd.NewRowReader(orcfile.RowReaderOptions{})
+		for {
+			row, _, err := rr.Next()
+			if err != nil {
+				break
+			}
+			entry := deltaEntry{
+				rid: uint64(row[0].I),
+				op:  row[1].I,
+				row: row[2:].Clone(),
+				seq: seq,
+			}
+			out = append(out, entry)
+		}
+		fr.Close()
+	}
+	// Sort by rid; later transactions after earlier ones.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].rid != out[j].rid {
+			return out[i].rid < out[j].rid
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out, nil
+}
+
+// DeltaFileCount reports the number of delta files (observability).
+func (h *Handler) DeltaFileCount(desc *metastore.TableDesc) (int, error) {
+	infos, err := h.e.FS.ListFiles(deltaDir(desc))
+	if err != nil {
+		return 0, err
+	}
+	return len(infos), nil
+}
+
+// Splits returns one merge-on-read split per base file. Every split
+// re-reads all deltas — exactly the amplification §V-C describes.
+func (h *Handler) Splits(desc *metastore.TableDesc, opts hive.ScanOptions) ([]mapred.InputSplit, error) {
+	files, err := h.baseFiles(desc)
+	if err != nil {
+		return nil, err
+	}
+	var splits []mapred.InputSplit
+	for _, f := range files {
+		splits = append(splits, &acidSplit{h: h, desc: desc, file: f, opts: opts})
+	}
+	return splits, nil
+}
+
+// RowCount sums base-file rows.
+func (h *Handler) RowCount(desc *metastore.TableDesc) (int64, error) {
+	files, err := h.baseFiles(desc)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, f := range files {
+		n += f.rows
+	}
+	return n, nil
+}
+
+// DataSize reports the base + delta byte size.
+func (h *Handler) DataSize(desc *metastore.TableDesc) (int64, error) {
+	return h.e.FS.Du(desc.Location)
+}
+
+// Append writes new base files.
+func (h *Handler) Append(desc *metastore.TableDesc) (mapred.OutputFactory, hive.Committer, error) {
+	return &baseOutputFactory{h: h, desc: desc, dir: baseDir(desc)}, nopCommitter{}, nil
+}
+
+// Overwrite replaces base and clears deltas on commit.
+func (h *Handler) Overwrite(desc *metastore.TableDesc) (mapred.OutputFactory, hive.Committer, error) {
+	staging := path.Join(desc.Location, ".staging")
+	if h.e.FS.Exists(staging) {
+		if err := h.e.FS.Delete(staging, true); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := h.e.FS.MkdirAll(staging); err != nil {
+		return nil, nil, err
+	}
+	return &baseOutputFactory{h: h, desc: desc, dir: staging},
+		&overwriteCommitter{h: h, desc: desc, staging: staging}, nil
+}
+
+type nopCommitter struct{}
+
+func (nopCommitter) Commit() error { return nil }
+func (nopCommitter) Abort() error  { return nil }
+
+type overwriteCommitter struct {
+	h       *Handler
+	desc    *metastore.TableDesc
+	staging string
+}
+
+func (c *overwriteCommitter) Commit() error {
+	fs := c.h.e.FS
+	dir := baseDir(c.desc)
+	infos, err := fs.ListFiles(dir)
+	if err != nil {
+		return err
+	}
+	for _, fi := range infos {
+		if err := fs.Delete(fi.Path, false); err != nil {
+			return err
+		}
+	}
+	staged, err := fs.ListFiles(c.staging)
+	if err != nil {
+		return err
+	}
+	for _, fi := range staged {
+		if err := fs.Rename(fi.Path, path.Join(dir, fi.Name)); err != nil {
+			return err
+		}
+	}
+	if err := fs.Delete(c.staging, true); err != nil {
+		return err
+	}
+	if err := fs.Delete(deltaDir(c.desc), true); err != nil {
+		return err
+	}
+	return fs.MkdirAll(deltaDir(c.desc))
+}
+
+func (c *overwriteCommitter) Abort() error {
+	if c.h.e.FS.Exists(c.staging) {
+		return c.h.e.FS.Delete(c.staging, true)
+	}
+	return nil
+}
+
+// baseOutputFactory writes ORC base files with file IDs.
+type baseOutputFactory struct {
+	h    *Handler
+	desc *metastore.TableDesc
+	dir  string
+}
+
+func (f *baseOutputFactory) NewCollector(taskID int, m *sim.Meter) (mapred.Collector, error) {
+	return &baseCollector{f: f, meter: m}, nil
+}
+
+type baseCollector struct {
+	f     *baseOutputFactory
+	meter *sim.Meter
+	fw    *dfs.FileWriter
+	w     *orcfile.Writer
+}
+
+func (c *baseCollector) Collect(row datum.Row) error {
+	if c.w == nil {
+		fid := c.f.h.allocFid(c.f.desc)
+		fw, err := c.f.h.e.FS.CreateMeter(path.Join(c.f.dir, fmt.Sprintf("base-%08d.orc", fid)), c.meter)
+		if err != nil {
+			return err
+		}
+		w, err := orcfile.NewWriter(fw, c.f.desc.Schema, orcfile.WriterOptions{
+			Compression: true,
+			UserMeta:    map[string]string{fileIDMetaKey: fmt.Sprintf("%d", fid)},
+		})
+		if err != nil {
+			return err
+		}
+		c.fw, c.w = fw, w
+	}
+	return c.w.WriteRow(row)
+}
+
+func (c *baseCollector) Close() error {
+	if c.w == nil {
+		return nil
+	}
+	if err := c.w.Close(); err != nil {
+		return err
+	}
+	return c.fw.Close()
+}
+
+// acidSplit merges one base file with all delta entries in its rid
+// range.
+type acidSplit struct {
+	h    *Handler
+	desc *metastore.TableDesc
+	file baseFile
+	opts hive.ScanOptions
+}
+
+func (s *acidSplit) Length() int64 { return s.file.size }
+
+func (s *acidSplit) Open(m *sim.Meter) (mapred.RecordReader, error) {
+	fr, err := s.h.e.FS.OpenMeter(s.file.path, m)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := orcfile.Open(fr, fr.Size())
+	if err != nil {
+		fr.Close()
+		return nil, err
+	}
+	// Merge-on-read: every split scans every delta file (no random
+	// access, no bloom filters — the §V-C contrast with DualTable).
+	deltas, err := s.h.loadDeltas(s.desc, m)
+	if err != nil {
+		fr.Close()
+		return nil, err
+	}
+	lo := uint64(s.file.fileID) << 32
+	hi := (uint64(s.file.fileID) + 1) << 32
+	start := sort.Search(len(deltas), func(i int) bool { return deltas[i].rid >= lo })
+	end := sort.Search(len(deltas), func(i int) bool { return deltas[i].rid >= hi })
+	return &acidReader{
+		fr:     fr,
+		rows:   rd.NewRowReader(orcfile.RowReaderOptions{Columns: s.opts.Projection}),
+		deltas: deltas[start:end],
+		fileID: s.file.fileID,
+	}, nil
+}
+
+type acidReader struct {
+	fr     *dfs.FileReader
+	rows   *orcfile.RowReader
+	deltas []deltaEntry
+	fileID uint32
+	di     int
+}
+
+func (r *acidReader) Next() (datum.Row, mapred.RecordMeta, error) {
+	for {
+		row, ord, err := r.rows.Next()
+		if err != nil {
+			return nil, mapred.RecordMeta{}, mapred.EOF
+		}
+		rid := uint64(r.fileID)<<32 | uint64(ord)
+		for r.di < len(r.deltas) && r.deltas[r.di].rid < rid {
+			r.di++
+		}
+		// Apply every matching delta in transaction order; the last
+		// one wins.
+		var final datum.Row = row
+		deleted := false
+		applied := false
+		for r.di < len(r.deltas) && r.deltas[r.di].rid == rid {
+			d := r.deltas[r.di]
+			if d.op == opDelete {
+				deleted = true
+			} else {
+				deleted = false
+				final = d.row
+				applied = true
+			}
+			r.di++
+		}
+		meta := mapred.RecordMeta{RecordID: rid}
+		if deleted {
+			continue
+		}
+		if applied {
+			return final, meta, nil
+		}
+		return row, meta, nil
+	}
+}
+
+func (r *acidReader) Close() error { return r.fr.Close() }
+
+// ---- DML: always delta (no cost model — §V-C: "Hive always updates
+// the delta tables. It could not make better decisions at runtime.")
+
+// ExecUpdate writes full updated records into a fresh delta.
+func (h *Handler) ExecUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error) {
+	alias := stmt.Alias
+	if alias == "" {
+		alias = stmt.Table
+	}
+	var whereFn func(datum.Row) (datum.Datum, error)
+	var err error
+	if stmt.Where != nil {
+		whereFn, err = e.CompileRowExpr(stmt.Where, stmt.Table, alias, desc.Schema)
+		if err != nil {
+			return 0, "", err
+		}
+	}
+	type setCol struct {
+		idx int
+		fn  func(datum.Row) (datum.Datum, error)
+	}
+	var sets []setCol
+	for _, s := range stmt.Sets {
+		idx := desc.Schema.ColumnIndex(s.Column)
+		fn, err := e.CompileRowExpr(s.Value, stmt.Table, alias, desc.Schema)
+		if err != nil {
+			return 0, "", err
+		}
+		sets = append(sets, setCol{idx: idx, fn: fn})
+	}
+	n, err := h.runDeltaJob(e, desc, m, func(tm *sim.Meter, row datum.Row, rid uint64, emitDelta func(deltaEntry) error) (bool, error) {
+		if whereFn != nil {
+			ok, err := whereFn(row)
+			if err != nil {
+				return false, err
+			}
+			if !ok.Truthy() {
+				return false, nil
+			}
+		}
+		// The whole record goes into the delta, even for a one-cell
+		// change.
+		updated := row.Clone()
+		for _, s := range sets {
+			nv, err := s.fn(row)
+			if err != nil {
+				return false, err
+			}
+			nv, err = datum.Coerce(nv, desc.Schema[s.idx].Kind)
+			if err != nil {
+				return false, err
+			}
+			updated[s.idx] = nv
+		}
+		return true, emitDelta(deltaEntry{rid: rid, op: opUpsert, row: updated})
+	})
+	return n, "DELTA", err
+}
+
+// ExecDelete writes delete records into a fresh delta.
+func (h *Handler) ExecDelete(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error) {
+	alias := stmt.Alias
+	if alias == "" {
+		alias = stmt.Table
+	}
+	var whereFn func(datum.Row) (datum.Datum, error)
+	var err error
+	if stmt.Where != nil {
+		whereFn, err = e.CompileRowExpr(stmt.Where, stmt.Table, alias, desc.Schema)
+		if err != nil {
+			return 0, "", err
+		}
+	}
+	blank := make(datum.Row, len(desc.Schema))
+	for i := range blank {
+		blank[i] = datum.Null
+	}
+	n, err := h.runDeltaJob(e, desc, m, func(tm *sim.Meter, row datum.Row, rid uint64, emitDelta func(deltaEntry) error) (bool, error) {
+		if whereFn != nil {
+			ok, err := whereFn(row)
+			if err != nil {
+				return false, err
+			}
+			if !ok.Truthy() {
+				return false, nil
+			}
+		}
+		return true, emitDelta(deltaEntry{rid: rid, op: opDelete, row: blank})
+	})
+	return n, "DELTA", err
+}
+
+// runDeltaJob scans the table (merge-on-read) and streams matching
+// records into one new delta file per map task, under one transaction.
+func (h *Handler) runDeltaJob(e *hive.Engine, desc *metastore.TableDesc, m *sim.Meter,
+	visit func(tm *sim.Meter, row datum.Row, rid uint64, emitDelta func(deltaEntry) error) (bool, error)) (int64, error) {
+	splits, err := h.Splits(desc, hive.ScanOptions{})
+	if err != nil {
+		return 0, err
+	}
+	txn := h.allocTxn(desc)
+	dSchema := deltaSchema(desc)
+	var taskCounter int64
+	var mu sync.Mutex
+	job := &mapred.Job{
+		Name:   "acid-delta",
+		Splits: splits,
+		NewMapper: func() mapred.Mapper {
+			dm := &deltaMapper{}
+			dm.visit = visit
+			dm.open = func(tm *sim.Meter) (*orcfile.Writer, *dfs.FileWriter, error) {
+				mu.Lock()
+				taskCounter++
+				id := taskCounter
+				mu.Unlock()
+				name := fmt.Sprintf("delta-%06d-%04d.orc", txn, id)
+				fw, err := h.e.FS.CreateMeter(path.Join(deltaDir(desc), name), tm)
+				if err != nil {
+					return nil, nil, err
+				}
+				w, err := orcfile.NewWriter(fw, dSchema, orcfile.WriterOptions{Compression: true})
+				if err != nil {
+					return nil, nil, err
+				}
+				return w, fw, nil
+			}
+			return dm
+		},
+	}
+	res, err := e.MR.Run(job)
+	if err != nil {
+		return 0, err
+	}
+	m.AddSeconds(res.SimSeconds)
+	return res.Counters.OutputRecords, nil
+}
+
+// deltaMapper writes matching records to its task's delta file.
+type deltaMapper struct {
+	meter *sim.Meter
+	visit func(*sim.Meter, datum.Row, uint64, func(deltaEntry) error) (bool, error)
+	open  func(*sim.Meter) (*orcfile.Writer, *dfs.FileWriter, error)
+	w     *orcfile.Writer
+	fw    *dfs.FileWriter
+}
+
+func (dm *deltaMapper) SetMeter(m *sim.Meter) { dm.meter = m }
+
+func (dm *deltaMapper) Map(row datum.Row, meta mapred.RecordMeta, emit mapred.Emitter) error {
+	matched, err := dm.visit(dm.meter, row, meta.RecordID, func(d deltaEntry) error {
+		if dm.w == nil {
+			w, fw, err := dm.open(dm.meter)
+			if err != nil {
+				return err
+			}
+			dm.w, dm.fw = w, fw
+		}
+		out := make(datum.Row, 0, 2+len(d.row))
+		out = append(out, datum.Int(int64(d.rid)), datum.Int(d.op))
+		out = append(out, d.row...)
+		return dm.w.WriteRow(out)
+	})
+	if err != nil {
+		return err
+	}
+	if matched {
+		return emit(nil, datum.Row{datum.Int(1)})
+	}
+	return nil
+}
+
+func (dm *deltaMapper) Flush(emit mapred.Emitter) error {
+	if dm.w == nil {
+		return nil
+	}
+	if err := dm.w.Close(); err != nil {
+		return err
+	}
+	return dm.fw.Close()
+}
+
+// Compact implements COMPACT TABLE for ACID tables: a major
+// compaction folding all deltas into a new base.
+func (h *Handler) Compact(e *hive.Engine, desc *metastore.TableDesc, m *sim.Meter) error {
+	splits, err := h.Splits(desc, hive.ScanOptions{})
+	if err != nil {
+		return err
+	}
+	factory, committer, err := h.Overwrite(desc)
+	if err != nil {
+		return err
+	}
+	job := &mapred.Job{
+		Name:   "acid-major-compact",
+		Splits: splits,
+		NewMapper: func() mapred.Mapper {
+			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+				return emit(nil, row)
+			})
+		},
+		Output: factory,
+	}
+	res, err := e.MR.Run(job)
+	if err != nil {
+		committer.Abort()
+		return err
+	}
+	m.AddSeconds(res.SimSeconds)
+	return committer.Commit()
+}

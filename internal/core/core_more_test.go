@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dualtable/internal/metastore"
+	"dualtable/internal/orcfile"
+)
+
+// Second-round coverage: locking, pushdown interaction with the
+// attached table, statistics estimation, and edge cases.
+
+func TestCompactBlocksConcurrentDML(t *testing.T) {
+	e, h := testEngine(t)
+	seedDual(t, e)
+	h.SetForcePlan("EDIT")
+	desc, _ := e.MS.Get("m")
+
+	// Hold the compact (exclusive) lock manually and verify DML
+	// blocks until released — the paper: "all the other operations
+	// will be blocked during COMPACT".
+	lock := h.tableLock(desc.Name)
+	lock.Lock()
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := e.Execute("UPDATE m SET v = 1.0 WHERE id = 1")
+		done <- err
+	}()
+	<-started
+	select {
+	case <-done:
+		t.Fatal("UPDATE completed while compact lock held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	lock.Unlock()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("update after unlock: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("update never completed after unlock")
+	}
+}
+
+func TestPushdownDisabledWithDirtyAttached(t *testing.T) {
+	// Predicate pushdown must not prune stripes whose rows were
+	// updated into matching: with a dirty attached table, stripe
+	// stats are stale, so pushdown is skipped.
+	e, h := testEngine(t)
+	mustExec(t, e, "CREATE TABLE p (id BIGINT, v BIGINT) STORED AS DUALTABLE")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO p VALUES ")
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i)
+	}
+	mustExec(t, e, sb.String())
+	h.SetForcePlan("EDIT")
+	// Make one low-id row match a high-v predicate via the attached
+	// table.
+	mustExec(t, e, "UPDATE p SET v = 1000000 WHERE id = 3")
+	rs := mustExec(t, e, "SELECT COUNT(*) FROM p WHERE v >= 1000000")
+	if rs.Rows[0][0].I != 1 {
+		t.Errorf("pushdown dropped an attached-table update: %v", rs.Rows[0])
+	}
+	// After COMPACT the stats are fresh and the row must still match.
+	mustExec(t, e, "COMPACT TABLE p")
+	rs = mustExec(t, e, "SELECT COUNT(*) FROM p WHERE v >= 1000000")
+	if rs.Rows[0][0].I != 1 {
+		t.Errorf("post-compact pushdown lost the row: %v", rs.Rows[0])
+	}
+}
+
+func TestStatsSelectivityEstimate(t *testing.T) {
+	e, h := testEngine(t)
+	seedDual(t, e) // 360 rows, day = i%36
+	desc, _ := e.MS.Get("m")
+	files, err := h.masterFiles(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WHERE day = 50 matches nothing: stripe stats prove it.
+	stmt := "UPDATE m SET v = 0.0 WHERE day = 500"
+	parsed := mustParseUpdate(t, stmt)
+	est := h.statsSelectivity(desc, files, parsed.Where, "m")
+	if est != 0 {
+		t.Errorf("impossible predicate estimate = %v, want 0", est)
+	}
+	// WHERE with no pushable conjuncts yields no estimate (-1).
+	parsed = mustParseUpdate(t, "UPDATE m SET v = 0.0 WHERE v * 2 > day")
+	est = h.statsSelectivity(desc, files, parsed.Where, "m")
+	if est != -1 {
+		t.Errorf("non-pushable estimate = %v, want -1", est)
+	}
+	// No WHERE = ratio 1.
+	est = h.statsSelectivity(desc, files, nil, "m")
+	if est != 1 {
+		t.Errorf("whereless estimate = %v, want 1", est)
+	}
+}
+
+func TestAttachedTableGrowsAndCompactClears(t *testing.T) {
+	e, h := testEngine(t)
+	seedDual(t, e)
+	h.SetForcePlan("EDIT")
+	desc, _ := e.MS.Get("m")
+	var prev int64
+	for i := 0; i < 3; i++ {
+		mustExec(t, e, fmt.Sprintf("UPDATE m SET v = %d.0 WHERE day = %d", i, i))
+		n, _ := h.AttachedEntryCount(desc)
+		if n <= prev {
+			t.Fatalf("attached table did not grow: %d -> %d", prev, n)
+		}
+		prev = n
+	}
+	mustExec(t, e, "COMPACT TABLE m")
+	if n, _ := h.AttachedEntryCount(desc); n != 0 {
+		t.Errorf("attached after compact = %d", n)
+	}
+}
+
+func TestNoOpUpdateWritesNothing(t *testing.T) {
+	// Setting a column to its current value is elided (no attached
+	// cells, zero affected).
+	e, h := testEngine(t)
+	seedDual(t, e)
+	h.SetForcePlan("EDIT")
+	rs := mustExec(t, e, "UPDATE m SET day = day WHERE id < 100")
+	if rs.Affected != 0 {
+		t.Errorf("no-op update affected = %d", rs.Affected)
+	}
+	desc, _ := e.MS.Get("m")
+	if n, _ := h.AttachedEntryCount(desc); n != 0 {
+		t.Errorf("no-op update wrote %d cells", n)
+	}
+}
+
+func TestUpdateToNullViaEdit(t *testing.T) {
+	e, h := testEngine(t)
+	seedDual(t, e)
+	h.SetForcePlan("EDIT")
+	mustExec(t, e, "UPDATE m SET tag = NULL WHERE id = 11")
+	rs := mustExec(t, e, "SELECT COUNT(*) FROM m WHERE tag IS NULL")
+	if rs.Rows[0][0].I != 1 {
+		t.Errorf("null update = %v", rs.Rows[0])
+	}
+}
+
+func TestManyMasterFilesUnionRead(t *testing.T) {
+	e, h := testEngine(t)
+	mustExec(t, e, "CREATE TABLE mm (id BIGINT, v BIGINT) STORED AS DUALTABLE")
+	// Five separate inserts → five master files with distinct IDs.
+	for f := 0; f < 5; f++ {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO mm VALUES ")
+		for i := 0; i < 20; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", f*20+i, f)
+		}
+		mustExec(t, e, sb.String())
+	}
+	desc, _ := e.MS.Get("mm")
+	files, _ := h.masterFiles(desc)
+	if len(files) != 5 {
+		t.Fatalf("master files = %d", len(files))
+	}
+	h.SetForcePlan("EDIT")
+	// Update rows spanning several files.
+	mustExec(t, e, "UPDATE mm SET v = 99 WHERE id % 20 = 7")
+	rs := mustExec(t, e, "SELECT COUNT(*) FROM mm WHERE v = 99")
+	if rs.Rows[0][0].I != 5 {
+		t.Errorf("cross-file update = %v", rs.Rows[0])
+	}
+	// Delete across files, then compact down to fresh files.
+	mustExec(t, e, "DELETE FROM mm WHERE id % 20 = 3")
+	mustExec(t, e, "COMPACT TABLE mm")
+	rs = mustExec(t, e, "SELECT COUNT(*) FROM mm")
+	if rs.Rows[0][0].I != 95 {
+		t.Errorf("after compact = %v", rs.Rows[0])
+	}
+}
+
+func TestConcurrentReadsDuringEdit(t *testing.T) {
+	e, h := testEngine(t)
+	seedDual(t, e)
+	h.SetForcePlan("EDIT")
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				if _, err := e.Execute("SELECT COUNT(*) FROM m"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Execute(fmt.Sprintf("UPDATE m SET v = %d.5 WHERE day = %d", i, i)); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestMasterFileMissingIDRejected(t *testing.T) {
+	e, h := testEngine(t)
+	mustExec(t, e, "CREATE TABLE bad (id BIGINT) STORED AS DUALTABLE")
+	mustExec(t, e, "INSERT INTO bad VALUES (1)")
+	desc, _ := e.MS.Get("bad")
+	// Drop a rogue ORC file without the file ID into the master dir.
+	w, err := e.FS.Create(masterDir(desc) + "/rogue.orc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ow, err := orcfile.NewWriter(w, desc.Schema, orcfile.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ow.Close()
+	w.Close()
+	if _, err := h.masterFiles(desc); err == nil {
+		t.Error("master file without a file ID must be rejected")
+	}
+}
+
+func TestDescribeDualTable(t *testing.T) {
+	e, _ := testEngine(t)
+	seedDual(t, e)
+	rs := mustExec(t, e, "DESCRIBE m")
+	found := false
+	for _, r := range rs.Rows {
+		if strings.Contains(r.String(), "DUALTABLE") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("describe should name the storage: %v", rs.Rows)
+	}
+}
+
+func mustParseUpdate(t *testing.T, sql string) *updateStmtWrapper {
+	t.Helper()
+	stmt, err := parseUpdate(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+// Small indirection to keep the sqlparser import local to this file's
+// helper.
+type updateStmtWrapper = updateAlias
+
+func TestFollowingReadsProperty(t *testing.T) {
+	e, h := testEngine(t)
+	seedDual(t, e)
+	// Table property overrides the handler default.
+	if err := e.MS.SetProperty("m", "dualtable.k", "25"); err != nil {
+		t.Fatal(err)
+	}
+	desc, _ := e.MS.Get("m")
+	w, _, err := h.workloadFor(desc, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FollowingReads != 25 {
+		t.Errorf("k from property = %v", w.FollowingReads)
+	}
+	_ = metastore.StorageDual
+}

@@ -1,0 +1,553 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dualtable/internal/costmodel"
+	"dualtable/internal/datum"
+	"dualtable/internal/hive"
+	"dualtable/internal/kvstore"
+	"dualtable/internal/mapred"
+	"dualtable/internal/metastore"
+	"dualtable/internal/sim"
+	"dualtable/internal/sqlparser"
+)
+
+// ExecUpdate implements the paper's UPDATE flow (§III-C, §V-A): the
+// cost model picks OVERWRITE or EDIT; OVERWRITE becomes the classic
+// INSERT OVERWRITE rewrite, EDIT runs the UPDATE UDTF — a map-only
+// job over UNION READ splits that writes the new values of changed
+// cells into the attached table keyed by record ID.
+func (h *Handler) ExecUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error) {
+	w, ratioSrc, err := h.workloadFor(desc, stmt.Where, stmt, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	plan, delta := h.model.ChooseUpdate(w)
+	plan = h.applyForce(plan)
+	h.logPlan(PlanDecision{
+		Table: desc.Name, Statement: stmt.String(), Plan: plan,
+		Ratio: w.Ratio, RatioSrc: ratioSrc, CostDelta: delta,
+	})
+	if plan == costmodel.PlanOverwrite {
+		n, err := h.runOverwriteUpdate(e, desc, stmt, m)
+		return n, "OVERWRITE", err
+	}
+	n, err := h.runEditUpdate(e, desc, stmt, m, w)
+	return n, "EDIT", err
+}
+
+// ExecDelete implements DELETE with the same plan selection; the EDIT
+// plan's DELETE UDTF puts one delete marker per matching record.
+func (h *Handler) ExecDelete(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error) {
+	w, ratioSrc, err := h.workloadFor(desc, stmt.Where, nil, stmt)
+	if err != nil {
+		return 0, "", err
+	}
+	plan, delta := h.model.ChooseDelete(w)
+	plan = h.applyForce(plan)
+	h.logPlan(PlanDecision{
+		Table: desc.Name, Statement: stmt.String(), Plan: plan,
+		Ratio: w.Ratio, RatioSrc: ratioSrc, CostDelta: delta,
+	})
+	if plan == costmodel.PlanOverwrite {
+		ins, err := hive.RewriteDeleteToOverwrite(stmt, desc)
+		if err != nil {
+			return 0, "", err
+		}
+		rs, err := e.ExecuteStmt(ins)
+		if err != nil {
+			return 0, "", err
+		}
+		m.AddSeconds(rs.SimSeconds)
+		return rs.Affected, "OVERWRITE", nil
+	}
+	n, err := h.runEditDelete(e, desc, stmt, m, w)
+	return n, "EDIT", err
+}
+
+func (h *Handler) applyForce(plan costmodel.Plan) costmodel.Plan {
+	h.mu.Lock()
+	force := h.opts.ForcePlan
+	h.mu.Unlock()
+	switch strings.ToUpper(force) {
+	case "EDIT":
+		return costmodel.PlanEdit
+	case "OVERWRITE":
+		return costmodel.PlanOverwrite
+	default:
+		return plan
+	}
+}
+
+// workloadFor builds the cost-model workload for a statement:
+// D and row counts from the master files, α/β from hint → history →
+// stripe-statistics estimate → default, k from options or table
+// property. The second result names the ratio-estimate source.
+func (h *Handler) workloadFor(desc *metastore.TableDesc, where sqlparser.Expr, upd *sqlparser.UpdateStmt, del *sqlparser.DeleteStmt) (costmodel.Workload, string, error) {
+	files, err := h.masterFiles(desc)
+	if err != nil {
+		return costmodel.Workload{}, "", err
+	}
+	var bytes, rows int64
+	for _, f := range files {
+		bytes += f.size
+		rows += f.rows
+	}
+	avgRow := 100.0
+	if rows > 0 {
+		avgRow = float64(bytes) / float64(rows)
+	}
+	// DataScale inflates scaled-down experiment data to paper-scale
+	// volume; the cost model must reason at the same scale the meters
+	// charge at.
+	if s := h.e.MR.Params.DataScale; s > 1 {
+		bytes = int64(float64(bytes) * s)
+		rows = int64(float64(rows) * s)
+	}
+
+	// Stripe-statistics selectivity estimate (upper bound): fraction
+	// of rows in stripes that could match the WHERE predicate.
+	qual := ""
+	if upd != nil {
+		qual = upd.Alias
+		if qual == "" {
+			qual = upd.Table
+		}
+	} else if del != nil {
+		qual = del.Alias
+		if qual == "" {
+			qual = del.Table
+		}
+	}
+	statsEst := h.statsSelectivity(desc, files, where, qual)
+
+	key := h.statementKey(desc, upd, del)
+	ratio, src := h.est.Estimate(key, statsEst)
+
+	k := h.opts.FollowingReads
+	if kp := desc.Properties["dualtable.k"]; kp != "" {
+		if v, err := strconv.ParseFloat(kp, 64); err == nil {
+			k = v
+		}
+	}
+	w := costmodel.Workload{
+		TableBytes:     bytes,
+		TableRows:      rows,
+		Ratio:          ratio,
+		FollowingReads: k,
+		AvgRowBytes:    avgRow,
+		MarkerBytes:    h.opts.MarkerBytes,
+	}
+	if upd != nil {
+		// Updated payload: encoded size estimate of the SET columns.
+		var payload float64
+		for _, set := range upd.Sets {
+			idx := desc.Schema.ColumnIndex(set.Column)
+			if idx < 0 {
+				continue
+			}
+			switch desc.Schema[idx].Kind {
+			case datum.KindInt, datum.KindFloat:
+				payload += 12
+			case datum.KindBool:
+				payload += 4
+			default:
+				payload += 24
+			}
+		}
+		if payload == 0 {
+			payload = avgRow
+		}
+		w.UpdatedBytesPerRow = payload
+	}
+	return w, src, nil
+}
+
+// StatementKey returns the estimator key of an UPDATE or DELETE
+// statement (literals normalized). Use it with Estimator().SetHint to
+// provide designer-given ratios, as §IV allows.
+func (h *Handler) StatementKey(stmt sqlparser.Statement) (string, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.UpdateStmt:
+		return "U:" + strings.ToLower(s.Table) + ":" + normalizeStatement(s.String()), nil
+	case *sqlparser.DeleteStmt:
+		return "D:" + strings.ToLower(s.Table) + ":" + normalizeStatement(s.String()), nil
+	default:
+		return "", fmt.Errorf("core: statement keys exist only for UPDATE/DELETE, got %T", stmt)
+	}
+}
+
+// SetRatioHint parses a DML statement and pins its ratio estimate.
+func (h *Handler) SetRatioHint(sql string, ratio float64) error {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return err
+	}
+	key, err := h.StatementKey(stmt)
+	if err != nil {
+		return err
+	}
+	h.est.SetHint(key, ratio)
+	return nil
+}
+
+func (h *Handler) statementKey(desc *metastore.TableDesc, upd *sqlparser.UpdateStmt, del *sqlparser.DeleteStmt) string {
+	switch {
+	case upd != nil:
+		return "U:" + strings.ToLower(desc.Name) + ":" + normalizeStatement(upd.String())
+	case del != nil:
+		return "D:" + strings.ToLower(desc.Name) + ":" + normalizeStatement(del.String())
+	default:
+		return strings.ToLower(desc.Name)
+	}
+}
+
+// normalizeStatement masks literals so recurring statements with
+// different constants (dates, codes) share history — the "historical
+// analysis of the execution log" of §IV.
+func normalizeStatement(s string) string {
+	var sb strings.Builder
+	inStr := false
+	inNum := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '\'':
+			inStr = true
+			sb.WriteByte('?')
+		case c >= '0' && c <= '9' || (inNum && (c == '.' || c == 'e' || c == 'E')):
+			if !inNum {
+				sb.WriteByte('?')
+				inNum = true
+			}
+		default:
+			inNum = false
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// statsSelectivity estimates the matching fraction from ORC stripe
+// statistics: rows in stripes that MaybeMatch / total rows. Returns
+// -1 when no estimate is possible.
+func (h *Handler) statsSelectivity(desc *metastore.TableDesc, files []masterFile, where sqlparser.Expr, qualifier string) float64 {
+	if where == nil {
+		return 1
+	}
+	sarg := hive.ExtractSearchArg(where, qualifier, desc.Schema)
+	if sarg == nil {
+		return -1
+	}
+	var total, matching int64
+	for _, f := range files {
+		for s := 0; s < f.reader.NumStripes(); s++ {
+			rows := f.reader.StripeRows(s)
+			total += rows
+			if sarg.MaybeMatches(f.reader.StripeStats(s)) {
+				matching += rows
+			}
+		}
+	}
+	if total == 0 {
+		return -1
+	}
+	return float64(matching) / float64(total)
+}
+
+// runOverwriteUpdate executes the OVERWRITE plan via the INSERT
+// OVERWRITE rewrite (reads through UNION READ, writes a fresh master,
+// clears the attached table).
+func (h *Handler) runOverwriteUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, error) {
+	ins, err := hive.RewriteUpdateToOverwrite(stmt, desc)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := e.ExecuteStmt(ins)
+	if err != nil {
+		return 0, err
+	}
+	m.AddSeconds(rs.SimSeconds)
+	return rs.Affected, nil
+}
+
+// runEditUpdate is the UPDATE UDTF: scan UNION READ splits, evaluate
+// the predicate, compute new values, and put the changed cells into
+// the attached table.
+func (h *Handler) runEditUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter, w costmodel.Workload) (int64, error) {
+	lock := h.tableLock(desc.Name)
+	lock.RLock()
+	defer lock.RUnlock()
+
+	att, err := h.attached(desc)
+	if err != nil {
+		return 0, err
+	}
+	alias := stmt.Alias
+	if alias == "" {
+		alias = stmt.Table
+	}
+	var whereFn func(datum.Row) (datum.Datum, error)
+	if stmt.Where != nil {
+		whereFn, err = e.CompileRowExpr(stmt.Where, stmt.Table, alias, desc.Schema)
+		if err != nil {
+			return 0, err
+		}
+	}
+	type setCol struct {
+		idx int
+		fn  func(datum.Row) (datum.Datum, error)
+	}
+	sets := make([]setCol, 0, len(stmt.Sets))
+	for _, s := range stmt.Sets {
+		idx := desc.Schema.ColumnIndex(s.Column)
+		fn, err := e.CompileRowExpr(s.Value, stmt.Table, alias, desc.Schema)
+		if err != nil {
+			return 0, err
+		}
+		sets = append(sets, setCol{idx: idx, fn: fn})
+	}
+	splits, err := h.splitsLocked(desc, ScanOptions{})
+	if err != nil {
+		return 0, err
+	}
+	job := &mapred.Job{
+		Name:   "dualtable-update-udtf",
+		Splits: splits,
+		NewMapper: func() mapred.Mapper {
+			var batch []*kvstore.Cell
+			return &editMapper{
+				mapFn: func(tm *sim.Meter, row datum.Row, meta mapred.RecordMeta, emit mapred.Emitter) error {
+					if whereFn != nil {
+						ok, err := whereFn(row)
+						if err != nil {
+							return err
+						}
+						if !ok.Truthy() {
+							return nil
+						}
+					}
+					key := RecordID(meta.RecordID).Key()
+					changed := false
+					for _, s := range sets {
+						nv, err := s.fn(row)
+						if err != nil {
+							return err
+						}
+						nv, err = datum.Coerce(nv, desc.Schema[s.idx].Kind)
+						if err != nil {
+							return err
+						}
+						if datum.Equal(nv, row[s.idx]) {
+							continue // no-op write elided
+						}
+						changed = true
+						batch = append(batch, &kvstore.Cell{
+							Row:       key,
+							Family:    attachedFamily,
+							Qualifier: []byte(strconv.Itoa(s.idx)),
+							Type:      kvstore.TypePut,
+							Value:     datum.AppendDatum(nil, nv),
+						})
+					}
+					if !changed {
+						return nil
+					}
+					if len(batch) >= 1024 {
+						if err := att.Put(batch, tm); err != nil {
+							return err
+						}
+						batch = batch[:0]
+					}
+					return emit(nil, datum.Row{datum.Int(1)})
+				},
+				flushFn: func(tm *sim.Meter) error {
+					if len(batch) == 0 {
+						return nil
+					}
+					return att.Put(batch, tm)
+				},
+			}
+		},
+	}
+	res, err := e.MR.Run(job)
+	if err != nil {
+		return 0, err
+	}
+	m.AddSeconds(res.SimSeconds)
+	affected := res.Counters.OutputRecords
+	h.observeRatio(desc, stmt, nil, affected, w.TableRows)
+	return affected, nil
+}
+
+// runEditDelete is the DELETE UDTF: put one delete marker per
+// matching record (§V-A: "the DELETE UDTF only takes the name of the
+// table and puts a DELETE marker for each deleted row").
+func (h *Handler) runEditDelete(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter, w costmodel.Workload) (int64, error) {
+	lock := h.tableLock(desc.Name)
+	lock.RLock()
+	defer lock.RUnlock()
+
+	att, err := h.attached(desc)
+	if err != nil {
+		return 0, err
+	}
+	alias := stmt.Alias
+	if alias == "" {
+		alias = stmt.Table
+	}
+	var whereFn func(datum.Row) (datum.Datum, error)
+	if stmt.Where != nil {
+		whereFn, err = e.CompileRowExpr(stmt.Where, stmt.Table, alias, desc.Schema)
+		if err != nil {
+			return 0, err
+		}
+	}
+	splits, err := h.splitsLocked(desc, ScanOptions{})
+	if err != nil {
+		return 0, err
+	}
+	job := &mapred.Job{
+		Name:   "dualtable-delete-udtf",
+		Splits: splits,
+		NewMapper: func() mapred.Mapper {
+			var batch []*kvstore.Cell
+			return &editMapper{
+				mapFn: func(tm *sim.Meter, row datum.Row, meta mapred.RecordMeta, emit mapred.Emitter) error {
+					if whereFn != nil {
+						ok, err := whereFn(row)
+						if err != nil {
+							return err
+						}
+						if !ok.Truthy() {
+							return nil
+						}
+					}
+					batch = append(batch, &kvstore.Cell{
+						Row:       RecordID(meta.RecordID).Key(),
+						Family:    attachedFamily,
+						Qualifier: []byte(deleteQualifier),
+						Type:      kvstore.TypePut,
+						Value:     []byte{1},
+					})
+					if len(batch) >= 1024 {
+						if err := att.Put(batch, tm); err != nil {
+							return err
+						}
+						batch = batch[:0]
+					}
+					return emit(nil, datum.Row{datum.Int(1)})
+				},
+				flushFn: func(tm *sim.Meter) error {
+					if len(batch) == 0 {
+						return nil
+					}
+					return att.Put(batch, tm)
+				},
+			}
+		},
+	}
+	res, err := e.MR.Run(job)
+	if err != nil {
+		return 0, err
+	}
+	m.AddSeconds(res.SimSeconds)
+	affected := res.Counters.OutputRecords
+	h.observeRatio(desc, nil, stmt, affected, w.TableRows)
+	return affected, nil
+}
+
+// observeRatio feeds the measured modification ratio back into the
+// historical estimator.
+func (h *Handler) observeRatio(desc *metastore.TableDesc, upd *sqlparser.UpdateStmt, del *sqlparser.DeleteStmt, affected, totalRows int64) {
+	if totalRows <= 0 {
+		return
+	}
+	key := h.statementKey(desc, upd, del)
+	h.est.Observe(key, float64(affected)/float64(totalRows))
+}
+
+// Compact implements the COMPACT operation (§III-C): a UNION READ
+// over the existing tables rewritten into a fresh master table via
+// INSERT OVERWRITE, clearing the attached table. All other operations
+// are blocked for the duration (table-level exclusive lock).
+func (h *Handler) Compact(e *hive.Engine, desc *metastore.TableDesc, m *sim.Meter) error {
+	lock := h.tableLock(desc.Name)
+	lock.Lock()
+	defer lock.Unlock()
+
+	// Read everything through UNION READ (without the handler lock —
+	// we already hold it exclusively, so do the work inline).
+	files, err := h.masterFiles(desc)
+	if err != nil {
+		return err
+	}
+	att, err := h.attached(desc)
+	if err != nil {
+		return err
+	}
+	var splits []mapred.InputSplit
+	for _, f := range files {
+		splits = append(splits, &unionReadSplit{h: h, desc: desc, file: f, att: att, schema: desc.Schema})
+	}
+	staging := desc.Location + "/.compact"
+	if h.e.FS.Exists(staging) {
+		if err := h.e.FS.Delete(staging, true); err != nil {
+			return err
+		}
+	}
+	if err := h.e.FS.MkdirAll(staging); err != nil {
+		return err
+	}
+	factory := &masterOutputFactory{h: h, desc: desc, dir: staging}
+	job := &mapred.Job{
+		Name:   "dualtable-compact",
+		Splits: splits,
+		NewMapper: func() mapred.Mapper {
+			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+				return emit(nil, row)
+			})
+		},
+		Output: factory,
+	}
+	res, err := e.MR.Run(job)
+	if err != nil {
+		h.e.FS.Delete(staging, true)
+		return err
+	}
+	m.AddSeconds(res.SimSeconds)
+	committer := &dualOverwriteCommitter{h: h, desc: desc, staging: staging, unlock: func() {}}
+	return committer.Commit()
+}
+
+// editMapper is a stateful mapper for the EDIT UDTFs. It is
+// MeterAware: attached-table puts charge the task meter so they
+// parallelize across map slots in the simulated makespan.
+type editMapper struct {
+	meter   *sim.Meter
+	mapFn   func(*sim.Meter, datum.Row, mapred.RecordMeta, mapred.Emitter) error
+	flushFn func(*sim.Meter) error
+}
+
+// SetMeter receives the task meter from the MapReduce engine.
+func (f *editMapper) SetMeter(m *sim.Meter) { f.meter = m }
+
+func (f *editMapper) Map(row datum.Row, meta mapred.RecordMeta, emit mapred.Emitter) error {
+	return f.mapFn(f.meter, row, meta, emit)
+}
+
+func (f *editMapper) Flush(emit mapred.Emitter) error {
+	if f.flushFn == nil {
+		return nil
+	}
+	return f.flushFn(f.meter)
+}

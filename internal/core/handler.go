@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"sync"
+
+	"dualtable/internal/costmodel"
+	"dualtable/internal/datum"
+	"dualtable/internal/dfs"
+	"dualtable/internal/hive"
+	"dualtable/internal/kvstore"
+	"dualtable/internal/mapred"
+	"dualtable/internal/metastore"
+	"dualtable/internal/orcfile"
+	"dualtable/internal/sim"
+)
+
+const (
+	// attachedFamily is the column family of attached-table cells.
+	attachedFamily = "d"
+	// deleteQualifier marks a deleted record (the paper's "special
+	// HBase cell" delete marker, §V-B).
+	deleteQualifier = "__del__"
+	// metaTableName is the system-wide metadata table holding the
+	// incremental file ID counters (paper §V-B).
+	metaTableName = "dualtable_meta"
+	// fileIDMetaKey is the ORC user-metadata key storing the file ID.
+	fileIDMetaKey = "dualtable.fileid"
+)
+
+// Options tunes the DualTable handler.
+type Options struct {
+	// FollowingReads is k in the cost model: the number of full-table
+	// reads expected after a modification. Settable per table via the
+	// table property "dualtable.k".
+	FollowingReads float64
+	// ForcePlan overrides the cost model ("EDIT" or "OVERWRITE");
+	// empty means cost-model selection. The experiment harness uses
+	// this to run the paper's "DualTable EDIT" configuration.
+	ForcePlan string
+	// MarkerBytes is m, the delete marker size used by the cost model.
+	MarkerBytes float64
+}
+
+// Handler implements hive.StorageHandler, hive.DMLHandler and
+// hive.Compactor for STORED AS DUALTABLE tables.
+type Handler struct {
+	e     *hive.Engine
+	model *costmodel.Model
+	est   *costmodel.RatioEstimator
+	opts  Options
+
+	mu    sync.Mutex
+	meta  *kvstore.Table
+	locks map[string]*sync.RWMutex // per-table COMPACT locks
+	// planLog records the plan chosen for each DML statement, newest
+	// last (observability for tests and the harness).
+	planLog []PlanDecision
+}
+
+// PlanDecision records one cost-model decision.
+type PlanDecision struct {
+	Table     string
+	Statement string
+	Plan      costmodel.Plan
+	Ratio     float64
+	RatioSrc  string
+	CostDelta float64 // CostU or CostD (positive → EDIT)
+}
+
+// Register installs the DualTable storage handler on an engine.
+func Register(e *hive.Engine, opts Options) (*Handler, error) {
+	if opts.FollowingReads == 0 {
+		opts.FollowingReads = 1
+	}
+	if opts.MarkerBytes == 0 {
+		opts.MarkerBytes = 16
+	}
+	model, err := costmodel.New(costmodel.RatesFromCluster(e.MR.Params))
+	if err != nil {
+		return nil, err
+	}
+	h := &Handler{
+		e:     e,
+		model: model,
+		est:   costmodel.NewRatioEstimator(),
+		opts:  opts,
+		locks: map[string]*sync.RWMutex{},
+	}
+	if !e.KV.HasTable(metaTableName) {
+		if _, err := e.KV.CreateTable(metaTableName); err != nil {
+			return nil, err
+		}
+	}
+	h.meta, err = e.KV.Table(metaTableName)
+	if err != nil {
+		return nil, err
+	}
+	e.RegisterHandler(metastore.StorageDual, h)
+	return h, nil
+}
+
+// Estimator exposes the ratio estimator (for designer hints).
+func (h *Handler) Estimator() *costmodel.RatioEstimator { return h.est }
+
+// Model exposes the cost model.
+func (h *Handler) Model() *costmodel.Model { return h.model }
+
+// SetForcePlan switches plan forcing at run time (harness knob).
+func (h *Handler) SetForcePlan(plan string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.opts.ForcePlan = plan
+}
+
+// SetFollowingReads sets k.
+func (h *Handler) SetFollowingReads(k float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.opts.FollowingReads = k
+}
+
+// PlanLog returns a copy of recorded plan decisions.
+func (h *Handler) PlanLog() []PlanDecision {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]PlanDecision(nil), h.planLog...)
+}
+
+func (h *Handler) logPlan(d PlanDecision) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.planLog = append(h.planLog, d)
+	if len(h.planLog) > 1024 {
+		h.planLog = h.planLog[len(h.planLog)-1024:]
+	}
+}
+
+// tableLock returns the COMPACT lock of a table.
+func (h *Handler) tableLock(name string) *sync.RWMutex {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := strings.ToLower(name)
+	l, ok := h.locks[key]
+	if !ok {
+		l = &sync.RWMutex{}
+		h.locks[key] = l
+	}
+	return l
+}
+
+func masterDir(desc *metastore.TableDesc) string {
+	return path.Join(desc.Location, "master")
+}
+
+func attachedName(desc *metastore.TableDesc) string {
+	return "dt_" + strings.ToLower(desc.Name) + "_attached"
+}
+
+// Create provisions the master directory, the attached table, and the
+// file ID counter (paper §III-C CREATE).
+func (h *Handler) Create(desc *metastore.TableDesc) error {
+	if err := h.e.FS.MkdirAll(masterDir(desc)); err != nil {
+		return err
+	}
+	if _, err := h.e.KV.CreateTable(attachedName(desc)); err != nil {
+		return err
+	}
+	return h.meta.PutRow([]byte(strings.ToLower(desc.Name)), attachedFamily,
+		map[string][]byte{"nextfile": []byte("1")}, nil)
+}
+
+// Drop removes master, attached and metadata (paper §III-C DROP).
+func (h *Handler) Drop(desc *metastore.TableDesc) error {
+	if h.e.FS.Exists(desc.Location) {
+		if err := h.e.FS.Delete(desc.Location, true); err != nil {
+			return err
+		}
+	}
+	if h.e.KV.HasTable(attachedName(desc)) {
+		if err := h.e.KV.DropTable(attachedName(desc)); err != nil {
+			return err
+		}
+	}
+	return h.meta.DeleteRow([]byte(strings.ToLower(desc.Name)), nil)
+}
+
+// attached returns the table's attached kv table.
+func (h *Handler) attached(desc *metastore.TableDesc) (*kvstore.Table, error) {
+	return h.e.KV.Table(attachedName(desc))
+}
+
+// nextFileID allocates one incremental file ID from the system
+// metadata table (paper §V-B: "we maintain an incremental integer
+// file ID for each DualTable in the system wide metadata table").
+func (h *Handler) nextFileID(desc *metastore.TableDesc, m *sim.Meter) (uint32, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	row := []byte(strings.ToLower(desc.Name))
+	cells, err := h.meta.Get(row, m)
+	if err != nil {
+		return 0, err
+	}
+	next := uint32(1)
+	for _, c := range cells {
+		if string(c.Qualifier) == "nextfile" {
+			var v uint64
+			fmt.Sscanf(string(c.Value), "%d", &v)
+			next = uint32(v)
+			break // cells are newest-version-first
+		}
+	}
+	err = h.meta.PutRow(row, attachedFamily,
+		map[string][]byte{"nextfile": []byte(fmt.Sprintf("%d", next+1))}, m)
+	if err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// masterFile describes one master ORC file.
+type masterFile struct {
+	path   string
+	size   int64
+	fileID uint32
+	rows   int64
+	reader *orcfile.Reader
+}
+
+// masterFiles opens the footers of all master files.
+func (h *Handler) masterFiles(desc *metastore.TableDesc) ([]masterFile, error) {
+	infos, err := h.e.FS.ListFiles(masterDir(desc))
+	if err != nil {
+		return nil, err
+	}
+	var out []masterFile
+	for _, fi := range infos {
+		if strings.HasPrefix(fi.Name, ".") {
+			continue
+		}
+		fr, err := h.e.FS.Open(fi.Path)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := orcfile.Open(fr, fr.Size())
+		if err != nil {
+			fr.Close()
+			return nil, fmt.Errorf("core: open master file %s: %w", fi.Path, err)
+		}
+		var fid uint64
+		if _, err := fmt.Sscanf(rd.UserMeta()[fileIDMetaKey], "%d", &fid); err != nil {
+			fr.Close()
+			return nil, fmt.Errorf("core: master file %s has no file ID", fi.Path)
+		}
+		fr.Close()
+		out = append(out, masterFile{path: fi.Path, size: fi.Size, fileID: uint32(fid), rows: rd.NumRows(), reader: rd})
+	}
+	return out, nil
+}
+
+// Splits returns UNION READ splits: one per master file, each merging
+// the ORC rows with the attached table's modifications for that
+// file's record ID range (paper §III-C UNION READ, §V-B).
+func (h *Handler) Splits(desc *metastore.TableDesc, opts ScanOptions) ([]mapred.InputSplit, error) {
+	lock := h.tableLock(desc.Name)
+	lock.RLock()
+	defer lock.RUnlock()
+	return h.splitsLocked(desc, opts)
+}
+
+// splitsLocked builds splits without acquiring the table lock; the
+// caller must hold it (shared) already. Avoids re-entrant RLock,
+// which can deadlock when a COMPACT is waiting for the write lock.
+func (h *Handler) splitsLocked(desc *metastore.TableDesc, opts ScanOptions) ([]mapred.InputSplit, error) {
+	files, err := h.masterFiles(desc)
+	if err != nil {
+		return nil, err
+	}
+	att, err := h.attached(desc)
+	if err != nil {
+		return nil, err
+	}
+	var splits []mapred.InputSplit
+	for _, f := range files {
+		splits = append(splits, &unionReadSplit{
+			h:      h,
+			desc:   desc,
+			file:   f,
+			att:    att,
+			opts:   opts,
+			schema: desc.Schema,
+		})
+	}
+	return splits, nil
+}
+
+// ScanOptions aliases hive.ScanOptions (same package shape).
+type ScanOptions = hive.ScanOptions
+
+// RowCount sums master file row counts (visible rows may be fewer if
+// delete markers exist; the cost model wants the master size).
+func (h *Handler) RowCount(desc *metastore.TableDesc) (int64, error) {
+	files, err := h.masterFiles(desc)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, f := range files {
+		total += f.rows
+	}
+	return total, nil
+}
+
+// DataSize returns the master table byte size (D in the cost model).
+func (h *Handler) DataSize(desc *metastore.TableDesc) (int64, error) {
+	return h.e.FS.Du(masterDir(desc))
+}
+
+// AttachedEntryCount returns the number of cells in the attached
+// table (UNION READ overhead indicator; COMPACT trigger input).
+func (h *Handler) AttachedEntryCount(desc *metastore.TableDesc) (int64, error) {
+	att, err := h.attached(desc)
+	if err != nil {
+		return 0, err
+	}
+	return att.EntryCount(), nil
+}
+
+// Append returns a factory writing new master files, each with a
+// freshly allocated file ID (paper §III-C LOAD/INSERT: "data are
+// loaded and inserted into the Master Table").
+func (h *Handler) Append(desc *metastore.TableDesc) (mapred.OutputFactory, hive.Committer, error) {
+	lock := h.tableLock(desc.Name)
+	lock.RLock()
+	return &masterOutputFactory{h: h, desc: desc, dir: masterDir(desc)},
+		unlockCommitter{unlock: lock.RUnlock}, nil
+}
+
+// Overwrite writes a new master into staging and, on commit, swaps it
+// in and clears the attached table — the OVERWRITE plan's storage
+// semantics (§III-C: "replace the existing Master Table and Attached
+// Table with a newly generated Master Table and an empty Attached
+// Table").
+func (h *Handler) Overwrite(desc *metastore.TableDesc) (mapred.OutputFactory, hive.Committer, error) {
+	lock := h.tableLock(desc.Name)
+	lock.RLock()
+	staging := path.Join(desc.Location, ".staging")
+	if h.e.FS.Exists(staging) {
+		if err := h.e.FS.Delete(staging, true); err != nil {
+			lock.RUnlock()
+			return nil, nil, err
+		}
+	}
+	if err := h.e.FS.MkdirAll(staging); err != nil {
+		lock.RUnlock()
+		return nil, nil, err
+	}
+	factory := &masterOutputFactory{h: h, desc: desc, dir: staging}
+	return factory, &dualOverwriteCommitter{h: h, desc: desc, staging: staging, unlock: lock.RUnlock}, nil
+}
+
+type unlockCommitter struct{ unlock func() }
+
+func (c unlockCommitter) Commit() error { c.unlock(); return nil }
+func (c unlockCommitter) Abort() error  { c.unlock(); return nil }
+
+// dualOverwriteCommitter swaps staged master files in and truncates
+// the attached table.
+type dualOverwriteCommitter struct {
+	h       *Handler
+	desc    *metastore.TableDesc
+	staging string
+	unlock  func()
+}
+
+func (c *dualOverwriteCommitter) Commit() error {
+	defer c.unlock()
+	fs := c.h.e.FS
+	dir := masterDir(c.desc)
+	infos, err := fs.ListFiles(dir)
+	if err != nil {
+		return err
+	}
+	for _, fi := range infos {
+		if err := fs.Delete(fi.Path, false); err != nil {
+			return err
+		}
+	}
+	staged, err := fs.ListFiles(c.staging)
+	if err != nil {
+		return err
+	}
+	for _, fi := range staged {
+		if err := fs.Rename(fi.Path, path.Join(dir, fi.Name)); err != nil {
+			return err
+		}
+	}
+	if err := fs.Delete(c.staging, true); err != nil {
+		return err
+	}
+	return c.h.e.KV.TruncateTable(attachedName(c.desc))
+}
+
+func (c *dualOverwriteCommitter) Abort() error {
+	defer c.unlock()
+	if c.h.e.FS.Exists(c.staging) {
+		return c.h.e.FS.Delete(c.staging, true)
+	}
+	return nil
+}
+
+// masterOutputFactory writes ORC master files with allocated file IDs.
+type masterOutputFactory struct {
+	h    *Handler
+	desc *metastore.TableDesc
+	dir  string
+}
+
+func (f *masterOutputFactory) NewCollector(taskID int, m *sim.Meter) (mapred.Collector, error) {
+	return &masterCollector{f: f, taskID: taskID, meter: m}, nil
+}
+
+type masterCollector struct {
+	f      *masterOutputFactory
+	taskID int
+	meter  *sim.Meter
+	fw     *dfs.FileWriter
+	w      *orcfile.Writer
+}
+
+func (c *masterCollector) Collect(row datum.Row) error {
+	if c.w == nil {
+		fid, err := c.f.h.nextFileID(c.f.desc, c.meter)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("m-%08d.orc", fid)
+		fw, err := c.f.h.e.FS.CreateMeter(path.Join(c.f.dir, name), c.meter)
+		if err != nil {
+			return err
+		}
+		fw.SetFileID(uint64(fid))
+		fw.SetUserMeta(fileIDMetaKey, fmt.Sprintf("%d", fid))
+		w, err := orcfile.NewWriter(fw, c.f.desc.Schema, orcfile.WriterOptions{
+			Compression: true,
+			UserMeta:    map[string]string{fileIDMetaKey: fmt.Sprintf("%d", fid)},
+		})
+		if err != nil {
+			return err
+		}
+		c.fw, c.w = fw, w
+	}
+	return c.w.WriteRow(row)
+}
+
+func (c *masterCollector) Close() error {
+	if c.w == nil {
+		return nil
+	}
+	if err := c.w.Close(); err != nil {
+		return err
+	}
+	return c.fw.Close()
+}

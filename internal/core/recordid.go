@@ -1,0 +1,64 @@
+// Package core implements DualTable, the paper's hybrid storage
+// model (§III): every table is a Master Table of ORC files on the
+// distributed file system plus an Attached Table in the key-value
+// store. UPDATE and DELETE choose between the OVERWRITE plan (full
+// INSERT OVERWRITE of the master) and the EDIT plan (write changed
+// cells or delete markers to the attached table) with the §IV cost
+// model; reads go through UNION READ, a merge join of master rows and
+// attached modifications on sorted record IDs; COMPACT folds the
+// attached table back into a fresh master.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RecordID identifies one row of a DualTable: the master file's
+// incremental file ID concatenated with the row number inside that
+// file (paper §V-B). Both halves are 32 bits; row numbers are
+// recovered for free while scanning ORC stripes, so record IDs cost
+// no storage in the master table.
+type RecordID uint64
+
+// NewRecordID combines a file ID and a row number.
+func NewRecordID(fileID uint32, rowNumber uint32) RecordID {
+	return RecordID(uint64(fileID)<<32 | uint64(rowNumber))
+}
+
+// FileID returns the master-file component.
+func (id RecordID) FileID() uint32 { return uint32(uint64(id) >> 32) }
+
+// RowNumber returns the row-number component.
+func (id RecordID) RowNumber() uint32 { return uint32(uint64(id)) }
+
+// Key returns the 8-byte big-endian attached-table row key. Because
+// the encoding is big-endian, lexicographic key order equals numeric
+// RecordID order — the property UNION READ's merge join relies on.
+func (id RecordID) Key() []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(id))
+	return k[:]
+}
+
+// RecordIDFromKey parses an attached-table row key.
+func RecordIDFromKey(key []byte) (RecordID, error) {
+	if len(key) != 8 {
+		return 0, fmt.Errorf("core: record ID key must be 8 bytes, got %d", len(key))
+	}
+	return RecordID(binary.BigEndian.Uint64(key)), nil
+}
+
+// FileRange returns the attached-table key range [start, end) that
+// covers every record of one master file.
+func FileRange(fileID uint32) (start, end []byte) {
+	start = NewRecordID(fileID, 0).Key()
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], (uint64(fileID)+1)<<32)
+	return start, e[:]
+}
+
+// String renders the ID as fileID:rowNumber.
+func (id RecordID) String() string {
+	return fmt.Sprintf("%d:%d", id.FileID(), id.RowNumber())
+}

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"fmt"
+
+	"dualtable/internal/sqlparser"
+)
+
+// updateAlias re-exports the parser's UpdateStmt for test helpers.
+type updateAlias = sqlparser.UpdateStmt
+
+// parseUpdate parses an UPDATE statement for tests.
+func parseUpdate(sql string) (*sqlparser.UpdateStmt, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	up, ok := stmt.(*sqlparser.UpdateStmt)
+	if !ok {
+		return nil, fmt.Errorf("not an UPDATE: %T", stmt)
+	}
+	return up, nil
+}

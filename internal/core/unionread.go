@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/kvstore"
+	"dualtable/internal/mapred"
+	"dualtable/internal/metastore"
+	"dualtable/internal/orcfile"
+	"dualtable/internal/sim"
+)
+
+// unionReadSplit merges one master ORC file with the attached table's
+// modifications for that file's record ID range. Both sides are
+// sorted by record ID — the master because IDs are fileID<<32|rowNum
+// with ascending row numbers, the attached table because its row keys
+// are the big-endian IDs — so the merge is a single linear pass, as
+// §V-B describes ("it only needs to read through and merge two sorted
+// ID lists").
+type unionReadSplit struct {
+	h      *Handler
+	desc   *metastore.TableDesc
+	file   masterFile
+	att    *kvstore.Table
+	opts   ScanOptions
+	schema datum.Schema
+}
+
+func (s *unionReadSplit) Length() int64 { return s.file.size }
+
+func (s *unionReadSplit) Open(m *sim.Meter) (mapred.RecordReader, error) {
+	fr, err := s.h.e.FS.OpenMeter(s.file.path, m)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := orcfile.Open(fr, fr.Size())
+	if err != nil {
+		fr.Close()
+		return nil, err
+	}
+	// Predicate pushdown note: a stripe may be pruned by stats even
+	// though the attached table holds an update that would make a row
+	// match. Pushdown therefore only applies when the attached table
+	// holds no updates for this table (common case: freshly
+	// compacted); otherwise we scan everything and filter after
+	// merging.
+	sarg := s.opts.SArg
+	if sarg != nil && s.att.EntryCount() > 0 {
+		sarg = nil
+	}
+	rr := rd.NewRowReader(orcfile.RowReaderOptions{
+		Columns:   s.opts.Projection,
+		SearchArg: sarg,
+	})
+	start, end := FileRange(s.file.fileID)
+	att := s.att.NewRowScanner(kvstore.Scan{Start: start, End: end, Meter: m})
+	return &unionReadReader{
+		fr:     fr,
+		rows:   rr,
+		att:    att,
+		fileID: s.file.fileID,
+		schema: s.schema,
+		meter:  m,
+	}, nil
+}
+
+// unionReadReader implements the merge.
+type unionReadReader struct {
+	fr     interface{ Close() error }
+	rows   *orcfile.RowReader
+	att    *kvstore.RowScanner
+	fileID uint32
+	meter  *sim.Meter
+
+	schema datum.Schema
+	// pending attached row (lookahead).
+	attRow  kvstore.RowResult
+	attID   RecordID
+	haveAtt bool
+	attDone bool
+}
+
+// nextAtt advances the attached lookahead.
+func (r *unionReadReader) nextAtt() {
+	if r.attDone {
+		r.haveAtt = false
+		return
+	}
+	res, ok := r.att.Next()
+	if !ok {
+		r.attDone = true
+		r.haveAtt = false
+		return
+	}
+	id, err := RecordIDFromKey(res.Row)
+	if err != nil {
+		// Malformed key: skip (cannot happen with our writers).
+		r.nextAtt()
+		return
+	}
+	r.attRow = res
+	r.attID = id
+	r.haveAtt = true
+}
+
+func (r *unionReadReader) Next() (datum.Row, mapred.RecordMeta, error) {
+	if !r.haveAtt && !r.attDone {
+		r.nextAtt()
+	}
+	for {
+		row, ord, err := r.rows.Next()
+		if err != nil {
+			return nil, mapred.RecordMeta{}, mapred.EOF
+		}
+		// Per-row merge bookkeeping (the paper's Fig. 4 "function
+		// invocation" overhead, present even with an empty attached
+		// table).
+		r.meter.UnionReadRows(1)
+		rid := NewRecordID(r.fileID, uint32(ord))
+		// Advance attached side past any IDs below the master row
+		// (orphans from aborted writes are skipped).
+		for r.haveAtt && r.attID < rid {
+			r.nextAtt()
+		}
+		meta := mapred.RecordMeta{RecordID: uint64(rid)}
+		if !r.haveAtt || r.attID != rid {
+			return row, meta, nil
+		}
+		// Merge the modifications.
+		deleted := false
+		merged := row.Clone()
+		for _, cell := range r.attRow.Cells {
+			q := string(cell.Qualifier)
+			if q == deleteQualifier {
+				deleted = true
+				break
+			}
+			idx, err := strconv.Atoi(q)
+			if err != nil || idx < 0 || idx >= len(merged) {
+				continue
+			}
+			d, _, err := datum.DecodeDatum(cell.Value)
+			if err != nil {
+				return nil, meta, fmt.Errorf("core: decode attached cell %s: %w", rid, err)
+			}
+			merged[idx] = d
+		}
+		r.nextAtt()
+		if deleted {
+			continue // row is deleted; skip to the next master row
+		}
+		return merged, meta, nil
+	}
+}
+
+func (r *unionReadReader) Close() error {
+	r.att.Close()
+	return r.fr.Close()
+}

@@ -1,0 +1,155 @@
+package datum
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one tuple of datums, positionally aligned with a Schema.
+type Row []Datum
+
+// Clone returns a deep-enough copy of the row (datum contents are
+// immutable, so a slice copy suffices).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row tab-separated, the way Hive CLI prints rows.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, d := range r {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "\t")
+}
+
+// Hash combines the hashes of the row's datums.
+func (r Row) Hash() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, d := range r {
+		h ^= d.Hash()
+		h *= prime64
+	}
+	return h
+}
+
+// Equal reports structural equality of two rows.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !Equal(r[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareRows orders rows lexicographically datum by datum.
+func CompareRows(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Column describes one column of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColumnIndex returns the position of the named column
+// (case-insensitive, as in HiveQL) or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Kinds returns the column kinds in order.
+func (s Schema) Kinds() []Kind {
+	out := make([]Kind, len(s))
+	for i, c := range s {
+		out[i] = c.Kind
+	}
+	return out
+}
+
+// Clone copies the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// String renders the schema as "name TYPE, name TYPE, ...".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = fmt.Sprintf("%s %s", c.Name, c.Kind)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Validate checks the row's arity and kinds against the schema. NULLs
+// are accepted in any column.
+func (s Schema) Validate(r Row) error {
+	if len(r) != len(s) {
+		return fmt.Errorf("datum: row arity %d does not match schema arity %d", len(r), len(s))
+	}
+	for i, d := range r {
+		if d.K != KindNull && d.K != s[i].Kind {
+			return fmt.Errorf("datum: column %s expects %s, row has %s", s[i].Name, s[i].Kind, d.K)
+		}
+	}
+	return nil
+}
+
+// CoerceRow coerces every datum of r to the schema's kinds in place,
+// returning the first conversion error.
+func (s Schema) CoerceRow(r Row) error {
+	if len(r) != len(s) {
+		return fmt.Errorf("datum: row arity %d does not match schema arity %d", len(r), len(s))
+	}
+	for i := range r {
+		d, err := Coerce(r[i], s[i].Kind)
+		if err != nil {
+			return fmt.Errorf("datum: column %s: %w", s[i].Name, err)
+		}
+		r[i] = d
+	}
+	return nil
+}

@@ -1,0 +1,538 @@
+// Package dfs implements an HDFS-like distributed file system
+// simulator: a namespace tree managed by a namenode, fixed-size blocks
+// replicated across simulated datanodes, append-only write-once files,
+// and streaming reads. It is the storage substrate for DualTable's
+// Master Tables (paper §III-A) exactly as HDFS is in the paper: files
+// are the unit of consistency, there are no random writes, and batch
+// reads are cheap.
+//
+// The implementation keeps block payloads in memory (one physical copy
+// per block; replication is tracked as placement metadata and counted
+// in the write metrics) and charges all I/O to an optional sim.Meter,
+// so experiments can report cluster-calibrated simulated seconds.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Common errors returned by namespace operations.
+var (
+	ErrNotFound      = errors.New("dfs: no such file or directory")
+	ErrExists        = errors.New("dfs: file already exists")
+	ErrIsDirectory   = errors.New("dfs: is a directory")
+	ErrNotDirectory  = errors.New("dfs: not a directory")
+	ErrNotEmpty      = errors.New("dfs: directory not empty")
+	ErrFileOpen      = errors.New("dfs: file is open for writing")
+	ErrClosed        = errors.New("dfs: handle is closed")
+	ErrCorruptBlock  = errors.New("dfs: block checksum mismatch")
+	ErrInvalidPath   = errors.New("dfs: invalid path")
+	ErrReadOnlyMount = errors.New("dfs: filesystem is in safe mode")
+)
+
+// Config configures a FileSystem.
+type Config struct {
+	// BlockSize is the chunk size; the paper's clusters use 64 MB.
+	BlockSize int64
+	// Replication is the replica count (paper: 3).
+	Replication int
+	// DataNodes is the number of simulated datanodes.
+	DataNodes int
+	// VerifyOnRead enables per-block CRC verification on every read.
+	VerifyOnRead bool
+}
+
+// DefaultConfig mirrors the paper's HDFS settings scaled for tests:
+// 64 MB blocks, 3 replicas, 25 datanodes.
+func DefaultConfig() Config {
+	return Config{BlockSize: 64 << 20, Replication: 3, DataNodes: 25, VerifyOnRead: false}
+}
+
+type blockID uint64
+
+type block struct {
+	data      []byte
+	crc       uint32
+	sealed    bool // checksum fixed; no more appends
+	locations []int
+}
+
+type fileMeta struct {
+	blocks   []blockID
+	size     int64
+	writing  bool
+	mtime    uint64 // logical timestamp
+	fileID   uint64 // opaque user-settable ID (used by ORC master files)
+	userMeta map[string]string
+}
+
+type node struct {
+	name     string
+	dir      bool
+	children map[string]*node
+	file     *fileMeta
+}
+
+// FileSystem is the simulated HDFS instance.
+type FileSystem struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	root  *node
+	clock uint64 // logical mtime counter
+
+	blkMu  sync.RWMutex
+	blocks map[blockID]*block
+	nextID uint64
+
+	dnUsed []atomic.Int64 // bytes per datanode (incl. replication)
+	nextDN atomic.Uint64
+
+	safeMode atomic.Bool
+
+	// Metrics.
+	bytesRead       atomic.Int64
+	bytesWritten    atomic.Int64
+	replicaBytes    atomic.Int64
+	filesCreated    atomic.Int64
+	filesDeleted    atomic.Int64
+	opensForRead    atomic.Int64
+	corruptedBlocks atomic.Int64
+}
+
+// New creates a filesystem with the given configuration. Zero-value
+// fields are filled from DefaultConfig.
+func New(cfg Config) *FileSystem {
+	def := DefaultConfig()
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = def.BlockSize
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = def.Replication
+	}
+	if cfg.DataNodes <= 0 {
+		cfg.DataNodes = def.DataNodes
+	}
+	if cfg.Replication > cfg.DataNodes {
+		cfg.Replication = cfg.DataNodes
+	}
+	return &FileSystem{
+		cfg:    cfg,
+		root:   &node{name: "/", dir: true, children: map[string]*node{}},
+		blocks: map[blockID]*block{},
+		dnUsed: make([]atomic.Int64, cfg.DataNodes),
+	}
+}
+
+// Config returns the filesystem configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// SetSafeMode toggles safe mode; while enabled, all mutating
+// operations fail with ErrReadOnlyMount. Used for failure injection.
+func (fs *FileSystem) SetSafeMode(on bool) { fs.safeMode.Store(on) }
+
+func (fs *FileSystem) checkWritable() error {
+	if fs.safeMode.Load() {
+		return ErrReadOnlyMount
+	}
+	return nil
+}
+
+// splitPath normalizes and splits an absolute path into components.
+func splitPath(p string) ([]string, error) {
+	if p == "" || !strings.HasPrefix(p, "/") {
+		return nil, fmt.Errorf("%w: %q (must be absolute)", ErrInvalidPath, p)
+	}
+	clean := path.Clean(p)
+	if clean == "/" {
+		return nil, nil
+	}
+	return strings.Split(strings.TrimPrefix(clean, "/"), "/"), nil
+}
+
+// lookup walks to the node for p. Caller holds fs.mu.
+func (fs *FileSystem) lookup(p string) (*node, error) {
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, err
+	}
+	cur := fs.root
+	for _, part := range parts {
+		if !cur.dir {
+			return nil, fmt.Errorf("%w: %q", ErrNotDirectory, p)
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, p)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// lookupParent returns the parent directory node and the final
+// component. Caller holds fs.mu.
+func (fs *FileSystem) lookupParent(p string) (*node, string, error) {
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("%w: cannot operate on root", ErrInvalidPath)
+	}
+	cur := fs.root
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, "", fmt.Errorf("%w: %q", ErrNotFound, p)
+		}
+		if !next.dir {
+			return nil, "", fmt.Errorf("%w: %q", ErrNotDirectory, p)
+		}
+		cur = next
+	}
+	return cur, parts[len(parts)-1], nil
+}
+
+func (fs *FileSystem) tick() uint64 {
+	fs.clock++
+	return fs.clock
+}
+
+// Mkdir creates one directory; parents must exist.
+func (fs *FileSystem) Mkdir(p string) error {
+	if err := fs.checkWritable(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.lookupParent(p)
+	if err != nil {
+		return err
+	}
+	if !parent.dir {
+		return fmt.Errorf("%w: %q", ErrNotDirectory, p)
+	}
+	if _, ok := parent.children[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, p)
+	}
+	parent.children[name] = &node{name: name, dir: true, children: map[string]*node{}}
+	return nil
+}
+
+// MkdirAll creates a directory and all missing parents.
+func (fs *FileSystem) MkdirAll(p string) error {
+	if err := fs.checkWritable(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	cur := fs.root
+	for _, part := range parts {
+		next, ok := cur.children[part]
+		if !ok {
+			next = &node{name: part, dir: true, children: map[string]*node{}}
+			cur.children[part] = next
+		}
+		if !next.dir {
+			return fmt.Errorf("%w: %q", ErrNotDirectory, p)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Exists reports whether the path names an existing file or directory.
+func (fs *FileSystem) Exists(p string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, err := fs.lookup(p)
+	return err == nil
+}
+
+// FileInfo describes a namespace entry.
+type FileInfo struct {
+	Path   string
+	Name   string
+	Size   int64
+	IsDir  bool
+	Blocks int
+	MTime  uint64
+	FileID uint64
+}
+
+// Stat returns information about a path.
+func (fs *FileSystem) Stat(p string) (FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return fs.infoLocked(path.Clean(p), n), nil
+}
+
+func (fs *FileSystem) infoLocked(p string, n *node) FileInfo {
+	fi := FileInfo{Path: p, Name: n.name, IsDir: n.dir}
+	if n.file != nil {
+		fi.Size = n.file.size
+		fi.Blocks = len(n.file.blocks)
+		fi.MTime = n.file.mtime
+		fi.FileID = n.file.fileID
+	}
+	return fi
+}
+
+// List returns the entries of a directory sorted by name.
+func (fs *FileSystem) List(dir string) ([]FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !n.dir {
+		return nil, fmt.Errorf("%w: %q", ErrNotDirectory, dir)
+	}
+	base := path.Clean(dir)
+	out := make([]FileInfo, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, fs.infoLocked(path.Join(base, c.name), c))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// ListFiles returns only the plain files of a directory.
+func (fs *FileSystem) ListFiles(dir string) ([]FileInfo, error) {
+	all, err := fs.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := all[:0]
+	for _, fi := range all {
+		if !fi.IsDir {
+			files = append(files, fi)
+		}
+	}
+	return files, nil
+}
+
+// Du returns the total size of all files under p (recursively).
+func (fs *FileSystem) Du(p string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return 0, err
+	}
+	return duLocked(n), nil
+}
+
+func duLocked(n *node) int64 {
+	if !n.dir {
+		if n.file != nil {
+			return n.file.size
+		}
+		return 0
+	}
+	var total int64
+	for _, c := range n.children {
+		total += duLocked(c)
+	}
+	return total
+}
+
+// Delete removes a file, or a directory when recursive is set (or the
+// directory is empty).
+func (fs *FileSystem) Delete(p string, recursive bool) error {
+	if err := fs.checkWritable(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.lookupParent(p)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, p)
+	}
+	if n.dir && len(n.children) > 0 && !recursive {
+		return fmt.Errorf("%w: %q", ErrNotEmpty, p)
+	}
+	if n.file != nil && n.file.writing {
+		return fmt.Errorf("%w: %q", ErrFileOpen, p)
+	}
+	fs.releaseTree(n)
+	delete(parent.children, name)
+	return nil
+}
+
+// releaseTree frees the blocks of every file under n. Caller holds fs.mu.
+func (fs *FileSystem) releaseTree(n *node) {
+	if n.file != nil {
+		fs.filesDeleted.Add(1)
+		fs.blkMu.Lock()
+		for _, id := range n.file.blocks {
+			if b, ok := fs.blocks[id]; ok {
+				for _, dn := range b.locations {
+					fs.dnUsed[dn].Add(-int64(len(b.data)))
+				}
+				delete(fs.blocks, id)
+			}
+		}
+		fs.blkMu.Unlock()
+	}
+	for _, c := range n.children {
+		fs.releaseTree(c)
+	}
+}
+
+// Rename atomically moves src to dst. Like HDFS, it fails if dst
+// exists; the destination parent directory must exist.
+func (fs *FileSystem) Rename(src, dst string) error {
+	if err := fs.checkWritable(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	sParent, sName, err := fs.lookupParent(src)
+	if err != nil {
+		return err
+	}
+	n, ok := sParent.children[sName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, src)
+	}
+	if n.file != nil && n.file.writing {
+		return fmt.Errorf("%w: %q", ErrFileOpen, src)
+	}
+	dParent, dName, err := fs.lookupParent(dst)
+	if err != nil {
+		return err
+	}
+	if !dParent.dir {
+		return fmt.Errorf("%w: %q", ErrNotDirectory, dst)
+	}
+	if _, exists := dParent.children[dName]; exists {
+		return fmt.Errorf("%w: %q", ErrExists, dst)
+	}
+	// Reject moving a directory into its own subtree.
+	if n.dir && isUnderLocked(n, dParent) {
+		return fmt.Errorf("%w: cannot move %q into itself", ErrInvalidPath, src)
+	}
+	delete(sParent.children, sName)
+	n.name = dName
+	dParent.children[dName] = n
+	return nil
+}
+
+func isUnderLocked(ancestor, n *node) bool {
+	if ancestor == n {
+		return true
+	}
+	for _, c := range ancestor.children {
+		if c.dir && isUnderLocked(c, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// allocBlock creates an empty block with replica placement. Caller
+// must not hold blkMu.
+func (fs *FileSystem) allocBlock() blockID {
+	fs.blkMu.Lock()
+	defer fs.blkMu.Unlock()
+	fs.nextID++
+	id := blockID(fs.nextID)
+	b := &block{}
+	// Round-robin placement across datanodes, like the default HDFS
+	// block placement spreading load.
+	start := int(fs.nextDN.Add(1)) % fs.cfg.DataNodes
+	for i := 0; i < fs.cfg.Replication; i++ {
+		b.locations = append(b.locations, (start+i)%fs.cfg.DataNodes)
+	}
+	fs.blocks[id] = b
+	return id
+}
+
+func (fs *FileSystem) getBlock(id blockID) (*block, bool) {
+	fs.blkMu.RLock()
+	defer fs.blkMu.RUnlock()
+	b, ok := fs.blocks[id]
+	return b, ok
+}
+
+// CorruptBlock flips one byte in the idx-th block of the file, for
+// failure-injection tests. The file's checksum is left stale so a
+// verifying read detects the corruption.
+func (fs *FileSystem) CorruptBlock(p string, idx int) error {
+	fs.mu.RLock()
+	n, err := fs.lookup(p)
+	fs.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if n.file == nil {
+		return fmt.Errorf("%w: %q", ErrIsDirectory, p)
+	}
+	if idx < 0 || idx >= len(n.file.blocks) {
+		return fmt.Errorf("dfs: block index %d out of range", idx)
+	}
+	b, ok := fs.getBlock(n.file.blocks[idx])
+	if !ok || len(b.data) == 0 {
+		return fmt.Errorf("dfs: block %d empty", idx)
+	}
+	b.data[0] ^= 0xFF
+	fs.corruptedBlocks.Add(1)
+	return nil
+}
+
+// Metrics is a snapshot of filesystem counters.
+type Metrics struct {
+	BytesRead       int64
+	BytesWritten    int64
+	ReplicatedBytes int64
+	FilesCreated    int64
+	FilesDeleted    int64
+	OpensForRead    int64
+	BlocksCorrupted int64
+	LiveBlocks      int
+	UsedPerDataNode []int64
+	TotalUsedBytes  int64
+}
+
+// Metrics returns a snapshot of counters.
+func (fs *FileSystem) Metrics() Metrics {
+	m := Metrics{
+		BytesRead:       fs.bytesRead.Load(),
+		BytesWritten:    fs.bytesWritten.Load(),
+		ReplicatedBytes: fs.replicaBytes.Load(),
+		FilesCreated:    fs.filesCreated.Load(),
+		FilesDeleted:    fs.filesDeleted.Load(),
+		OpensForRead:    fs.opensForRead.Load(),
+		BlocksCorrupted: fs.corruptedBlocks.Load(),
+	}
+	fs.blkMu.RLock()
+	m.LiveBlocks = len(fs.blocks)
+	fs.blkMu.RUnlock()
+	m.UsedPerDataNode = make([]int64, len(fs.dnUsed))
+	for i := range fs.dnUsed {
+		m.UsedPerDataNode[i] = fs.dnUsed[i].Load()
+		m.TotalUsedBytes += m.UsedPerDataNode[i]
+	}
+	return m
+}

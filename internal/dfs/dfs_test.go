@@ -1,0 +1,571 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dualtable/internal/sim"
+)
+
+func testFS() *FileSystem {
+	return New(Config{BlockSize: 128, Replication: 3, DataNodes: 5})
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	fs := testFS()
+	data := []byte("hello dualtable master table")
+	if err := fs.WriteFile("/a.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("roundtrip mismatch: %q vs %q", got, data)
+	}
+}
+
+func TestMultiBlockFile(t *testing.T) {
+	fs := New(Config{BlockSize: 10, Replication: 1, DataNodes: 2})
+	data := make([]byte, 95)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile("/big", data); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Stat("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 95 || fi.Blocks != 10 {
+		t.Errorf("Stat = %+v, want size 95, 10 blocks", fi)
+	}
+	got, err := fs.ReadFile("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("multi-block roundtrip mismatch")
+	}
+}
+
+func TestCreateFailsIfExists(t *testing.T) {
+	fs := testFS()
+	if err := fs.WriteFile("/x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/x"); !errors.Is(err, ErrExists) {
+		t.Errorf("Create existing = %v, want ErrExists", err)
+	}
+}
+
+func TestCreateRequiresParent(t *testing.T) {
+	fs := testFS()
+	if _, err := fs.Create("/no/parent/file"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Create without parent = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMkdirAllAndList(t *testing.T) {
+	fs := testFS()
+	if err := fs.MkdirAll("/warehouse/db/table"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/warehouse/db/table/f1", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/warehouse/db/table/f0", []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := fs.List("/warehouse/db/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "f0" || infos[1].Name != "f1" {
+		t.Errorf("List = %+v", infos)
+	}
+	du, err := fs.Du("/warehouse")
+	if err != nil || du != 3 {
+		t.Errorf("Du = %d, %v; want 3", du, err)
+	}
+}
+
+func TestMkdirExistingFails(t *testing.T) {
+	fs := testFS()
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); !errors.Is(err, ErrExists) {
+		t.Errorf("Mkdir existing = %v", err)
+	}
+	// MkdirAll on existing should be fine.
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Errorf("MkdirAll existing = %v", err)
+	}
+}
+
+func TestAppendResumesTail(t *testing.T) {
+	fs := New(Config{BlockSize: 8, Replication: 1, DataNodes: 1})
+	if err := fs.WriteFile("/log", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Append("/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("67890AB")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "1234567890AB" {
+		t.Errorf("append result = %q", got)
+	}
+	fi, _ := fs.Stat("/log")
+	if fi.Blocks != 2 {
+		t.Errorf("append should reuse tail block: %d blocks", fi.Blocks)
+	}
+}
+
+func TestSingleWriterEnforced(t *testing.T) {
+	fs := testFS()
+	w, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Append("/f"); !errors.Is(err, ErrFileOpen) {
+		t.Errorf("Append while writing = %v", err)
+	}
+	if _, err := fs.Open("/f"); !errors.Is(err, ErrFileOpen) {
+		t.Errorf("Open while writing = %v", err)
+	}
+	if err := fs.Delete("/f", false); !errors.Is(err, ErrFileOpen) {
+		t.Errorf("Delete while writing = %v", err)
+	}
+	w.Close()
+	if _, err := fs.Open("/f"); err != nil {
+		t.Errorf("Open after close = %v", err)
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	fs := testFS()
+	fs.MkdirAll("/d/sub")
+	fs.WriteFile("/d/sub/f", []byte("x"))
+	if err := fs.Delete("/d", false); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("non-recursive delete of non-empty dir = %v", err)
+	}
+	if err := fs.Delete("/d", true); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d") {
+		t.Error("dir should be gone")
+	}
+	if fs.Metrics().LiveBlocks != 0 {
+		t.Errorf("blocks leaked: %d", fs.Metrics().LiveBlocks)
+	}
+}
+
+func TestRenameAtomicSwap(t *testing.T) {
+	fs := testFS()
+	fs.MkdirAll("/warehouse/t")
+	fs.MkdirAll("/tmp/t_new")
+	fs.WriteFile("/tmp/t_new/part-0", []byte("new data"))
+	// The INSERT OVERWRITE pattern: delete old dir, rename staging in.
+	if err := fs.Delete("/warehouse/t", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/tmp/t_new", "/warehouse/t"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/warehouse/t/part-0")
+	if err != nil || string(got) != "new data" {
+		t.Errorf("after swap: %q, %v", got, err)
+	}
+}
+
+func TestRenameFailsIfDestExists(t *testing.T) {
+	fs := testFS()
+	fs.WriteFile("/a", []byte("1"))
+	fs.WriteFile("/b", []byte("2"))
+	if err := fs.Rename("/a", "/b"); !errors.Is(err, ErrExists) {
+		t.Errorf("Rename onto existing = %v", err)
+	}
+}
+
+func TestRenameIntoOwnSubtreeFails(t *testing.T) {
+	fs := testFS()
+	fs.MkdirAll("/a/b")
+	if err := fs.Rename("/a", "/a/b/c"); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("Rename into own subtree = %v", err)
+	}
+}
+
+func TestReaderAtAndSeek(t *testing.T) {
+	fs := New(Config{BlockSize: 4, Replication: 1, DataNodes: 1})
+	fs.WriteFile("/f", []byte("0123456789"))
+	r, err := fs.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 3)
+	if _, err := r.ReadAt(buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "567" {
+		t.Errorf("ReadAt(5) = %q", buf)
+	}
+	if _, err := r.Seek(8, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Read(buf)
+	if n != 2 || (err != nil && err != io.EOF) {
+		t.Errorf("Read at tail = %d, %v", n, err)
+	}
+	if string(buf[:2]) != "89" {
+		t.Errorf("tail read = %q", buf[:2])
+	}
+	if _, err := r.ReadAt(buf, 100); err != io.EOF {
+		t.Errorf("ReadAt past EOF = %v", err)
+	}
+	if _, err := r.Seek(-1, io.SeekStart); err == nil {
+		t.Error("negative seek should fail")
+	}
+}
+
+func TestChecksumDetection(t *testing.T) {
+	fs := New(Config{BlockSize: 8, Replication: 1, DataNodes: 1, VerifyOnRead: true})
+	fs.WriteFile("/f", []byte("abcdefgh12345678"))
+	if err := fs.VerifyChecksums("/f"); err != nil {
+		t.Fatalf("clean file reports corruption: %v", err)
+	}
+	if err := fs.CorruptBlock("/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.VerifyChecksums("/f"); !errors.Is(err, ErrCorruptBlock) {
+		t.Errorf("VerifyChecksums on corrupt = %v", err)
+	}
+	r, _ := fs.Open("/f")
+	defer r.Close()
+	buf := make([]byte, 16)
+	if _, err := io.ReadFull(r, buf); !errors.Is(err, ErrCorruptBlock) {
+		t.Errorf("verifying read on corrupt block = %v", err)
+	}
+}
+
+func TestSafeMode(t *testing.T) {
+	fs := testFS()
+	fs.WriteFile("/f", []byte("x"))
+	fs.SetSafeMode(true)
+	if _, err := fs.Create("/g"); !errors.Is(err, ErrReadOnlyMount) {
+		t.Errorf("Create in safe mode = %v", err)
+	}
+	if err := fs.Delete("/f", false); !errors.Is(err, ErrReadOnlyMount) {
+		t.Errorf("Delete in safe mode = %v", err)
+	}
+	if _, err := fs.ReadFile("/f"); err != nil {
+		t.Errorf("reads must work in safe mode: %v", err)
+	}
+	fs.SetSafeMode(false)
+	if _, err := fs.Create("/g"); err != nil {
+		t.Errorf("Create after leaving safe mode = %v", err)
+	}
+}
+
+func TestUserMetaAndFileID(t *testing.T) {
+	fs := testFS()
+	w, err := fs.Create("/orc-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetFileID(42)
+	w.SetUserMeta("dualtable.fileid", "42")
+	w.Write([]byte("data"))
+	w.Close()
+	meta, id, err := fs.UserMeta("/orc-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 || meta["dualtable.fileid"] != "42" {
+		t.Errorf("UserMeta = %v, id %d", meta, id)
+	}
+	fi, _ := fs.Stat("/orc-1")
+	if fi.FileID != 42 {
+		t.Errorf("Stat.FileID = %d", fi.FileID)
+	}
+}
+
+func TestBlockLocationsAndReplication(t *testing.T) {
+	fs := New(Config{BlockSize: 4, Replication: 3, DataNodes: 5})
+	fs.WriteFile("/f", []byte("0123456789"))
+	locs, err := fs.BlockLocations("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 3 {
+		t.Fatalf("want 3 blocks, got %d", len(locs))
+	}
+	for _, l := range locs {
+		if len(l) != 3 {
+			t.Errorf("want 3 replicas, got %v", l)
+		}
+		seen := map[int]bool{}
+		for _, dn := range l {
+			if seen[dn] {
+				t.Errorf("duplicate replica placement: %v", l)
+			}
+			seen[dn] = true
+		}
+	}
+	m := fs.Metrics()
+	if m.ReplicatedBytes != 30 {
+		t.Errorf("ReplicatedBytes = %d, want 30", m.ReplicatedBytes)
+	}
+	if m.TotalUsedBytes != 30 {
+		t.Errorf("TotalUsedBytes = %d, want 30", m.TotalUsedBytes)
+	}
+}
+
+func TestMeterCharges(t *testing.T) {
+	p := sim.GridCluster()
+	meter := sim.NewMeter(&p)
+	fs := testFS()
+	w, err := fs.CreateMeter("/f", meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(make([]byte, 1000))
+	w.Close()
+	r, err := fs.OpenMeter("/f", meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r)
+	r.Close()
+	if meter.Seconds() <= 0 {
+		t.Error("meter should have accumulated simulated time")
+	}
+	if meter.BytesWritten() != 1000 || meter.BytesRead() != 1000 {
+		t.Errorf("meter bytes = %d written, %d read", meter.BytesWritten(), meter.BytesRead())
+	}
+}
+
+func TestWalk(t *testing.T) {
+	fs := testFS()
+	fs.MkdirAll("/a/b")
+	fs.WriteFile("/a/f1", []byte("1"))
+	fs.WriteFile("/a/b/f2", []byte("2"))
+	var paths []string
+	err := fs.Walk("/a", func(fi FileInfo) error {
+		paths = append(paths, fi.Path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || paths[0] != "/a/b/f2" || paths[1] != "/a/f1" {
+		t.Errorf("Walk = %v", paths)
+	}
+}
+
+func TestInvalidPaths(t *testing.T) {
+	fs := testFS()
+	if _, err := fs.Stat("relative/path"); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("relative path = %v", err)
+	}
+	if _, err := fs.Stat(""); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("empty path = %v", err)
+	}
+	if err := fs.Delete("/", true); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("delete root = %v", err)
+	}
+}
+
+func TestStatDirectoryVsFile(t *testing.T) {
+	fs := testFS()
+	fs.MkdirAll("/d")
+	fi, err := fs.Stat("/d")
+	if err != nil || !fi.IsDir {
+		t.Errorf("Stat dir = %+v, %v", fi, err)
+	}
+	if _, err := fs.Open("/d"); !errors.Is(err, ErrIsDirectory) {
+		t.Errorf("Open dir = %v", err)
+	}
+	if _, err := fs.List("/d"); err != nil {
+		t.Errorf("List empty dir = %v", err)
+	}
+	fs.WriteFile("/f", nil)
+	if _, err := fs.List("/f"); !errors.Is(err, ErrNotDirectory) {
+		t.Errorf("List file = %v", err)
+	}
+}
+
+func TestConcurrentWritersDistinctFiles(t *testing.T) {
+	fs := New(Config{BlockSize: 64, Replication: 2, DataNodes: 4})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := fmt.Sprintf("/f%d", i)
+			data := bytes.Repeat([]byte{byte(i)}, 100+i)
+			if err := fs.WriteFile(p, data); err != nil {
+				errs <- err
+				return
+			}
+			got, err := fs.ReadFile(p)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errs <- fmt.Errorf("file %d mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRoundtripArbitrarySizes(t *testing.T) {
+	f := func(seed int64, blockExp uint8, size uint16) bool {
+		bs := int64(1) << (blockExp%8 + 1) // 2..256
+		fs := New(Config{BlockSize: bs, Replication: 2, DataNodes: 3})
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(size)%4096)
+		rng.Read(data)
+		if err := fs.WriteFile("/f", data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile("/f")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAppendEquivalentToSingleWrite(t *testing.T) {
+	f := func(seed int64, chunks uint8) bool {
+		fs := New(Config{BlockSize: 16, Replication: 1, DataNodes: 2})
+		rng := rand.New(rand.NewSource(seed))
+		var want []byte
+		w, err := fs.Create("/f")
+		if err != nil {
+			return false
+		}
+		w.Close()
+		n := int(chunks%10) + 1
+		for i := 0; i < n; i++ {
+			chunk := make([]byte, rng.Intn(50))
+			rng.Read(chunk)
+			want = append(want, chunk...)
+			aw, err := fs.Append("/f")
+			if err != nil {
+				return false
+			}
+			if _, err := aw.Write(chunk); err != nil {
+				return false
+			}
+			if err := aw.Close(); err != nil {
+				return false
+			}
+		}
+		got, err := fs.ReadFile("/f")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	fs := testFS()
+	w, _ := fs.Create("/f")
+	w.Close()
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close = %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestReadAfterCloseFails(t *testing.T) {
+	fs := testFS()
+	fs.WriteFile("/f", []byte("abc"))
+	r, _ := fs.Open("/f")
+	r.Close()
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("read after close = %v", err)
+	}
+}
+
+func TestRecoverLeaseFencesOldWriter(t *testing.T) {
+	fs := testFS()
+	w, err := fs.Create("/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("record1"))
+	// Crash: writer never closes. A new owner recovers the lease.
+	if err := fs.RecoverLease("/wal"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/wal")
+	if err != nil || string(got) != "record1" {
+		t.Errorf("post-recovery read = %q, %v", got, err)
+	}
+	// The zombie writer must be fenced.
+	if _, err := w.Write([]byte("zombie")); !errors.Is(err, ErrClosed) {
+		t.Errorf("fenced writer write = %v", err)
+	}
+	// Recovering a closed file is a no-op.
+	if err := fs.RecoverLease("/wal"); err != nil {
+		t.Errorf("idempotent recovery = %v", err)
+	}
+	// Recovering a directory fails.
+	fs.MkdirAll("/d")
+	if err := fs.RecoverLease("/d"); !errors.Is(err, ErrIsDirectory) {
+		t.Errorf("recover dir = %v", err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := testFS()
+	if err := fs.WriteFile("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/empty")
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty file read = %v, %v", got, err)
+	}
+	fi, _ := fs.Stat("/empty")
+	if fi.Size != 0 || fi.Blocks != 0 {
+		t.Errorf("empty file stat = %+v", fi)
+	}
+}

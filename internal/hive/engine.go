@@ -1,0 +1,519 @@
+// Package hive implements the query engine of the reproduction: a
+// Hive-like SQL layer that plans HiveQL statements into MapReduce jobs
+// over pluggable storage handlers (ORC-on-DFS, the key-value store,
+// and — registered by the core package — DualTable). It mirrors the
+// architecture of the paper's Figure 3: parser → cost-aware DML
+// routing → MapReduce execution over HDFS/HBase-like substrates.
+package hive
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"sync/atomic"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/dfs"
+	"dualtable/internal/kvstore"
+	"dualtable/internal/mapred"
+	"dualtable/internal/metastore"
+	"dualtable/internal/orcfile"
+	"dualtable/internal/sim"
+	"dualtable/internal/sqlparser"
+)
+
+// ScanOptions asks a handler for splits with projection and predicate
+// pushdown.
+type ScanOptions struct {
+	// Projection lists the table-schema column indexes the query
+	// needs (nil = all). Handlers may return full rows regardless;
+	// projection is an optimization.
+	Projection []int
+	// SArg prunes ORC stripes by statistics.
+	SArg *orcfile.SearchArg
+}
+
+// Committer finalizes or aborts a bulk write.
+type Committer interface {
+	Commit() error
+	Abort() error
+}
+
+// StorageHandler implements one STORED AS format.
+type StorageHandler interface {
+	// Create provisions physical storage for a new table.
+	Create(desc *metastore.TableDesc) error
+	// Drop removes the table's physical storage.
+	Drop(desc *metastore.TableDesc) error
+	// Splits returns the table's input splits for a scan.
+	Splits(desc *metastore.TableDesc, opts ScanOptions) ([]mapred.InputSplit, error)
+	// Append returns an output factory that adds rows to the table.
+	Append(desc *metastore.TableDesc) (mapred.OutputFactory, Committer, error)
+	// Overwrite returns an output factory that atomically replaces
+	// the table's contents on Commit.
+	Overwrite(desc *metastore.TableDesc) (mapred.OutputFactory, Committer, error)
+	// RowCount estimates the current number of rows (statistics).
+	RowCount(desc *metastore.TableDesc) (int64, error)
+	// DataSize estimates the stored byte size (statistics).
+	DataSize(desc *metastore.TableDesc) (int64, error)
+}
+
+// DMLHandler is a StorageHandler with native UPDATE/DELETE support
+// (the key-value handler and DualTable). Handlers without it get the
+// INSERT OVERWRITE rewrite, like plain Hive. The string result names
+// the physical plan that ran (e.g. "EDIT", "OVERWRITE") so
+// experiments can verify cost-model decisions.
+type DMLHandler interface {
+	ExecUpdate(e *Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error)
+	ExecDelete(e *Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error)
+}
+
+// Compactor is a StorageHandler supporting the COMPACT statement.
+type Compactor interface {
+	Compact(e *Engine, desc *metastore.TableDesc, m *sim.Meter) error
+}
+
+// Engine executes SQL statements.
+type Engine struct {
+	FS        *dfs.FileSystem
+	KV        *kvstore.Cluster
+	MS        *metastore.Metastore
+	MR        *mapred.Cluster
+	Warehouse string
+
+	handlers map[metastore.StorageKind]StorageHandler
+	tmpSeq   atomic.Uint64
+}
+
+// Config assembles an Engine.
+type Config struct {
+	FS        *dfs.FileSystem
+	KV        *kvstore.Cluster
+	MR        *mapred.Cluster
+	Warehouse string // DFS directory for managed tables (default /warehouse)
+}
+
+// NewEngine builds an engine with the ORC, TEXT and KV handlers
+// registered. The DualTable handler is registered by the core package
+// via RegisterHandler.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.FS == nil || cfg.KV == nil || cfg.MR == nil {
+		return nil, fmt.Errorf("hive: engine requires FS, KV and MR")
+	}
+	if cfg.Warehouse == "" {
+		cfg.Warehouse = "/warehouse"
+	}
+	if err := cfg.FS.MkdirAll(cfg.Warehouse); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		FS:        cfg.FS,
+		KV:        cfg.KV,
+		MS:        metastore.New(),
+		MR:        cfg.MR,
+		Warehouse: cfg.Warehouse,
+		handlers:  map[metastore.StorageKind]StorageHandler{},
+	}
+	e.handlers[metastore.StorageORC] = &orcHandler{e: e}
+	e.handlers[metastore.StorageText] = &textHandler{e: e}
+	e.handlers[metastore.StorageKV] = &kvHandler{e: e}
+	return e, nil
+}
+
+// RegisterHandler installs a storage handler (used by the DualTable
+// core to plug in StorageDual).
+func (e *Engine) RegisterHandler(kind metastore.StorageKind, h StorageHandler) {
+	e.handlers[kind] = h
+}
+
+// Handler returns the handler for a storage kind.
+func (e *Engine) Handler(kind metastore.StorageKind) (StorageHandler, error) {
+	h, ok := e.handlers[kind]
+	if !ok {
+		return nil, fmt.Errorf("hive: no handler for storage %v", kind)
+	}
+	return h, nil
+}
+
+// ResultSet is the outcome of a statement.
+type ResultSet struct {
+	// Columns names the output columns (empty for DML).
+	Columns []string
+	// Rows holds query output (nil for DML).
+	Rows []datum.Row
+	// Affected is the DML row count.
+	Affected int64
+	// SimSeconds is the simulated cluster time the statement took.
+	SimSeconds float64
+	// Plan describes the physical plan that ran ("OVERWRITE"/"EDIT"
+	// for DualTable DML, job summaries for queries).
+	Plan string
+}
+
+// Execute parses and runs one SQL statement.
+func (e *Engine) Execute(sql string) (*ResultSet, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(stmt)
+}
+
+// ExecuteScript runs a semicolon-separated script, returning the last
+// statement's result.
+func (e *Engine) ExecuteScript(sql string) (*ResultSet, error) {
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *ResultSet
+	for _, s := range stmts {
+		last, err = e.ExecuteStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecuteStmt runs one parsed statement.
+func (e *Engine) ExecuteStmt(stmt sqlparser.Statement) (*ResultSet, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return e.runSelect(s, nil)
+	case *sqlparser.InsertStmt:
+		return e.execInsert(s)
+	case *sqlparser.UpdateStmt:
+		return e.execUpdate(s)
+	case *sqlparser.DeleteStmt:
+		return e.execDelete(s)
+	case *sqlparser.CreateTableStmt:
+		return e.execCreate(s)
+	case *sqlparser.DropTableStmt:
+		return e.execDrop(s)
+	case *sqlparser.LoadStmt:
+		return e.execLoad(s)
+	case *sqlparser.CompactStmt:
+		return e.execCompact(s)
+	case *sqlparser.ShowTablesStmt:
+		rs := &ResultSet{Columns: []string{"tab_name"}}
+		for _, n := range e.MS.List() {
+			rs.Rows = append(rs.Rows, datum.Row{datum.String_(n)})
+		}
+		return rs, nil
+	case *sqlparser.DescribeStmt:
+		desc, err := e.MS.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		rs := &ResultSet{Columns: []string{"col_name", "data_type"}}
+		for _, c := range desc.Schema {
+			rs.Rows = append(rs.Rows, datum.Row{datum.String_(c.Name), datum.String_(c.Kind.String())})
+		}
+		rs.Rows = append(rs.Rows, datum.Row{datum.String_("# storage"), datum.String_(desc.Storage.String())})
+		return rs, nil
+	case *sqlparser.ExplainStmt:
+		return e.explain(s.Stmt)
+	default:
+		return nil, fmt.Errorf("hive: unsupported statement %T", stmt)
+	}
+}
+
+func (e *Engine) execCreate(s *sqlparser.CreateTableStmt) (*ResultSet, error) {
+	if e.MS.Exists(s.Name) {
+		if s.IfNotExists {
+			return &ResultSet{}, nil
+		}
+		return nil, fmt.Errorf("%w: %s", metastore.ErrTableExists, s.Name)
+	}
+	kind, err := metastore.KindFromName(s.StoredAs)
+	if err != nil {
+		return nil, err
+	}
+	schema := make(datum.Schema, len(s.Columns))
+	for i, c := range s.Columns {
+		k, err := datum.KindFromSQL(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = datum.Column{Name: c.Name, Kind: k}
+	}
+	desc := &metastore.TableDesc{
+		Name:       s.Name,
+		Schema:     schema,
+		Storage:    kind,
+		Location:   path.Join(e.Warehouse, strings.ToLower(s.Name)),
+		Properties: map[string]string{},
+	}
+	h, err := e.Handler(kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Create(desc); err != nil {
+		return nil, err
+	}
+	if err := e.MS.Create(desc); err != nil {
+		return nil, err
+	}
+	return &ResultSet{}, nil
+}
+
+func (e *Engine) execDrop(s *sqlparser.DropTableStmt) (*ResultSet, error) {
+	desc, err := e.MS.Get(s.Name)
+	if err != nil {
+		if s.IfExists {
+			return &ResultSet{}, nil
+		}
+		return nil, err
+	}
+	h, err := e.Handler(desc.Storage)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Drop(desc); err != nil {
+		return nil, err
+	}
+	if err := e.MS.Drop(s.Name); err != nil {
+		return nil, err
+	}
+	return &ResultSet{}, nil
+}
+
+func (e *Engine) execCompact(s *sqlparser.CompactStmt) (*ResultSet, error) {
+	desc, err := e.MS.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	h, err := e.Handler(desc.Storage)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := h.(Compactor)
+	if !ok {
+		return nil, fmt.Errorf("hive: table %s (%v) does not support COMPACT", s.Table, desc.Storage)
+	}
+	meter := sim.NewMeter(&e.MR.Params)
+	if err := c.Compact(e, desc, meter); err != nil {
+		return nil, err
+	}
+	return &ResultSet{SimSeconds: meter.Seconds(), Plan: "COMPACT"}, nil
+}
+
+// execLoad parses a delimited text file from the DFS and appends its
+// rows to the table through the storage handler.
+func (e *Engine) execLoad(s *sqlparser.LoadStmt) (*ResultSet, error) {
+	desc, err := e.MS.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	h, err := e.Handler(desc.Storage)
+	if err != nil {
+		return nil, err
+	}
+	meter := sim.NewMeter(&e.MR.Params)
+	data, err := e.FS.ReadFile(s.Path)
+	if err != nil {
+		return nil, fmt.Errorf("hive: LOAD: %w", err)
+	}
+	meter.DFSRead(int64(len(data)))
+	delim := desc.Properties["field.delim"]
+	if delim == "" {
+		delim = "|"
+	}
+	rows, err := parseDelimited(string(data), delim, desc.Schema)
+	if err != nil {
+		return nil, err
+	}
+	var factory mapred.OutputFactory
+	var committer Committer
+	if s.Overwrite {
+		factory, committer, err = h.Overwrite(desc)
+	} else {
+		factory, committer, err = h.Append(desc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := e.writeRows(rows, factory, meter); err != nil {
+		committer.Abort()
+		return nil, err
+	}
+	if err := committer.Commit(); err != nil {
+		return nil, err
+	}
+	return &ResultSet{Affected: int64(len(rows)), SimSeconds: meter.Seconds(), Plan: "LOAD"}, nil
+}
+
+// parseDelimited parses delimiter-separated lines into typed rows.
+func parseDelimited(data, delim string, schema datum.Schema) ([]datum.Row, error) {
+	var rows []datum.Row
+	for lineNo, line := range strings.Split(data, "\n") {
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, delim)
+		// Tolerate a trailing delimiter (dbgen emits one).
+		if len(fields) == len(schema)+1 && fields[len(fields)-1] == "" {
+			fields = fields[:len(schema)]
+		}
+		if len(fields) != len(schema) {
+			return nil, fmt.Errorf("hive: line %d has %d fields, schema has %d", lineNo+1, len(fields), len(schema))
+		}
+		row := make(datum.Row, len(schema))
+		for i, f := range fields {
+			d, err := datum.Parse(f, schema[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("hive: line %d: %w", lineNo+1, err)
+			}
+			row[i] = d
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// writeRows streams rows through an output factory as one map-only
+// job (the write path of INSERT and LOAD).
+func (e *Engine) writeRows(rows []datum.Row, factory mapred.OutputFactory, meter *sim.Meter) error {
+	// Split into chunks so the write parallelizes like a real job.
+	const chunk = 100000
+	var splits []mapred.InputSplit
+	for off := 0; off < len(rows); off += chunk {
+		end := off + chunk
+		if end > len(rows) {
+			end = len(rows)
+		}
+		var simSize int64
+		for _, r := range rows[off:end] {
+			simSize += int64(datum.RowEncodedSize(r))
+		}
+		splits = append(splits, &mapred.SliceSplit{Rows: rows[off:end], SimSize: simSize})
+	}
+	if len(splits) == 0 {
+		return nil
+	}
+	job := &mapred.Job{
+		Name:   "write",
+		Splits: splits,
+		NewMapper: func() mapred.Mapper {
+			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+				return emit(nil, row)
+			})
+		},
+		Output: factory,
+	}
+	res, err := e.MR.Run(job)
+	if err != nil {
+		return err
+	}
+	meter.AddSeconds(res.SimSeconds)
+	return nil
+}
+
+// BulkLoad appends pre-built rows to a table through its storage
+// handler — the fast path workload generators use instead of huge
+// INSERT ... VALUES statements. Rows are coerced to the table schema.
+func (e *Engine) BulkLoad(table string, rows []datum.Row) (*ResultSet, error) {
+	desc, err := e.MS.Get(table)
+	if err != nil {
+		return nil, err
+	}
+	h, err := e.Handler(desc.Storage)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if err := desc.Schema.CoerceRow(r); err != nil {
+			return nil, fmt.Errorf("hive: bulk load %s: %w", table, err)
+		}
+	}
+	meter := sim.NewMeter(&e.MR.Params)
+	factory, committer, err := h.Append(desc)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.writeRows(rows, factory, meter); err != nil {
+		committer.Abort()
+		return nil, err
+	}
+	if err := committer.Commit(); err != nil {
+		return nil, err
+	}
+	return &ResultSet{Affected: int64(len(rows)), SimSeconds: meter.Seconds(), Plan: "BULKLOAD"}, nil
+}
+
+// tmpPath allocates a unique DFS staging path.
+func (e *Engine) tmpPath(prefix string) string {
+	return path.Join("/tmp", fmt.Sprintf("%s-%d", prefix, e.tmpSeq.Add(1)))
+}
+
+func (e *Engine) explain(stmt sqlparser.Statement) (*ResultSet, error) {
+	rs := &ResultSet{Columns: []string{"plan"}}
+	add := func(lines ...string) {
+		for _, l := range lines {
+			rs.Rows = append(rs.Rows, datum.Row{datum.String_(l)})
+		}
+	}
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		add("SELECT (MapReduce)", "  "+s.String())
+	case *sqlparser.UpdateStmt:
+		desc, err := e.MS.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if desc.Storage == metastore.StorageORC || desc.Storage == metastore.StorageText {
+			ins, err := RewriteUpdateToOverwrite(s, desc)
+			if err != nil {
+				return nil, err
+			}
+			add("UPDATE via INSERT OVERWRITE rewrite:", "  "+ins.String())
+		} else {
+			add(fmt.Sprintf("UPDATE via %v handler (cost-model plan selection at run time)", desc.Storage))
+		}
+	case *sqlparser.DeleteStmt:
+		desc, err := e.MS.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if desc.Storage == metastore.StorageORC || desc.Storage == metastore.StorageText {
+			ins, err := RewriteDeleteToOverwrite(s, desc)
+			if err != nil {
+				return nil, err
+			}
+			add("DELETE via INSERT OVERWRITE rewrite:", "  "+ins.String())
+		} else {
+			add(fmt.Sprintf("DELETE via %v handler (cost-model plan selection at run time)", desc.Storage))
+		}
+	default:
+		add(fmt.Sprintf("%T", stmt), "  "+stmt.String())
+	}
+	return rs, nil
+}
+
+// CompileRowExpr compiles an expression for per-row evaluation over a
+// table's rows (optionally alias-qualified). Used by storage handlers
+// implementing native DML (KV and DualTable).
+func (e *Engine) CompileRowExpr(expr sqlparser.Expr, tableName, alias string, schema datum.Schema) (func(datum.Row) (datum.Datum, error), error) {
+	sc := dmlScope(tableName, alias, schema)
+	fn, err := e.compileExpr(expr, sc)
+	if err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+// dmlScope resolves columns by bare name, table name or alias.
+func dmlScope(tableName, alias string, schema datum.Schema) *scope {
+	sc := newScope(alias, schema)
+	// Accept the table name as an alternative qualifier and
+	// unqualified references; resolution tries all entries, so adding
+	// duplicate-qualifier variants would create ambiguity. Instead we
+	// normalize: the scope keeps the alias (or table name), and
+	// unqualified references resolve because resolve ignores the
+	// qualifier when the reference has none.
+	if alias == "" {
+		sc = newScope(tableName, schema)
+	}
+	return sc
+}

@@ -1,0 +1,104 @@
+package hive
+
+import (
+	"testing"
+)
+
+// Failure injection: storage-layer faults must surface as errors and
+// never corrupt committed table state.
+
+func TestInsertFailsInSafeModeLeavesTableIntact(t *testing.T) {
+	e := testEngine(t)
+	seedEmployees(t, e, "ORC")
+	before := mustExec(t, e, "SELECT COUNT(*) FROM emp")
+
+	e.FS.SetSafeMode(true)
+	if _, err := e.Execute("INSERT INTO emp VALUES (9, 'x', 'y', 1.0)"); err == nil {
+		t.Fatal("insert in safe mode should fail")
+	}
+	if _, err := e.Execute("INSERT OVERWRITE TABLE emp SELECT * FROM emp"); err == nil {
+		t.Fatal("overwrite in safe mode should fail")
+	}
+	e.FS.SetSafeMode(false)
+
+	after := mustExec(t, e, "SELECT COUNT(*) FROM emp")
+	if before.Rows[0][0].I != after.Rows[0][0].I {
+		t.Errorf("table changed across failed writes: %v -> %v", before.Rows[0], after.Rows[0])
+	}
+	// Engine still fully functional afterwards.
+	mustExec(t, e, "UPDATE emp SET salary = salary + 1 WHERE id = 1")
+}
+
+func TestUpdateFailsInSafeModeORC(t *testing.T) {
+	e := testEngine(t)
+	seedEmployees(t, e, "ORC")
+	e.FS.SetSafeMode(true)
+	defer e.FS.SetSafeMode(false)
+	if _, err := e.Execute("UPDATE emp SET salary = 0"); err == nil {
+		t.Fatal("rewrite update in safe mode should fail")
+	}
+}
+
+func TestReadsSurviveSafeMode(t *testing.T) {
+	e := testEngine(t)
+	seedEmployees(t, e, "ORC")
+	e.FS.SetSafeMode(true)
+	defer e.FS.SetSafeMode(false)
+	rs := mustExec(t, e, "SELECT COUNT(*) FROM emp")
+	if rs.Rows[0][0].I != 5 {
+		t.Errorf("read in safe mode = %v", rs.Rows[0])
+	}
+}
+
+func TestStagingCleanupAfterFailedOverwrite(t *testing.T) {
+	e := testEngine(t)
+	seedEmployees(t, e, "ORC")
+	// Fail mid-statement: the SELECT side references a bogus column,
+	// so the overwrite must abort before commit.
+	if _, err := e.Execute("INSERT OVERWRITE TABLE emp SELECT nosuch FROM emp"); err == nil {
+		t.Fatal("bogus select should fail")
+	}
+	// Data intact and readable.
+	rs := mustExec(t, e, "SELECT COUNT(*) FROM emp")
+	if rs.Rows[0][0].I != 5 {
+		t.Errorf("count after failed overwrite = %v", rs.Rows[0])
+	}
+	// A later overwrite still succeeds (no stale staging in the way).
+	mustExec(t, e, "INSERT OVERWRITE TABLE emp SELECT * FROM emp WHERE id <= 2")
+	rs = mustExec(t, e, "SELECT COUNT(*) FROM emp")
+	if rs.Rows[0][0].I != 2 {
+		t.Errorf("count after real overwrite = %v", rs.Rows[0])
+	}
+}
+
+func TestKVTableSurvivesFailedStatement(t *testing.T) {
+	e := testEngine(t)
+	seedEmployees(t, e, "HBASE")
+	if _, err := e.Execute("UPDATE emp SET salary = nosuch + 1"); err == nil {
+		t.Fatal("bogus SET expression should fail")
+	}
+	rs := mustExec(t, e, "SELECT SUM(salary) FROM emp")
+	if rs.Rows[0][0].F != 400 {
+		t.Errorf("kv table corrupted by failed update: %v", rs.Rows[0])
+	}
+}
+
+func TestCorruptBlockDetectedOnVerifyingRead(t *testing.T) {
+	e := testEngine(t)
+	// Rebuild the engine's FS with verification enabled is not
+	// possible post-hoc; instead verify via the explicit checker.
+	seedEmployees(t, e, "ORC")
+	infos, err := e.FS.ListFiles("/warehouse/emp")
+	if err != nil || len(infos) == 0 {
+		t.Fatalf("list: %v %v", infos, err)
+	}
+	if err := e.FS.VerifyChecksums(infos[0].Path); err != nil {
+		t.Fatalf("clean file: %v", err)
+	}
+	if err := e.FS.CorruptBlock(infos[0].Path, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FS.VerifyChecksums(infos[0].Path); err == nil {
+		t.Error("corruption not detected")
+	}
+}

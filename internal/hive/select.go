@@ -1,0 +1,1212 @@
+package hive
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/mapred"
+	"dualtable/internal/orcfile"
+	"dualtable/internal/sim"
+	"dualtable/internal/sqlparser"
+)
+
+// relation is a planned FROM source: a resolution scope plus the
+// input splits that produce its rows.
+type relation struct {
+	sc     *scope
+	names  []string // output names aligned with sc.cols
+	splits []mapred.InputSplit
+}
+
+// runSelect executes a SELECT and returns its rows. Simulated time is
+// accumulated into extMeter when non-nil.
+func (e *Engine) runSelect(sel *sqlparser.SelectStmt, extMeter *sim.Meter) (*ResultSet, error) {
+	meter := sim.NewMeter(&e.MR.Params)
+	rows, cols, err := e.execSelect(sel, meter)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Columns: cols, Rows: rows, SimSeconds: meter.Seconds(), Plan: "SELECT"}
+	extMeter.AddSeconds(rs.SimSeconds)
+	return rs, nil
+}
+
+func (e *Engine) execSelect(sel *sqlparser.SelectStmt, meter *sim.Meter) ([]datum.Row, []string, error) {
+	// SELECT without FROM: evaluate items over an empty row.
+	if sel.From == nil {
+		emptySc := &scope{}
+		var row datum.Row
+		var names []string
+		for i, it := range sel.Items {
+			fn, err := e.compileExpr(it.Expr, emptySc)
+			if err != nil {
+				return nil, nil, err
+			}
+			d, err := fn(nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, d)
+			names = append(names, outputName(it, i))
+		}
+		return []datum.Row{row}, names, nil
+	}
+
+	rel, err := e.buildRelation(sel.From, sel, meter)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	items, err := expandStars(sel.Items, rel)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Aggregation analysis.
+	hasAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	for _, it := range items {
+		if sqlparser.ContainsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	for _, o := range sel.OrderBy {
+		if sqlparser.ContainsAggregate(o.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var rows []datum.Row
+	var names []string
+	if hasAgg {
+		rows, names, err = e.execAggSelect(sel, items, rel, meter)
+	} else {
+		rows, names, err = e.execSimpleSelect(sel, items, rel, meter)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	nVisible := len(items)
+	// DISTINCT on visible columns.
+	if sel.Distinct {
+		seen := map[string]bool{}
+		var out []datum.Row
+		for _, r := range rows {
+			key := string(datum.SortableRowKey(nil, r[:nVisible]))
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, r)
+			}
+		}
+		meter.CPURows(int64(len(rows)))
+		rows = out
+	}
+	// ORDER BY on hidden key columns (appended by the stages).
+	if len(sel.OrderBy) > 0 {
+		desc := make([]bool, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			desc[i] = o.Desc
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k := 0; k < len(sel.OrderBy); k++ {
+				c := datum.Compare(rows[i][nVisible+k], rows[j][nVisible+k])
+				if c != 0 {
+					if desc[k] {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		// A total sort runs on a single reducer in Hive; charge the
+		// pass.
+		meter.CPURows(int64(len(rows)) * 2)
+	}
+	if sel.Limit >= 0 && int64(len(rows)) > sel.Limit {
+		rows = rows[:sel.Limit]
+	}
+	// Strip hidden order-key columns.
+	for i := range rows {
+		rows[i] = rows[i][:nVisible]
+	}
+	return rows, names, nil
+}
+
+// outputName picks the result column name for a select item.
+func outputName(it sqlparser.SelectItem, idx int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if ref, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+		return ref.Name
+	}
+	return fmt.Sprintf("_c%d", idx)
+}
+
+// expandStars replaces * and t.* items with explicit column refs.
+func expandStars(items []sqlparser.SelectItem, rel *relation) ([]sqlparser.SelectItem, error) {
+	var out []sqlparser.SelectItem
+	for _, it := range items {
+		star, ok := it.Expr.(*sqlparser.Star)
+		if !ok {
+			out = append(out, it)
+			continue
+		}
+		q := strings.ToLower(star.Table)
+		matched := false
+		for i, c := range rel.sc.cols {
+			if q != "" && c.qual != q {
+				continue
+			}
+			matched = true
+			out = append(out, sqlparser.SelectItem{
+				Expr:  &sqlparser.ColumnRef{Table: star.Table, Name: rel.names[i]},
+				Alias: rel.names[i],
+			})
+		}
+		if !matched {
+			return nil, fmt.Errorf("hive: %s matches no columns", star)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("hive: empty select list")
+	}
+	return out, nil
+}
+
+// execSimpleSelect runs filter+project as one map-only job, appending
+// hidden ORDER BY key columns.
+func (e *Engine) execSimpleSelect(sel *sqlparser.SelectStmt, items []sqlparser.SelectItem, rel *relation, meter *sim.Meter) ([]datum.Row, []string, error) {
+	var whereFn evalFn
+	var err error
+	if sel.Where != nil {
+		whereFn, err = e.compileExpr(sel.Where, rel.sc)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	projFns := make([]evalFn, len(items))
+	names := make([]string, len(items))
+	for i, it := range items {
+		projFns[i], err = e.compileExpr(it.Expr, rel.sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		names[i] = outputName(it, i)
+	}
+	orderFns := make([]evalFn, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		// Try output aliases first, then the input scope.
+		if fn, err2 := e.compileOrderKey(o.Expr, items, projFns); err2 == nil {
+			orderFns[i] = fn
+			continue
+		}
+		orderFns[i], err = e.compileExpr(o.Expr, rel.sc)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	job := &mapred.Job{
+		Name:   "select",
+		Splits: rel.splits,
+		NewMapper: func() mapred.Mapper {
+			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+				if whereFn != nil {
+					ok, err := whereFn(row)
+					if err != nil {
+						return err
+					}
+					if !ok.Truthy() {
+						return nil
+					}
+				}
+				out := make(datum.Row, 0, len(projFns)+len(orderFns))
+				for _, fn := range projFns {
+					d, err := fn(row)
+					if err != nil {
+						return err
+					}
+					out = append(out, d)
+				}
+				for _, fn := range orderFns {
+					d, err := fn(row)
+					if err != nil {
+						return err
+					}
+					out = append(out, d)
+				}
+				return emit(nil, out)
+			})
+		},
+	}
+	res, err := e.MR.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	meter.AddSeconds(res.SimSeconds)
+	return res.Rows, names, nil
+}
+
+// compileOrderKey resolves an ORDER BY expression against the select
+// list: a bare column ref matching an alias refers to that item.
+func (e *Engine) compileOrderKey(expr sqlparser.Expr, items []sqlparser.SelectItem, projFns []evalFn) (evalFn, error) {
+	ref, ok := expr.(*sqlparser.ColumnRef)
+	if !ok || ref.Table != "" {
+		return nil, fmt.Errorf("not an alias reference")
+	}
+	for i, it := range items {
+		if strings.EqualFold(outputName(it, i), ref.Name) {
+			fn := projFns[i]
+			return fn, nil
+		}
+	}
+	return nil, fmt.Errorf("no alias %s", ref.Name)
+}
+
+// aggSpec is one distinct aggregate call of the query.
+type aggSpec struct {
+	call     *sqlparser.FuncCall
+	distinct bool
+	star     bool
+}
+
+// execAggSelect runs the aggregation pipeline: map (filter, group
+// keys, agg args) → reduce (aggregate) → post-projection (having,
+// items, order keys).
+func (e *Engine) execAggSelect(sel *sqlparser.SelectStmt, items []sqlparser.SelectItem, rel *relation, meter *sim.Meter) ([]datum.Row, []string, error) {
+	var whereFn evalFn
+	var err error
+	if sel.Where != nil {
+		if sqlparser.ContainsAggregate(sel.Where) {
+			return nil, nil, fmt.Errorf("hive: aggregates are not allowed in WHERE")
+		}
+		whereFn, err = e.compileExpr(sel.Where, rel.sc)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Collect distinct aggregate calls from items, HAVING, ORDER BY.
+	var aggs []aggSpec
+	aggIndex := map[string]int{}
+	collect := func(x sqlparser.Expr) {
+		sqlparser.WalkExpr(x, func(n sqlparser.Expr) bool {
+			if _, ok := n.(*sqlparser.SubqueryExpr); ok {
+				return false
+			}
+			if fc, ok := n.(*sqlparser.FuncCall); ok && sqlparser.IsAggregateFunc(fc.Name) {
+				key := fc.String()
+				if _, seen := aggIndex[key]; !seen {
+					aggIndex[key] = len(aggs)
+					aggs = append(aggs, aggSpec{call: fc, distinct: fc.Distinct, star: fc.Star})
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range items {
+		collect(it.Expr)
+	}
+	if sel.Having != nil {
+		collect(sel.Having)
+	}
+	for _, o := range sel.OrderBy {
+		collect(o.Expr)
+	}
+
+	// Compile group-by expressions and aggregate arguments against
+	// the input scope.
+	groupFns := make([]evalFn, len(sel.GroupBy))
+	groupStrs := make([]string, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		if sqlparser.ContainsAggregate(g) {
+			return nil, nil, fmt.Errorf("hive: aggregates are not allowed in GROUP BY")
+		}
+		groupFns[i], err = e.compileExpr(g, rel.sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupStrs[i] = g.String()
+	}
+	argFns := make([]evalFn, len(aggs))
+	for i, a := range aggs {
+		if a.star {
+			continue
+		}
+		if len(a.call.Args) != 1 {
+			return nil, nil, fmt.Errorf("hive: %s expects one argument", a.call.Name)
+		}
+		argFns[i], err = e.compileExpr(a.call.Args[0], rel.sc)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	nGroup := len(groupFns)
+	nAggs := len(aggs)
+
+	// DISTINCT aggregates cannot be combined map-side; they ship raw
+	// argument values. Everything else shuffles partial aggregates
+	// and runs a combiner (Hive's map-side aggregation).
+	anyDistinct := false
+	for _, a := range aggs {
+		if a.distinct {
+			anyDistinct = true
+		}
+	}
+
+	// ---- Map + Reduce job ----
+	var job *mapred.Job
+	if anyDistinct {
+		job = e.rawAggJob(rel, whereFn, groupFns, argFns, aggs)
+	} else {
+		job = e.partialAggJob(rel, whereFn, groupFns, argFns, aggs)
+	}
+	res, err := e.MR.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	meter.AddSeconds(res.SimSeconds)
+	reduced := res.Rows
+
+	// Global aggregation over an empty input still yields one row.
+	if nGroup == 0 && len(reduced) == 0 {
+		row := make(datum.Row, nAggs)
+		for i := range aggs {
+			row[i] = computeAggregate(aggs[i], nil, 0)
+		}
+		reduced = []datum.Row{row}
+	}
+
+	// ---- Post-aggregation projection ----
+	// Virtual scope: __grp0.. and __agg0.. columns.
+	post := &scope{}
+	for i := range groupFns {
+		post.cols = append(post.cols, scopeCol{name: fmt.Sprintf("__grp%d", i)})
+	}
+	for i := range aggs {
+		post.cols = append(post.cols, scopeCol{name: fmt.Sprintf("__agg%d", i)})
+	}
+	rewrite := func(x sqlparser.Expr) sqlparser.Expr {
+		return rewritePostAgg(x, groupStrs, aggIndex, nGroup)
+	}
+
+	var havingFn evalFn
+	if sel.Having != nil {
+		havingFn, err = e.compileExpr(rewrite(sel.Having), post)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	projFns := make([]evalFn, len(items))
+	names := make([]string, len(items))
+	for i, it := range items {
+		projFns[i], err = e.compileExpr(rewrite(it.Expr), post)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hive: %s: %w (not in GROUP BY?)", it.Expr, err)
+		}
+		names[i] = outputName(it, i)
+	}
+	orderFns := make([]evalFn, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		if fn, err2 := e.compileOrderKey(o.Expr, items, projFns); err2 == nil {
+			orderFns[i] = fn
+			continue
+		}
+		orderFns[i], err = e.compileExpr(rewrite(o.Expr), post)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var out []datum.Row
+	for _, r := range reduced {
+		if havingFn != nil {
+			ok, err := havingFn(r)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok.Truthy() {
+				continue
+			}
+		}
+		row := make(datum.Row, 0, len(projFns)+len(orderFns))
+		for _, fn := range projFns {
+			d, err := fn(r)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, d)
+		}
+		for _, fn := range orderFns {
+			d, err := fn(r)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, d)
+		}
+		out = append(out, row)
+	}
+	meter.CPURows(int64(len(reduced)))
+	return out, names, nil
+}
+
+// rewritePostAgg replaces group-by expressions and aggregate calls
+// with references into the reduced row (__grpN / __aggN).
+func rewritePostAgg(x sqlparser.Expr, groupStrs []string, aggIndex map[string]int, nGroup int) sqlparser.Expr {
+	if x == nil {
+		return nil
+	}
+	s := x.String()
+	for i, g := range groupStrs {
+		if s == g {
+			return &sqlparser.ColumnRef{Name: fmt.Sprintf("__grp%d", i)}
+		}
+	}
+	if fc, ok := x.(*sqlparser.FuncCall); ok && sqlparser.IsAggregateFunc(fc.Name) {
+		if idx, ok := aggIndex[fc.String()]; ok {
+			return &sqlparser.ColumnRef{Name: fmt.Sprintf("__agg%d", idx)}
+		}
+	}
+	switch v := x.(type) {
+	case *sqlparser.BinaryExpr:
+		return &sqlparser.BinaryExpr{Op: v.Op,
+			L: rewritePostAgg(v.L, groupStrs, aggIndex, nGroup),
+			R: rewritePostAgg(v.R, groupStrs, aggIndex, nGroup)}
+	case *sqlparser.UnaryExpr:
+		return &sqlparser.UnaryExpr{Op: v.Op, X: rewritePostAgg(v.X, groupStrs, aggIndex, nGroup)}
+	case *sqlparser.FuncCall:
+		args := make([]sqlparser.Expr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = rewritePostAgg(a, groupStrs, aggIndex, nGroup)
+		}
+		return &sqlparser.FuncCall{Name: v.Name, Args: args, Star: v.Star, Distinct: v.Distinct}
+	case *sqlparser.CaseExpr:
+		out := &sqlparser.CaseExpr{Operand: rewritePostAgg(v.Operand, groupStrs, aggIndex, nGroup),
+			Else: rewritePostAgg(v.Else, groupStrs, aggIndex, nGroup)}
+		for _, w := range v.Whens {
+			out.Whens = append(out.Whens, sqlparser.WhenClause{
+				Cond: rewritePostAgg(w.Cond, groupStrs, aggIndex, nGroup),
+				Then: rewritePostAgg(w.Then, groupStrs, aggIndex, nGroup)})
+		}
+		return out
+	case *sqlparser.IsNullExpr:
+		return &sqlparser.IsNullExpr{X: rewritePostAgg(v.X, groupStrs, aggIndex, nGroup), Not: v.Not}
+	case *sqlparser.InExpr:
+		out := &sqlparser.InExpr{X: rewritePostAgg(v.X, groupStrs, aggIndex, nGroup), Not: v.Not}
+		for _, i := range v.List {
+			out.List = append(out.List, rewritePostAgg(i, groupStrs, aggIndex, nGroup))
+		}
+		return out
+	case *sqlparser.BetweenExpr:
+		return &sqlparser.BetweenExpr{
+			X:   rewritePostAgg(v.X, groupStrs, aggIndex, nGroup),
+			Lo:  rewritePostAgg(v.Lo, groupStrs, aggIndex, nGroup),
+			Hi:  rewritePostAgg(v.Hi, groupStrs, aggIndex, nGroup),
+			Not: v.Not}
+	case *sqlparser.LikeExpr:
+		return &sqlparser.LikeExpr{
+			X:       rewritePostAgg(v.X, groupStrs, aggIndex, nGroup),
+			Pattern: rewritePostAgg(v.Pattern, groupStrs, aggIndex, nGroup),
+			Not:     v.Not}
+	case *sqlparser.CastExpr:
+		return &sqlparser.CastExpr{X: rewritePostAgg(v.X, groupStrs, aggIndex, nGroup), Type: v.Type}
+	default:
+		return x
+	}
+}
+
+// ---- Aggregation jobs ----
+//
+// Partial-aggregate layout: each aggregate occupies aggPartialWidth
+// datums in the shuffled row:
+//
+//	[count BIGINT, sum DOUBLE, sumInt BIGINT, intOnly BOOLEAN, min, max]
+const aggPartialWidth = 6
+
+// newPartial folds one argument value into a fresh partial.
+func newPartial(d datum.Datum) datum.Row {
+	if d.IsNull() {
+		return datum.Row{datum.Int(0), datum.Float(0), datum.Int(0), datum.Bool(true), datum.Null, datum.Null}
+	}
+	sum := 0.0
+	sumInt := int64(0)
+	intOnly := d.K == datum.KindInt
+	if f, ok := d.AsFloat(); ok {
+		sum = f
+		if intOnly {
+			sumInt = d.I
+		}
+	} else {
+		intOnly = false
+	}
+	return datum.Row{datum.Int(1), datum.Float(sum), datum.Int(sumInt), datum.Bool(intOnly), d, d}
+}
+
+// mergePartial folds src into dst (both aggPartialWidth segments).
+func mergePartial(dst, src datum.Row) {
+	dst[0] = datum.Int(dst[0].I + src[0].I)
+	dst[1] = datum.Float(dst[1].F + src[1].F)
+	dst[2] = datum.Int(dst[2].I + src[2].I)
+	dst[3] = datum.Bool(dst[3].B && src[3].B)
+	if dst[4].IsNull() || (!src[4].IsNull() && datum.Compare(src[4], dst[4]) < 0) {
+		dst[4] = src[4]
+	}
+	if dst[5].IsNull() || (!src[5].IsNull() && datum.Compare(src[5], dst[5]) > 0) {
+		dst[5] = src[5]
+	}
+}
+
+// finalizePartial produces the aggregate value from a partial.
+func finalizePartial(name string, p datum.Row) datum.Datum {
+	count := p[0].I
+	switch name {
+	case "COUNT":
+		return datum.Int(count)
+	case "SUM":
+		if count == 0 {
+			return datum.Null
+		}
+		if p[3].B {
+			return datum.Int(p[2].I)
+		}
+		return datum.Float(p[1].F)
+	case "AVG":
+		if count == 0 {
+			return datum.Null
+		}
+		return datum.Float(p[1].F / float64(count))
+	case "MIN":
+		return p[4]
+	case "MAX":
+		return p[5]
+	default:
+		return datum.Null
+	}
+}
+
+// partialAggJob shuffles partial aggregates with a map-side combiner
+// (Hive's hive.map.aggr).
+func (e *Engine) partialAggJob(rel *relation, whereFn evalFn, groupFns, argFns []evalFn, aggs []aggSpec) *mapred.Job {
+	nGroup := len(groupFns)
+	width := nGroup + len(aggs)*aggPartialWidth
+	merge := mapred.ReduceFunc(func(key []byte, rows []datum.Row, emit mapred.Emitter) error {
+		acc := rows[0].Clone()
+		for _, r := range rows[1:] {
+			for i := range aggs {
+				off := nGroup + i*aggPartialWidth
+				mergePartial(acc[off:off+aggPartialWidth], r[off:off+aggPartialWidth])
+			}
+		}
+		return emit(key, acc)
+	})
+	return &mapred.Job{
+		Name:   "groupby",
+		Splits: rel.splits,
+		NewMapper: func() mapred.Mapper {
+			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+				if whereFn != nil {
+					ok, err := whereFn(row)
+					if err != nil {
+						return err
+					}
+					if !ok.Truthy() {
+						return nil
+					}
+				}
+				out := make(datum.Row, 0, width)
+				for _, fn := range groupFns {
+					d, err := fn(row)
+					if err != nil {
+						return err
+					}
+					out = append(out, d)
+				}
+				for i := range aggs {
+					if aggs[i].star {
+						out = append(out, newPartial(datum.Bool(true))...)
+						continue
+					}
+					d, err := argFns[i](row)
+					if err != nil {
+						return err
+					}
+					out = append(out, newPartial(d)...)
+				}
+				key := datum.SortableRowKey(nil, out[:nGroup])
+				return emit(key, out)
+			})
+		},
+		NewCombiner: func() mapred.Reducer { return merge },
+		NewReducer: func() mapred.Reducer {
+			return mapred.ReduceFunc(func(key []byte, rows []datum.Row, emit mapred.Emitter) error {
+				acc := rows[0].Clone()
+				for _, r := range rows[1:] {
+					for i := range aggs {
+						off := nGroup + i*aggPartialWidth
+						mergePartial(acc[off:off+aggPartialWidth], r[off:off+aggPartialWidth])
+					}
+				}
+				out := make(datum.Row, 0, nGroup+len(aggs))
+				out = append(out, acc[:nGroup]...)
+				for i := range aggs {
+					off := nGroup + i*aggPartialWidth
+					out = append(out, finalizePartial(aggs[i].call.Name, acc[off:off+aggPartialWidth]))
+				}
+				return emit(nil, out)
+			})
+		},
+	}
+}
+
+// rawAggJob ships raw argument values (needed by DISTINCT).
+func (e *Engine) rawAggJob(rel *relation, whereFn evalFn, groupFns, argFns []evalFn, aggs []aggSpec) *mapred.Job {
+	nGroup := len(groupFns)
+	nAggs := len(aggs)
+	return &mapred.Job{
+		Name:   "groupby-distinct",
+		Splits: rel.splits,
+		NewMapper: func() mapred.Mapper {
+			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+				if whereFn != nil {
+					ok, err := whereFn(row)
+					if err != nil {
+						return err
+					}
+					if !ok.Truthy() {
+						return nil
+					}
+				}
+				out := make(datum.Row, 0, nGroup+nAggs)
+				for _, fn := range groupFns {
+					d, err := fn(row)
+					if err != nil {
+						return err
+					}
+					out = append(out, d)
+				}
+				for i := range aggs {
+					if aggs[i].star {
+						out = append(out, datum.Bool(true))
+						continue
+					}
+					d, err := argFns[i](row)
+					if err != nil {
+						return err
+					}
+					out = append(out, d)
+				}
+				key := datum.SortableRowKey(nil, out[:nGroup])
+				return emit(key, out)
+			})
+		},
+		NewReducer: func() mapred.Reducer {
+			return mapred.ReduceFunc(func(_ []byte, rows []datum.Row, emit mapred.Emitter) error {
+				out := make(datum.Row, 0, nGroup+nAggs)
+				out = append(out, rows[0][:nGroup]...)
+				for i := range aggs {
+					out = append(out, computeAggregate(aggs[i], rows, nGroup+i))
+				}
+				return emit(nil, out)
+			})
+		},
+	}
+}
+
+// computeAggregate evaluates one aggregate over a group's rows; the
+// argument sits at column argCol of each row.
+func computeAggregate(spec aggSpec, rows []datum.Row, argCol int) datum.Datum {
+	var seen map[string]bool
+	if spec.distinct {
+		seen = map[string]bool{}
+	}
+	count := int64(0)
+	var sum float64
+	haveSum := false
+	sumIsInt := true
+	var sumInt int64
+	var min, max datum.Datum
+	for _, r := range rows {
+		d := r[argCol]
+		if d.IsNull() {
+			continue
+		}
+		if spec.distinct {
+			key := string(datum.SortableKey(nil, d))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		count++
+		if f, ok := d.AsFloat(); ok {
+			sum += f
+			haveSum = true
+			if d.K == datum.KindInt {
+				sumInt += d.I
+			} else {
+				sumIsInt = false
+			}
+		} else {
+			sumIsInt = false
+		}
+		if min.IsNull() || datum.Compare(d, min) < 0 {
+			min = d
+		}
+		if max.IsNull() || datum.Compare(d, max) > 0 {
+			max = d
+		}
+	}
+	switch spec.call.Name {
+	case "COUNT":
+		return datum.Int(count)
+	case "SUM":
+		if !haveSum {
+			return datum.Null
+		}
+		if sumIsInt {
+			return datum.Int(sumInt)
+		}
+		return datum.Float(sum)
+	case "AVG":
+		if count == 0 || !haveSum {
+			return datum.Null
+		}
+		return datum.Float(sum / float64(count))
+	case "MIN":
+		return min
+	case "MAX":
+		return max
+	default:
+		return datum.Null
+	}
+}
+
+// buildRelation resolves a FROM clause into a relation. The top-level
+// SELECT is passed in for pushdown analysis on single-table scans.
+func (e *Engine) buildRelation(ref sqlparser.TableRef, sel *sqlparser.SelectStmt, meter *sim.Meter) (*relation, error) {
+	switch t := ref.(type) {
+	case *sqlparser.TableName:
+		return e.buildTableScan(t, sel, meter)
+	case *sqlparser.SubqueryRef:
+		rs, err := e.runSelect(t.Select, meter)
+		if err != nil {
+			return nil, err
+		}
+		sc := &scope{}
+		q := strings.ToLower(t.Alias)
+		kinds := inferKinds(rs)
+		for i, n := range rs.Columns {
+			sc.cols = append(sc.cols, scopeCol{qual: q, name: strings.ToLower(n), kind: kinds[i]})
+		}
+		return &relation{sc: sc, names: rs.Columns, splits: sliceSplitsFor(rs.Rows)}, nil
+	case *sqlparser.JoinRef:
+		return e.execJoin(t, sel, meter)
+	default:
+		return nil, fmt.Errorf("hive: unsupported FROM clause %T", ref)
+	}
+}
+
+func inferKinds(rs *ResultSet) []datum.Kind {
+	kinds := make([]datum.Kind, len(rs.Columns))
+	for _, r := range rs.Rows {
+		done := true
+		for i := range kinds {
+			if kinds[i] == datum.KindNull {
+				if !r[i].IsNull() {
+					kinds[i] = r[i].K
+				} else {
+					done = false
+				}
+			}
+		}
+		if done {
+			break
+		}
+	}
+	return kinds
+}
+
+// sliceSplitsFor chunks materialized rows into splits, charging their
+// encoded size as simulated intermediate I/O on open.
+func sliceSplitsFor(rows []datum.Row) []mapred.InputSplit {
+	const chunk = 100000
+	var splits []mapred.InputSplit
+	for off := 0; off < len(rows); off += chunk {
+		end := off + chunk
+		if end > len(rows) {
+			end = len(rows)
+		}
+		var size int64
+		for _, r := range rows[off:end] {
+			size += int64(datum.RowEncodedSize(r))
+		}
+		splits = append(splits, &mapred.SliceSplit{Rows: rows[off:end], SimSize: size})
+	}
+	if len(splits) == 0 {
+		splits = []mapred.InputSplit{&mapred.SliceSplit{}}
+	}
+	return splits
+}
+
+// buildTableScan plans a base-table scan with projection and
+// predicate pushdown (single-table queries only push predicates).
+func (e *Engine) buildTableScan(t *sqlparser.TableName, sel *sqlparser.SelectStmt, meter *sim.Meter) (*relation, error) {
+	desc, err := e.MS.Get(t.Name)
+	if err != nil {
+		return nil, err
+	}
+	h, err := e.Handler(desc.Storage)
+	if err != nil {
+		return nil, err
+	}
+	alias := t.Alias
+	if alias == "" {
+		alias = t.Name
+	}
+	sc := newScope(alias, desc.Schema)
+
+	opts := ScanOptions{}
+	// Predicate pushdown only when this table is the sole FROM source
+	// (conjuncts referencing just it are then safe to push).
+	if sel != nil && sel.From == sqlparser.TableRef(t) && sel.Where != nil {
+		opts.SArg = extractSArg(sel.Where, sc, desc.Schema)
+	}
+	// Projection pushdown: columns the query references.
+	if sel != nil && sel.From == sqlparser.TableRef(t) {
+		opts.Projection = referencedColumns(sel, sc)
+	}
+
+	splits, err := h.Splits(desc, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &relation{sc: sc, names: desc.Schema.Names(), splits: splits}, nil
+}
+
+// ExtractSearchArg converts pushable conjuncts (col <op> literal) of
+// a predicate into an ORC search argument against the given schema,
+// resolving columns under the given qualifier (alias or table name).
+// Returns nil when nothing is pushable. Exported for the DualTable
+// core's statistics-based selectivity estimation.
+func ExtractSearchArg(where sqlparser.Expr, qualifier string, schema datum.Schema) *orcfile.SearchArg {
+	return extractSArg(where, newScope(qualifier, schema), schema)
+}
+
+// extractSArg converts pushable conjuncts (col <op> literal) into an
+// ORC search argument.
+func extractSArg(where sqlparser.Expr, sc *scope, schema datum.Schema) *orcfile.SearchArg {
+	var preds []orcfile.Predicate
+	for _, conj := range sqlparser.SplitConjuncts(where) {
+		bin, ok := conj.(*sqlparser.BinaryExpr)
+		if !ok {
+			continue
+		}
+		var op orcfile.CmpOp
+		var flip orcfile.CmpOp
+		switch bin.Op {
+		case "=":
+			op, flip = orcfile.OpEQ, orcfile.OpEQ
+		case "!=":
+			op, flip = orcfile.OpNE, orcfile.OpNE
+		case "<":
+			op, flip = orcfile.OpLT, orcfile.OpGT
+		case "<=":
+			op, flip = orcfile.OpLE, orcfile.OpGE
+		case ">":
+			op, flip = orcfile.OpGT, orcfile.OpLT
+		case ">=":
+			op, flip = orcfile.OpGE, orcfile.OpLE
+		default:
+			continue
+		}
+		ref, refOK := bin.L.(*sqlparser.ColumnRef)
+		lit, litOK := bin.R.(*sqlparser.Literal)
+		if !refOK || !litOK {
+			// literal <op> col
+			if ref2, ok2 := bin.R.(*sqlparser.ColumnRef); ok2 {
+				if lit2, ok3 := bin.L.(*sqlparser.Literal); ok3 {
+					ref, lit, refOK, litOK = ref2, lit2, true, true
+					op = flip
+				}
+			}
+		}
+		if !refOK || !litOK || lit.Value.IsNull() {
+			continue
+		}
+		idx, err := sc.resolve(ref)
+		if err != nil || idx >= len(schema) {
+			continue
+		}
+		preds = append(preds, orcfile.Predicate{Column: idx, Op: op, Value: lit.Value})
+	}
+	if len(preds) == 0 {
+		return nil
+	}
+	return &orcfile.SearchArg{Predicates: preds}
+}
+
+// referencedColumns lists the table columns the query touches.
+func referencedColumns(sel *sqlparser.SelectStmt, sc *scope) []int {
+	needed := map[int]bool{}
+	sawStar := false
+	visit := func(x sqlparser.Expr) {
+		sqlparser.WalkExpr(x, func(n sqlparser.Expr) bool {
+			switch v := n.(type) {
+			case *sqlparser.Star:
+				sawStar = true
+			case *sqlparser.ColumnRef:
+				if idx, err := sc.resolve(v); err == nil {
+					needed[idx] = true
+				}
+			case *sqlparser.SubqueryExpr:
+				// Correlated refs inside subqueries reference the
+				// outer table too; resolve conservatively.
+				sqlparser.WalkExpr(v.Select.Where, func(m sqlparser.Expr) bool {
+					if ref, ok := m.(*sqlparser.ColumnRef); ok {
+						if idx, err := sc.resolve(ref); err == nil {
+							needed[idx] = true
+						}
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range sel.Items {
+		visit(it.Expr)
+	}
+	visit(sel.Where)
+	for _, g := range sel.GroupBy {
+		visit(g)
+	}
+	visit(sel.Having)
+	for _, o := range sel.OrderBy {
+		visit(o.Expr)
+	}
+	if sawStar {
+		return nil // all columns
+	}
+	cols := make([]int, 0, len(needed))
+	for i := range needed {
+		cols = append(cols, i)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// execJoin materializes both sides and runs a reduce-side equi-join.
+func (e *Engine) execJoin(j *sqlparser.JoinRef, sel *sqlparser.SelectStmt, meter *sim.Meter) (*relation, error) {
+	left, err := e.buildRelation(j.Left, nil, meter)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.buildRelation(j.Right, nil, meter)
+	if err != nil {
+		return nil, err
+	}
+	combined := left.sc.concat(right.sc)
+	leftWidth := len(left.sc.cols)
+	rightWidth := len(right.sc.cols)
+
+	// Extract equi-join keys from the ON condition.
+	var leftKeyFns, rightKeyFns []evalFn
+	var residual []sqlparser.Expr
+	if j.On != nil {
+		for _, conj := range sqlparser.SplitConjuncts(j.On) {
+			bin, ok := conj.(*sqlparser.BinaryExpr)
+			if ok && bin.Op == "=" {
+				switch {
+				case e.refsResolveIn(bin.L, left.sc) && e.refsResolveIn(bin.R, right.sc):
+					lf, err := e.compileExpr(bin.L, left.sc)
+					if err != nil {
+						return nil, err
+					}
+					rf, err := e.compileExpr(bin.R, right.sc)
+					if err != nil {
+						return nil, err
+					}
+					leftKeyFns = append(leftKeyFns, lf)
+					rightKeyFns = append(rightKeyFns, rf)
+					continue
+				case e.refsResolveIn(bin.R, left.sc) && e.refsResolveIn(bin.L, right.sc):
+					lf, err := e.compileExpr(bin.R, left.sc)
+					if err != nil {
+						return nil, err
+					}
+					rf, err := e.compileExpr(bin.L, right.sc)
+					if err != nil {
+						return nil, err
+					}
+					leftKeyFns = append(leftKeyFns, lf)
+					rightKeyFns = append(rightKeyFns, rf)
+					continue
+				}
+			}
+			residual = append(residual, conj)
+		}
+	}
+	var residualFn evalFn
+	if len(residual) > 0 {
+		residualFn, err = e.compileExpr(sqlparser.CombineConjuncts(residual), combined)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Tag inputs: left rows get tag 0, right rows tag 1 (appended as
+	// a trailing datum so one mapper can tell them apart).
+	var splits []mapred.InputSplit
+	for _, s := range left.splits {
+		splits = append(splits, &taggedSplit{inner: s, tag: 0})
+	}
+	for _, s := range right.splits {
+		splits = append(splits, &taggedSplit{inner: s, tag: 1})
+	}
+
+	joinType := j.Type
+	job := &mapred.Job{
+		Name:   "join",
+		Splits: splits,
+		NewMapper: func() mapred.Mapper {
+			nullSeq := int64(0)
+			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+				tag := row[len(row)-1].I
+				data := row[:len(row)-1]
+				keyFns := leftKeyFns
+				if tag == 1 {
+					keyFns = rightKeyFns
+				}
+				keyRow := make(datum.Row, len(keyFns))
+				hasNull := false
+				for i, fn := range keyFns {
+					d, err := fn(data)
+					if err != nil {
+						return err
+					}
+					if d.IsNull() {
+						hasNull = true
+					}
+					keyRow[i] = d
+				}
+				var key []byte
+				if len(keyFns) == 0 {
+					key = []byte{0x01} // cartesian: single group
+				} else if hasNull {
+					// NULL keys never match; isolate in unique groups.
+					nullSeq++
+					key = append([]byte{0x00, byte(tag)}, datum.SortableKey(nil, datum.Int(nullSeq))...)
+				} else {
+					key = append([]byte{0x01}, datum.SortableRowKey(nil, keyRow)...)
+				}
+				return emit(key, row) // row still carries the tag
+			})
+		},
+		NewReducer: func() mapred.Reducer {
+			return mapred.ReduceFunc(func(_ []byte, rows []datum.Row, emit mapred.Emitter) error {
+				var lefts, rights []datum.Row
+				for _, r := range rows {
+					if r[len(r)-1].I == 0 {
+						lefts = append(lefts, r[:len(r)-1])
+					} else {
+						rights = append(rights, r[:len(r)-1])
+					}
+				}
+				leftMatched := make([]bool, len(lefts))
+				rightMatched := make([]bool, len(rights))
+				for li, l := range lefts {
+					for ri, r := range rights {
+						out := make(datum.Row, 0, leftWidth+rightWidth)
+						out = append(out, l...)
+						out = append(out, r...)
+						if residualFn != nil {
+							ok, err := residualFn(out)
+							if err != nil {
+								return err
+							}
+							if !ok.Truthy() {
+								continue
+							}
+						}
+						leftMatched[li] = true
+						rightMatched[ri] = true
+						if err := emit(nil, out); err != nil {
+							return err
+						}
+					}
+				}
+				if joinType == sqlparser.JoinLeft || joinType == sqlparser.JoinFull {
+					for li, l := range lefts {
+						if !leftMatched[li] {
+							out := make(datum.Row, leftWidth+rightWidth)
+							copy(out, l)
+							if err := emit(nil, out); err != nil {
+								return err
+							}
+						}
+					}
+				}
+				if joinType == sqlparser.JoinRight || joinType == sqlparser.JoinFull {
+					for ri, r := range rights {
+						if !rightMatched[ri] {
+							out := make(datum.Row, leftWidth+rightWidth)
+							copy(out[leftWidth:], r)
+							if err := emit(nil, out); err != nil {
+								return err
+							}
+						}
+					}
+				}
+				return nil
+			})
+		},
+	}
+	res, err := e.MR.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	meter.AddSeconds(res.SimSeconds)
+	names := append(append([]string{}, left.names...), right.names...)
+	return &relation{sc: combined, names: names, splits: sliceSplitsFor(res.Rows)}, nil
+}
+
+// taggedSplit appends a tag datum to every row of the wrapped split.
+type taggedSplit struct {
+	inner mapred.InputSplit
+	tag   int64
+}
+
+func (t *taggedSplit) Open(m *sim.Meter) (mapred.RecordReader, error) {
+	rr, err := t.inner.Open(m)
+	if err != nil {
+		return nil, err
+	}
+	return &taggedReader{inner: rr, tag: datum.Int(t.tag)}, nil
+}
+
+func (t *taggedSplit) Length() int64 { return t.inner.Length() }
+
+type taggedReader struct {
+	inner mapred.RecordReader
+	tag   datum.Datum
+}
+
+func (r *taggedReader) Next() (datum.Row, mapred.RecordMeta, error) {
+	row, meta, err := r.inner.Next()
+	if err != nil {
+		return nil, meta, err
+	}
+	out := make(datum.Row, 0, len(row)+1)
+	out = append(out, row...)
+	out = append(out, r.tag)
+	return out, meta, nil
+}
+
+func (r *taggedReader) Close() error { return r.inner.Close() }

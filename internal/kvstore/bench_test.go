@@ -1,0 +1,117 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"dualtable/internal/dfs"
+)
+
+// Ablation: bloom filters on attached-table gets. DualTable's UNION
+// READ merge path does not need gets, but the cost model's
+// AttachedGetCost and HBase-style point lookups do — the bloom filter
+// is what keeps a get from touching every store file.
+
+func benchTable(b *testing.B, bloom bool, files int) *Table {
+	b.Helper()
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 20, Replication: 1, DataNodes: 2})
+	cfg := DefaultStoreConfig()
+	cfg.BloomEnabled = bloom
+	cfg.CompactionThreshold = 1000 // keep the file stack
+	c, err := NewCluster(fs, "/hbase", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := c.CreateTable("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// files store files, disjoint key ranges, 2000 rows each.
+	for f := 0; f < files; f++ {
+		var cells []*Cell
+		for i := 0; i < 2000; i++ {
+			cells = append(cells, &Cell{
+				Row:       []byte(fmt.Sprintf("f%02d-row%05d", f, i)),
+				Family:    "d",
+				Qualifier: []byte("q"),
+				Type:      TypePut,
+				Value:     []byte("value"),
+			})
+		}
+		if err := tbl.Put(cells, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.Flush(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func benchGets(b *testing.B, bloom bool) {
+	tbl := benchTable(b, bloom, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("f%02d-row%05d", i%8, i%2000))
+		cells, err := tbl.Get(key, nil)
+		if err != nil || len(cells) != 1 {
+			b.Fatalf("get %s: %v %v", key, cells, err)
+		}
+	}
+}
+
+// BenchmarkAblationBloomOn measures point gets across 8 store files
+// with bloom filters pruning non-matching files.
+func BenchmarkAblationBloomOn(b *testing.B) { benchGets(b, true) }
+
+// BenchmarkAblationBloomOff is the same workload with bloom filters
+// disabled: every get probes every store file.
+func BenchmarkAblationBloomOff(b *testing.B) { benchGets(b, false) }
+
+// BenchmarkPutThroughput measures raw batched put throughput.
+func BenchmarkPutThroughput(b *testing.B) {
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 20, Replication: 1, DataNodes: 2})
+	c, err := NewCluster(fs, "/hbase", DefaultStoreConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := c.CreateTable("t")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := make([]*Cell, 100)
+		for j := range cells {
+			cells[j] = &Cell{
+				Row:       []byte(fmt.Sprintf("row%09d", i*100+j)),
+				Family:    "d",
+				Qualifier: []byte("q"),
+				Type:      TypePut,
+				Value:     []byte("0123456789abcdef"),
+			}
+		}
+		if err := tbl.Put(cells, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanThroughput measures sorted range-scan throughput over
+// memtable + store files.
+func BenchmarkScanThroughput(b *testing.B) {
+	tbl := benchTable(b, true, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := tbl.NewScanner(Scan{})
+		n := 0
+		for {
+			if _, ok := sc.Next(); !ok {
+				break
+			}
+			n++
+		}
+		sc.Close()
+		if n != 8000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}

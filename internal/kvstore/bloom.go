@@ -1,0 +1,121 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// bloomFilter is a classic Bloom filter over row keys, equivalent to
+// HBase's ROW bloom type. It lets Get skip store files that cannot
+// contain the requested row — the reason the paper's UNION READ stays
+// cheap when the attached table is nearly empty.
+type bloomFilter struct {
+	bits []uint64
+	k    uint32
+	m    uint64 // number of bits
+}
+
+// newBloomFilter sizes a filter for n keys at the target false
+// positive rate (clamped to sane bounds).
+func newBloomFilter(n int, fpRate float64) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	mf := -float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2)
+	m := uint64(math.Ceil(mf))
+	if m < 64 {
+		m = 64
+	}
+	k := uint32(math.Round(mf / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &bloomFilter{bits: make([]uint64, (m+63)/64), k: k, m: m}
+}
+
+// hash2 computes two independent 64-bit hashes (FNV-1a and a
+// xorshift-mixed variant) for double hashing.
+func hash2(key []byte) (uint64, uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h1 := uint64(offset64)
+	for _, b := range key {
+		h1 ^= uint64(b)
+		h1 *= prime64
+	}
+	h2 := h1
+	h2 ^= h2 >> 33
+	h2 *= 0xff51afd7ed558ccd
+	h2 ^= h2 >> 33
+	h2 *= 0xc4ceb9fe1a85ec53
+	h2 ^= h2 >> 33
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+// Add inserts a key.
+func (f *bloomFilter) Add(key []byte) {
+	h1, h2 := hash2(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// MayContain reports whether the key might have been added (false
+// positives possible, false negatives not).
+func (f *bloomFilter) MayContain(key []byte) bool {
+	if f == nil || f.m == 0 {
+		return true
+	}
+	h1, h2 := hash2(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Marshal serializes the filter: k, m, then the bit words.
+func (f *bloomFilter) Marshal() []byte {
+	out := make([]byte, 0, 12+8*len(f.bits))
+	out = binary.LittleEndian.AppendUint32(out, f.k)
+	out = binary.LittleEndian.AppendUint64(out, f.m)
+	for _, w := range f.bits {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out
+}
+
+// unmarshalBloom parses a serialized filter.
+func unmarshalBloom(b []byte) (*bloomFilter, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("kvstore: bloom filter too short (%d bytes)", len(b))
+	}
+	f := &bloomFilter{
+		k: binary.LittleEndian.Uint32(b[0:4]),
+		m: binary.LittleEndian.Uint64(b[4:12]),
+	}
+	words := (f.m + 63) / 64
+	if uint64(len(b)-12) < words*8 {
+		return nil, fmt.Errorf("kvstore: bloom filter truncated (want %d words)", words)
+	}
+	f.bits = make([]uint64, words)
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(b[12+8*i:])
+	}
+	return f, nil
+}

@@ -1,0 +1,850 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dualtable/internal/dfs"
+	"dualtable/internal/sim"
+)
+
+func testCluster(t *testing.T, cfg StoreConfig) *Cluster {
+	t.Helper()
+	fs := dfs.New(dfs.Config{BlockSize: 4096, Replication: 1, DataNodes: 2})
+	c, err := NewCluster(fs, "/hbase", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func put(t *testing.T, tbl *Table, row, qual, val string) {
+	t.Helper()
+	err := tbl.Put([]*Cell{{Row: []byte(row), Family: "d", Qualifier: []byte(qual), Type: TypePut, Value: []byte(val)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getVal(t *testing.T, tbl *Table, row, qual string) (string, bool) {
+	t.Helper()
+	cells, err := tbl.Get([]byte(row), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if string(c.Qualifier) == qual {
+			return string(c.Value), true
+		}
+	}
+	return "", false
+}
+
+func TestCompareCellsOrdering(t *testing.T) {
+	mk := func(row, qual string, ts uint64, typ CellType) *Cell {
+		return &Cell{Row: []byte(row), Family: "d", Qualifier: []byte(qual), Ts: ts, Type: typ}
+	}
+	ordered := []*Cell{
+		mk("a", "", 5, TypeDeleteRow), // row tombstones first, newest first
+		mk("a", "", 2, TypeDeleteRow),
+		mk("a", "q1", 9, TypePut),
+		mk("a", "q1", 3, TypeDeleteColumn), // same ts: tombstone before put
+		mk("a", "q1", 3, TypePut),
+		mk("a", "q2", 1, TypePut),
+		mk("b", "q1", 100, TypePut),
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := CompareCells(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if (want < 0 && got >= 0) || (want > 0 && got <= 0) || (want == 0 && got != 0) {
+				t.Errorf("CompareCells(%v, %v) = %d, want sign %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCellEncodeRoundtrip(t *testing.T) {
+	c := Cell{Row: []byte("row\x00key"), Family: "fam", Qualifier: []byte("q"), Ts: 12345, Type: TypeDeleteColumn, Value: []byte("value bytes")}
+	enc := appendCell(nil, &c)
+	dec, n, err := decodeCell(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: %v, consumed %d of %d", err, n, len(enc))
+	}
+	if CompareCells(&dec, &c) != 0 || !bytes.Equal(dec.Value, c.Value) || dec.Type != c.Type {
+		t.Errorf("roundtrip mismatch: %v vs %v", dec, c)
+	}
+}
+
+func TestDecodeCellErrors(t *testing.T) {
+	c := Cell{Row: []byte("r"), Family: "f", Qualifier: []byte("q"), Ts: 1, Type: TypePut, Value: []byte("v")}
+	enc := appendCell(nil, &c)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, err := decodeCell(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d should fail", cut)
+		}
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	f := newBloomFilter(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("other-%d", i))) {
+			fp++
+		}
+	}
+	if fp > 300 { // 3% upper bound for a 1% target
+		t.Errorf("false positive rate too high: %d/10000", fp)
+	}
+	enc := f.Marshal()
+	f2, err := unmarshalBloom(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2.MayContain([]byte("key-1")) {
+		t.Error("roundtripped filter lost key")
+	}
+	if _, err := unmarshalBloom([]byte{1, 2}); err == nil {
+		t.Error("short bloom should fail")
+	}
+}
+
+func TestSkiplistOrderedInsert(t *testing.T) {
+	sl := newSkiplist()
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	for i := 0; i < n; i++ {
+		sl.Insert(Cell{Row: []byte(fmt.Sprintf("r%04d", rng.Intn(200))), Family: "d", Qualifier: []byte("q"), Ts: uint64(i + 1), Type: TypePut, Value: []byte("v")})
+	}
+	it := sl.Iterator(nil)
+	defer it.Close()
+	var prev *Cell
+	count := 0
+	for {
+		c, ok := it.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && CompareCells(prev, c) > 0 {
+			t.Fatalf("out of order: %v after %v", c, prev)
+		}
+		cp := c.Clone()
+		prev = &cp
+		count++
+	}
+	if count != n {
+		t.Errorf("iterated %d cells, want %d", count, n)
+	}
+	if sl.Count() != n {
+		t.Errorf("Count = %d, want %d", sl.Count(), n)
+	}
+}
+
+func TestSkiplistUpsertSameKey(t *testing.T) {
+	sl := newSkiplist()
+	c := Cell{Row: []byte("r"), Family: "d", Qualifier: []byte("q"), Ts: 5, Type: TypePut, Value: []byte("v1")}
+	sl.Insert(c)
+	c2 := c
+	c2.Value = []byte("v2-longer")
+	sl.Insert(c2)
+	if sl.Count() != 1 {
+		t.Errorf("upsert should not add entries: count=%d", sl.Count())
+	}
+	it := sl.Iterator(nil)
+	defer it.Close()
+	got, _ := it.Next()
+	if string(got.Value) != "v2-longer" {
+		t.Errorf("upsert value = %q", got.Value)
+	}
+}
+
+func TestSkiplistSeek(t *testing.T) {
+	sl := newSkiplist()
+	for i := 0; i < 100; i += 2 {
+		sl.Insert(Cell{Row: []byte(fmt.Sprintf("r%03d", i)), Family: "d", Qualifier: []byte("q"), Ts: 1, Type: TypePut})
+	}
+	it := sl.Iterator(&Cell{Row: []byte("r051"), Type: TypeDeleteRow})
+	defer it.Close()
+	c, ok := it.Next()
+	if !ok || string(c.Row) != "r052" {
+		t.Errorf("seek landed on %v", c)
+	}
+}
+
+func TestSSTableWriteReadSeek(t *testing.T) {
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 20, Replication: 1, DataNodes: 1})
+	fs.MkdirAll("/t")
+	w, err := fs.Create("/t/sf-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := newSSTableWriter(w, 1000, 7)
+	n := 1000
+	for i := 0; i < n; i++ {
+		c := Cell{Row: []byte(fmt.Sprintf("row%05d", i)), Family: "d", Qualifier: []byte("q"), Ts: uint64(i + 1), Type: TypePut, Value: bytes.Repeat([]byte("x"), 20)}
+		if err := sw.Add(&c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openSSTable(fs, "/t/sf-1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.entries != uint64(n) || st.seq != 7 {
+		t.Errorf("entries=%d seq=%d", st.entries, st.seq)
+	}
+	if len(st.index) < 2 {
+		t.Errorf("expected multiple blocks, got %d", len(st.index))
+	}
+	// Full iteration.
+	it := st.iterator(nil, nil)
+	count := 0
+	for {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != n {
+		t.Errorf("full scan = %d cells, want %d", count, n)
+	}
+	// Seek into the middle.
+	it2 := st.iterator([]byte("row00500"), nil)
+	c, ok := it2.Next()
+	if !ok || string(c.Row) != "row00500" {
+		t.Errorf("seek = %v", c)
+	}
+	// Seek past the end.
+	it3 := st.iterator([]byte("zzz"), nil)
+	if _, ok := it3.Next(); ok {
+		t.Error("seek past end should be empty")
+	}
+	// Bloom filter works.
+	if !st.bloom.MayContain([]byte("row00001")) {
+		t.Error("bloom false negative")
+	}
+}
+
+func TestOpenSSTableRejectsGarbage(t *testing.T) {
+	fs := dfs.New(dfs.Config{BlockSize: 1024, Replication: 1, DataNodes: 1})
+	fs.WriteFile("/junk", bytes.Repeat([]byte("a"), 100))
+	if _, err := openSSTable(fs, "/junk", nil); err == nil {
+		t.Error("garbage file should not open")
+	}
+	fs.WriteFile("/small", []byte("x"))
+	if _, err := openSSTable(fs, "/small", nil); err == nil {
+		t.Error("tiny file should not open")
+	}
+}
+
+func TestWALReplay(t *testing.T) {
+	fs := dfs.New(dfs.Config{BlockSize: 4096, Replication: 1, DataNodes: 1})
+	fs.MkdirAll("/r")
+	w, rec, err := openWAL(fs, "/r/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 0 {
+		t.Errorf("fresh WAL recovered %d cells", len(rec))
+	}
+	cells := []*Cell{
+		{Row: []byte("a"), Family: "d", Qualifier: []byte("q"), Ts: 1, Type: TypePut, Value: []byte("v1")},
+		{Row: []byte("b"), Family: "d", Qualifier: []byte("q"), Ts: 2, Type: TypeDeleteRow},
+	}
+	if err := w.Append(cells); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, rec2, err := openWAL(fs, "/r/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2) != 2 || string(rec2[0].Row) != "a" || rec2[1].Type != TypeDeleteRow {
+		t.Errorf("replay = %v", rec2)
+	}
+}
+
+func TestWALTruncatedTailTolerated(t *testing.T) {
+	fs := dfs.New(dfs.Config{BlockSize: 4096, Replication: 1, DataNodes: 1})
+	fs.MkdirAll("/r")
+	w, _, err := openWAL(fs, "/r/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Cell{Row: []byte("a"), Family: "d", Qualifier: []byte("q"), Ts: 1, Type: TypePut, Value: []byte("v")}
+	w.Append([]*Cell{&c})
+	w.Close()
+	data, _ := fs.ReadFile("/r/wal")
+	// Append garbage simulating a torn write.
+	aw, _ := fs.Append("/r/wal")
+	aw.Write([]byte{0x55, 0x01, 0x02})
+	aw.Close()
+	_, rec, err := openWAL(fs, "/r/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 1 {
+		t.Errorf("recovered %d cells, want 1 (good prefix of %d bytes)", len(rec), len(data))
+	}
+}
+
+func TestStorePutGetBasic(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, err := c.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, tbl, "row1", "col1", "v1")
+	put(t, tbl, "row1", "col2", "v2")
+	put(t, tbl, "row2", "col1", "v3")
+	if v, ok := getVal(t, tbl, "row1", "col1"); !ok || v != "v1" {
+		t.Errorf("get row1:col1 = %q,%v", v, ok)
+	}
+	if v, ok := getVal(t, tbl, "row1", "col2"); !ok || v != "v2" {
+		t.Errorf("get row1:col2 = %q,%v", v, ok)
+	}
+	if _, ok := getVal(t, tbl, "row3", "col1"); ok {
+		t.Error("absent row should miss")
+	}
+}
+
+func TestOverwriteReturnsLatest(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	put(t, tbl, "r", "q", "old")
+	put(t, tbl, "r", "q", "new")
+	if v, _ := getVal(t, tbl, "r", "q"); v != "new" {
+		t.Errorf("latest = %q", v)
+	}
+}
+
+func TestDeleteRowHidesAll(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	put(t, tbl, "r", "q1", "v1")
+	put(t, tbl, "r", "q2", "v2")
+	if err := tbl.DeleteRow([]byte("r"), nil); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := tbl.Get([]byte("r"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Errorf("deleted row still visible: %v", cells)
+	}
+	// Writing after the delete resurrects the row (newer ts).
+	put(t, tbl, "r", "q1", "v3")
+	if v, ok := getVal(t, tbl, "r", "q1"); !ok || v != "v3" {
+		t.Errorf("post-delete write = %q,%v", v, ok)
+	}
+	if _, ok := getVal(t, tbl, "r", "q2"); ok {
+		t.Error("q2 should stay deleted")
+	}
+}
+
+func TestDeleteColumnHidesOnlyColumn(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	put(t, tbl, "r", "q1", "v1")
+	put(t, tbl, "r", "q2", "v2")
+	tbl.DeleteColumn([]byte("r"), "d", []byte("q1"), nil)
+	if _, ok := getVal(t, tbl, "r", "q1"); ok {
+		t.Error("q1 should be deleted")
+	}
+	if v, ok := getVal(t, tbl, "r", "q2"); !ok || v != "v2" {
+		t.Errorf("q2 = %q,%v", v, ok)
+	}
+}
+
+func TestFlushAndReadFromStoreFile(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	for i := 0; i < 100; i++ {
+		put(t, tbl, fmt.Sprintf("row%03d", i), "q", fmt.Sprintf("v%d", i))
+	}
+	if err := tbl.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	reg := tbl.Regions()[0]
+	if reg.store.fileCount() != 1 {
+		t.Errorf("fileCount = %d", reg.store.fileCount())
+	}
+	if v, ok := getVal(t, tbl, "row042", "q"); !ok || v != "v42" {
+		t.Errorf("after flush = %q,%v", v, ok)
+	}
+	// Overwrite after flush: memtable must shadow the file.
+	put(t, tbl, "row042", "q", "fresh")
+	if v, _ := getVal(t, tbl, "row042", "q"); v != "fresh" {
+		t.Errorf("memtable should shadow file: %q", v)
+	}
+}
+
+func TestAutoFlushOnThreshold(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	cfg.FlushThresholdBytes = 512
+	c := testCluster(t, cfg)
+	tbl, _ := c.CreateTable("t")
+	for i := 0; i < 100; i++ {
+		put(t, tbl, fmt.Sprintf("row%03d", i), "q", "some value content")
+	}
+	if tbl.Regions()[0].store.fileCount() == 0 {
+		t.Error("expected automatic flushes")
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := getVal(t, tbl, fmt.Sprintf("row%03d", i), "q"); !ok || v != "some value content" {
+			t.Fatalf("row%03d lost after auto flush: %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestScanRangeAcrossMemAndFiles(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	for i := 0; i < 50; i++ {
+		put(t, tbl, fmt.Sprintf("row%03d", i), "q", "file")
+	}
+	tbl.Flush(nil)
+	for i := 50; i < 100; i++ {
+		put(t, tbl, fmt.Sprintf("row%03d", i), "q", "mem")
+	}
+	sc := tbl.NewScanner(Scan{Start: []byte("row020"), End: []byte("row080")})
+	defer sc.Close()
+	var rows []string
+	for {
+		cell, ok := sc.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, string(cell.Row))
+	}
+	if len(rows) != 60 {
+		t.Fatalf("scan returned %d rows, want 60", len(rows))
+	}
+	if rows[0] != "row020" || rows[59] != "row079" {
+		t.Errorf("range bounds wrong: %s..%s", rows[0], rows[59])
+	}
+	if !sort.StringsAreSorted(rows) {
+		t.Error("scan out of order")
+	}
+}
+
+func TestScanMaxVersions(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	put(t, tbl, "r", "q", "v1")
+	put(t, tbl, "r", "q", "v2")
+	put(t, tbl, "r", "q", "v3")
+	sc := tbl.NewScanner(Scan{MaxVersions: 2})
+	defer sc.Close()
+	var vals []string
+	for {
+		cell, ok := sc.Next()
+		if !ok {
+			break
+		}
+		vals = append(vals, string(cell.Value))
+	}
+	if len(vals) != 2 || vals[0] != "v3" || vals[1] != "v2" {
+		t.Errorf("versions = %v", vals)
+	}
+}
+
+func TestMinorCompactionPreservesView(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	cfg.CompactionThreshold = 100 // manual only
+	c := testCluster(t, cfg)
+	tbl, _ := c.CreateTable("t")
+	put(t, tbl, "a", "q", "v1")
+	tbl.Flush(nil)
+	put(t, tbl, "a", "q", "v2")
+	put(t, tbl, "b", "q", "x")
+	tbl.Flush(nil)
+	tbl.DeleteRow([]byte("b"), nil)
+	tbl.Flush(nil)
+	if got := tbl.Regions()[0].store.fileCount(); got != 3 {
+		t.Fatalf("fileCount = %d", got)
+	}
+	if err := tbl.Compact(false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Regions()[0].store.fileCount(); got != 1 {
+		t.Errorf("after minor compact fileCount = %d", got)
+	}
+	if v, _ := getVal(t, tbl, "a", "q"); v != "v2" {
+		t.Errorf("a = %q", v)
+	}
+	if _, ok := getVal(t, tbl, "b", "q"); ok {
+		t.Error("b should stay deleted after minor compaction (tombstone kept)")
+	}
+}
+
+func TestMajorCompactionDropsTombstones(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	put(t, tbl, "a", "q", "keep")
+	put(t, tbl, "b", "q", "dead")
+	tbl.DeleteRow([]byte("b"), nil)
+	if err := tbl.Compact(true, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := tbl.Regions()[0].store
+	if st.fileCount() != 1 {
+		t.Fatalf("fileCount = %d", st.fileCount())
+	}
+	// Raw scan should contain only the surviving put.
+	raw := st.scanRaw(nil, nil, nil)
+	defer raw.Close()
+	var n int
+	for {
+		cell, ok := raw.Next()
+		if !ok {
+			break
+		}
+		if cell.Type != TypePut {
+			t.Errorf("tombstone survived major compaction: %v", cell)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Errorf("raw cells after major compact = %d, want 1", n)
+	}
+	if v, _ := getVal(t, tbl, "a", "q"); v != "keep" {
+		t.Errorf("a = %q", v)
+	}
+}
+
+func TestWALRecoveryAfterReopen(t *testing.T) {
+	fs := dfs.New(dfs.Config{BlockSize: 4096, Replication: 1, DataNodes: 1})
+	st, err := openStore(fs, "/r", DefaultStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []*Cell{{Row: []byte("k"), Family: "d", Qualifier: []byte("q"), Ts: 9, Type: TypePut, Value: []byte("durable")}}
+	if err := st.put(cells, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: no flush, no close; reopen from the same dir.
+	st2, err := openStore(fs, "/r", DefaultStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.get([]byte("k"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Value) != "durable" {
+		t.Errorf("post-crash get = %v", got)
+	}
+}
+
+func TestRegionSplitAndRouting(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	for i := 0; i < 200; i++ {
+		put(t, tbl, fmt.Sprintf("row%04d", i), "q", fmt.Sprintf("v%d", i))
+	}
+	reg := tbl.Regions()[0]
+	if err := tbl.SplitRegion(reg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RegionCount() != 2 {
+		t.Fatalf("RegionCount = %d", tbl.RegionCount())
+	}
+	regs := tbl.Regions()
+	if regs[0].Start() != nil || regs[1].End() != nil {
+		t.Error("outer bounds should stay unbounded")
+	}
+	if !bytes.Equal(regs[0].End(), regs[1].Start()) {
+		t.Error("regions not contiguous")
+	}
+	// All rows still readable and writes still routed.
+	for i := 0; i < 200; i++ {
+		if v, ok := getVal(t, tbl, fmt.Sprintf("row%04d", i), "q"); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("row%04d after split = %q,%v", i, v, ok)
+		}
+	}
+	put(t, tbl, "row0000", "q", "updated")
+	put(t, tbl, "row0199", "q", "updated")
+	if v, _ := getVal(t, tbl, "row0000", "q"); v != "updated" {
+		t.Error("write to left region lost")
+	}
+	if v, _ := getVal(t, tbl, "row0199", "q"); v != "updated" {
+		t.Error("write to right region lost")
+	}
+	// Full scan still ordered and complete.
+	sc := tbl.NewScanner(Scan{})
+	defer sc.Close()
+	count := 0
+	var prev []byte
+	for {
+		cell, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(prev, cell.Row) > 0 {
+			t.Fatal("cross-region scan out of order")
+		}
+		prev = append(prev[:0], cell.Row...)
+		count++
+	}
+	if count != 200 {
+		t.Errorf("scan after split = %d rows", count)
+	}
+}
+
+func TestAutoSplit(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	tbl.SetSplitThreshold(20 << 10)
+	val := bytes.Repeat([]byte("x"), 256)
+	for i := 0; i < 400; i++ {
+		err := tbl.Put([]*Cell{{Row: []byte(fmt.Sprintf("row%05d", i)), Family: "d", Qualifier: []byte("q"), Type: TypePut, Value: val}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.RegionCount() < 2 {
+		t.Errorf("expected auto split, RegionCount = %d", tbl.RegionCount())
+	}
+}
+
+func TestClusterTableLifecycle(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	if _, err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("t"); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate create = %v", err)
+	}
+	if !c.HasTable("t") {
+		t.Error("HasTable false")
+	}
+	names := c.TableNames()
+	if len(names) != 1 || names[0] != "t" {
+		t.Errorf("TableNames = %v", names)
+	}
+	tbl, _ := c.Table("t")
+	put(t, tbl, "r", "q", "v")
+	if err := c.TruncateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ = c.Table("t")
+	if n := tbl.EntryCount(); n != 0 {
+		t.Errorf("entries after truncate = %d", n)
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("t"); !errors.Is(err, ErrTableNotFound) {
+		t.Errorf("dropped table lookup = %v", err)
+	}
+	if err := c.DropTable("t"); !errors.Is(err, ErrTableNotFound) {
+		t.Errorf("double drop = %v", err)
+	}
+}
+
+func TestRowScannerGroupsRows(t *testing.T) {
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	put(t, tbl, "r1", "a", "1")
+	put(t, tbl, "r1", "b", "2")
+	put(t, tbl, "r2", "a", "3")
+	rs := tbl.NewRowScanner(Scan{})
+	defer rs.Close()
+	r1, ok := rs.Next()
+	if !ok || string(r1.Row) != "r1" || len(r1.Cells) != 2 {
+		t.Fatalf("r1 = %v %v", r1, ok)
+	}
+	if string(r1.Value("d", []byte("b"))) != "2" {
+		t.Errorf("Value lookup = %q", r1.Value("d", []byte("b")))
+	}
+	if r1.Value("d", []byte("zz")) != nil {
+		t.Error("missing qualifier should be nil")
+	}
+	r2, ok := rs.Next()
+	if !ok || string(r2.Row) != "r2" || len(r2.Cells) != 1 {
+		t.Fatalf("r2 = %v %v", r2, ok)
+	}
+	if _, ok := rs.Next(); ok {
+		t.Error("scanner should be exhausted")
+	}
+}
+
+func TestBloomDisabledStillCorrect(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	cfg.BloomEnabled = false
+	c := testCluster(t, cfg)
+	tbl, _ := c.CreateTable("t")
+	put(t, tbl, "r", "q", "v")
+	tbl.Flush(nil)
+	if v, ok := getVal(t, tbl, "r", "q"); !ok || v != "v" {
+		t.Errorf("get without bloom = %q,%v", v, ok)
+	}
+}
+
+func TestMeterChargedOnOps(t *testing.T) {
+	p := sim.GridCluster()
+	m := sim.NewMeter(&p)
+	c := testCluster(t, DefaultStoreConfig())
+	tbl, _ := c.CreateTable("t")
+	err := tbl.Put([]*Cell{{Row: []byte("r"), Family: "d", Qualifier: []byte("q"), Type: TypePut, Value: []byte("v")}}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seconds() <= 0 {
+		t.Error("put should charge the meter")
+	}
+	before := m.Seconds()
+	if _, err := tbl.Get([]byte("r"), m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Seconds() <= before {
+		t.Error("get should charge the meter")
+	}
+}
+
+// referenceModel is a naive in-memory model of the visible view used
+// for differential testing.
+type referenceModel struct {
+	data map[string]map[string]refVal // row -> qual -> latest
+}
+
+type refVal struct {
+	ts  uint64
+	val string
+}
+
+func newReferenceModel() *referenceModel {
+	return &referenceModel{data: map[string]map[string]refVal{}}
+}
+
+func (r *referenceModel) put(row, qual, val string, ts uint64) {
+	m, ok := r.data[row]
+	if !ok {
+		m = map[string]refVal{}
+		r.data[row] = m
+	}
+	if cur, ok := m[qual]; !ok || ts >= cur.ts {
+		m[qual] = refVal{ts: ts, val: val}
+	}
+}
+
+func (r *referenceModel) deleteRow(row string, ts uint64) {
+	m := r.data[row]
+	for q, v := range m {
+		if v.ts <= ts {
+			delete(m, q)
+		}
+	}
+}
+
+func (r *referenceModel) visible() map[string]map[string]string {
+	out := map[string]map[string]string{}
+	for row, cols := range r.data {
+		for q, v := range cols {
+			if out[row] == nil {
+				out[row] = map[string]string{}
+			}
+			out[row][q] = v.val
+		}
+	}
+	return out
+}
+
+func TestPropertyDifferentialAgainstModel(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := DefaultStoreConfig()
+			cfg.FlushThresholdBytes = 2 << 10 // force frequent flushes
+			cfg.CompactionThreshold = 3
+			c := testCluster(t, cfg)
+			tbl, _ := c.CreateTable("t")
+			model := newReferenceModel()
+			for op := 0; op < 800; op++ {
+				row := fmt.Sprintf("row%02d", rng.Intn(40))
+				qual := fmt.Sprintf("q%d", rng.Intn(4))
+				switch rng.Intn(10) {
+				case 0: // delete row
+					ts := c.NextTs()
+					err := tbl.Put([]*Cell{{Row: []byte(row), Ts: ts, Type: TypeDeleteRow}}, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					model.deleteRow(row, ts)
+				case 1: // flush
+					if err := tbl.Flush(nil); err != nil {
+						t.Fatal(err)
+					}
+				case 2: // compact
+					if err := tbl.Compact(rng.Intn(2) == 0, nil); err != nil {
+						t.Fatal(err)
+					}
+				default: // put
+					ts := c.NextTs()
+					val := fmt.Sprintf("v%d", op)
+					err := tbl.Put([]*Cell{{Row: []byte(row), Family: "d", Qualifier: []byte(qual), Ts: ts, Type: TypePut, Value: []byte(val)}}, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					model.put(row, qual, val, ts)
+				}
+			}
+			// Compare full visible views via scan.
+			got := map[string]map[string]string{}
+			rs := tbl.NewRowScanner(Scan{})
+			defer rs.Close()
+			for {
+				r, ok := rs.Next()
+				if !ok {
+					break
+				}
+				row := string(r.Row)
+				got[row] = map[string]string{}
+				for _, cell := range r.Cells {
+					got[row][string(cell.Qualifier)] = string(cell.Value)
+				}
+			}
+			want := model.visible()
+			for row, cols := range want {
+				for q, v := range cols {
+					if got[row][q] != v {
+						t.Fatalf("seed %d: row %s q %s: got %q want %q", seed, row, q, got[row][q], v)
+					}
+				}
+			}
+			for row, cols := range got {
+				for q := range cols {
+					if _, ok := want[row][q]; !ok {
+						t.Fatalf("seed %d: phantom cell %s:%s", seed, row, q)
+					}
+				}
+			}
+		})
+	}
+}

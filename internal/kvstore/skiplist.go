@@ -1,0 +1,140 @@
+package kvstore
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// skiplist is the memtable data structure: a concurrent-read,
+// single-structure-locked skip list ordered by CompareCells. HBase's
+// MemStore uses a ConcurrentSkipListMap; this is the Go equivalent
+// sized for the workload of an attached table.
+const maxLevel = 20
+
+type skipNode struct {
+	cell Cell
+	next [maxLevel]*skipNode
+}
+
+type skiplist struct {
+	mu    sync.RWMutex
+	head  *skipNode
+	level int
+	size  int // bytes, for flush accounting
+	count int // number of cells
+	rng   *rand.Rand
+}
+
+func newSkiplist() *skiplist {
+	return &skiplist{
+		head:  &skipNode{},
+		level: 1,
+		rng:   rand.New(rand.NewSource(0x5eed)),
+	}
+}
+
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// Insert adds a cell. Duplicate keys (same row/col/ts/type) overwrite
+// the value in place, matching HBase upsert semantics.
+func (s *skiplist) Insert(c Cell) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var update [maxLevel]*skipNode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && CompareCells(&x.next[i].cell, &c) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if nx := x.next[0]; nx != nil && CompareCells(&nx.cell, &c) == 0 {
+		s.size += len(c.Value) - len(nx.cell.Value)
+		nx.cell.Value = c.Value
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &skipNode{cell: c}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.size += c.Size()
+	s.count++
+}
+
+// SizeBytes returns the approximate memory footprint.
+func (s *skiplist) SizeBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// Count returns the number of cells.
+func (s *skiplist) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// seekNode returns the first node whose cell is >= c (nil at end).
+func (s *skiplist) seekNode(c *Cell) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && CompareCells(&x.next[i].cell, c) < 0 {
+			x = x.next[i]
+		}
+	}
+	return x.next[0]
+}
+
+// skiplistIterator walks the list from a start position. It holds the
+// read lock for its lifetime — memtable iterators are short-lived
+// (one flush or one scan segment), mirroring MemStore scanner
+// semantics where a snapshot is taken.
+type skiplistIterator struct {
+	s    *skiplist
+	node *skipNode
+}
+
+// Iterator returns an iterator positioned at the first cell >= start,
+// or the beginning when start is nil.
+func (s *skiplist) Iterator(start *Cell) *skiplistIterator {
+	s.mu.RLock()
+	var n *skipNode
+	if start == nil {
+		n = s.head.next[0]
+	} else {
+		n = s.seekNode(start)
+	}
+	return &skiplistIterator{s: s, node: n}
+}
+
+func (it *skiplistIterator) Next() (*Cell, bool) {
+	if it.node == nil {
+		return nil, false
+	}
+	c := &it.node.cell
+	it.node = it.node.next[0]
+	return c, true
+}
+
+func (it *skiplistIterator) Close() error {
+	if it.s != nil {
+		it.s.mu.RUnlock()
+		it.s = nil
+	}
+	return nil
+}

@@ -1,0 +1,583 @@
+// Package mapred implements the MapReduce execution engine the query
+// layer runs on: jobs over input splits, a map phase with optional
+// combiner, a hash-partitioned sort-merge shuffle, and a reduce phase.
+// Tasks execute concurrently on a bounded worker pool (the real
+// parallelism) while each task's I/O and CPU are charged to a
+// sim.Meter; the job's simulated wall time is the slot-scheduled
+// makespan of its task durations plus startup costs, mirroring the
+// paper's Hadoop clusters (6 map + 2 reduce slots per worker).
+package mapred
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/sim"
+)
+
+// RecordMeta carries per-record metadata through the map phase.
+// DualTable threads its record IDs (fileID<<32 | rowNumber) here.
+type RecordMeta struct {
+	RecordID uint64
+}
+
+// RecordReader streams the rows of one split.
+type RecordReader interface {
+	// Next returns the next row, or an error; io.EOF ends the stream.
+	Next() (datum.Row, RecordMeta, error)
+	// Close releases resources.
+	Close() error
+}
+
+// InputSplit is one schedulable unit of input.
+type InputSplit interface {
+	// Open starts reading the split, charging I/O to m.
+	Open(m *sim.Meter) (RecordReader, error)
+	// Length is the split's size in bytes (for scheduling estimates).
+	Length() int64
+}
+
+// Emitter receives (key, value) pairs from a mapper, or output rows
+// (with nil key) from a reducer.
+type Emitter func(key []byte, value datum.Row) error
+
+// Mapper processes one input record. A fresh Mapper is built per map
+// task via the job's MapperFactory, so implementations may keep state.
+type Mapper interface {
+	Map(row datum.Row, meta RecordMeta, emit Emitter) error
+	// Flush is called once after the task's last record.
+	Flush(emit Emitter) error
+}
+
+// Reducer processes one key group.
+type Reducer interface {
+	Reduce(key []byte, rows []datum.Row, emit Emitter) error
+	// Flush is called once after the task's last group.
+	Flush(emit Emitter) error
+}
+
+// MeterAware is implemented by mappers that perform side-effect I/O
+// (e.g. DualTable's EDIT UDTFs writing to the attached table). The
+// engine injects the task's meter before the first Map call so the
+// side-effect costs participate in the task makespan.
+type MeterAware interface {
+	SetMeter(m *sim.Meter)
+}
+
+// Collector receives output rows of one task.
+type Collector interface {
+	Collect(row datum.Row) error
+	Close() error
+}
+
+// OutputFactory builds one Collector per output task.
+type OutputFactory interface {
+	NewCollector(taskID int, m *sim.Meter) (Collector, error)
+}
+
+// Cluster describes the execution environment: calibrated cost
+// parameters for simulated time and the real goroutine parallelism.
+type Cluster struct {
+	Params      sim.CostParams
+	Parallelism int // concurrent tasks (real goroutines); 0 = NumCPU
+}
+
+// NewCluster builds a Cluster for the given cost parameters.
+func NewCluster(params sim.CostParams) *Cluster {
+	return &Cluster{Params: params}
+}
+
+func (c *Cluster) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name        string
+	Splits      []InputSplit
+	NewMapper   func() Mapper
+	NewReducer  func() Reducer // nil = map-only job
+	NewCombiner func() Reducer // optional map-side combiner
+	NumReducers int            // default: cluster reduce slots / 2, min 1
+	Output      OutputFactory  // nil = collect in memory
+}
+
+// Counters reports job statistics.
+type Counters struct {
+	MapInputRecords      int64
+	MapOutputRecords     int64
+	CombineOutputRecords int64
+	ShuffleBytes         int64
+	ReduceInputGroups    int64
+	OutputRecords        int64
+}
+
+// Result is the outcome of a job run.
+type Result struct {
+	Counters   Counters
+	SimSeconds float64
+	// Rows holds the output when no OutputFactory was given.
+	Rows []datum.Row
+}
+
+type kvPair struct {
+	key []byte
+	row datum.Row
+	seq int64 // tie-break for deterministic, stable ordering
+}
+
+// memCollector gathers rows in memory. All collectors of one job
+// share the same destination slice and mutex.
+type memCollector struct {
+	mu   *sync.Mutex
+	rows *[]datum.Row
+}
+
+func (m *memCollector) Collect(row datum.Row) error {
+	m.mu.Lock()
+	*m.rows = append(*m.rows, row.Clone())
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *memCollector) Close() error { return nil }
+
+// Run executes the job to completion.
+func (c *Cluster) Run(job *Job) (*Result, error) {
+	if job.NewMapper == nil {
+		return nil, errors.New("mapred: job has no mapper")
+	}
+	res := &Result{}
+	var cnt struct {
+		sync.Mutex
+		Counters
+	}
+
+	numReducers := job.NumReducers
+	if numReducers <= 0 {
+		numReducers = c.Params.ReduceSlots() / 2
+		if numReducers < 1 {
+			numReducers = 1
+		}
+	}
+	mapOnly := job.NewReducer == nil
+
+	outFactory := job.Output
+	if outFactory == nil {
+		outFactory = memOutputFactory{mu: &sync.Mutex{}, rows: &res.Rows}
+	}
+
+	// ---- Map phase ----
+	mapOuts := make([]mapTaskOutput, len(job.Splits))
+	mapErr := make([]error, len(job.Splits))
+	var seqCounter struct {
+		sync.Mutex
+		n int64
+	}
+	nextSeq := func() int64 {
+		seqCounter.Lock()
+		defer seqCounter.Unlock()
+		seqCounter.n++
+		return seqCounter.n
+	}
+
+	pool := newWorkerPool(c.parallelism())
+	for i := range job.Splits {
+		i := i
+		pool.submit(func() {
+			meter := sim.NewMeter(&c.Params)
+			mapErr[i] = c.runMapTask(job, i, meter, numReducers, mapOnly, outFactory, &mapOuts[i], nextSeq, &cnt.Counters, &cnt.Mutex)
+			mapOuts[i].secs = meter.Seconds()
+		})
+	}
+	pool.wait()
+	for _, err := range mapErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// A scaled-down run has far fewer splits than the paper-scale job
+	// would (task count ≈ data / block size). Expand each task into
+	// the number of virtual tasks its paper-scale data would produce
+	// so the slot-scheduled makespan reflects the real cluster's
+	// parallelism.
+	var mapDurations []float64
+	for i := range mapOuts {
+		mapDurations = append(mapDurations,
+			virtualDurations(mapOuts[i].secs, job.Splits[i].Length(), &c.Params)...)
+	}
+	res.SimSeconds = c.Params.JobStartupCost +
+		sim.Makespan(mapDurations, c.Params.MapSlots(), c.Params.TaskStartupCost)
+
+	if mapOnly {
+		res.Counters = cnt.Counters
+		return res, nil
+	}
+
+	// ---- Shuffle + Reduce phase ----
+	reduceSecs := make([]float64, numReducers)
+	reduceErr := make([]error, numReducers)
+	pool = newWorkerPool(c.parallelism())
+	for r := 0; r < numReducers; r++ {
+		r := r
+		pool.submit(func() {
+			meter := sim.NewMeter(&c.Params)
+			var part []kvPair
+			var shuffleBytes int64
+			for i := range mapOuts {
+				p := mapOuts[i].parts[r]
+				part = append(part, p...)
+				for _, kv := range p {
+					shuffleBytes += int64(len(kv.key) + datum.RowEncodedSize(kv.row))
+				}
+			}
+			meter.Shuffle(shuffleBytes)
+			cnt.Lock()
+			cnt.ShuffleBytes += shuffleBytes
+			cnt.Unlock()
+			reduceErr[r] = c.runReduceTask(job, r, meter, part, outFactory, &cnt.Counters, &cnt.Mutex)
+			reduceSecs[r] = meter.Seconds()
+		})
+	}
+	pool.wait()
+	for _, err := range reduceErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.SimSeconds += sim.Makespan(reduceSecs, c.Params.ReduceSlots(), c.Params.TaskStartupCost)
+	res.Counters = cnt.Counters
+	return res, nil
+}
+
+func (c *Cluster) runMapTask(job *Job, taskID int, meter *sim.Meter, numReducers int, mapOnly bool,
+	outFactory OutputFactory, out *mapTaskOutput, nextSeq func() int64, cnt *Counters, mu *sync.Mutex) error {
+	rr, err := job.Splits[taskID].Open(meter)
+	if err != nil {
+		return fmt.Errorf("mapred: open split %d: %w", taskID, err)
+	}
+	defer rr.Close()
+	mapper := job.NewMapper()
+	if ma, ok := mapper.(MeterAware); ok {
+		ma.SetMeter(meter)
+	}
+
+	var collector Collector
+	var parts [][]kvPair
+	var emit Emitter
+	var inRecords, outRecords int64
+
+	if mapOnly {
+		collector, err = outFactory.NewCollector(taskID, meter)
+		if err != nil {
+			return err
+		}
+		emit = func(key []byte, value datum.Row) error {
+			outRecords++
+			return collector.Collect(value)
+		}
+	} else {
+		parts = make([][]kvPair, numReducers)
+		emit = func(key []byte, value datum.Row) error {
+			outRecords++
+			p := int(hashBytes(key) % uint64(numReducers))
+			parts[p] = append(parts[p], kvPair{key: append([]byte(nil), key...), row: value.Clone(), seq: nextSeq()})
+			return nil
+		}
+	}
+
+	for {
+		row, meta, err := rr.Next()
+		if err != nil {
+			if isEOF(err) {
+				break
+			}
+			return fmt.Errorf("mapred: split %d: %w", taskID, err)
+		}
+		inRecords++
+		if err := mapper.Map(row, meta, emit); err != nil {
+			return fmt.Errorf("mapred: map task %d: %w", taskID, err)
+		}
+	}
+	if err := mapper.Flush(emit); err != nil {
+		return fmt.Errorf("mapred: map flush %d: %w", taskID, err)
+	}
+	meter.CPURows(inRecords + outRecords)
+
+	combined := outRecords
+	if !mapOnly && job.NewCombiner != nil {
+		var err error
+		combined = 0
+		for p := range parts {
+			parts[p], err = runCombiner(job.NewCombiner(), parts[p], nextSeq)
+			if err != nil {
+				return fmt.Errorf("mapred: combiner task %d: %w", taskID, err)
+			}
+			combined += int64(len(parts[p]))
+		}
+		meter.CPURows(outRecords)
+	}
+
+	if collector != nil {
+		if err := collector.Close(); err != nil {
+			return err
+		}
+	}
+	out.parts = parts
+	mu.Lock()
+	cnt.MapInputRecords += inRecords
+	cnt.MapOutputRecords += outRecords
+	if job.NewCombiner != nil && !mapOnly {
+		cnt.CombineOutputRecords += combined
+	}
+	if mapOnly {
+		cnt.OutputRecords += outRecords
+	}
+	mu.Unlock()
+	return nil
+}
+
+// mapTaskOutput is the per-task result captured by runMapTask.
+type mapTaskOutput struct {
+	parts [][]kvPair // per reducer partition (nil when map-only)
+	secs  float64
+}
+
+func runCombiner(comb Reducer, part []kvPair, nextSeq func() int64) ([]kvPair, error) {
+	sortPairs(part)
+	var out []kvPair
+	emitKey := func(key []byte) Emitter {
+		return func(_ []byte, value datum.Row) error {
+			out = append(out, kvPair{key: key, row: value.Clone(), seq: nextSeq()})
+			return nil
+		}
+	}
+	i := 0
+	for i < len(part) {
+		j := i + 1
+		for j < len(part) && bytes.Equal(part[j].key, part[i].key) {
+			j++
+		}
+		rows := make([]datum.Row, 0, j-i)
+		for _, kv := range part[i:j] {
+			rows = append(rows, kv.row)
+		}
+		if err := comb.Reduce(part[i].key, rows, emitKey(part[i].key)); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	if err := comb.Flush(func(key []byte, value datum.Row) error {
+		out = append(out, kvPair{key: append([]byte(nil), key...), row: value.Clone(), seq: nextSeq()})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Cluster) runReduceTask(job *Job, taskID int, meter *sim.Meter, part []kvPair,
+	outFactory OutputFactory, cnt *Counters, mu *sync.Mutex) error {
+	sortPairs(part)
+	collector, err := outFactory.NewCollector(len(job.Splits)+taskID, meter)
+	if err != nil {
+		return err
+	}
+	reducer := job.NewReducer()
+	var groups, outRecords int64
+	emit := func(_ []byte, value datum.Row) error {
+		outRecords++
+		return collector.Collect(value)
+	}
+	i := 0
+	for i < len(part) {
+		j := i + 1
+		for j < len(part) && bytes.Equal(part[j].key, part[i].key) {
+			j++
+		}
+		rows := make([]datum.Row, 0, j-i)
+		for _, kv := range part[i:j] {
+			rows = append(rows, kv.row)
+		}
+		groups++
+		if err := reducer.Reduce(part[i].key, rows, emit); err != nil {
+			return fmt.Errorf("mapred: reduce task %d: %w", taskID, err)
+		}
+		i = j
+	}
+	if err := reducer.Flush(emit); err != nil {
+		return fmt.Errorf("mapred: reduce flush %d: %w", taskID, err)
+	}
+	meter.CPURows(int64(len(part)) + outRecords)
+	if err := collector.Close(); err != nil {
+		return err
+	}
+	mu.Lock()
+	cnt.ReduceInputGroups += groups
+	cnt.OutputRecords += outRecords
+	mu.Unlock()
+	return nil
+}
+
+// virtualDurations splits one real task's simulated duration into the
+// task count its paper-scale input would occupy (ceil of scaled bytes
+// over the DFS block size), for realistic slot scheduling.
+func virtualDurations(secs float64, length int64, p *sim.CostParams) []float64 {
+	scale := p.DataScale
+	if scale <= 0 {
+		scale = 1
+	}
+	block := p.DFSBlockSizeBytes
+	if block <= 0 {
+		block = 64 << 20
+	}
+	v := int(float64(length) * scale / float64(block))
+	if v < 1 {
+		v = 1
+	}
+	if v > 65536 {
+		v = 65536 // cap the expansion; beyond this the makespan is already work/slots
+	}
+	out := make([]float64, v)
+	for i := range out {
+		out[i] = secs / float64(v)
+	}
+	return out
+}
+
+// sortPairs orders by key bytes then arrival sequence (stable).
+func sortPairs(part []kvPair) {
+	sort.Slice(part, func(i, j int) bool {
+		if c := bytes.Compare(part[i].key, part[j].key); c != 0 {
+			return c < 0
+		}
+		return part[i].seq < part[j].seq
+	})
+}
+
+func hashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+type memOutputFactory struct {
+	mu   *sync.Mutex
+	rows *[]datum.Row
+}
+
+func (f memOutputFactory) NewCollector(taskID int, m *sim.Meter) (Collector, error) {
+	return &memCollector{mu: f.mu, rows: f.rows}, nil
+}
+
+// workerPool bounds real concurrency.
+type workerPool struct {
+	wg  sync.WaitGroup
+	sem chan struct{}
+}
+
+func newWorkerPool(n int) *workerPool {
+	return &workerPool{sem: make(chan struct{}, n)}
+}
+
+func (p *workerPool) submit(fn func()) {
+	p.wg.Add(1)
+	p.sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-p.sem
+			p.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+func (p *workerPool) wait() { p.wg.Wait() }
+
+func isEOF(err error) bool {
+	return err != nil && (errors.Is(err, errEOF) || err.Error() == "EOF")
+}
+
+var errEOF = errors.New("EOF")
+
+// EOF is the sentinel a RecordReader returns at end of stream
+// (io.EOF also works).
+var EOF = errEOF
+
+// ---- Convenience implementations ----
+
+// SliceSplit is an in-memory split over rows (used in tests and for
+// small side inputs).
+type SliceSplit struct {
+	Rows    []datum.Row
+	BaseID  uint64 // record IDs are BaseID + index
+	SimSize int64
+}
+
+// Open returns a reader over the slice.
+func (s *SliceSplit) Open(m *sim.Meter) (RecordReader, error) {
+	m.DFSRead(s.SimSize)
+	return &sliceReader{rows: s.Rows, base: s.BaseID}, nil
+}
+
+// Length returns the simulated size.
+func (s *SliceSplit) Length() int64 { return s.SimSize }
+
+type sliceReader struct {
+	rows []datum.Row
+	base uint64
+	idx  int
+}
+
+func (r *sliceReader) Next() (datum.Row, RecordMeta, error) {
+	if r.idx >= len(r.rows) {
+		return nil, RecordMeta{}, EOF
+	}
+	row := r.rows[r.idx]
+	meta := RecordMeta{RecordID: r.base + uint64(r.idx)}
+	r.idx++
+	return row, meta, nil
+}
+
+func (r *sliceReader) Close() error { return nil }
+
+// MapFunc adapts a function to the Mapper interface.
+type MapFunc func(row datum.Row, meta RecordMeta, emit Emitter) error
+
+// Map invokes the function.
+func (f MapFunc) Map(row datum.Row, meta RecordMeta, emit Emitter) error {
+	return f(row, meta, emit)
+}
+
+// Flush is a no-op.
+func (f MapFunc) Flush(emit Emitter) error { return nil }
+
+// ReduceFunc adapts a function to the Reducer interface.
+type ReduceFunc func(key []byte, rows []datum.Row, emit Emitter) error
+
+// Reduce invokes the function.
+func (f ReduceFunc) Reduce(key []byte, rows []datum.Row, emit Emitter) error {
+	return f(key, rows, emit)
+}
+
+// Flush is a no-op.
+func (f ReduceFunc) Flush(emit Emitter) error { return nil }

@@ -1,0 +1,127 @@
+package metastore
+
+import (
+	"errors"
+	"testing"
+
+	"dualtable/internal/datum"
+)
+
+func desc(name string) *TableDesc {
+	return &TableDesc{
+		Name:    name,
+		Schema:  datum.Schema{{Name: "id", Kind: datum.KindInt}, {Name: "v", Kind: datum.KindFloat}},
+		Storage: StorageORC,
+	}
+}
+
+func TestCreateGetDrop(t *testing.T) {
+	m := New()
+	if err := m.Create(desc("T1")); err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive lookup, like Hive.
+	d, err := m.Get("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "T1" || len(d.Schema) != 2 {
+		t.Errorf("got %+v", d)
+	}
+	if !m.Exists("T1") || !m.Exists("t1") {
+		t.Error("Exists should be case-insensitive")
+	}
+	if err := m.Create(desc("t1")); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate create = %v", err)
+	}
+	if err := m.Drop("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("t1"); !errors.Is(err, ErrTableNotFound) {
+		t.Errorf("get after drop = %v", err)
+	}
+	if err := m.Drop("t1"); !errors.Is(err, ErrTableNotFound) {
+		t.Errorf("double drop = %v", err)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	m := New()
+	if err := m.Create(&TableDesc{Name: "", Schema: datum.Schema{{Name: "a", Kind: datum.KindInt}}}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := m.Create(&TableDesc{Name: "t"}); err == nil {
+		t.Error("empty schema should fail")
+	}
+	dup := &TableDesc{Name: "t", Schema: datum.Schema{
+		{Name: "a", Kind: datum.KindInt}, {Name: "A", Kind: datum.KindFloat}}}
+	if err := m.Create(dup); err == nil {
+		t.Error("duplicate column (case-insensitive) should fail")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	m := New()
+	m.Create(desc("t"))
+	d1, _ := m.Get("t")
+	d1.Schema[0].Name = "mutated"
+	d1.Properties["x"] = "y"
+	d2, _ := m.Get("t")
+	if d2.Schema[0].Name != "id" {
+		t.Error("Get must return a copy of the schema")
+	}
+	if _, ok := d2.Properties["x"]; ok {
+		t.Error("Get must return a copy of the properties")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	m := New()
+	m.Create(desc("zeta"))
+	m.Create(desc("alpha"))
+	got := m.List()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestSetProperty(t *testing.T) {
+	m := New()
+	m.Create(desc("t"))
+	if err := m.SetProperty("T", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := m.Get("t")
+	if d.Properties["k"] != "v" {
+		t.Errorf("property = %v", d.Properties)
+	}
+	if err := m.SetProperty("nope", "k", "v"); !errors.Is(err, ErrTableNotFound) {
+		t.Errorf("missing table = %v", err)
+	}
+}
+
+func TestStorageKindNames(t *testing.T) {
+	cases := map[string]StorageKind{
+		"": StorageORC, "ORC": StorageORC, "HBASE": StorageKV, "kv": StorageKV,
+		"DUALTABLE": StorageDual, "dual": StorageDual,
+		"TEXTFILE": StorageText, "ACID": StorageAcid,
+	}
+	for name, want := range cases {
+		got, err := KindFromName(name)
+		if err != nil || got != want {
+			t.Errorf("KindFromName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := KindFromName("PARQUET"); err == nil {
+		t.Error("unknown format should fail")
+	}
+	for _, k := range []StorageKind{StorageORC, StorageKV, StorageDual, StorageText, StorageAcid} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+		back, err := KindFromName(k.String())
+		if err != nil || back != k {
+			t.Errorf("roundtrip %v: %v %v", k, back, err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package orcfile implements a simplified ORC-like columnar file
+// format: rows are buffered into stripes; within a stripe every column
+// is stored as an independently compressed stream with a presence
+// bitmap, a type-specific encoding (run-length for integers,
+// dictionary or direct for strings, bit-packing for booleans), and
+// per-stripe min/max/sum statistics that support predicate pushdown.
+// The file footer records the schema, the stripe directory, file-level
+// statistics, and user metadata — DualTable stores its master-table
+// file ID there (paper §V-B), and the reader reports the row number of
+// every row it returns, which is how DualTable derives record IDs at
+// zero storage cost.
+package orcfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// intEncoder run-length encodes int64 values: repeats of length >= 3
+// become a run, everything else is emitted as literal groups.
+//
+//	run:     0x00 uvarint(count-3) zigzag-varint(value)
+//	literal: 0x01 uvarint(count)   count zigzag-varints
+//	delta:   0x02 uvarint(count-3) zigzag(first) zigzag(delta)
+//
+// The delta form captures monotonic sequences (record IDs, dates)
+// that dominate DualTable workloads.
+type intEncoder struct {
+	pending []int64
+	out     []byte
+}
+
+const (
+	rleRun     = 0x00
+	rleLiteral = 0x01
+	rleDelta   = 0x02
+	minRunLen  = 3
+)
+
+// maxEncodeRun caps a single encoded run. A run that reaches the cap
+// is emitted even when it might continue, which guarantees
+// flushPending always makes progress (keeping Append amortized O(1)).
+const maxEncodeRun = 1024
+
+func (e *intEncoder) Append(v int64) {
+	e.pending = append(e.pending, v)
+	if len(e.pending) >= 2*maxEncodeRun {
+		e.flushPending(false)
+	}
+}
+
+// flushPending encodes the buffered values. When force is false a
+// small tail is kept buffered to allow runs to continue.
+func (e *intEncoder) flushPending(force bool) {
+	vals := e.pending
+	i := 0
+	for i < len(vals) {
+		// Try a constant run.
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		if runLen := j - i; runLen >= minRunLen {
+			if j == len(vals) && !force && runLen < maxEncodeRun {
+				break // run may continue with future appends
+			}
+			if runLen > maxEncodeRun {
+				runLen = maxEncodeRun
+				j = i + runLen
+			}
+			e.out = append(e.out, rleRun)
+			e.out = binary.AppendUvarint(e.out, uint64(runLen-minRunLen))
+			e.out = appendZigzag(e.out, vals[i])
+			i = j
+			continue
+		}
+		// Try a delta run.
+		j = i + 1
+		if j < len(vals) {
+			delta := vals[j] - vals[i]
+			if delta != 0 {
+				for j+1 < len(vals) && vals[j+1]-vals[j] == delta {
+					j++
+				}
+				if runLen := j - i + 1; runLen >= minRunLen {
+					if j == len(vals)-1 && !force && runLen < maxEncodeRun {
+						break
+					}
+					if runLen > maxEncodeRun {
+						runLen = maxEncodeRun
+						j = i + runLen - 1
+					}
+					e.out = append(e.out, rleDelta)
+					e.out = binary.AppendUvarint(e.out, uint64(runLen-minRunLen))
+					e.out = appendZigzag(e.out, vals[i])
+					e.out = appendZigzag(e.out, delta)
+					i = j + 1
+					continue
+				}
+			}
+		}
+		// Literal group: scan forward until a run starts.
+		start := i
+		i++
+		for i < len(vals) {
+			if i+minRunLen <= len(vals) {
+				if vals[i] == vals[i+1] && vals[i] == vals[i+2] {
+					break
+				}
+				d := vals[i+1] - vals[i]
+				if d != 0 && i+2 < len(vals) && vals[i+2]-vals[i+1] == d {
+					break
+				}
+			}
+			i++
+		}
+		if i == len(vals) && !force && len(vals)-start < 512 {
+			i = start
+			break
+		}
+		e.out = append(e.out, rleLiteral)
+		e.out = binary.AppendUvarint(e.out, uint64(i-start))
+		for _, v := range vals[start:i] {
+			e.out = appendZigzag(e.out, v)
+		}
+	}
+	e.pending = append(e.pending[:0], vals[i:]...)
+}
+
+// Finish returns the complete encoding.
+func (e *intEncoder) Finish() []byte {
+	e.flushPending(true)
+	return e.out
+}
+
+// Reset prepares the encoder for reuse.
+func (e *intEncoder) Reset() {
+	e.pending = e.pending[:0]
+	e.out = e.out[:0]
+}
+
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+func decodeZigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// intDecoder streams values back out of an RLE buffer.
+type intDecoder struct {
+	buf []byte
+	off int
+
+	mode  byte
+	left  uint64
+	cur   int64
+	delta int64
+}
+
+func newIntDecoder(buf []byte) *intDecoder { return &intDecoder{buf: buf} }
+
+func (d *intDecoder) Next() (int64, error) {
+	for d.left == 0 {
+		if d.off >= len(d.buf) {
+			return 0, fmt.Errorf("orcfile: int stream exhausted")
+		}
+		mode := d.buf[d.off]
+		d.off++
+		n, c := binary.Uvarint(d.buf[d.off:])
+		if c <= 0 {
+			return 0, fmt.Errorf("orcfile: bad RLE count")
+		}
+		d.off += c
+		switch mode {
+		case rleRun:
+			v, c2 := binary.Uvarint(d.buf[d.off:])
+			if c2 <= 0 {
+				return 0, fmt.Errorf("orcfile: bad RLE run value")
+			}
+			d.off += c2
+			d.mode, d.left, d.cur = rleRun, n+minRunLen, decodeZigzag(v)
+		case rleLiteral:
+			if n == 0 {
+				continue
+			}
+			d.mode, d.left = rleLiteral, n
+		case rleDelta:
+			first, c2 := binary.Uvarint(d.buf[d.off:])
+			if c2 <= 0 {
+				return 0, fmt.Errorf("orcfile: bad delta first")
+			}
+			d.off += c2
+			delta, c3 := binary.Uvarint(d.buf[d.off:])
+			if c3 <= 0 {
+				return 0, fmt.Errorf("orcfile: bad delta step")
+			}
+			d.off += c3
+			d.mode, d.left = rleDelta, n+minRunLen
+			d.cur, d.delta = decodeZigzag(first), decodeZigzag(delta)
+			// First value of a delta run is emitted as-is; mark so.
+			d.cur -= d.delta
+		}
+	}
+	d.left--
+	switch d.mode {
+	case rleRun:
+		return d.cur, nil
+	case rleDelta:
+		d.cur += d.delta
+		return d.cur, nil
+	default: // literal
+		v, c := binary.Uvarint(d.buf[d.off:])
+		if c <= 0 {
+			return 0, fmt.Errorf("orcfile: bad literal value")
+		}
+		d.off += c
+		return decodeZigzag(v), nil
+	}
+}
+
+// bitWriter packs booleans into bytes, LSB first.
+type bitWriter struct {
+	out  []byte
+	cur  byte
+	nbit uint8
+}
+
+func (w *bitWriter) Append(b bool) {
+	if b {
+		w.cur |= 1 << w.nbit
+	}
+	w.nbit++
+	if w.nbit == 8 {
+		w.out = append(w.out, w.cur)
+		w.cur, w.nbit = 0, 0
+	}
+}
+
+func (w *bitWriter) Finish() []byte {
+	if w.nbit > 0 {
+		w.out = append(w.out, w.cur)
+		w.cur, w.nbit = 0, 0
+	}
+	return w.out
+}
+
+func (w *bitWriter) Reset() {
+	w.out = w.out[:0]
+	w.cur, w.nbit = 0, 0
+}
+
+// bitReader unpacks booleans.
+type bitReader struct {
+	buf []byte
+	idx int
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+func (r *bitReader) Next() (bool, error) {
+	byteIdx := r.idx / 8
+	if byteIdx >= len(r.buf) {
+		return false, fmt.Errorf("orcfile: bit stream exhausted")
+	}
+	b := r.buf[byteIdx]&(1<<(r.idx%8)) != 0
+	r.idx++
+	return b, nil
+}
+
+// floatEncoder stores raw IEEE bits little-endian.
+type floatEncoder struct{ out []byte }
+
+func (e *floatEncoder) Append(v float64) {
+	e.out = binary.LittleEndian.AppendUint64(e.out, math.Float64bits(v))
+}
+func (e *floatEncoder) Finish() []byte { return e.out }
+func (e *floatEncoder) Reset()         { e.out = e.out[:0] }
+
+type floatDecoder struct {
+	buf []byte
+	off int
+}
+
+func newFloatDecoder(buf []byte) *floatDecoder { return &floatDecoder{buf: buf} }
+
+func (d *floatDecoder) Next() (float64, error) {
+	if d.off+8 > len(d.buf) {
+		return 0, fmt.Errorf("orcfile: float stream exhausted")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+// appendBytesVal appends a length-prefixed byte string.
+func appendBytesVal(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readBytesVal(buf []byte, off int) (string, int, error) {
+	l, c := binary.Uvarint(buf[off:])
+	if c <= 0 {
+		return "", 0, fmt.Errorf("orcfile: bad string length")
+	}
+	off += c
+	end := off + int(l)
+	if end > len(buf) || end < off {
+		return "", 0, fmt.Errorf("orcfile: truncated string")
+	}
+	return string(buf[off:end]), end, nil
+}

@@ -1,0 +1,556 @@
+package orcfile
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dualtable/internal/datum"
+)
+
+func TestIntRLERoundtrip(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{1},
+		{1, 2, 3},                // delta run
+		{5, 5, 5, 5, 5},          // constant run
+		{1, 9, 2, 8, 3, 7},       // literals
+		{0, 0, 0, 1, 2, 3, 9, 9}, // mixed
+		{-1, -2, -3, -4},         // negative delta
+		{1 << 62, -(1 << 62), 0},
+	}
+	for _, vals := range cases {
+		var e intEncoder
+		for _, v := range vals {
+			e.Append(v)
+		}
+		enc := e.Finish()
+		d := newIntDecoder(enc)
+		for i, want := range vals {
+			got, err := d.Next()
+			if err != nil {
+				t.Fatalf("%v: decode %d: %v", vals, i, err)
+			}
+			if got != want {
+				t.Fatalf("%v: index %d: got %d want %d", vals, i, got, want)
+			}
+		}
+		if _, err := d.Next(); err == nil {
+			t.Errorf("%v: decoder should be exhausted", vals)
+		}
+	}
+}
+
+func TestIntRLECompressesRuns(t *testing.T) {
+	var e intEncoder
+	for i := 0; i < 100000; i++ {
+		e.Append(42)
+	}
+	enc := e.Finish()
+	// Runs are capped at maxEncodeRun, so ~98 run headers expected.
+	if len(enc) > 1024 {
+		t.Errorf("constant run of 100k ints encoded to %d bytes", len(enc))
+	}
+	var e2 intEncoder
+	for i := int64(0); i < 100000; i++ {
+		e2.Append(i)
+	}
+	enc2 := e2.Finish()
+	if len(enc2) > 2048 {
+		t.Errorf("monotonic run of 100k ints encoded to %d bytes", len(enc2))
+	}
+}
+
+func TestPropertyIntRLE(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]int64, int(n)%2000)
+		for i := range vals {
+			switch rng.Intn(3) {
+			case 0:
+				vals[i] = int64(rng.Intn(5)) // encourage runs
+			case 1:
+				if i > 0 {
+					vals[i] = vals[i-1] + 1 // encourage deltas
+				}
+			default:
+				vals[i] = rng.Int63() - rng.Int63()
+			}
+		}
+		var e intEncoder
+		for _, v := range vals {
+			e.Append(v)
+		}
+		d := newIntDecoder(e.Finish())
+		for _, want := range vals {
+			got, err := d.Next()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err := d.Next()
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitPackRoundtrip(t *testing.T) {
+	var w bitWriter
+	vals := []bool{true, false, true, true, false, false, true, false, true, true}
+	for _, v := range vals {
+		w.Append(v)
+	}
+	r := newBitReader(w.Finish())
+	for i, want := range vals {
+		got, err := r.Next()
+		if err != nil || got != want {
+			t.Fatalf("bit %d: %v %v", i, got, err)
+		}
+	}
+}
+
+func testSchema() datum.Schema {
+	return datum.Schema{
+		{Name: "id", Kind: datum.KindInt},
+		{Name: "price", Kind: datum.KindFloat},
+		{Name: "flag", Kind: datum.KindString},
+		{Name: "ok", Kind: datum.KindBool},
+	}
+}
+
+func makeRows(n int, seed int64) []datum.Row {
+	rng := rand.New(rand.NewSource(seed))
+	flags := []string{"A", "N", "R"}
+	rows := make([]datum.Row, n)
+	for i := range rows {
+		row := datum.Row{
+			datum.Int(int64(i)),
+			datum.Float(rng.Float64() * 1000),
+			datum.String_(flags[rng.Intn(len(flags))]),
+			datum.Bool(rng.Intn(2) == 0),
+		}
+		if rng.Intn(10) == 0 {
+			row[1] = datum.Null
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func writeFile(t *testing.T, rows []datum.Row, opts WriterOptions) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testSchema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.WriteRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readAll(t *testing.T, data []byte, opts RowReaderOptions) ([]datum.Row, []int64) {
+	t.Helper()
+	rd, err := Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := rd.NewRowReader(opts)
+	var rows []datum.Row
+	var ords []int64
+	for {
+		row, ord, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row.Clone())
+		ords = append(ords, ord)
+	}
+	return rows, ords
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			rows := makeRows(2500, 1)
+			data := writeFile(t, rows, WriterOptions{StripeRows: 1000, Compression: compress})
+			got, ords := readAll(t, data, RowReaderOptions{})
+			if len(got) != len(rows) {
+				t.Fatalf("rows: %d vs %d", len(got), len(rows))
+			}
+			for i := range rows {
+				if !got[i].Equal(rows[i]) {
+					t.Fatalf("row %d: %v vs %v", i, got[i], rows[i])
+				}
+				if ords[i] != int64(i) {
+					t.Fatalf("ordinal %d: got %d", i, ords[i])
+				}
+			}
+		})
+	}
+}
+
+func TestFooterMetadata(t *testing.T) {
+	rows := makeRows(100, 2)
+	data := writeFile(t, rows, WriterOptions{
+		StripeRows: 40,
+		UserMeta:   map[string]string{"dualtable.fileid": "17", "creator": "test"},
+	})
+	rd, err := Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.NumRows() != 100 {
+		t.Errorf("NumRows = %d", rd.NumRows())
+	}
+	if rd.NumStripes() != 3 { // 40+40+20
+		t.Errorf("NumStripes = %d", rd.NumStripes())
+	}
+	if rd.StripeRows(2) != 20 {
+		t.Errorf("StripeRows(2) = %d", rd.StripeRows(2))
+	}
+	if rd.UserMeta()["dualtable.fileid"] != "17" {
+		t.Errorf("UserMeta = %v", rd.UserMeta())
+	}
+	if !reflect.DeepEqual(rd.Schema(), testSchema()) {
+		t.Errorf("Schema = %v", rd.Schema())
+	}
+}
+
+func TestStatsBoundValues(t *testing.T) {
+	rows := makeRows(500, 3)
+	data := writeFile(t, rows, WriterOptions{StripeRows: 100})
+	rd, err := Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id column: stripe s covers ids [100s, 100s+99].
+	for s := 0; s < rd.NumStripes(); s++ {
+		st := rd.StripeStats(s)[0]
+		if st.Min.I != int64(100*s) || st.Max.I != int64(100*s+99) {
+			t.Errorf("stripe %d id stats = [%v, %v]", s, st.Min, st.Max)
+		}
+		if st.Count != 100 {
+			t.Errorf("stripe %d count = %d", s, st.Count)
+		}
+	}
+	fileStats := rd.FileStats()
+	if fileStats[0].Min.I != 0 || fileStats[0].Max.I != 499 {
+		t.Errorf("file id stats = [%v, %v]", fileStats[0].Min, fileStats[0].Max)
+	}
+	// Sum of id column = 499*500/2.
+	if fileStats[0].Sum != float64(499*500/2) {
+		t.Errorf("file id sum = %v", fileStats[0].Sum)
+	}
+	// price column has nulls.
+	if fileStats[1].NullCount == 0 {
+		t.Error("expected nulls in price stats")
+	}
+}
+
+func TestProjection(t *testing.T) {
+	rows := makeRows(100, 4)
+	data := writeFile(t, rows, WriterOptions{StripeRows: 50})
+	got, _ := readAll(t, data, RowReaderOptions{Columns: []int{0, 2}})
+	for i, row := range got {
+		if row[0].K != datum.KindInt || row[2].K != datum.KindString {
+			t.Fatalf("row %d projected cols missing: %v", i, row)
+		}
+		if !row[1].IsNull() || !row[3].IsNull() {
+			t.Fatalf("row %d unprojected cols should be NULL: %v", i, row)
+		}
+	}
+}
+
+func TestPredicatePushdownSkipsStripes(t *testing.T) {
+	rows := makeRows(1000, 5)
+	data := writeFile(t, rows, WriterOptions{StripeRows: 100})
+	// id >= 850: only stripes 8 and 9 qualify; ordinals must still be
+	// the global row numbers.
+	sa := &SearchArg{Predicates: []Predicate{{Column: 0, Op: OpGE, Value: datum.Int(850)}}}
+	got, ords := readAll(t, data, RowReaderOptions{SearchArg: sa})
+	if len(got) != 200 {
+		t.Fatalf("pushdown returned %d rows, want 200 (2 stripes)", len(got))
+	}
+	if ords[0] != 800 {
+		t.Errorf("first surviving ordinal = %d, want 800", ords[0])
+	}
+	for i, row := range got {
+		if row[0].I != int64(800+i) {
+			t.Fatalf("row %d id = %d", i, row[0].I)
+		}
+	}
+}
+
+func TestPushdownNeverDropsMatches(t *testing.T) {
+	// Property: for random predicates, pushdown scan ⊇ exact matches.
+	rows := makeRows(600, 6)
+	data := writeFile(t, rows, WriterOptions{StripeRows: 64})
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		col := rng.Intn(2) // id or price
+		ops := []CmpOp{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+		op := ops[rng.Intn(len(ops))]
+		var val datum.Datum
+		if col == 0 {
+			val = datum.Int(int64(rng.Intn(700)))
+		} else {
+			val = datum.Float(rng.Float64() * 1000)
+		}
+		sa := &SearchArg{Predicates: []Predicate{{Column: col, Op: op, Value: val}}}
+		got, _ := readAll(t, data, RowReaderOptions{SearchArg: sa})
+		gotSet := map[int64]bool{}
+		for _, r := range got {
+			gotSet[r[0].I] = true
+		}
+		matches := func(d datum.Datum) bool {
+			if d.IsNull() {
+				return false
+			}
+			c := datum.Compare(d, val)
+			switch op {
+			case OpEQ:
+				return c == 0
+			case OpNE:
+				return c != 0
+			case OpLT:
+				return c < 0
+			case OpLE:
+				return c <= 0
+			case OpGT:
+				return c > 0
+			default:
+				return c >= 0
+			}
+		}
+		for _, r := range rows {
+			if matches(r[col]) && !gotSet[r[0].I] {
+				t.Fatalf("trial %d: pushdown dropped matching row id=%d (pred col%d %v %v)",
+					trial, r[0].I, col, op, val)
+			}
+		}
+	}
+}
+
+func TestAllNullColumn(t *testing.T) {
+	schema := datum.Schema{{Name: "v", Kind: datum.KindString}}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, schema, WriterOptions{StripeRows: 10})
+	for i := 0; i < 25; i++ {
+		if err := w.WriteRow(datum.Row{datum.Null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := rd.NewRowReader(RowReaderOptions{})
+	n := 0
+	for {
+		row, _, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !row[0].IsNull() {
+			t.Fatalf("expected NULL, got %v", row[0])
+		}
+		n++
+	}
+	if n != 25 {
+		t.Errorf("read %d rows", n)
+	}
+	// An equality predicate on the all-null column prunes everything.
+	sa := &SearchArg{Predicates: []Predicate{{Column: 0, Op: OpEQ, Value: datum.String_("x")}}}
+	got, _ := readAll(t, buf.Bytes(), RowReaderOptions{SearchArg: sa})
+	if len(got) != 0 {
+		t.Errorf("all-null pruning failed: %d rows", len(got))
+	}
+}
+
+func TestDictionaryEncodingChosen(t *testing.T) {
+	// Low-cardinality column should compress far better than random.
+	schema := datum.Schema{{Name: "s", Kind: datum.KindString}}
+	build := func(card int) int {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, schema, WriterOptions{StripeRows: 5000})
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 5000; i++ {
+			w.WriteRow(datum.Row{datum.String_(fmt.Sprintf("value-%06d", rng.Intn(card)))})
+		}
+		w.Close()
+		return buf.Len()
+	}
+	low := build(3)
+	high := build(1000000)
+	if low*4 > high {
+		t.Errorf("dictionary encoding ineffective: low-card %d bytes vs high-card %d", low, high)
+	}
+	// Roundtrip both.
+	for _, card := range []int{3, 1000000} {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, schema, WriterOptions{StripeRows: 1000})
+		rng := rand.New(rand.NewSource(2))
+		var want []string
+		for i := 0; i < 2000; i++ {
+			s := fmt.Sprintf("v-%d", rng.Intn(card))
+			want = append(want, s)
+			w.WriteRow(datum.Row{datum.String_(s)})
+		}
+		w.Close()
+		rd, err := Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := rd.NewRowReader(RowReaderOptions{})
+		for i, wantS := range want {
+			row, _, err := rr.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row[0].S != wantS {
+				t.Fatalf("card %d row %d: %q vs %q", card, i, row[0].S, wantS)
+			}
+		}
+	}
+}
+
+func TestWriterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, nil, WriterOptions{}); err == nil {
+		t.Error("empty schema should fail")
+	}
+	w, _ := NewWriter(&buf, testSchema(), WriterOptions{})
+	if err := w.WriteRow(datum.Row{datum.Int(1)}); err == nil {
+		t.Error("short row should fail")
+	}
+	if err := w.WriteRow(datum.Row{datum.Float(1), datum.Float(1), datum.String_("x"), datum.Bool(true)}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	w.Close()
+	if err := w.WriteRow(makeRows(1, 1)[0]); err == nil {
+		t.Error("write after close should fail")
+	}
+	if err := w.Close(); err == nil {
+		t.Error("double close should fail")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(bytes.NewReader(nil), 0); err == nil {
+		t.Error("empty file should fail")
+	}
+	junk := bytes.Repeat([]byte("j"), 100)
+	if _, err := Open(bytes.NewReader(junk), int64(len(junk))); err == nil {
+		t.Error("junk file should fail")
+	}
+}
+
+func TestEmptyFileRoundtrip(t *testing.T) {
+	data := writeFile(t, nil, WriterOptions{})
+	rd, err := Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.NumRows() != 0 || rd.NumStripes() != 0 {
+		t.Errorf("empty file: rows=%d stripes=%d", rd.NumRows(), rd.NumStripes())
+	}
+	rr := rd.NewRowReader(RowReaderOptions{})
+	if _, _, err := rr.Next(); err != io.EOF {
+		t.Errorf("Next on empty = %v", err)
+	}
+}
+
+type quickRows struct {
+	rows []datum.Row
+}
+
+func (quickRows) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := rng.Intn(300)
+	rows := make([]datum.Row, n)
+	for i := range rows {
+		row := make(datum.Row, 4)
+		if rng.Intn(8) == 0 {
+			row[0] = datum.Null
+		} else {
+			row[0] = datum.Int(rng.Int63n(1e9) - 5e8)
+		}
+		if rng.Intn(8) == 0 {
+			row[1] = datum.Null
+		} else {
+			row[1] = datum.Float(rng.NormFloat64() * 100)
+		}
+		if rng.Intn(8) == 0 {
+			row[2] = datum.Null
+		} else {
+			b := make([]byte, rng.Intn(12))
+			for j := range b {
+				b[j] = byte('a' + rng.Intn(26))
+			}
+			row[2] = datum.String_(string(b))
+		}
+		if rng.Intn(8) == 0 {
+			row[3] = datum.Null
+		} else {
+			row[3] = datum.Bool(rng.Intn(2) == 0)
+		}
+		rows[i] = row
+	}
+	return reflect.ValueOf(quickRows{rows})
+}
+
+func TestPropertyFileRoundtrip(t *testing.T) {
+	f := func(qr quickRows, compress bool, stripeExp uint8) bool {
+		stripeRows := 1 << (stripeExp%8 + 1) // 2..256
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, testSchema(), WriterOptions{StripeRows: stripeRows, Compression: compress})
+		if err != nil {
+			return false
+		}
+		for _, r := range qr.rows {
+			if err := w.WriteRow(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		rd, err := Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			return false
+		}
+		rr := rd.NewRowReader(RowReaderOptions{})
+		for i, want := range qr.rows {
+			row, ord, err := rr.Next()
+			if err != nil || ord != int64(i) || !row.Equal(want) {
+				return false
+			}
+		}
+		_, _, err = rr.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

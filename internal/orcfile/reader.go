@@ -1,0 +1,422 @@
+package orcfile
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dualtable/internal/datum"
+)
+
+// Reader reads an ORC-like file from any io.ReaderAt.
+type Reader struct {
+	r          io.ReaderAt
+	size       int64
+	schema     datum.Schema
+	userMeta   map[string]string
+	numRows    int64
+	stripes    []stripeMeta
+	fileStats  []ColumnStats
+	compressed bool
+}
+
+// Open parses the tail and footer of a file.
+func Open(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < tailSize {
+		return nil, fmt.Errorf("orcfile: file too small (%d bytes)", size)
+	}
+	var tail [tailSize]byte
+	if _, err := r.ReadAt(tail[:], size-tailSize); err != nil {
+		return nil, fmt.Errorf("orcfile: read tail: %w", err)
+	}
+	if binary.LittleEndian.Uint64(tail[24:]) != orcMagic {
+		return nil, fmt.Errorf("orcfile: bad magic (not an ORC file)")
+	}
+	footerOff := binary.LittleEndian.Uint64(tail[0:])
+	footerLen := binary.LittleEndian.Uint64(tail[8:])
+	flags := binary.LittleEndian.Uint64(tail[16:])
+	if int64(footerOff+footerLen) > size-tailSize {
+		return nil, fmt.Errorf("orcfile: footer out of bounds")
+	}
+	fb := make([]byte, footerLen)
+	if _, err := r.ReadAt(fb, int64(footerOff)); err != nil {
+		return nil, fmt.Errorf("orcfile: read footer: %w", err)
+	}
+	rd := &Reader{r: r, size: size, compressed: flags&flagFlate != 0}
+	if rd.compressed {
+		dec, err := io.ReadAll(flate.NewReader(bytes.NewReader(fb)))
+		if err != nil {
+			return nil, fmt.Errorf("orcfile: decompress footer: %w", err)
+		}
+		fb = dec
+	}
+	if err := rd.parseFooter(fb); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+func (rd *Reader) parseFooter(fb []byte) error {
+	off := 0
+	ncols, c := binary.Uvarint(fb)
+	if c <= 0 {
+		return fmt.Errorf("orcfile: bad footer schema count")
+	}
+	off += c
+	for i := uint64(0); i < ncols; i++ {
+		name, n, err := readBytesVal(fb, off)
+		if err != nil {
+			return err
+		}
+		off = n
+		if off >= len(fb) {
+			return fmt.Errorf("orcfile: truncated schema")
+		}
+		kind := datum.Kind(fb[off])
+		off++
+		rd.schema = append(rd.schema, datum.Column{Name: name, Kind: kind})
+	}
+	nmeta, c := binary.Uvarint(fb[off:])
+	if c <= 0 {
+		return fmt.Errorf("orcfile: bad meta count")
+	}
+	off += c
+	rd.userMeta = make(map[string]string, nmeta)
+	for i := uint64(0); i < nmeta; i++ {
+		k, n, err := readBytesVal(fb, off)
+		if err != nil {
+			return err
+		}
+		off = n
+		v, n2, err := readBytesVal(fb, off)
+		if err != nil {
+			return err
+		}
+		off = n2
+		rd.userMeta[k] = v
+	}
+	rows, c := binary.Uvarint(fb[off:])
+	if c <= 0 {
+		return fmt.Errorf("orcfile: bad row count")
+	}
+	rd.numRows = int64(rows)
+	off += c
+	nstripes, c := binary.Uvarint(fb[off:])
+	if c <= 0 {
+		return fmt.Errorf("orcfile: bad stripe count")
+	}
+	off += c
+	for i := uint64(0); i < nstripes; i++ {
+		var sm stripeMeta
+		vals := make([]uint64, 3)
+		for j := range vals {
+			v, n := binary.Uvarint(fb[off:])
+			if n <= 0 {
+				return fmt.Errorf("orcfile: bad stripe header")
+			}
+			vals[j] = v
+			off += n
+		}
+		sm.offset, sm.length, sm.rows = vals[0], vals[1], int64(vals[2])
+		for j := 0; j < len(rd.schema); j++ {
+			ro, n := binary.Uvarint(fb[off:])
+			if n <= 0 {
+				return fmt.Errorf("orcfile: bad stream offset")
+			}
+			off += n
+			sl, n2 := binary.Uvarint(fb[off:])
+			if n2 <= 0 {
+				return fmt.Errorf("orcfile: bad stream length")
+			}
+			off += n2
+			sm.streams = append(sm.streams, streamMeta{relOff: ro, length: sl})
+		}
+		for j := 0; j < len(rd.schema); j++ {
+			st, n, err := unmarshalStats(fb, off)
+			if err != nil {
+				return err
+			}
+			off = n
+			sm.stats = append(sm.stats, st)
+		}
+		rd.stripes = append(rd.stripes, sm)
+	}
+	for j := 0; j < len(rd.schema); j++ {
+		st, n, err := unmarshalStats(fb, off)
+		if err != nil {
+			return err
+		}
+		off = n
+		rd.fileStats = append(rd.fileStats, st)
+	}
+	return nil
+}
+
+// Schema returns the file schema.
+func (rd *Reader) Schema() datum.Schema { return rd.schema }
+
+// NumRows returns the total row count.
+func (rd *Reader) NumRows() int64 { return rd.numRows }
+
+// UserMeta returns the footer's user metadata.
+func (rd *Reader) UserMeta() map[string]string { return rd.userMeta }
+
+// NumStripes returns the stripe count.
+func (rd *Reader) NumStripes() int { return len(rd.stripes) }
+
+// StripeStats returns the per-column statistics of stripe i.
+func (rd *Reader) StripeStats(i int) []ColumnStats { return rd.stripes[i].stats }
+
+// FileStats returns the file-level per-column statistics.
+func (rd *Reader) FileStats() []ColumnStats { return rd.fileStats }
+
+// StripeRows returns the row count of stripe i.
+func (rd *Reader) StripeRows(i int) int64 { return rd.stripes[i].rows }
+
+// RowReaderOptions configures a row scan.
+type RowReaderOptions struct {
+	// Columns projects a subset of columns by index (nil = all). The
+	// returned rows still have full schema arity; unprojected columns
+	// are NULL — this keeps column indexes stable for the engine.
+	Columns []int
+	// SearchArg prunes stripes by statistics.
+	SearchArg *SearchArg
+}
+
+// RowReader iterates the rows of a file in order, reporting each
+// row's ordinal (the ORC row number DualTable uses in record IDs —
+// pruned stripes still advance the ordinal).
+type RowReader struct {
+	rd         *Reader
+	opts       RowReaderOptions
+	project    []bool
+	stripeIdx  int
+	cols       []*columnCursor
+	inStripe   int64
+	stripeLen  int64
+	rowOrdinal int64
+	row        datum.Row
+}
+
+// columnCursor decodes one column of the current stripe.
+type columnCursor struct {
+	kind     datum.Kind
+	presence *bitReader
+	ints     *intDecoder
+	floats   *floatDecoder
+	bools    *bitReader
+	// string state
+	dict    []string
+	indices *intDecoder
+	lens    *intDecoder
+	blob    []byte
+	blobOff int
+}
+
+// NewRowReader starts a scan.
+func (rd *Reader) NewRowReader(opts RowReaderOptions) *RowReader {
+	rr := &RowReader{rd: rd, opts: opts, project: make([]bool, len(rd.schema))}
+	if opts.Columns == nil {
+		for i := range rr.project {
+			rr.project[i] = true
+		}
+	} else {
+		for _, c := range opts.Columns {
+			if c >= 0 && c < len(rr.project) {
+				rr.project[c] = true
+			}
+		}
+	}
+	rr.row = make(datum.Row, len(rd.schema))
+	return rr
+}
+
+// Next returns the next row and its file row number. The returned row
+// is reused between calls; clone it to retain.
+func (rr *RowReader) Next() (datum.Row, int64, error) {
+	for rr.inStripe >= rr.stripeLen {
+		if rr.stripeIdx >= len(rr.rd.stripes) {
+			return nil, 0, io.EOF
+		}
+		sm := rr.rd.stripes[rr.stripeIdx]
+		if rr.opts.SearchArg != nil && !rr.opts.SearchArg.MaybeMatches(sm.stats) {
+			rr.rowOrdinal += sm.rows
+			rr.stripeIdx++
+			continue
+		}
+		if err := rr.openStripe(sm); err != nil {
+			return nil, 0, err
+		}
+		rr.stripeIdx++
+		rr.inStripe = 0
+		rr.stripeLen = sm.rows
+	}
+	ord := rr.rowOrdinal
+	for i, cur := range rr.cols {
+		if cur == nil {
+			rr.row[i] = datum.Null
+			continue
+		}
+		d, err := cur.next()
+		if err != nil {
+			return nil, 0, fmt.Errorf("orcfile: column %s row %d: %w", rr.rd.schema[i].Name, ord, err)
+		}
+		rr.row[i] = d
+	}
+	rr.inStripe++
+	rr.rowOrdinal++
+	return rr.row, ord, nil
+}
+
+// openStripe loads and decodes the projected column streams.
+func (rr *RowReader) openStripe(sm stripeMeta) error {
+	rr.cols = make([]*columnCursor, len(rr.rd.schema))
+	for i := range rr.rd.schema {
+		if !rr.project[i] {
+			continue
+		}
+		st := sm.streams[i]
+		buf := make([]byte, st.length)
+		if _, err := rr.rd.r.ReadAt(buf, int64(sm.offset+st.relOff)); err != nil {
+			return fmt.Errorf("orcfile: read stripe stream: %w", err)
+		}
+		if rr.rd.compressed {
+			dec, err := io.ReadAll(flate.NewReader(bytes.NewReader(buf)))
+			if err != nil {
+				return fmt.Errorf("orcfile: decompress stream: %w", err)
+			}
+			buf = dec
+		}
+		cur, err := newColumnCursor(rr.rd.schema[i].Kind, buf)
+		if err != nil {
+			return err
+		}
+		rr.cols[i] = cur
+	}
+	return nil
+}
+
+func newColumnCursor(kind datum.Kind, buf []byte) (*columnCursor, error) {
+	plen, c := binary.Uvarint(buf)
+	if c <= 0 {
+		return nil, fmt.Errorf("orcfile: bad presence length")
+	}
+	off := c
+	if off+int(plen) > len(buf) {
+		return nil, fmt.Errorf("orcfile: truncated presence bitmap")
+	}
+	cur := &columnCursor{kind: kind, presence: newBitReader(buf[off : off+int(plen)])}
+	data := buf[off+int(plen):]
+	switch kind {
+	case datum.KindInt:
+		cur.ints = newIntDecoder(data)
+	case datum.KindFloat:
+		cur.floats = newFloatDecoder(data)
+	case datum.KindBool:
+		cur.bools = newBitReader(data)
+	case datum.KindString:
+		if len(data) == 0 {
+			// Zero non-null strings in this stripe.
+			cur.lens = newIntDecoder(nil)
+			cur.blob = nil
+			break
+		}
+		mode := data[0]
+		data = data[1:]
+		if mode == 0x01 { // dictionary
+			n, c := binary.Uvarint(data)
+			if c <= 0 {
+				return nil, fmt.Errorf("orcfile: bad dict size")
+			}
+			p := c
+			dict := make([]string, 0, n)
+			for i := uint64(0); i < n; i++ {
+				s, np, err := readBytesVal(data, p)
+				if err != nil {
+					return nil, err
+				}
+				dict = append(dict, s)
+				p = np
+			}
+			il, c2 := binary.Uvarint(data[p:])
+			if c2 <= 0 {
+				return nil, fmt.Errorf("orcfile: bad dict index length")
+			}
+			p += c2
+			if p+int(il) > len(data) {
+				return nil, fmt.Errorf("orcfile: truncated dict indices")
+			}
+			cur.dict = dict
+			cur.indices = newIntDecoder(data[p : p+int(il)])
+		} else { // direct
+			ll, c := binary.Uvarint(data)
+			if c <= 0 {
+				return nil, fmt.Errorf("orcfile: bad length-stream size")
+			}
+			p := c
+			if p+int(ll) > len(data) {
+				return nil, fmt.Errorf("orcfile: truncated length stream")
+			}
+			cur.lens = newIntDecoder(data[p : p+int(ll)])
+			cur.blob = data[p+int(ll):]
+		}
+	default:
+		return nil, fmt.Errorf("orcfile: unsupported column kind %v", kind)
+	}
+	return cur, nil
+}
+
+func (cur *columnCursor) next() (datum.Datum, error) {
+	present, err := cur.presence.Next()
+	if err != nil {
+		return datum.Null, err
+	}
+	if !present {
+		return datum.Null, nil
+	}
+	switch cur.kind {
+	case datum.KindInt:
+		v, err := cur.ints.Next()
+		if err != nil {
+			return datum.Null, err
+		}
+		return datum.Int(v), nil
+	case datum.KindFloat:
+		v, err := cur.floats.Next()
+		if err != nil {
+			return datum.Null, err
+		}
+		return datum.Float(v), nil
+	case datum.KindBool:
+		v, err := cur.bools.Next()
+		if err != nil {
+			return datum.Null, err
+		}
+		return datum.Bool(v), nil
+	case datum.KindString:
+		if cur.dict != nil {
+			idx, err := cur.indices.Next()
+			if err != nil {
+				return datum.Null, err
+			}
+			if idx < 0 || int(idx) >= len(cur.dict) {
+				return datum.Null, fmt.Errorf("orcfile: dict index %d out of range", idx)
+			}
+			return datum.String_(cur.dict[idx]), nil
+		}
+		l, err := cur.lens.Next()
+		if err != nil {
+			return datum.Null, err
+		}
+		end := cur.blobOff + int(l)
+		if end > len(cur.blob) || end < cur.blobOff {
+			return datum.Null, fmt.Errorf("orcfile: string blob exhausted")
+		}
+		s := string(cur.blob[cur.blobOff:end])
+		cur.blobOff = end
+		return datum.String_(s), nil
+	}
+	return datum.Null, fmt.Errorf("orcfile: bad cursor kind")
+}

@@ -1,0 +1,306 @@
+// Package sqlparser implements a lexer, AST and recursive-descent
+// parser for the HiveQL subset DualTable needs: SELECT with joins,
+// grouping and ordering; INSERT INTO / INSERT OVERWRITE; the UPDATE,
+// DELETE and COMPACT statements the paper adds to HiveQL (§V-A); and
+// DDL (CREATE/DROP TABLE, LOAD DATA). Scalar subqueries are supported
+// in expressions because the paper's motivating UPDATE statement
+// (Listing 1) assigns from a correlated subquery.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp // operators and punctuation
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; idents keep original case
+	Pos  int    // byte offset
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords recognized by the lexer. Anything else alphanumeric is an
+// identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"INSERT": true, "INTO": true, "OVERWRITE": true, "TABLE": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "DROP": true, "IF": true, "NOT": true, "EXISTS": true,
+	"STORED": true, "AS": true, "LOAD": true, "DATA": true, "INPATH": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "ON": true, "AND": true, "OR": true,
+	"IN": true, "IS": true, "NULL": true, "LIKE": true, "BETWEEN": true,
+	"TRUE": true, "FALSE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "CAST": true, "DISTINCT": true, "ALL": true,
+	"UNION": true, "COMPACT": true, "SHOW": true, "TABLES": true,
+	"DESCRIBE": true, "EXPLAIN": true, "ANALYZE": true, "WITH": true,
+	"PARTITIONED": true, "TBLPROPERTIES": true,
+}
+
+// Lexer tokenizes a SQL string.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer for src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: line %d col %d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+// skipSpaceAndComments consumes whitespace, -- line comments and
+// /* */ block comments.
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		b := l.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			l.advance()
+		case b == '-' && l.peekByteAt(1) == '-':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case b == '/' && l.peekByteAt(1) == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b))
+}
+
+func isIdentPart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b))
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Pos: l.pos, Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	b := l.peekByte()
+	switch {
+	case isIdentStart(b):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		upper := strings.ToUpper(text)
+		if keywords[upper] {
+			tok.Kind = TokKeyword
+			tok.Text = upper
+		} else {
+			tok.Kind = TokIdent
+			tok.Text = text
+		}
+		return tok, nil
+	case b >= '0' && b <= '9' || (b == '.' && l.peekByteAt(1) >= '0' && l.peekByteAt(1) <= '9'):
+		start := l.pos
+		seenDot := false
+		seenExp := false
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			switch {
+			case c >= '0' && c <= '9':
+				l.advance()
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.advance()
+			case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+				next := l.peekByteAt(1)
+				if next >= '0' && next <= '9' || next == '+' || next == '-' {
+					seenExp = true
+					l.advance()
+					if l.peekByte() == '+' || l.peekByte() == '-' {
+						l.advance()
+					}
+					continue
+				}
+				goto numDone
+			default:
+				goto numDone
+			}
+		}
+	numDone:
+		tok.Kind = TokNumber
+		tok.Text = l.src[start:l.pos]
+		return tok, nil
+	case b == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			c := l.advance()
+			if c == '\'' {
+				if l.peekByte() == '\'' { // escaped quote
+					l.advance()
+					sb.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				// Hive-style backslash escapes.
+				e := l.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\':
+					sb.WriteByte('\\')
+				case '\'':
+					sb.WriteByte('\'')
+				default:
+					sb.WriteByte(e)
+				}
+				continue
+			}
+			sb.WriteByte(c)
+		}
+		tok.Kind = TokString
+		tok.Text = sb.String()
+		return tok, nil
+	case b == '`':
+		// Back-quoted identifier (HiveQL).
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() != '`' {
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, l.errf("unterminated quoted identifier")
+		}
+		text := l.src[start:l.pos]
+		l.advance()
+		tok.Kind = TokIdent
+		tok.Text = text
+		return tok, nil
+	default:
+		// Multi-byte operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "!=", "<>", "==":
+			l.advance()
+			l.advance()
+			tok.Kind = TokOp
+			if two == "<>" {
+				two = "!="
+			}
+			if two == "==" {
+				two = "="
+			}
+			tok.Text = two
+			return tok, nil
+		}
+		switch b {
+		case '+', '-', '*', '/', '%', '(', ')', ',', '=', '<', '>', '.', ';':
+			l.advance()
+			tok.Kind = TokOp
+			tok.Text = string(b)
+			return tok, nil
+		}
+		return Token{}, l.errf("unexpected character %q", string(b))
+	}
+}
+
+// Tokenize runs the lexer to EOF.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

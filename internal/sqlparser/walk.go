@@ -1,0 +1,128 @@
+package sqlparser
+
+// WalkExpr calls fn for every node of the expression tree in prefix
+// order. If fn returns false the node's children are skipped.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *UnaryExpr:
+		WalkExpr(x.X, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case *CaseExpr:
+		WalkExpr(x.Operand, fn)
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Then, fn)
+		}
+		WalkExpr(x.Else, fn)
+	case *IsNullExpr:
+		WalkExpr(x.X, fn)
+	case *InExpr:
+		WalkExpr(x.X, fn)
+		for _, i := range x.List {
+			WalkExpr(i, fn)
+		}
+	case *BetweenExpr:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Lo, fn)
+		WalkExpr(x.Hi, fn)
+	case *LikeExpr:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Pattern, fn)
+	case *CastExpr:
+		WalkExpr(x.X, fn)
+	}
+}
+
+// ContainsAggregate reports whether the expression calls an aggregate
+// function (outside of subqueries, which aggregate independently).
+func ContainsAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		switch f := x.(type) {
+		case *SubqueryExpr:
+			return false // do not descend
+		case *FuncCall:
+			if IsAggregateFunc(f.Name) {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// IsAggregateFunc reports whether the named function is an aggregate.
+func IsAggregateFunc(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	default:
+		return false
+	}
+}
+
+// ContainsSubquery reports whether the expression contains a scalar
+// subquery.
+func ContainsSubquery(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if _, ok := x.(*SubqueryExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ColumnRefs collects every column reference in the expression,
+// excluding those inside subqueries.
+func ColumnRefs(e Expr) []*ColumnRef {
+	var refs []*ColumnRef
+	WalkExpr(e, func(x Expr) bool {
+		switch c := x.(type) {
+		case *SubqueryExpr:
+			return false
+		case *ColumnRef:
+			refs = append(refs, c)
+		}
+		return true
+	})
+	return refs
+}
+
+// SplitConjuncts flattens a tree of ANDs into its conjuncts.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// CombineConjuncts rebuilds an AND tree (nil for empty input).
+func CombineConjuncts(exprs []Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: "AND", L: out, R: e}
+		}
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/hive"
+)
+
+// GridConfig scales the synthetic State Grid data set. The paper's
+// data sets (Tables II and III) hold 7–380 million rows per table in
+// 64–70 GB; Scale divides those counts (default 1/10000) while
+// preserving the schemas, the 36-day uniform date layout, and the
+// modification ratios of the Table IV statements.
+type GridConfig struct {
+	// Scale divides the paper's record counts.
+	Scale float64
+	// Days is the number of uniformly distributed days (paper: 36).
+	Days int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Storage is the STORED AS clause for created tables.
+	Storage string
+	// FillerColumns pads each table with extra STRING columns to
+	// mimic the paper's >50-column production tables.
+	FillerColumns int
+}
+
+// DefaultGridConfig is the laptop-scale default.
+func DefaultGridConfig() GridConfig {
+	return GridConfig{Scale: 1.0 / 10000, Days: 36, Seed: 330100, Storage: "DUALTABLE", FillerColumns: 10}
+}
+
+// GridTable describes one table of the grid data set.
+type GridTable struct {
+	Name      string
+	PaperRows int64 // record count reported in Table II/III
+	Columns   string
+	gen       func(*gridGen, int) datum.Row
+}
+
+// gridGen carries generation state.
+type gridGen struct {
+	rng  *rand.Rand
+	cfg  GridConfig
+	days []string
+}
+
+// GridTablesII are the §VI-A query/update experiment tables
+// (paper Table II).
+func GridTablesII() []GridTable {
+	return []GridTable{
+		{"yh_gbjld", 7112576, "dwdm STRING, gddy DOUBLE, hh BIGINT, sfyzx BIGINT, rq STRING",
+			func(g *gridGen, i int) datum.Row {
+				return datum.Row{
+					datum.String_(g.org()),
+					datum.Float(210 + g.rng.Float64()*20),
+					datum.Int(int64(i)),
+					datum.Int(int64(g.rng.Intn(2))),
+					datum.String_(g.day()),
+				}
+			}},
+		{"zd_gbcld", 7963648, "cldjh BIGINT, zdjh BIGINT, dwdm STRING, rq STRING",
+			func(g *gridGen, i int) datum.Row {
+				return datum.Row{
+					datum.Int(int64(i)),
+					datum.Int(int64(g.rng.Intn(1 << 20))),
+					datum.String_(g.org()),
+					datum.String_(g.day()),
+				}
+			}},
+		{"zc_zdzc", 74104736, "dwdm STRING, zdjh BIGINT, zzcjbm STRING, cjfs BIGINT, zdlx BIGINT, rq STRING",
+			func(g *gridGen, i int) datum.Row {
+				return datum.Row{
+					datum.String_(g.org()),
+					datum.Int(int64(i)),
+					datum.String_(fmt.Sprintf("MF%03d", g.rng.Intn(40))),
+					datum.Int(int64(g.rng.Intn(4))),
+					datum.Int(int64(g.rng.Intn(6))),
+					datum.String_(g.day()),
+				}
+			}},
+		{"rw_gbrw", 34045664, "xfsj STRING, rwsx BIGINT, cldh BIGINT, rq STRING",
+			func(g *gridGen, i int) datum.Row {
+				return datum.Row{
+					datum.String_(g.day() + " 08:00:00"),
+					datum.Int(int64(g.rng.Intn(8))),
+					datum.Int(int64(i)),
+					datum.String_(g.day()),
+				}
+			}},
+		{"tj_gbsjwzl_mx", 239032928, "yhlx BIGINT, rq STRING, dwdm STRING, cjbm STRING",
+			func(g *gridGen, i int) datum.Row {
+				return datum.Row{
+					datum.Int(int64(g.rng.Intn(5))),
+					datum.String_(g.day()),
+					datum.String_(g.org()),
+					datum.String_(fmt.Sprintf("CJ%03d", g.rng.Intn(30))),
+				}
+			}},
+		{"tj_dzdyh", 9805312, "zdjh BIGINT, rq STRING",
+			func(g *gridGen, i int) datum.Row {
+				return datum.Row{
+					datum.Int(int64(i)),
+					datum.String_(g.day()),
+				}
+			}},
+	}
+}
+
+// GridTablesIII are the Table IV statement tables (paper Table III).
+// Column value distributions are tuned so the Table IV statements
+// select their reported modification ratios.
+func GridTablesIII() []GridTable {
+	return []GridTable{
+		// tj_tdjl: outage records. 2% share one outage time (U#1);
+		// one area code holds 5% (D#2); one (terminal, time) pair
+		// holds 0.01% (D#4).
+		{"tj_tdjl", 58494976, "tdsj STRING, qym STRING, zdjh BIGINT, rq STRING",
+			func(g *gridGen, i int) datum.Row {
+				tdsj := g.day() + " 03:15:00"
+				if g.rng.Float64() < 0.02 {
+					tdsj = "2014-04-01 02:00:00" // U#1 target
+				}
+				qym := fmt.Sprintf("33%04d", g.rng.Intn(20))
+				if g.rng.Float64() < 0.05 {
+					qym = "330100" // D#2 target
+				}
+				zdjh := int64(g.rng.Intn(1 << 20))
+				if g.rng.Float64() < 0.0001 {
+					zdjh = 777777 // D#4 target (with its tdsj)
+					tdsj = "2014-04-02 05:30:00"
+				}
+				return datum.Row{datum.String_(tdsj), datum.String_(qym), datum.Int(zdjh), datum.String_(g.day())}
+			}},
+		// tj_td: 5% of rows have recovery earlier than outage (U#2).
+		{"tj_td", 33036288, "hfsj STRING, tdsj STRING, rq STRING",
+			func(g *gridGen, i int) datum.Row {
+				day := g.day()
+				tdsj := day + " 10:00:00"
+				hfsj := day + " 11:00:00"
+				if g.rng.Float64() < 0.05 {
+					hfsj = day + " 09:00:00" // error: recovery before outage
+				}
+				return datum.Row{datum.String_(hfsj), datum.String_(tdsj), datum.String_(day)}
+			}},
+		// tj_sjwzl_r: one (day, user type) combination holds 0.1%
+		// (U#3): 36 days × 5 user types ≈ 180 cells, one cell
+		// weighted to exactly 0.1%.
+		{"tj_sjwzl_r", 73569360, "rq STRING, rcjl DOUBLE, yhlx BIGINT",
+			func(g *gridGen, i int) datum.Row {
+				rq := g.day()
+				yhlx := int64(g.rng.Intn(5))
+				if g.rng.Float64() < 0.001 {
+					rq, yhlx = "2014-04-03", 9 // U#3 target cell
+				}
+				return datum.Row{datum.String_(rq), datum.Float(g.rng.Float64() * 100), datum.Int(yhlx)}
+			}},
+		// tj_dysjwzl_mx: 3% in one (day, point-missing flag) cell (U#4).
+		{"tj_dysjwzl_mx", 382890014, "rq STRING, sfld BIGINT, cjfs BIGINT",
+			func(g *gridGen, i int) datum.Row {
+				rq := g.day()
+				sfld := int64(g.rng.Intn(2))
+				if g.rng.Float64() < 0.03 {
+					rq, sfld = "2014-04-04", 7 // U#4 target
+				}
+				return datum.Row{datum.String_(rq), datum.Int(sfld), datum.Int(int64(g.rng.Intn(4)))}
+			}},
+		// tj_sjwzl_y: monthly stats; one month holds 4% (D#1).
+		{"tj_sjwzl_y", 2586120, "rq STRING",
+			func(g *gridGen, i int) datum.Row {
+				rq := fmt.Sprintf("2014-%02d-01", 1+g.rng.Intn(24)%12)
+				if g.rng.Float64() < 0.04 {
+					rq = "2013-11-01" // D#1 target month
+				}
+				return datum.Row{datum.String_(rq)}
+			}},
+		// tj_gk: 3% in one (org, marker) cell (D#3).
+		{"tj_gk", 30655920, "rq STRING, dwdm STRING, bz BIGINT",
+			func(g *gridGen, i int) datum.Row {
+				dwdm := g.org()
+				bz := int64(g.rng.Intn(3))
+				if g.rng.Float64() < 0.03 {
+					dwdm, bz = "ORG-GK", 9 // D#3 target
+				}
+				return datum.Row{datum.String_(g.day()), datum.String_(dwdm), datum.Int(bz)}
+			}},
+	}
+}
+
+func (g *gridGen) day() string {
+	return g.days[g.rng.Intn(len(g.days))]
+}
+
+func (g *gridGen) org() string {
+	return fmt.Sprintf("ORG%03d", g.rng.Intn(50))
+}
+
+// days36 generates the uniformly distributed day labels.
+func days36(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("2014-03-%02d", i+1)
+		if i >= 31 {
+			out[i] = fmt.Sprintf("2014-04-%02d", i-30)
+		}
+	}
+	return out
+}
+
+// Rows generates the scaled rows of one grid table.
+func (t GridTable) Rows(cfg GridConfig) []datum.Row {
+	n := int(float64(t.PaperRows) * cfg.Scale)
+	if n < 36 {
+		n = 36
+	}
+	g := &gridGen{
+		rng:  rand.New(rand.NewSource(cfg.Seed + int64(len(t.Name)*7919))),
+		cfg:  cfg,
+		days: days36(cfg.Days),
+	}
+	rows := make([]datum.Row, n)
+	hex := []byte("0123456789abcdef")
+	buf := make([]byte, 14)
+	for i := range rows {
+		row := t.gen(g, i)
+		for f := 0; f < cfg.FillerColumns; f++ {
+			// High-entropy filler resists columnar compression the way
+			// the paper's measurement payloads do, keeping bytes/row
+			// realistic for >50-column production tables.
+			for j := range buf {
+				buf[j] = hex[g.rng.Intn(16)]
+			}
+			row = append(row, datum.String_(string(buf)))
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// CreateSQL returns the CREATE TABLE statement for the table.
+func (t GridTable) CreateSQL(cfg GridConfig) string {
+	cols := t.Columns
+	for f := 0; f < cfg.FillerColumns; f++ {
+		cols += fmt.Sprintf(", filler%d STRING", f)
+	}
+	storage := cfg.Storage
+	if storage == "" {
+		storage = "DUALTABLE"
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s) STORED AS %s", t.Name, cols, storage)
+}
+
+// SetupGrid creates and loads the given grid tables on the engine.
+func SetupGrid(e *hive.Engine, cfg GridConfig, tables []GridTable) error {
+	if cfg.Days <= 0 {
+		cfg.Days = 36
+	}
+	for _, t := range tables {
+		if _, err := e.Execute(t.CreateSQL(cfg)); err != nil {
+			return err
+		}
+		if _, err := e.BulkLoad(t.Name, t.Rows(cfg)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableIVStatement is one of the paper's eight representative real
+// statements (Table IV), with its reported modification ratio and
+// the paper's measured run times.
+type TableIVStatement struct {
+	ID        string
+	Semantics string
+	Ratio     float64
+	SQL       string
+	Table     string
+	PaperHive float64 // seconds, paper Table IV
+	PaperDual float64 // seconds, paper Table IV
+}
+
+// TableIV returns the eight statements of the paper's Table IV,
+// against the Table III data set.
+func TableIV() []TableIVStatement {
+	return []TableIVStatement{
+		{"U#1", "Set area code of outage events at a specified time", 0.02,
+			`UPDATE tj_tdjl SET qym = '339999' WHERE tdsj = '2014-04-01 02:00:00'`,
+			"tj_tdjl", 159.81, 51.39},
+		{"U#2", "Mark outage recovery times earlier than start as error", 0.05,
+			`UPDATE tj_td SET hfsj = '0000-00-00 00:00:00' WHERE hfsj < tdsj`,
+			"tj_td", 104.90, 60.81},
+		{"U#3", "Set sampling rate for a specified date and user type", 0.001,
+			`UPDATE tj_sjwzl_r SET rcjl = 96.0 WHERE rq = '2014-04-03' AND yhlx = 9`,
+			"tj_sjwzl_r", 389.19, 47.52},
+		{"U#4", "Set collection method for a specified day and user type", 0.03,
+			`UPDATE tj_dysjwzl_mx SET cjfs = 2 WHERE rq = '2014-04-04' AND sfld = 7`,
+			"tj_dysjwzl_mx", 1577.87, 161.73},
+		{"D#1", "Delete records of a specified month", 0.04,
+			`DELETE FROM tj_sjwzl_y WHERE rq = '2013-11-01'`,
+			"tj_sjwzl_y", 46.26, 22.47},
+		{"D#2", "Delete records of a specified area code", 0.05,
+			`DELETE FROM tj_tdjl WHERE qym = '330100'`,
+			"tj_tdjl", 102.04, 47.26},
+		{"D#3", "Delete records of a specified org code and marker", 0.03,
+			`DELETE FROM tj_gk WHERE dwdm = 'ORG-GK' AND bz = 9`,
+			"tj_gk", 147.87, 34.97},
+		{"D#4", "Delete records of a specified terminal and outage time", 0.0001,
+			`DELETE FROM tj_tdjl WHERE zdjh = 777777 AND tdsj = '2014-04-02 05:30:00'`,
+			"tj_tdjl", 140.94, 29.47},
+	}
+}
+
+// GridQuery1 is the paper's first read-performance statement: a
+// filtered three-way join of yh_gbjld with zc_zdzc and zd_gbcld.
+const GridQuery1 = `SELECT j.dwdm, COUNT(*) AS cnt
+	FROM yh_gbjld j
+	JOIN zc_zdzc z ON j.dwdm = z.dwdm
+	JOIN zd_gbcld c ON z.zdjh = c.zdjh
+	WHERE j.sfyzx = 0 AND j.gddy > 215.0
+	GROUP BY j.dwdm`
+
+// GridQuery2 is the paper's second statement: count the largest
+// table.
+const GridQuery2 = `SELECT COUNT(*) FROM tj_gbsjwzl_mx`
+
+// GridUpdateByDays builds the Fig. 5 statement updating records of
+// the first n of 36 days.
+func GridUpdateByDays(table string, n int) string {
+	return fmt.Sprintf("UPDATE %s SET dwdm = 'UPDATED' WHERE rq < '%s'", table, dayBound(n))
+}
+
+// GridDeleteByDays builds the Fig. 6 statement deleting the first n
+// of 36 days.
+func GridDeleteByDays(table string, n int) string {
+	return fmt.Sprintf("DELETE FROM %s WHERE rq < '%s'", table, dayBound(n))
+}
+
+// dayBound returns the exclusive upper bound date covering the first
+// n days of the 36-day layout.
+func dayBound(n int) string {
+	days := days36(36)
+	if n <= 0 {
+		return days[0]
+	}
+	if n >= len(days) {
+		return "2014-12-31"
+	}
+	return days[n]
+}

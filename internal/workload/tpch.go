@@ -1,0 +1,212 @@
+// Package workload generates the two data sets of the paper's
+// evaluation (§VI): a synthetic State Grid electricity-information
+// data set reproducing the schemas of Tables II and III, and a
+// TPC-H-style data set (lineitem and orders, the two largest TPC-H
+// tables, used by Figures 11–18). Both are deterministic given a
+// seed and scale down the paper's record counts by a configurable
+// factor.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/hive"
+)
+
+// TPCHConfig scales the TPC-H-style generator. The paper uses a 30 GB
+// data set with 0.18 billion lineitem rows and 45 million orders; the
+// default scale produces the same 4:1 row ratio at laptop size.
+type TPCHConfig struct {
+	LineitemRows int
+	OrdersRows   int
+	Seed         int64
+	// Storage is the STORED AS format for created tables.
+	Storage string
+}
+
+// DefaultTPCHConfig returns a laptop-scale configuration preserving
+// the paper's lineitem:orders proportions.
+func DefaultTPCHConfig() TPCHConfig {
+	return TPCHConfig{LineitemRows: 20000, OrdersRows: 5000, Seed: 62701, Storage: "DUALTABLE"}
+}
+
+// LineitemSchema is the TPC-H lineitem schema (16 columns).
+const LineitemSchema = `l_orderkey BIGINT, l_partkey BIGINT, l_suppkey BIGINT,
+	l_linenumber BIGINT, l_quantity DOUBLE, l_extendedprice DOUBLE,
+	l_discount DOUBLE, l_tax DOUBLE, l_returnflag STRING, l_linestatus STRING,
+	l_shipdate STRING, l_commitdate STRING, l_receiptdate STRING,
+	l_shipinstruct STRING, l_shipmode STRING, l_comment STRING`
+
+// OrdersSchema is the TPC-H orders schema (9 columns).
+const OrdersSchema = `o_orderkey BIGINT, o_custkey BIGINT, o_orderstatus STRING,
+	o_totalprice DOUBLE, o_orderdate STRING, o_orderpriority STRING,
+	o_clerk STRING, o_shippriority BIGINT, o_comment STRING`
+
+var (
+	returnFlags   = []string{"N", "R", "A"}
+	lineStatuses  = []string{"O", "F"}
+	shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipModes     = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	orderPrios    = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	orderStatuses = []string{"O", "F", "P"}
+)
+
+// tpchDate renders a date in 1992..1998, the TPC-H date domain.
+func tpchDate(rng *rand.Rand) string {
+	y := 1992 + rng.Intn(7)
+	m := 1 + rng.Intn(12)
+	d := 1 + rng.Intn(28)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// GenLineitem produces n lineitem rows. Order keys follow the TPC-H
+// pattern of 1–7 lines per order.
+func GenLineitem(n int, seed int64) []datum.Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]datum.Row, 0, n)
+	orderKey := int64(0)
+	line := 8 // force a new order at start
+	for len(rows) < n {
+		if line > 1+rng.Intn(7) {
+			orderKey++
+			line = 1
+		}
+		qty := float64(1 + rng.Intn(50))
+		price := qty * (900 + rng.Float64()*10000) / 10
+		rows = append(rows, datum.Row{
+			datum.Int(orderKey),
+			datum.Int(int64(1 + rng.Intn(200000))),
+			datum.Int(int64(1 + rng.Intn(10000))),
+			datum.Int(int64(line)),
+			datum.Float(qty),
+			datum.Float(price),
+			datum.Float(float64(rng.Intn(11)) / 100),
+			datum.Float(float64(rng.Intn(9)) / 100),
+			datum.String_(returnFlags[rng.Intn(len(returnFlags))]),
+			datum.String_(lineStatuses[rng.Intn(len(lineStatuses))]),
+			datum.String_(tpchDate(rng)),
+			datum.String_(tpchDate(rng)),
+			datum.String_(tpchDate(rng)),
+			datum.String_(shipInstructs[rng.Intn(len(shipInstructs))]),
+			datum.String_(shipModes[rng.Intn(len(shipModes))]),
+			datum.String_(comment(rng, 10, 43)),
+		})
+		line++
+	}
+	return rows
+}
+
+// GenOrders produces n orders rows.
+func GenOrders(n int, seed int64) []datum.Row {
+	rng := rand.New(rand.NewSource(seed + 1))
+	rows := make([]datum.Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, datum.Row{
+			datum.Int(int64(i + 1)),
+			datum.Int(int64(1 + rng.Intn(150000))),
+			datum.String_(orderStatuses[rng.Intn(len(orderStatuses))]),
+			datum.Float(1000 + rng.Float64()*500000),
+			datum.String_(tpchDate(rng)),
+			datum.String_(orderPrios[rng.Intn(len(orderPrios))]),
+			datum.String_(fmt.Sprintf("Clerk#%09d", rng.Intn(1000))),
+			datum.Int(0),
+			datum.String_(comment(rng, 19, 78)),
+		})
+	}
+	return rows
+}
+
+var commentWords = []string{
+	"furiously", "quickly", "carefully", "blithely", "ironic", "final",
+	"pending", "express", "regular", "special", "deposits", "packages",
+	"accounts", "requests", "instructions", "theodolites", "pinto", "beans",
+	"foxes", "dependencies", "platelets", "asymptotes",
+}
+
+func comment(rng *rand.Rand, minLen, maxLen int) string {
+	target := minLen + rng.Intn(maxLen-minLen+1)
+	out := ""
+	for len(out) < target {
+		if out != "" {
+			out += " "
+		}
+		out += commentWords[rng.Intn(len(commentWords))]
+	}
+	if len(out) > maxLen {
+		out = out[:maxLen]
+	}
+	return out
+}
+
+// SetupTPCH creates and loads lineitem and orders on the engine.
+func SetupTPCH(e *hive.Engine, cfg TPCHConfig) error {
+	if cfg.Storage == "" {
+		cfg.Storage = "DUALTABLE"
+	}
+	stmts := []string{
+		fmt.Sprintf("CREATE TABLE lineitem (%s) STORED AS %s", LineitemSchema, cfg.Storage),
+		fmt.Sprintf("CREATE TABLE orders (%s) STORED AS %s", OrdersSchema, cfg.Storage),
+	}
+	for _, s := range stmts {
+		if _, err := e.Execute(s); err != nil {
+			return err
+		}
+	}
+	if _, err := e.BulkLoad("lineitem", GenLineitem(cfg.LineitemRows, cfg.Seed)); err != nil {
+		return err
+	}
+	if _, err := e.BulkLoad("orders", GenOrders(cfg.OrdersRows, cfg.Seed)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TPCH queries used in the evaluation (§VI-B). QueryA is TPC-H Q1
+// (pricing summary), QueryB is a Q12-style shipmode/priority join,
+// QueryC is a full count of lineitem.
+const (
+	// QueryA: TPC-H Q1 over the whole table (the paper's Query-a).
+	QueryA = `SELECT l_returnflag, l_linestatus,
+		SUM(l_quantity) AS sum_qty,
+		SUM(l_extendedprice) AS sum_base_price,
+		SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+		SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+		AVG(l_quantity) AS avg_qty,
+		AVG(l_extendedprice) AS avg_price,
+		AVG(l_discount) AS avg_disc,
+		COUNT(*) AS count_order
+	FROM lineitem
+	WHERE l_shipdate <= '1998-09-02'
+	GROUP BY l_returnflag, l_linestatus
+	ORDER BY l_returnflag, l_linestatus`
+
+	// QueryB: TPC-H Q12 (shipping modes and order priority).
+	QueryB = `SELECT l.l_shipmode,
+		SUM(IF(o.o_orderpriority = '1-URGENT' OR o.o_orderpriority = '2-HIGH', 1, 0)) AS high_line_count,
+		SUM(IF(o.o_orderpriority != '1-URGENT' AND o.o_orderpriority != '2-HIGH', 1, 0)) AS low_line_count
+	FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+	WHERE l.l_shipmode IN ('MAIL', 'SHIP')
+	  AND l.l_commitdate < l.l_receiptdate
+	  AND l.l_shipdate < l.l_commitdate
+	  AND l.l_receiptdate >= '1994-01-01'
+	GROUP BY l.l_shipmode ORDER BY l.l_shipmode`
+
+	// QueryC: count the whole lineitem table (the paper's Query-c).
+	QueryC = `SELECT COUNT(*) FROM lineitem`
+)
+
+// The Fig. 12 DML statements. DMLA updates 5% of lineitem, DMLB
+// deletes 2% of lineitem, DMLC joins lineitem and orders and updates
+// ~16% of orders (max line quantity > 48 selects ≈1−(48/50)^4 of
+// orders), mirroring the paper's "DML-c joins lineitem and order and
+// updates 16% of order".
+const (
+	DMLA = `UPDATE lineitem SET l_comment = 'updated by dml-a'
+		WHERE l_partkey % 20 = 0`
+	DMLB = `DELETE FROM lineitem WHERE l_partkey % 50 = 0`
+	DMLC = `UPDATE orders o SET o_comment = 'updated by dml-c'
+		WHERE (SELECT MAX(l.l_quantity) FROM lineitem l
+		       WHERE l.l_orderkey = o.o_orderkey) > 48`
+)
