@@ -1,7 +1,10 @@
 // Command dtsql is an interactive SQL shell over an in-memory
 // DualTable cluster — a stand-in for the Hive CLI of the paper's
-// Figure 3. Statements end with ';'. Meta commands: \q quits,
-// \plans shows the cost-model decision log, \t toggles timing.
+// Figure 3. The shell runs on its own *dualtable.Session, so SET
+// statements (e.g. SET dualtable.force.plan = EDIT) apply to this
+// shell only; a bare SET lists the session's settings. Statements end
+// with ';'. Meta commands: \q quits, \plans shows this session's
+// cost-model decision log, \set lists settings, \t toggles timing.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	sess := db.Session()
 
 	if *script != "" {
 		data, err := os.ReadFile(*script)
@@ -39,7 +43,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		rs, err := db.ExecScript(string(data))
+		rs, err := sess.ExecScript(string(data))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -50,7 +54,8 @@ func main() {
 
 	if !*quiet {
 		fmt.Printf("DualTable SQL shell — simulated %s cluster\n", cfg.Cluster.Name)
-		fmt.Println(`Statements end with ';'.  \q quits, \plans shows plan decisions, \t toggles timing.`)
+		fmt.Println(`Statements end with ';'.  SET key = value configures this session.`)
+		fmt.Println(`\q quits, \plans shows plan decisions, \set lists settings, \t toggles timing.`)
 	}
 	timing := true
 	sc := bufio.NewScanner(os.Stdin)
@@ -75,8 +80,14 @@ func main() {
 			fmt.Println("timing:", timing)
 			prompt()
 			continue
+		case `\set`:
+			for _, kv := range sess.Settings() {
+				fmt.Printf("%s = %s\n", kv[0], kv[1])
+			}
+			prompt()
+			continue
 		case `\plans`:
-			for _, d := range db.PlanLog() {
+			for _, d := range sess.PlanLog() {
 				fmt.Printf("%-9s ratio=%.4f (%s) Δ=%.2fs  %s\n", d.Plan, d.Ratio, d.RatioSrc, d.CostDelta, d.Statement)
 			}
 			prompt()
@@ -90,7 +101,7 @@ func main() {
 		}
 		sqlText := buf.String()
 		buf.Reset()
-		rs, err := db.ExecScript(sqlText)
+		rs, err := sess.ExecScript(sqlText)
 		if err != nil {
 			fmt.Println("ERROR:", err)
 		} else {

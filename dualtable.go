@@ -6,14 +6,39 @@
 // DualTable storage handler, whose cost model picks between OVERWRITE
 // and EDIT plans for UPDATE/DELETE at run time.
 //
-// Quick start:
+// The API is organized around sessions, in the database/sql idiom.
+// A *Session owns its settings (plan forcing, cost-model k, ratio
+// hints — also reachable via SQL "SET key = value"), so concurrent
+// clients with conflicting configurations never interfere:
 //
 //	db, _ := dualtable.Open(dualtable.DefaultConfig())
-//	db.MustExec(`CREATE TABLE t (id BIGINT, v DOUBLE) STORED AS DUALTABLE`)
-//	db.MustExec(`INSERT INTO t VALUES (1, 10.0), (2, 20.0)`)
-//	db.MustExec(`UPDATE t SET v = 99.0 WHERE id = 2`)
-//	rs, _ := db.Exec(`SELECT * FROM t ORDER BY id`)
-//	fmt.Println(rs.Rows)
+//	sess := db.Session()
+//	sess.MustExec(`CREATE TABLE t (id BIGINT, v DOUBLE) STORED AS DUALTABLE`)
+//	sess.MustExec(`INSERT INTO t VALUES (1, 10.0), (2, 20.0)`)
+//	sess.MustExec(`SET dualtable.force.plan = EDIT`)
+//	sess.MustExec(`UPDATE t SET v = 99.0 WHERE id = 2`)
+//
+// Prepared statements parse once (shared through an LRU plan cache)
+// and bind '?' placeholders per execution:
+//
+//	ins, _ := sess.Prepare(`INSERT INTO t VALUES (?, ?)`)
+//	ins.Exec(int64(3), 30.0)
+//	ins.Exec(int64(4), 40.0)
+//
+// Queries stream: Session.Query returns a *Rows iterator that
+// delivers rows while the MapReduce job runs, in bounded memory, and
+// aborts the job on early Close or context cancellation:
+//
+//	rows, _ := sess.QueryContext(ctx, `SELECT id, v FROM t WHERE v > 15.0`)
+//	defer rows.Close()
+//	for rows.Next() {
+//		var id int64
+//		var v float64
+//		rows.Scan(&id, &v)
+//	}
+//
+// The one-shot DB.Exec/DB.MustExec helpers remain as conveniences
+// over a default session.
 package dualtable
 
 import (
@@ -56,13 +81,17 @@ func DefaultConfig() Config {
 }
 
 // DB is an open DualTable instance: the SQL engine plus handles to
-// every substrate for advanced use and instrumentation.
+// every substrate for advanced use and instrumentation. Sessions
+// created with DB.Session are the intended query interface; the DB
+// methods operate on a shared default session.
 type DB struct {
 	Engine  *hive.Engine
 	FS      *dfs.FileSystem
 	KV      *kvstore.Cluster
 	MR      *mapred.Cluster
 	Handler *core.Handler
+
+	def *Session
 }
 
 // ResultSet re-exports the engine result type.
@@ -110,15 +139,17 @@ func Open(cfg Config) (*DB, error) {
 	if _, err := acid.Register(engine); err != nil {
 		return nil, err
 	}
-	return &DB{Engine: engine, FS: fs, KV: kv, MR: mr, Handler: handler}, nil
+	db := &DB{Engine: engine, FS: fs, KV: kv, MR: mr, Handler: handler}
+	db.def = db.Session()
+	return db, nil
 }
 
-// Exec runs one SQL statement.
-func (db *DB) Exec(sql string) (*ResultSet, error) { return db.Engine.Execute(sql) }
+// Exec runs one SQL statement on the default session.
+func (db *DB) Exec(sql string) (*ResultSet, error) { return db.def.Exec(sql) }
 
-// ExecScript runs a semicolon-separated script, returning the last
-// result.
-func (db *DB) ExecScript(sql string) (*ResultSet, error) { return db.Engine.ExecuteScript(sql) }
+// ExecScript runs a semicolon-separated script on the default
+// session, returning the last result.
+func (db *DB) ExecScript(sql string) (*ResultSet, error) { return db.def.ExecScript(sql) }
 
 // MustExec runs a statement and panics on error (examples, tests).
 func (db *DB) MustExec(sql string) *ResultSet {
@@ -130,20 +161,22 @@ func (db *DB) MustExec(sql string) *ResultSet {
 }
 
 // SetForcePlan forces EDIT or OVERWRITE plans on DualTable DML
-// ("" restores cost-model selection) — the knob behind the paper's
-// "DualTable EDIT" experiment lines.
+// process-wide ("" restores cost-model selection) — the knob behind
+// the paper's "DualTable EDIT" experiment lines. Sessions that set
+// their own "dualtable.force.plan" are unaffected.
 func (db *DB) SetForcePlan(plan string) { db.Handler.SetForcePlan(plan) }
 
-// SetFollowingReads sets the cost model's k.
+// SetFollowingReads sets the cost model's k process-wide.
 func (db *DB) SetFollowingReads(k float64) { db.Handler.SetFollowingReads(k) }
 
 // SetRatioHint pins the modification-ratio estimate of a DML
-// statement (the designer-given α/β of the paper's §IV).
+// statement (the designer-given α/β of the paper's §IV) process-wide.
 func (db *DB) SetRatioHint(sql string, ratio float64) error {
 	return db.Handler.SetRatioHint(sql, ratio)
 }
 
-// PlanLog returns the DualTable cost-model decisions made so far.
+// PlanLog returns the DualTable cost-model decisions made so far,
+// across all sessions.
 func (db *DB) PlanLog() []core.PlanDecision { return db.Handler.PlanLog() }
 
 // CostModel exposes the §IV model for direct evaluation.

@@ -1,8 +1,11 @@
-// Quickstart: create a DUALTABLE, load data, update and delete rows,
-// watch the cost model pick plans, and compact.
+// Quickstart for the session API: open a session, create a DUALTABLE,
+// load data with a prepared statement, update through the cost model,
+// stream a query, and watch two sessions with conflicting settings
+// coexist.
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"dualtable"
@@ -13,48 +16,87 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	sess := db.Session()
 
 	// A DualTable: ORC master files on the simulated HDFS plus an
 	// attached table in the simulated HBase.
-	db.MustExec(`CREATE TABLE meters (
+	sess.MustExec(`CREATE TABLE meters (
 		meter_id BIGINT, day STRING, kwh DOUBLE, status STRING
 	) STORED AS DUALTABLE`)
 
-	db.MustExec(`INSERT INTO meters VALUES
-		(1, '2014-04-01', 12.5, 'ok'),
-		(2, '2014-04-01', 8.25, 'ok'),
-		(3, '2014-04-01', 0.0,  'missing'),
-		(4, '2014-04-01', 0.0,  'missing'),
-		(1, '2014-04-02', 11.0, 'ok'),
-		(2, '2014-04-02', 9.75, 'ok'),
-		(3, '2014-04-02', 7.5,  'ok')`)
+	// Prepared statements parse once and bind '?' arguments per
+	// execution — the fast path for repeated loads.
+	ins, err := sess.Prepare(`INSERT INTO meters VALUES (?, ?, ?, ?)`)
+	if err != nil {
+		panic(err)
+	}
+	type reading struct {
+		meter  int64
+		day    string
+		kwh    float64
+		status string
+	}
+	for _, r := range []reading{
+		{1, "2014-04-01", 12.5, "ok"},
+		{2, "2014-04-01", 8.25, "ok"},
+		{3, "2014-04-01", 0.0, "missing"},
+		{4, "2014-04-01", 0.0, "missing"},
+		{1, "2014-04-02", 11.0, "ok"},
+		{2, "2014-04-02", 9.75, "ok"},
+		{3, "2014-04-02", 7.5, "ok"},
+	} {
+		if _, err := ins.Exec(r.meter, r.day, r.kwh, r.status); err != nil {
+			panic(err)
+		}
+	}
 
 	// A recollection arrives for meter 3 on 04-01: a row-level UPDATE,
 	// which plain Hive cannot express without rewriting the table.
-	rs := db.MustExec(`UPDATE meters SET kwh = 6.8, status = 'recollected'
+	rs := sess.MustExec(`UPDATE meters SET kwh = 6.8, status = 'recollected'
 		WHERE meter_id = 3 AND day = '2014-04-01'`)
 	fmt.Printf("update: %d row(s), plan %s, %.2f simulated cluster seconds\n",
 		rs.Affected, rs.Plan, rs.SimSeconds)
 
 	// Reads go through UNION READ: master rows merged with the
-	// attached table's modifications.
-	rs = db.MustExec(`SELECT day, SUM(kwh) AS total FROM meters GROUP BY day ORDER BY day`)
-	for _, row := range rs.Rows {
-		fmt.Println(" ", row)
+	// attached table's modifications. Rows stream from the MapReduce
+	// output under a cancellable context.
+	rows, err := sess.QueryContext(context.Background(),
+		`SELECT meter_id, day, kwh FROM meters WHERE status = 'ok' OR status = 'recollected'`)
+	if err != nil {
+		panic(err)
 	}
+	for rows.Next() {
+		var meter int64
+		var day string
+		var kwh float64
+		if err := rows.Scan(&meter, &day, &kwh); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  meter %d %s: %.2f kWh\n", meter, day, kwh)
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	rows.Close()
 
-	// Delete a bad row; the EDIT plan writes one delete marker.
-	db.MustExec(`DELETE FROM meters WHERE status = 'missing'`)
+	// Session settings replace the old process-global knobs: this
+	// second session forces EDIT plans without affecting the first.
+	edit := db.Session()
+	edit.MustExec(`SET dualtable.force.plan = EDIT`)
+	edit.MustExec(`DELETE FROM meters WHERE status = 'missing'`)
 
 	// COMPACT folds the attached table back into a fresh master.
-	rs = db.MustExec(`COMPACT TABLE meters`)
+	rs = sess.MustExec(`COMPACT TABLE meters`)
 	fmt.Printf("compact: %.2f simulated cluster seconds\n", rs.SimSeconds)
 
-	rs = db.MustExec(`SELECT COUNT(*) FROM meters`)
+	rs = sess.MustExec(`SELECT COUNT(*) FROM meters`)
 	fmt.Printf("rows after compact: %s\n", rs.Rows[0])
 
-	// Every DML decision the cost model made:
-	for _, d := range db.PlanLog() {
-		fmt.Printf("plan log: %-9s ratio=%.4f (%s)  %s\n", d.Plan, d.Ratio, d.RatioSrc, d.Statement)
+	// Each session logs exactly the decisions it caused.
+	for _, d := range sess.PlanLog() {
+		fmt.Printf("session 1: %-9s ratio=%.4f (%s)  %s\n", d.Plan, d.Ratio, d.RatioSrc, d.Statement)
+	}
+	for _, d := range edit.PlanLog() {
+		fmt.Printf("session 2: %-9s ratio=%.4f (%s)  %s\n", d.Plan, d.Ratio, d.RatioSrc, d.Statement)
 	}
 }

@@ -1,0 +1,3 @@
+module dualtable
+
+go 1.24

@@ -431,7 +431,7 @@ func (r *acidReader) Close() error { return r.fr.Close() }
 // the delta tables. It could not make better decisions at runtime.")
 
 // ExecUpdate writes full updated records into a fresh delta.
-func (h *Handler) ExecUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error) {
+func (h *Handler) ExecUpdate(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error) {
 	alias := stmt.Alias
 	if alias == "" {
 		alias = stmt.Table
@@ -439,7 +439,7 @@ func (h *Handler) ExecUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sq
 	var whereFn func(datum.Row) (datum.Datum, error)
 	var err error
 	if stmt.Where != nil {
-		whereFn, err = e.CompileRowExpr(stmt.Where, stmt.Table, alias, desc.Schema)
+		whereFn, err = e.CompileRowExpr(ec, stmt.Where, stmt.Table, alias, desc.Schema)
 		if err != nil {
 			return 0, "", err
 		}
@@ -451,13 +451,13 @@ func (h *Handler) ExecUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sq
 	var sets []setCol
 	for _, s := range stmt.Sets {
 		idx := desc.Schema.ColumnIndex(s.Column)
-		fn, err := e.CompileRowExpr(s.Value, stmt.Table, alias, desc.Schema)
+		fn, err := e.CompileRowExpr(ec, s.Value, stmt.Table, alias, desc.Schema)
 		if err != nil {
 			return 0, "", err
 		}
 		sets = append(sets, setCol{idx: idx, fn: fn})
 	}
-	n, err := h.runDeltaJob(e, desc, m, func(tm *sim.Meter, row datum.Row, rid uint64, emitDelta func(deltaEntry) error) (bool, error) {
+	n, err := h.runDeltaJob(ec, e, desc, m, func(tm *sim.Meter, row datum.Row, rid uint64, emitDelta func(deltaEntry) error) (bool, error) {
 		if whereFn != nil {
 			ok, err := whereFn(row)
 			if err != nil {
@@ -487,7 +487,7 @@ func (h *Handler) ExecUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sq
 }
 
 // ExecDelete writes delete records into a fresh delta.
-func (h *Handler) ExecDelete(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error) {
+func (h *Handler) ExecDelete(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error) {
 	alias := stmt.Alias
 	if alias == "" {
 		alias = stmt.Table
@@ -495,7 +495,7 @@ func (h *Handler) ExecDelete(e *hive.Engine, desc *metastore.TableDesc, stmt *sq
 	var whereFn func(datum.Row) (datum.Datum, error)
 	var err error
 	if stmt.Where != nil {
-		whereFn, err = e.CompileRowExpr(stmt.Where, stmt.Table, alias, desc.Schema)
+		whereFn, err = e.CompileRowExpr(ec, stmt.Where, stmt.Table, alias, desc.Schema)
 		if err != nil {
 			return 0, "", err
 		}
@@ -504,7 +504,7 @@ func (h *Handler) ExecDelete(e *hive.Engine, desc *metastore.TableDesc, stmt *sq
 	for i := range blank {
 		blank[i] = datum.Null
 	}
-	n, err := h.runDeltaJob(e, desc, m, func(tm *sim.Meter, row datum.Row, rid uint64, emitDelta func(deltaEntry) error) (bool, error) {
+	n, err := h.runDeltaJob(ec, e, desc, m, func(tm *sim.Meter, row datum.Row, rid uint64, emitDelta func(deltaEntry) error) (bool, error) {
 		if whereFn != nil {
 			ok, err := whereFn(row)
 			if err != nil {
@@ -521,7 +521,7 @@ func (h *Handler) ExecDelete(e *hive.Engine, desc *metastore.TableDesc, stmt *sq
 
 // runDeltaJob scans the table (merge-on-read) and streams matching
 // records into one new delta file per map task, under one transaction.
-func (h *Handler) runDeltaJob(e *hive.Engine, desc *metastore.TableDesc, m *sim.Meter,
+func (h *Handler) runDeltaJob(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, m *sim.Meter,
 	visit func(tm *sim.Meter, row datum.Row, rid uint64, emitDelta func(deltaEntry) error) (bool, error)) (int64, error) {
 	splits, err := h.Splits(desc, hive.ScanOptions{})
 	if err != nil {
@@ -556,7 +556,7 @@ func (h *Handler) runDeltaJob(e *hive.Engine, desc *metastore.TableDesc, m *sim.
 			return dm
 		},
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		return 0, err
 	}

@@ -283,7 +283,7 @@ func TestFollowingReadsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 	desc, _ := e.MS.Get("m")
-	w, _, err := h.workloadFor(desc, nil, nil, nil)
+	w, _, err := h.workloadFor(nil, desc, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

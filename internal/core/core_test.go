@@ -505,7 +505,7 @@ func TestUnionReadSkipsOrphanAttachedEntries(t *testing.T) {
 func TestPlanLogBounded(t *testing.T) {
 	_, h := testEngine(t)
 	for i := 0; i < 1100; i++ {
-		h.logPlan(PlanDecision{Table: "t"})
+		h.logPlan(nil, PlanDecision{Table: "t"})
 	}
 	if n := len(h.PlanLog()); n != 1024 {
 		t.Errorf("plan log length = %d", n)

@@ -20,35 +20,35 @@ import (
 // INSERT OVERWRITE rewrite, EDIT runs the UPDATE UDTF — a map-only
 // job over UNION READ splits that writes the new values of changed
 // cells into the attached table keyed by record ID.
-func (h *Handler) ExecUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error) {
-	w, ratioSrc, err := h.workloadFor(desc, stmt.Where, stmt, nil)
+func (h *Handler) ExecUpdate(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error) {
+	w, ratioSrc, err := h.workloadFor(ec, desc, stmt.Where, stmt, nil)
 	if err != nil {
 		return 0, "", err
 	}
 	plan, delta := h.model.ChooseUpdate(w)
-	plan = h.applyForce(plan)
-	h.logPlan(PlanDecision{
+	plan = h.applyForce(ec, plan)
+	h.logPlan(ec, PlanDecision{
 		Table: desc.Name, Statement: stmt.String(), Plan: plan,
 		Ratio: w.Ratio, RatioSrc: ratioSrc, CostDelta: delta,
 	})
 	if plan == costmodel.PlanOverwrite {
-		n, err := h.runOverwriteUpdate(e, desc, stmt, m)
+		n, err := h.runOverwriteUpdate(ec, e, desc, stmt, m)
 		return n, "OVERWRITE", err
 	}
-	n, err := h.runEditUpdate(e, desc, stmt, m, w)
+	n, err := h.runEditUpdate(ec, e, desc, stmt, m, w)
 	return n, "EDIT", err
 }
 
 // ExecDelete implements DELETE with the same plan selection; the EDIT
 // plan's DELETE UDTF puts one delete marker per matching record.
-func (h *Handler) ExecDelete(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error) {
-	w, ratioSrc, err := h.workloadFor(desc, stmt.Where, nil, stmt)
+func (h *Handler) ExecDelete(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error) {
+	w, ratioSrc, err := h.workloadFor(ec, desc, stmt.Where, nil, stmt)
 	if err != nil {
 		return 0, "", err
 	}
 	plan, delta := h.model.ChooseDelete(w)
-	plan = h.applyForce(plan)
-	h.logPlan(PlanDecision{
+	plan = h.applyForce(ec, plan)
+	h.logPlan(ec, PlanDecision{
 		Table: desc.Name, Statement: stmt.String(), Plan: plan,
 		Ratio: w.Ratio, RatioSrc: ratioSrc, CostDelta: delta,
 	})
@@ -57,21 +57,26 @@ func (h *Handler) ExecDelete(e *hive.Engine, desc *metastore.TableDesc, stmt *sq
 		if err != nil {
 			return 0, "", err
 		}
-		rs, err := e.ExecuteStmt(ins)
+		rs, err := e.ExecuteStmtCtx(ec, ins)
 		if err != nil {
 			return 0, "", err
 		}
 		m.AddSeconds(rs.SimSeconds)
 		return rs.Affected, "OVERWRITE", nil
 	}
-	n, err := h.runEditDelete(e, desc, stmt, m, w)
+	n, err := h.runEditDelete(ec, e, desc, stmt, m, w)
 	return n, "EDIT", err
 }
 
-func (h *Handler) applyForce(plan costmodel.Plan) costmodel.Plan {
-	h.mu.Lock()
-	force := h.opts.ForcePlan
-	h.mu.Unlock()
+// applyForce resolves plan forcing: the session's
+// "dualtable.force.plan" setting wins when present (even when empty,
+// which restores cost-model selection); otherwise the handler-level
+// knob applies.
+func (h *Handler) applyForce(ec *hive.ExecContext, plan costmodel.Plan) costmodel.Plan {
+	force, ok := ec.Var(hive.VarForcePlan)
+	if !ok {
+		force = h.forcePlan()
+	}
 	switch strings.ToUpper(force) {
 	case "EDIT":
 		return costmodel.PlanEdit
@@ -86,7 +91,7 @@ func (h *Handler) applyForce(plan costmodel.Plan) costmodel.Plan {
 // D and row counts from the master files, α/β from hint → history →
 // stripe-statistics estimate → default, k from options or table
 // property. The second result names the ratio-estimate source.
-func (h *Handler) workloadFor(desc *metastore.TableDesc, where sqlparser.Expr, upd *sqlparser.UpdateStmt, del *sqlparser.DeleteStmt) (costmodel.Workload, string, error) {
+func (h *Handler) workloadFor(ec *hive.ExecContext, desc *metastore.TableDesc, where sqlparser.Expr, upd *sqlparser.UpdateStmt, del *sqlparser.DeleteStmt) (costmodel.Workload, string, error) {
 	files, err := h.masterFiles(desc)
 	if err != nil {
 		return costmodel.Workload{}, "", err
@@ -125,11 +130,25 @@ func (h *Handler) workloadFor(desc *metastore.TableDesc, where sqlparser.Expr, u
 	statsEst := h.statsSelectivity(desc, files, where, qual)
 
 	key := h.statementKey(desc, upd, del)
-	ratio, src := h.est.Estimate(key, statsEst)
+	var ratio float64
+	var src string
+	if r, ok := ec.RatioHint(key); ok {
+		// Session-scoped designer hint wins over handler hints and
+		// history.
+		ratio, src = r, "session-hint"
+	} else {
+		ratio, src = h.est.Estimate(key, statsEst)
+	}
 
-	k := h.opts.FollowingReads
+	// k resolution: session setting > table property > handler option.
+	k := h.followingReads()
 	if kp := desc.Properties["dualtable.k"]; kp != "" {
 		if v, err := strconv.ParseFloat(kp, 64); err == nil {
+			k = v
+		}
+	}
+	if ks, ok := ec.Var(hive.VarFollowingReads); ok {
+		if v, err := strconv.ParseFloat(ks, 64); err == nil {
 			k = v
 		}
 	}
@@ -139,7 +158,7 @@ func (h *Handler) workloadFor(desc *metastore.TableDesc, where sqlparser.Expr, u
 		Ratio:          ratio,
 		FollowingReads: k,
 		AvgRowBytes:    avgRow,
-		MarkerBytes:    h.opts.MarkerBytes,
+		MarkerBytes:    h.markerBytes(),
 	}
 	if upd != nil {
 		// Updated payload: encoded size estimate of the SET columns.
@@ -267,12 +286,12 @@ func (h *Handler) statsSelectivity(desc *metastore.TableDesc, files []masterFile
 // runOverwriteUpdate executes the OVERWRITE plan via the INSERT
 // OVERWRITE rewrite (reads through UNION READ, writes a fresh master,
 // clears the attached table).
-func (h *Handler) runOverwriteUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, error) {
+func (h *Handler) runOverwriteUpdate(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, error) {
 	ins, err := hive.RewriteUpdateToOverwrite(stmt, desc)
 	if err != nil {
 		return 0, err
 	}
-	rs, err := e.ExecuteStmt(ins)
+	rs, err := e.ExecuteStmtCtx(ec, ins)
 	if err != nil {
 		return 0, err
 	}
@@ -283,7 +302,7 @@ func (h *Handler) runOverwriteUpdate(e *hive.Engine, desc *metastore.TableDesc, 
 // runEditUpdate is the UPDATE UDTF: scan UNION READ splits, evaluate
 // the predicate, compute new values, and put the changed cells into
 // the attached table.
-func (h *Handler) runEditUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter, w costmodel.Workload) (int64, error) {
+func (h *Handler) runEditUpdate(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter, w costmodel.Workload) (int64, error) {
 	lock := h.tableLock(desc.Name)
 	lock.RLock()
 	defer lock.RUnlock()
@@ -298,7 +317,7 @@ func (h *Handler) runEditUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt 
 	}
 	var whereFn func(datum.Row) (datum.Datum, error)
 	if stmt.Where != nil {
-		whereFn, err = e.CompileRowExpr(stmt.Where, stmt.Table, alias, desc.Schema)
+		whereFn, err = e.CompileRowExpr(ec, stmt.Where, stmt.Table, alias, desc.Schema)
 		if err != nil {
 			return 0, err
 		}
@@ -310,7 +329,7 @@ func (h *Handler) runEditUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt 
 	sets := make([]setCol, 0, len(stmt.Sets))
 	for _, s := range stmt.Sets {
 		idx := desc.Schema.ColumnIndex(s.Column)
-		fn, err := e.CompileRowExpr(s.Value, stmt.Table, alias, desc.Schema)
+		fn, err := e.CompileRowExpr(ec, s.Value, stmt.Table, alias, desc.Schema)
 		if err != nil {
 			return 0, err
 		}
@@ -379,7 +398,7 @@ func (h *Handler) runEditUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt 
 			}
 		},
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		return 0, err
 	}
@@ -392,7 +411,7 @@ func (h *Handler) runEditUpdate(e *hive.Engine, desc *metastore.TableDesc, stmt 
 // runEditDelete is the DELETE UDTF: put one delete marker per
 // matching record (§V-A: "the DELETE UDTF only takes the name of the
 // table and puts a DELETE marker for each deleted row").
-func (h *Handler) runEditDelete(e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter, w costmodel.Workload) (int64, error) {
+func (h *Handler) runEditDelete(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter, w costmodel.Workload) (int64, error) {
 	lock := h.tableLock(desc.Name)
 	lock.RLock()
 	defer lock.RUnlock()
@@ -407,7 +426,7 @@ func (h *Handler) runEditDelete(e *hive.Engine, desc *metastore.TableDesc, stmt 
 	}
 	var whereFn func(datum.Row) (datum.Datum, error)
 	if stmt.Where != nil {
-		whereFn, err = e.CompileRowExpr(stmt.Where, stmt.Table, alias, desc.Schema)
+		whereFn, err = e.CompileRowExpr(ec, stmt.Where, stmt.Table, alias, desc.Schema)
 		if err != nil {
 			return 0, err
 		}
@@ -456,7 +475,7 @@ func (h *Handler) runEditDelete(e *hive.Engine, desc *metastore.TableDesc, stmt 
 			}
 		},
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		return 0, err
 	}

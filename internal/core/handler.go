@@ -109,6 +109,8 @@ func (h *Handler) Estimator() *costmodel.RatioEstimator { return h.est }
 func (h *Handler) Model() *costmodel.Model { return h.model }
 
 // SetForcePlan switches plan forcing at run time (harness knob).
+// Sessions override this per call via the "dualtable.force.plan"
+// setting.
 func (h *Handler) SetForcePlan(plan string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -122,6 +124,27 @@ func (h *Handler) SetFollowingReads(k float64) {
 	h.opts.FollowingReads = k
 }
 
+// forcePlan reads the handler-level force setting under the mutex.
+func (h *Handler) forcePlan() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.opts.ForcePlan
+}
+
+// followingReads reads the handler-level k under the mutex.
+func (h *Handler) followingReads() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.opts.FollowingReads
+}
+
+// markerBytes reads the marker size under the mutex.
+func (h *Handler) markerBytes() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.opts.MarkerBytes
+}
+
 // PlanLog returns a copy of recorded plan decisions.
 func (h *Handler) PlanLog() []PlanDecision {
 	h.mu.Lock()
@@ -129,13 +152,17 @@ func (h *Handler) PlanLog() []PlanDecision {
 	return append([]PlanDecision(nil), h.planLog...)
 }
 
-func (h *Handler) logPlan(d PlanDecision) {
+// logPlan records a decision in the handler-global log and forwards
+// it to the calling session's observer, so concurrent sessions each
+// see exactly their own decisions.
+func (h *Handler) logPlan(ec *hive.ExecContext, d PlanDecision) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.planLog = append(h.planLog, d)
 	if len(h.planLog) > 1024 {
 		h.planLog = h.planLog[len(h.planLog)-1024:]
 	}
+	h.mu.Unlock()
+	ec.ObservePlan(d)
 }
 
 // tableLock returns the COMPACT lock of a table.

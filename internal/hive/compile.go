@@ -78,7 +78,7 @@ type evalFn func(row datum.Row) (datum.Datum, error)
 
 // compileExpr compiles an expression against a scope. Aggregate calls
 // are rejected here — the planner rewrites them before compilation.
-func (e *Engine) compileExpr(x sqlparser.Expr, sc *scope) (evalFn, error) {
+func (e *Engine) compileExpr(ec *ExecContext, x sqlparser.Expr, sc *scope) (evalFn, error) {
 	switch v := x.(type) {
 	case *sqlparser.Literal:
 		d := v.Value
@@ -100,7 +100,7 @@ func (e *Engine) compileExpr(x sqlparser.Expr, sc *scope) (evalFn, error) {
 		return nil, fmt.Errorf("hive: '*' is not valid in this context")
 
 	case *sqlparser.UnaryExpr:
-		inner, err := e.compileExpr(v.X, sc)
+		inner, err := e.compileExpr(ec, v.X, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -135,10 +135,10 @@ func (e *Engine) compileExpr(x sqlparser.Expr, sc *scope) (evalFn, error) {
 		}
 
 	case *sqlparser.BinaryExpr:
-		return e.compileBinary(v, sc)
+		return e.compileBinary(ec, v, sc)
 
 	case *sqlparser.IsNullExpr:
-		inner, err := e.compileExpr(v.X, sc)
+		inner, err := e.compileExpr(ec, v.X, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -152,13 +152,13 @@ func (e *Engine) compileExpr(x sqlparser.Expr, sc *scope) (evalFn, error) {
 		}, nil
 
 	case *sqlparser.InExpr:
-		inner, err := e.compileExpr(v.X, sc)
+		inner, err := e.compileExpr(ec, v.X, sc)
 		if err != nil {
 			return nil, err
 		}
 		items := make([]evalFn, len(v.List))
 		for i, it := range v.List {
-			f, err := e.compileExpr(it, sc)
+			f, err := e.compileExpr(ec, it, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -194,15 +194,15 @@ func (e *Engine) compileExpr(x sqlparser.Expr, sc *scope) (evalFn, error) {
 		}, nil
 
 	case *sqlparser.BetweenExpr:
-		xf, err := e.compileExpr(v.X, sc)
+		xf, err := e.compileExpr(ec, v.X, sc)
 		if err != nil {
 			return nil, err
 		}
-		lof, err := e.compileExpr(v.Lo, sc)
+		lof, err := e.compileExpr(ec, v.Lo, sc)
 		if err != nil {
 			return nil, err
 		}
-		hif, err := e.compileExpr(v.Hi, sc)
+		hif, err := e.compileExpr(ec, v.Hi, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -225,13 +225,13 @@ func (e *Engine) compileExpr(x sqlparser.Expr, sc *scope) (evalFn, error) {
 		}, nil
 
 	case *sqlparser.LikeExpr:
-		return e.compileLike(v, sc)
+		return e.compileLike(ec, v, sc)
 
 	case *sqlparser.CaseExpr:
-		return e.compileCase(v, sc)
+		return e.compileCase(ec, v, sc)
 
 	case *sqlparser.CastExpr:
-		inner, err := e.compileExpr(v.X, sc)
+		inner, err := e.compileExpr(ec, v.X, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -255,22 +255,25 @@ func (e *Engine) compileExpr(x sqlparser.Expr, sc *scope) (evalFn, error) {
 		if sqlparser.IsAggregateFunc(v.Name) {
 			return nil, fmt.Errorf("hive: aggregate %s not allowed in this context", v.Name)
 		}
-		return e.compileFunc(v, sc)
+		return e.compileFunc(ec, v, sc)
 
 	case *sqlparser.SubqueryExpr:
-		return e.compileSubquery(v, sc)
+		return e.compileSubquery(ec, v, sc)
+
+	case *sqlparser.Placeholder:
+		return nil, fmt.Errorf("hive: unbound '?' placeholder (bind arguments with a prepared statement)")
 
 	default:
 		return nil, fmt.Errorf("hive: unsupported expression %T", x)
 	}
 }
 
-func (e *Engine) compileBinary(v *sqlparser.BinaryExpr, sc *scope) (evalFn, error) {
-	lf, err := e.compileExpr(v.L, sc)
+func (e *Engine) compileBinary(ec *ExecContext, v *sqlparser.BinaryExpr, sc *scope) (evalFn, error) {
+	lf, err := e.compileExpr(ec, v.L, sc)
 	if err != nil {
 		return nil, err
 	}
-	rf, err := e.compileExpr(v.R, sc)
+	rf, err := e.compileExpr(ec, v.R, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -414,8 +417,8 @@ func arith(op string, l, r datum.Datum) (datum.Datum, error) {
 	return datum.Null, fmt.Errorf("hive: bad arithmetic op %q", op)
 }
 
-func (e *Engine) compileLike(v *sqlparser.LikeExpr, sc *scope) (evalFn, error) {
-	xf, err := e.compileExpr(v.X, sc)
+func (e *Engine) compileLike(ec *ExecContext, v *sqlparser.LikeExpr, sc *scope) (evalFn, error) {
+	xf, err := e.compileExpr(ec, v.X, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -434,7 +437,7 @@ func (e *Engine) compileLike(v *sqlparser.LikeExpr, sc *scope) (evalFn, error) {
 			return datum.Bool(re.MatchString(d.String()) != not), nil
 		}, nil
 	}
-	pf, err := e.compileExpr(v.Pattern, sc)
+	pf, err := e.compileExpr(ec, v.Pattern, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -474,11 +477,11 @@ func likeToRegexp(pattern string) (*regexp.Regexp, error) {
 	return regexp.Compile(sb.String())
 }
 
-func (e *Engine) compileCase(v *sqlparser.CaseExpr, sc *scope) (evalFn, error) {
+func (e *Engine) compileCase(ec *ExecContext, v *sqlparser.CaseExpr, sc *scope) (evalFn, error) {
 	var operand evalFn
 	var err error
 	if v.Operand != nil {
-		operand, err = e.compileExpr(v.Operand, sc)
+		operand, err = e.compileExpr(ec, v.Operand, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -486,18 +489,18 @@ func (e *Engine) compileCase(v *sqlparser.CaseExpr, sc *scope) (evalFn, error) {
 	conds := make([]evalFn, len(v.Whens))
 	thens := make([]evalFn, len(v.Whens))
 	for i, w := range v.Whens {
-		conds[i], err = e.compileExpr(w.Cond, sc)
+		conds[i], err = e.compileExpr(ec, w.Cond, sc)
 		if err != nil {
 			return nil, err
 		}
-		thens[i], err = e.compileExpr(w.Then, sc)
+		thens[i], err = e.compileExpr(ec, w.Then, sc)
 		if err != nil {
 			return nil, err
 		}
 	}
 	var elseF evalFn
 	if v.Else != nil {
-		elseF, err = e.compileExpr(v.Else, sc)
+		elseF, err = e.compileExpr(ec, v.Else, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -533,10 +536,10 @@ func (e *Engine) compileCase(v *sqlparser.CaseExpr, sc *scope) (evalFn, error) {
 	}, nil
 }
 
-func (e *Engine) compileFunc(v *sqlparser.FuncCall, sc *scope) (evalFn, error) {
+func (e *Engine) compileFunc(ec *ExecContext, v *sqlparser.FuncCall, sc *scope) (evalFn, error) {
 	args := make([]evalFn, len(v.Args))
 	for i, a := range v.Args {
-		f, err := e.compileExpr(a, sc)
+		f, err := e.compileExpr(ec, a, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -790,12 +793,13 @@ type decorrelated struct {
 	innerSel *sqlparser.SelectStmt
 	outerFns []evalFn
 	engine   *Engine
+	ec       *ExecContext
 }
 
-func (e *Engine) compileSubquery(v *sqlparser.SubqueryExpr, sc *scope) (evalFn, error) {
+func (e *Engine) compileSubquery(ec *ExecContext, v *sqlparser.SubqueryExpr, sc *scope) (evalFn, error) {
 	sel := v.Select
 	// Uncorrelated subquery: run once lazily, use the first row.
-	if dec, ok, err := e.tryDecorrelate(sel, sc); err != nil {
+	if dec, ok, err := e.tryDecorrelate(ec, sel, sc); err != nil {
 		return nil, err
 	} else if ok {
 		return dec, nil
@@ -806,7 +810,7 @@ func (e *Engine) compileSubquery(v *sqlparser.SubqueryExpr, sc *scope) (evalFn, 
 		var runErr error
 		return func(datum.Row) (datum.Datum, error) {
 			once.Do(func() {
-				rs, err := e.runSelect(sel, nil)
+				rs, err := e.runSelect(ec, sel, nil)
 				if err != nil {
 					runErr = err
 					return
@@ -886,7 +890,7 @@ func (e *Engine) innerScopeFor(sel *sqlparser.SelectStmt) (*scope, bool) {
 // equality between an inner expression and an outer expression
 // (correlation key). Returns an evalFn that lazily materializes the
 // grouped inner query and then performs hash lookups per outer row.
-func (e *Engine) tryDecorrelate(sel *sqlparser.SelectStmt, outer *scope) (evalFn, bool, error) {
+func (e *Engine) tryDecorrelate(ec *ExecContext, sel *sqlparser.SelectStmt, outer *scope) (evalFn, bool, error) {
 	if sel.From == nil || len(sel.Items) != 1 || sel.Distinct ||
 		len(sel.GroupBy) != 0 || sel.Having != nil || len(sel.OrderBy) != 0 || sel.Limit >= 0 {
 		return nil, false, nil
@@ -946,14 +950,14 @@ func (e *Engine) tryDecorrelate(sel *sqlparser.SelectStmt, outer *scope) (evalFn
 
 	outerFns := make([]evalFn, len(outerKeys))
 	for i, k := range outerKeys {
-		f, err := e.compileExpr(k, outer)
+		f, err := e.compileExpr(ec, k, outer)
 		if err != nil {
 			return nil, false, err
 		}
 		outerFns[i] = f
 	}
 
-	d := &decorrelated{innerSel: dec, outerFns: outerFns, engine: e}
+	d := &decorrelated{innerSel: dec, outerFns: outerFns, engine: e, ec: ec}
 	return d.eval, true, nil
 }
 
@@ -975,7 +979,7 @@ func (e *Engine) refsResolveIn(x sqlparser.Expr, sc *scope) bool {
 
 func (d *decorrelated) eval(row datum.Row) (datum.Datum, error) {
 	d.once.Do(func() {
-		rs, err := d.engine.runSelect(d.innerSel, nil)
+		rs, err := d.engine.runSelect(d.ec, d.innerSel, nil)
 		if err != nil {
 			d.err = fmt.Errorf("hive: decorrelated subquery: %w", err)
 			return

@@ -10,7 +10,7 @@ import (
 )
 
 // execInsert runs INSERT INTO / INSERT OVERWRITE.
-func (e *Engine) execInsert(s *sqlparser.InsertStmt) (*ResultSet, error) {
+func (e *Engine) execInsert(ec *ExecContext, s *sqlparser.InsertStmt) (*ResultSet, error) {
 	desc, err := e.MS.Get(s.Table)
 	if err != nil {
 		return nil, err
@@ -23,7 +23,7 @@ func (e *Engine) execInsert(s *sqlparser.InsertStmt) (*ResultSet, error) {
 
 	var rows []datum.Row
 	if s.Select != nil {
-		rs, err := e.runSelect(s.Select, meter)
+		rs, err := e.runSelect(ec, s.Select, meter)
 		if err != nil {
 			return nil, err
 		}
@@ -41,7 +41,7 @@ func (e *Engine) execInsert(s *sqlparser.InsertStmt) (*ResultSet, error) {
 			}
 			row := make(datum.Row, len(exprRow))
 			for i, x := range exprRow {
-				fn, err := e.compileExpr(x, emptySc)
+				fn, err := e.compileExpr(ec, x, emptySc)
 				if err != nil {
 					return nil, err
 				}
@@ -65,7 +65,7 @@ func (e *Engine) execInsert(s *sqlparser.InsertStmt) (*ResultSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := e.writeRows(rows, of, meter); err != nil {
+		if err := e.writeRows(ec, rows, of, meter); err != nil {
 			committer.Abort()
 			return nil, err
 		}
@@ -77,7 +77,7 @@ func (e *Engine) execInsert(s *sqlparser.InsertStmt) (*ResultSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := e.writeRows(rows, of, meter); err != nil {
+		if err := e.writeRows(ec, rows, of, meter); err != nil {
 			committer.Abort()
 			return nil, err
 		}
@@ -91,7 +91,7 @@ func (e *Engine) execInsert(s *sqlparser.InsertStmt) (*ResultSet, error) {
 // execUpdate routes UPDATE: handlers with native DML (KV, DualTable)
 // run their own plan; ORC/Text tables get the Hive-classic INSERT
 // OVERWRITE rewrite (the paper's Listing 2).
-func (e *Engine) execUpdate(s *sqlparser.UpdateStmt) (*ResultSet, error) {
+func (e *Engine) execUpdate(ec *ExecContext, s *sqlparser.UpdateStmt) (*ResultSet, error) {
 	desc, err := e.MS.Get(s.Table)
 	if err != nil {
 		return nil, err
@@ -108,7 +108,7 @@ func (e *Engine) execUpdate(s *sqlparser.UpdateStmt) (*ResultSet, error) {
 	}
 	if dml, ok := h.(DMLHandler); ok {
 		meter := sim.NewMeter(&e.MR.Params)
-		n, plan, err := dml.ExecUpdate(e, desc, s, meter)
+		n, plan, err := dml.ExecUpdate(ec, e, desc, s, meter)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +118,7 @@ func (e *Engine) execUpdate(s *sqlparser.UpdateStmt) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs, err := e.execInsert(ins)
+	rs, err := e.execInsert(ec, ins)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +127,7 @@ func (e *Engine) execUpdate(s *sqlparser.UpdateStmt) (*ResultSet, error) {
 }
 
 // execDelete routes DELETE like execUpdate.
-func (e *Engine) execDelete(s *sqlparser.DeleteStmt) (*ResultSet, error) {
+func (e *Engine) execDelete(ec *ExecContext, s *sqlparser.DeleteStmt) (*ResultSet, error) {
 	desc, err := e.MS.Get(s.Table)
 	if err != nil {
 		return nil, err
@@ -138,7 +138,7 @@ func (e *Engine) execDelete(s *sqlparser.DeleteStmt) (*ResultSet, error) {
 	}
 	if dml, ok := h.(DMLHandler); ok {
 		meter := sim.NewMeter(&e.MR.Params)
-		n, plan, err := dml.ExecDelete(e, desc, s, meter)
+		n, plan, err := dml.ExecDelete(ec, e, desc, s, meter)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +148,7 @@ func (e *Engine) execDelete(s *sqlparser.DeleteStmt) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs, err := e.execInsert(ins)
+	rs, err := e.execInsert(ec, ins)
 	if err != nil {
 		return nil, err
 	}

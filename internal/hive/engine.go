@@ -60,12 +60,14 @@ type StorageHandler interface {
 
 // DMLHandler is a StorageHandler with native UPDATE/DELETE support
 // (the key-value handler and DualTable). Handlers without it get the
-// INSERT OVERWRITE rewrite, like plain Hive. The string result names
-// the physical plan that ran (e.g. "EDIT", "OVERWRITE") so
-// experiments can verify cost-model decisions.
+// INSERT OVERWRITE rewrite, like plain Hive. The ExecContext carries
+// the caller's cancellation context and session settings (force plan,
+// ratio hints); the string result names the physical plan that ran
+// (e.g. "EDIT", "OVERWRITE") so experiments can verify cost-model
+// decisions.
 type DMLHandler interface {
-	ExecUpdate(e *Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error)
-	ExecDelete(e *Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error)
+	ExecUpdate(ec *ExecContext, e *Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error)
+	ExecDelete(ec *ExecContext, e *Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error)
 }
 
 // Compactor is a StorageHandler supporting the COMPACT statement.
@@ -82,6 +84,7 @@ type Engine struct {
 	Warehouse string
 
 	handlers map[metastore.StorageKind]StorageHandler
+	plans    *planCache
 	tmpSeq   atomic.Uint64
 }
 
@@ -113,6 +116,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		MR:        cfg.MR,
 		Warehouse: cfg.Warehouse,
 		handlers:  map[metastore.StorageKind]StorageHandler{},
+		plans:     newPlanCache(planCacheCap),
 	}
 	e.handlers[metastore.StorageORC] = &orcHandler{e: e}
 	e.handlers[metastore.StorageText] = &textHandler{e: e}
@@ -150,25 +154,38 @@ type ResultSet struct {
 	Plan string
 }
 
-// Execute parses and runs one SQL statement.
+// Execute parses and runs one SQL statement with no session and a
+// background context.
 func (e *Engine) Execute(sql string) (*ResultSet, error) {
-	stmt, err := sqlparser.Parse(sql)
+	return e.ExecuteCtx(nil, sql)
+}
+
+// ExecuteCtx parses (through the plan cache) and runs one SQL
+// statement under an execution context.
+func (e *Engine) ExecuteCtx(ec *ExecContext, sql string) (*ResultSet, error) {
+	p, err := e.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteStmt(stmt)
+	return e.ExecuteStmtCtx(ec, p.Stmt)
 }
 
 // ExecuteScript runs a semicolon-separated script, returning the last
 // statement's result.
 func (e *Engine) ExecuteScript(sql string) (*ResultSet, error) {
+	return e.ExecuteScriptCtx(nil, sql)
+}
+
+// ExecuteScriptCtx runs a semicolon-separated script under an
+// execution context, returning the last statement's result.
+func (e *Engine) ExecuteScriptCtx(ec *ExecContext, sql string) (*ResultSet, error) {
 	stmts, err := sqlparser.ParseScript(sql)
 	if err != nil {
 		return nil, err
 	}
 	var last *ResultSet
 	for _, s := range stmts {
-		last, err = e.ExecuteStmt(s)
+		last, err = e.ExecuteStmtCtx(ec, s)
 		if err != nil {
 			return nil, err
 		}
@@ -176,25 +193,36 @@ func (e *Engine) ExecuteScript(sql string) (*ResultSet, error) {
 	return last, nil
 }
 
-// ExecuteStmt runs one parsed statement.
+// ExecuteStmt runs one parsed statement (no session, background
+// context).
 func (e *Engine) ExecuteStmt(stmt sqlparser.Statement) (*ResultSet, error) {
+	return e.ExecuteStmtCtx(nil, stmt)
+}
+
+// ExecuteStmtCtx runs one parsed statement under an execution context.
+func (e *Engine) ExecuteStmtCtx(ec *ExecContext, stmt sqlparser.Statement) (*ResultSet, error) {
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		return e.runSelect(s, nil)
+		return e.runSelect(ec, s, nil)
 	case *sqlparser.InsertStmt:
-		return e.execInsert(s)
+		return e.execInsert(ec, s)
 	case *sqlparser.UpdateStmt:
-		return e.execUpdate(s)
+		return e.execUpdate(ec, s)
 	case *sqlparser.DeleteStmt:
-		return e.execDelete(s)
+		return e.execDelete(ec, s)
 	case *sqlparser.CreateTableStmt:
 		return e.execCreate(s)
 	case *sqlparser.DropTableStmt:
 		return e.execDrop(s)
 	case *sqlparser.LoadStmt:
-		return e.execLoad(s)
+		return e.execLoad(ec, s)
 	case *sqlparser.CompactStmt:
 		return e.execCompact(s)
+	case *sqlparser.SetStmt:
+		return e.execSet(ec, s)
 	case *sqlparser.ShowTablesStmt:
 		rs := &ResultSet{Columns: []string{"tab_name"}}
 		for _, n := range e.MS.List() {
@@ -217,6 +245,23 @@ func (e *Engine) ExecuteStmt(stmt sqlparser.Statement) (*ResultSet, error) {
 	default:
 		return nil, fmt.Errorf("hive: unsupported statement %T", stmt)
 	}
+}
+
+// execSet applies SET key = value to the session, or lists the
+// session's settings for a bare SET.
+func (e *Engine) execSet(ec *ExecContext, s *sqlparser.SetStmt) (*ResultSet, error) {
+	if ec == nil || ec.Vars == nil {
+		return nil, fmt.Errorf("hive: SET requires a session")
+	}
+	if s.Key == "" {
+		rs := &ResultSet{Columns: []string{"key", "value"}}
+		for _, kv := range ec.Vars.All() {
+			rs.Rows = append(rs.Rows, datum.Row{datum.String_(kv[0]), datum.String_(kv[1])})
+		}
+		return rs, nil
+	}
+	ec.Vars.Set(s.Key, s.Value)
+	return &ResultSet{Plan: "SET"}, nil
 }
 
 func (e *Engine) execCreate(s *sqlparser.CreateTableStmt) (*ResultSet, error) {
@@ -301,7 +346,7 @@ func (e *Engine) execCompact(s *sqlparser.CompactStmt) (*ResultSet, error) {
 
 // execLoad parses a delimited text file from the DFS and appends its
 // rows to the table through the storage handler.
-func (e *Engine) execLoad(s *sqlparser.LoadStmt) (*ResultSet, error) {
+func (e *Engine) execLoad(ec *ExecContext, s *sqlparser.LoadStmt) (*ResultSet, error) {
 	desc, err := e.MS.Get(s.Table)
 	if err != nil {
 		return nil, err
@@ -334,7 +379,7 @@ func (e *Engine) execLoad(s *sqlparser.LoadStmt) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := e.writeRows(rows, factory, meter); err != nil {
+	if err := e.writeRows(ec, rows, factory, meter); err != nil {
 		committer.Abort()
 		return nil, err
 	}
@@ -374,7 +419,7 @@ func parseDelimited(data, delim string, schema datum.Schema) ([]datum.Row, error
 
 // writeRows streams rows through an output factory as one map-only
 // job (the write path of INSERT and LOAD).
-func (e *Engine) writeRows(rows []datum.Row, factory mapred.OutputFactory, meter *sim.Meter) error {
+func (e *Engine) writeRows(ec *ExecContext, rows []datum.Row, factory mapred.OutputFactory, meter *sim.Meter) error {
 	// Split into chunks so the write parallelizes like a real job.
 	const chunk = 100000
 	var splits []mapred.InputSplit
@@ -402,7 +447,7 @@ func (e *Engine) writeRows(rows []datum.Row, factory mapred.OutputFactory, meter
 		},
 		Output: factory,
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		return err
 	}
@@ -432,7 +477,7 @@ func (e *Engine) BulkLoad(table string, rows []datum.Row) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := e.writeRows(rows, factory, meter); err != nil {
+	if err := e.writeRows(nil, rows, factory, meter); err != nil {
 		committer.Abort()
 		return nil, err
 	}
@@ -493,10 +538,11 @@ func (e *Engine) explain(stmt sqlparser.Statement) (*ResultSet, error) {
 
 // CompileRowExpr compiles an expression for per-row evaluation over a
 // table's rows (optionally alias-qualified). Used by storage handlers
-// implementing native DML (KV and DualTable).
-func (e *Engine) CompileRowExpr(expr sqlparser.Expr, tableName, alias string, schema datum.Schema) (func(datum.Row) (datum.Datum, error), error) {
+// implementing native DML (KV and DualTable). The execution context
+// scopes any scalar subqueries the expression contains.
+func (e *Engine) CompileRowExpr(ec *ExecContext, expr sqlparser.Expr, tableName, alias string, schema datum.Schema) (func(datum.Row) (datum.Datum, error), error) {
 	sc := dmlScope(tableName, alias, schema)
-	fn, err := e.compileExpr(expr, sc)
+	fn, err := e.compileExpr(ec, expr, sc)
 	if err != nil {
 		return nil, err
 	}

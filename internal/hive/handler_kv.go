@@ -215,7 +215,7 @@ func (r *kvRecordReader) Close() error { return r.rs.Close() }
 // baseline) ----
 
 // ExecUpdate scans matching rows and puts the changed cells in place.
-func (h *kvHandler) ExecUpdate(e *Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error) {
+func (h *kvHandler) ExecUpdate(ec *ExecContext, e *Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter) (int64, string, error) {
 	tbl, err := h.table(desc)
 	if err != nil {
 		return 0, "", err
@@ -226,7 +226,7 @@ func (h *kvHandler) ExecUpdate(e *Engine, desc *metastore.TableDesc, stmt *sqlpa
 	}
 	var whereFn func(datum.Row) (datum.Datum, error)
 	if stmt.Where != nil {
-		whereFn, err = e.CompileRowExpr(stmt.Where, stmt.Table, alias, desc.Schema)
+		whereFn, err = e.CompileRowExpr(ec, stmt.Where, stmt.Table, alias, desc.Schema)
 		if err != nil {
 			return 0, "", err
 		}
@@ -238,7 +238,7 @@ func (h *kvHandler) ExecUpdate(e *Engine, desc *metastore.TableDesc, stmt *sqlpa
 	sets := make([]setCol, 0, len(stmt.Sets))
 	for _, s := range stmt.Sets {
 		idx := desc.Schema.ColumnIndex(s.Column)
-		fn, err := e.CompileRowExpr(s.Value, stmt.Table, alias, desc.Schema)
+		fn, err := e.CompileRowExpr(ec, s.Value, stmt.Table, alias, desc.Schema)
 		if err != nil {
 			return 0, "", err
 		}
@@ -299,7 +299,7 @@ func (h *kvHandler) ExecUpdate(e *Engine, desc *metastore.TableDesc, stmt *sqlpa
 			}
 		},
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		return 0, "", err
 	}
@@ -309,7 +309,7 @@ func (h *kvHandler) ExecUpdate(e *Engine, desc *metastore.TableDesc, stmt *sqlpa
 }
 
 // ExecDelete scans matching rows and writes row tombstones.
-func (h *kvHandler) ExecDelete(e *Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error) {
+func (h *kvHandler) ExecDelete(ec *ExecContext, e *Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error) {
 	tbl, err := h.table(desc)
 	if err != nil {
 		return 0, "", err
@@ -320,7 +320,7 @@ func (h *kvHandler) ExecDelete(e *Engine, desc *metastore.TableDesc, stmt *sqlpa
 	}
 	var whereFn func(datum.Row) (datum.Datum, error)
 	if stmt.Where != nil {
-		whereFn, err = e.CompileRowExpr(stmt.Where, stmt.Table, alias, desc.Schema)
+		whereFn, err = e.CompileRowExpr(ec, stmt.Where, stmt.Table, alias, desc.Schema)
 		if err != nil {
 			return 0, "", err
 		}
@@ -357,7 +357,7 @@ func (h *kvHandler) ExecDelete(e *Engine, desc *metastore.TableDesc, stmt *sqlpa
 			}
 		},
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		return 0, "", err
 	}

@@ -1,0 +1,107 @@
+package hive
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/sqlparser"
+)
+
+// Prepared is a compiled statement: the parse result of one SQL text
+// plus its placeholder count. Prepared values are immutable and shared
+// across sessions via the engine's plan cache; execution binds
+// arguments into a fresh AST copy, never mutating the cached one.
+type Prepared struct {
+	SQL       string
+	Stmt      sqlparser.Statement
+	NumParams int
+}
+
+// Bind substitutes the '?' placeholders with argument literals,
+// returning a new statement ready for ExecuteStmtCtx.
+func (p *Prepared) Bind(args []datum.Datum) (sqlparser.Statement, error) {
+	return sqlparser.BindStatement(p.Stmt, args)
+}
+
+// planCacheCap bounds the engine's compiled-statement cache.
+const planCacheCap = 512
+
+// planCache is a mutex-guarded LRU of Prepared statements keyed by
+// SQL text.
+type planCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used; values are *planEntry
+	m            map[string]*list.Element
+	hits, misses atomic.Int64
+}
+
+type planEntry struct {
+	key string
+	p   *Prepared
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+func (c *planCache) get(sql string) (*Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[sql]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*planEntry).p, true
+}
+
+func (c *planCache) put(sql string, p *Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[sql]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*planEntry).p = p
+		return
+	}
+	c.m[sql] = c.ll.PushFront(&planEntry{key: sql, p: p})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Prepare parses (or fetches from the LRU plan cache) one SQL
+// statement. Repeated Prepare calls with the same text return the
+// same *Prepared without reparsing.
+func (e *Engine) Prepare(sql string) (*Prepared, error) {
+	if p, ok := e.plans.get(sql); ok {
+		return p, nil
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{SQL: sql, Stmt: stmt, NumParams: sqlparser.NumPlaceholders(stmt)}
+	e.plans.put(sql, p)
+	return p, nil
+}
+
+// PlanCacheStats reports the plan cache's size, hits and misses.
+func (e *Engine) PlanCacheStats() (size int, hits, misses int64) {
+	return e.plans.len(), e.plans.hits.Load(), e.plans.misses.Load()
+}

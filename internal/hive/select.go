@@ -22,9 +22,9 @@ type relation struct {
 
 // runSelect executes a SELECT and returns its rows. Simulated time is
 // accumulated into extMeter when non-nil.
-func (e *Engine) runSelect(sel *sqlparser.SelectStmt, extMeter *sim.Meter) (*ResultSet, error) {
+func (e *Engine) runSelect(ec *ExecContext, sel *sqlparser.SelectStmt, extMeter *sim.Meter) (*ResultSet, error) {
 	meter := sim.NewMeter(&e.MR.Params)
-	rows, cols, err := e.execSelect(sel, meter)
+	rows, cols, err := e.execSelect(ec, sel, meter)
 	if err != nil {
 		return nil, err
 	}
@@ -33,14 +33,14 @@ func (e *Engine) runSelect(sel *sqlparser.SelectStmt, extMeter *sim.Meter) (*Res
 	return rs, nil
 }
 
-func (e *Engine) execSelect(sel *sqlparser.SelectStmt, meter *sim.Meter) ([]datum.Row, []string, error) {
+func (e *Engine) execSelect(ec *ExecContext, sel *sqlparser.SelectStmt, meter *sim.Meter) ([]datum.Row, []string, error) {
 	// SELECT without FROM: evaluate items over an empty row.
 	if sel.From == nil {
 		emptySc := &scope{}
 		var row datum.Row
 		var names []string
 		for i, it := range sel.Items {
-			fn, err := e.compileExpr(it.Expr, emptySc)
+			fn, err := e.compileExpr(ec, it.Expr, emptySc)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -54,7 +54,7 @@ func (e *Engine) execSelect(sel *sqlparser.SelectStmt, meter *sim.Meter) ([]datu
 		return []datum.Row{row}, names, nil
 	}
 
-	rel, err := e.buildRelation(sel.From, sel, meter)
+	rel, err := e.buildRelation(ec, sel.From, sel, meter)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -80,9 +80,9 @@ func (e *Engine) execSelect(sel *sqlparser.SelectStmt, meter *sim.Meter) ([]datu
 	var rows []datum.Row
 	var names []string
 	if hasAgg {
-		rows, names, err = e.execAggSelect(sel, items, rel, meter)
+		rows, names, err = e.execAggSelect(ec, sel, items, rel, meter)
 	} else {
-		rows, names, err = e.execSimpleSelect(sel, items, rel, meter)
+		rows, names, err = e.execSimpleSelect(ec, sel, items, rel, meter)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -179,11 +179,11 @@ func expandStars(items []sqlparser.SelectItem, rel *relation) ([]sqlparser.Selec
 
 // execSimpleSelect runs filter+project as one map-only job, appending
 // hidden ORDER BY key columns.
-func (e *Engine) execSimpleSelect(sel *sqlparser.SelectStmt, items []sqlparser.SelectItem, rel *relation, meter *sim.Meter) ([]datum.Row, []string, error) {
+func (e *Engine) execSimpleSelect(ec *ExecContext, sel *sqlparser.SelectStmt, items []sqlparser.SelectItem, rel *relation, meter *sim.Meter) ([]datum.Row, []string, error) {
 	var whereFn evalFn
 	var err error
 	if sel.Where != nil {
-		whereFn, err = e.compileExpr(sel.Where, rel.sc)
+		whereFn, err = e.compileExpr(ec, sel.Where, rel.sc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -191,7 +191,7 @@ func (e *Engine) execSimpleSelect(sel *sqlparser.SelectStmt, items []sqlparser.S
 	projFns := make([]evalFn, len(items))
 	names := make([]string, len(items))
 	for i, it := range items {
-		projFns[i], err = e.compileExpr(it.Expr, rel.sc)
+		projFns[i], err = e.compileExpr(ec, it.Expr, rel.sc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -204,7 +204,7 @@ func (e *Engine) execSimpleSelect(sel *sqlparser.SelectStmt, items []sqlparser.S
 			orderFns[i] = fn
 			continue
 		}
-		orderFns[i], err = e.compileExpr(o.Expr, rel.sc)
+		orderFns[i], err = e.compileExpr(ec, o.Expr, rel.sc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -243,7 +243,7 @@ func (e *Engine) execSimpleSelect(sel *sqlparser.SelectStmt, items []sqlparser.S
 			})
 		},
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -277,14 +277,14 @@ type aggSpec struct {
 // execAggSelect runs the aggregation pipeline: map (filter, group
 // keys, agg args) → reduce (aggregate) → post-projection (having,
 // items, order keys).
-func (e *Engine) execAggSelect(sel *sqlparser.SelectStmt, items []sqlparser.SelectItem, rel *relation, meter *sim.Meter) ([]datum.Row, []string, error) {
+func (e *Engine) execAggSelect(ec *ExecContext, sel *sqlparser.SelectStmt, items []sqlparser.SelectItem, rel *relation, meter *sim.Meter) ([]datum.Row, []string, error) {
 	var whereFn evalFn
 	var err error
 	if sel.Where != nil {
 		if sqlparser.ContainsAggregate(sel.Where) {
 			return nil, nil, fmt.Errorf("hive: aggregates are not allowed in WHERE")
 		}
-		whereFn, err = e.compileExpr(sel.Where, rel.sc)
+		whereFn, err = e.compileExpr(ec, sel.Where, rel.sc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -327,7 +327,7 @@ func (e *Engine) execAggSelect(sel *sqlparser.SelectStmt, items []sqlparser.Sele
 		if sqlparser.ContainsAggregate(g) {
 			return nil, nil, fmt.Errorf("hive: aggregates are not allowed in GROUP BY")
 		}
-		groupFns[i], err = e.compileExpr(g, rel.sc)
+		groupFns[i], err = e.compileExpr(ec, g, rel.sc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -341,7 +341,7 @@ func (e *Engine) execAggSelect(sel *sqlparser.SelectStmt, items []sqlparser.Sele
 		if len(a.call.Args) != 1 {
 			return nil, nil, fmt.Errorf("hive: %s expects one argument", a.call.Name)
 		}
-		argFns[i], err = e.compileExpr(a.call.Args[0], rel.sc)
+		argFns[i], err = e.compileExpr(ec, a.call.Args[0], rel.sc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -367,7 +367,7 @@ func (e *Engine) execAggSelect(sel *sqlparser.SelectStmt, items []sqlparser.Sele
 	} else {
 		job = e.partialAggJob(rel, whereFn, groupFns, argFns, aggs)
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -398,7 +398,7 @@ func (e *Engine) execAggSelect(sel *sqlparser.SelectStmt, items []sqlparser.Sele
 
 	var havingFn evalFn
 	if sel.Having != nil {
-		havingFn, err = e.compileExpr(rewrite(sel.Having), post)
+		havingFn, err = e.compileExpr(ec, rewrite(sel.Having), post)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -406,7 +406,7 @@ func (e *Engine) execAggSelect(sel *sqlparser.SelectStmt, items []sqlparser.Sele
 	projFns := make([]evalFn, len(items))
 	names := make([]string, len(items))
 	for i, it := range items {
-		projFns[i], err = e.compileExpr(rewrite(it.Expr), post)
+		projFns[i], err = e.compileExpr(ec, rewrite(it.Expr), post)
 		if err != nil {
 			return nil, nil, fmt.Errorf("hive: %s: %w (not in GROUP BY?)", it.Expr, err)
 		}
@@ -418,7 +418,7 @@ func (e *Engine) execAggSelect(sel *sqlparser.SelectStmt, items []sqlparser.Sele
 			orderFns[i] = fn
 			continue
 		}
-		orderFns[i], err = e.compileExpr(rewrite(o.Expr), post)
+		orderFns[i], err = e.compileExpr(ec, rewrite(o.Expr), post)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -789,12 +789,12 @@ func computeAggregate(spec aggSpec, rows []datum.Row, argCol int) datum.Datum {
 
 // buildRelation resolves a FROM clause into a relation. The top-level
 // SELECT is passed in for pushdown analysis on single-table scans.
-func (e *Engine) buildRelation(ref sqlparser.TableRef, sel *sqlparser.SelectStmt, meter *sim.Meter) (*relation, error) {
+func (e *Engine) buildRelation(ec *ExecContext, ref sqlparser.TableRef, sel *sqlparser.SelectStmt, meter *sim.Meter) (*relation, error) {
 	switch t := ref.(type) {
 	case *sqlparser.TableName:
 		return e.buildTableScan(t, sel, meter)
 	case *sqlparser.SubqueryRef:
-		rs, err := e.runSelect(t.Select, meter)
+		rs, err := e.runSelect(ec, t.Select, meter)
 		if err != nil {
 			return nil, err
 		}
@@ -806,7 +806,7 @@ func (e *Engine) buildRelation(ref sqlparser.TableRef, sel *sqlparser.SelectStmt
 		}
 		return &relation{sc: sc, names: rs.Columns, splits: sliceSplitsFor(rs.Rows)}, nil
 	case *sqlparser.JoinRef:
-		return e.execJoin(t, sel, meter)
+		return e.execJoin(ec, t, sel, meter)
 	default:
 		return nil, fmt.Errorf("hive: unsupported FROM clause %T", ref)
 	}
@@ -1003,12 +1003,12 @@ func referencedColumns(sel *sqlparser.SelectStmt, sc *scope) []int {
 }
 
 // execJoin materializes both sides and runs a reduce-side equi-join.
-func (e *Engine) execJoin(j *sqlparser.JoinRef, sel *sqlparser.SelectStmt, meter *sim.Meter) (*relation, error) {
-	left, err := e.buildRelation(j.Left, nil, meter)
+func (e *Engine) execJoin(ec *ExecContext, j *sqlparser.JoinRef, sel *sqlparser.SelectStmt, meter *sim.Meter) (*relation, error) {
+	left, err := e.buildRelation(ec, j.Left, nil, meter)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.buildRelation(j.Right, nil, meter)
+	right, err := e.buildRelation(ec, j.Right, nil, meter)
 	if err != nil {
 		return nil, err
 	}
@@ -1025,11 +1025,11 @@ func (e *Engine) execJoin(j *sqlparser.JoinRef, sel *sqlparser.SelectStmt, meter
 			if ok && bin.Op == "=" {
 				switch {
 				case e.refsResolveIn(bin.L, left.sc) && e.refsResolveIn(bin.R, right.sc):
-					lf, err := e.compileExpr(bin.L, left.sc)
+					lf, err := e.compileExpr(ec, bin.L, left.sc)
 					if err != nil {
 						return nil, err
 					}
-					rf, err := e.compileExpr(bin.R, right.sc)
+					rf, err := e.compileExpr(ec, bin.R, right.sc)
 					if err != nil {
 						return nil, err
 					}
@@ -1037,11 +1037,11 @@ func (e *Engine) execJoin(j *sqlparser.JoinRef, sel *sqlparser.SelectStmt, meter
 					rightKeyFns = append(rightKeyFns, rf)
 					continue
 				case e.refsResolveIn(bin.R, left.sc) && e.refsResolveIn(bin.L, right.sc):
-					lf, err := e.compileExpr(bin.R, left.sc)
+					lf, err := e.compileExpr(ec, bin.R, left.sc)
 					if err != nil {
 						return nil, err
 					}
-					rf, err := e.compileExpr(bin.L, right.sc)
+					rf, err := e.compileExpr(ec, bin.L, right.sc)
 					if err != nil {
 						return nil, err
 					}
@@ -1055,7 +1055,7 @@ func (e *Engine) execJoin(j *sqlparser.JoinRef, sel *sqlparser.SelectStmt, meter
 	}
 	var residualFn evalFn
 	if len(residual) > 0 {
-		residualFn, err = e.compileExpr(sqlparser.CombineConjuncts(residual), combined)
+		residualFn, err = e.compileExpr(ec, sqlparser.CombineConjuncts(residual), combined)
 		if err != nil {
 			return nil, err
 		}
@@ -1168,7 +1168,7 @@ func (e *Engine) execJoin(j *sqlparser.JoinRef, sel *sqlparser.SelectStmt, meter
 			})
 		},
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ package mapred
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -156,8 +157,18 @@ func (m *memCollector) Close() error { return nil }
 
 // Run executes the job to completion.
 func (c *Cluster) Run(job *Job) (*Result, error) {
+	return c.RunContext(context.Background(), job)
+}
+
+// RunContext executes the job, aborting promptly when ctx is
+// canceled: pending tasks are not started, and running tasks stop
+// between records. A canceled run returns ctx.Err().
+func (c *Cluster) RunContext(ctx context.Context, job *Job) (*Result, error) {
 	if job.NewMapper == nil {
 		return nil, errors.New("mapred: job has no mapper")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	res := &Result{}
 	var cnt struct {
@@ -197,14 +208,21 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	for i := range job.Splits {
 		i := i
 		pool.submit(func() {
+			if err := ctx.Err(); err != nil {
+				mapErr[i] = err
+				return
+			}
 			meter := sim.NewMeter(&c.Params)
-			mapErr[i] = c.runMapTask(job, i, meter, numReducers, mapOnly, outFactory, &mapOuts[i], nextSeq, &cnt.Counters, &cnt.Mutex)
+			mapErr[i] = c.runMapTask(ctx, job, i, meter, numReducers, mapOnly, outFactory, &mapOuts[i], nextSeq, &cnt.Counters, &cnt.Mutex)
 			mapOuts[i].secs = meter.Seconds()
 		})
 	}
 	pool.wait()
 	for _, err := range mapErr {
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+				return nil, ctxErr
+			}
 			return nil, err
 		}
 	}
@@ -233,6 +251,10 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	for r := 0; r < numReducers; r++ {
 		r := r
 		pool.submit(func() {
+			if err := ctx.Err(); err != nil {
+				reduceErr[r] = err
+				return
+			}
 			meter := sim.NewMeter(&c.Params)
 			var part []kvPair
 			var shuffleBytes int64
@@ -247,13 +269,16 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 			cnt.Lock()
 			cnt.ShuffleBytes += shuffleBytes
 			cnt.Unlock()
-			reduceErr[r] = c.runReduceTask(job, r, meter, part, outFactory, &cnt.Counters, &cnt.Mutex)
+			reduceErr[r] = c.runReduceTask(ctx, job, r, meter, part, outFactory, &cnt.Counters, &cnt.Mutex)
 			reduceSecs[r] = meter.Seconds()
 		})
 	}
 	pool.wait()
 	for _, err := range reduceErr {
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+				return nil, ctxErr
+			}
 			return nil, err
 		}
 	}
@@ -262,7 +287,7 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	return res, nil
 }
 
-func (c *Cluster) runMapTask(job *Job, taskID int, meter *sim.Meter, numReducers int, mapOnly bool,
+func (c *Cluster) runMapTask(ctx context.Context, job *Job, taskID int, meter *sim.Meter, numReducers int, mapOnly bool,
 	outFactory OutputFactory, out *mapTaskOutput, nextSeq func() int64, cnt *Counters, mu *sync.Mutex) error {
 	rr, err := job.Splits[taskID].Open(meter)
 	if err != nil {
@@ -299,6 +324,12 @@ func (c *Cluster) runMapTask(job *Job, taskID int, meter *sim.Meter, numReducers
 	}
 
 	for {
+		// Cancellation check between records (cheap: every 128 rows).
+		if inRecords&127 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		row, meta, err := rr.Next()
 		if err != nil {
 			if isEOF(err) {
@@ -388,7 +419,7 @@ func runCombiner(comb Reducer, part []kvPair, nextSeq func() int64) ([]kvPair, e
 	return out, nil
 }
 
-func (c *Cluster) runReduceTask(job *Job, taskID int, meter *sim.Meter, part []kvPair,
+func (c *Cluster) runReduceTask(ctx context.Context, job *Job, taskID int, meter *sim.Meter, part []kvPair,
 	outFactory OutputFactory, cnt *Counters, mu *sync.Mutex) error {
 	sortPairs(part)
 	collector, err := outFactory.NewCollector(len(job.Splits)+taskID, meter)
@@ -403,6 +434,11 @@ func (c *Cluster) runReduceTask(job *Job, taskID int, meter *sim.Meter, part []k
 	}
 	i := 0
 	for i < len(part) {
+		if groups&127 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		j := i + 1
 		for j < len(part) && bytes.Equal(part[j].key, part[i].key) {
 			j++

@@ -106,6 +106,11 @@ type CastExpr struct {
 	Type string // upper-case SQL type name
 }
 
+// Placeholder is a positional '?' parameter of a prepared statement.
+// Idx is the zero-based position assigned in parse order; Bind
+// replaces the node with the corresponding argument literal.
+type Placeholder struct{ Idx int }
+
 func (*Literal) exprNode()      {}
 func (*ColumnRef) exprNode()    {}
 func (*Star) exprNode()         {}
@@ -119,6 +124,7 @@ func (*BetweenExpr) exprNode()  {}
 func (*LikeExpr) exprNode()     {}
 func (*SubqueryExpr) exprNode() {}
 func (*CastExpr) exprNode()     {}
+func (*Placeholder) exprNode()  {}
 
 func (e *Literal) String() string { return e.Value.SQLLiteral() }
 
@@ -218,6 +224,8 @@ func (e *SubqueryExpr) String() string { return "(" + e.Select.String() + ")" }
 func (e *CastExpr) String() string {
 	return fmt.Sprintf("CAST(%s AS %s)", e.X, e.Type)
 }
+
+func (e *Placeholder) String() string { return "?" }
 
 // ---- Table references ----
 
@@ -399,6 +407,13 @@ type LoadStmt struct {
 // CompactStmt is the DualTable COMPACT TABLE t operation (§III-C).
 type CompactStmt struct{ Table string }
 
+// SetStmt is SET key = value (a session setting assignment) or a bare
+// SET, which lists the session's current settings.
+type SetStmt struct {
+	Key   string // lower-cased dotted name; empty = list settings
+	Value string
+}
+
 // ShowTablesStmt is SHOW TABLES.
 type ShowTablesStmt struct{}
 
@@ -416,6 +431,7 @@ func (*CreateTableStmt) stmtNode() {}
 func (*DropTableStmt) stmtNode()   {}
 func (*LoadStmt) stmtNode()        {}
 func (*CompactStmt) stmtNode()     {}
+func (*SetStmt) stmtNode()         {}
 func (*ShowTablesStmt) stmtNode()  {}
 func (*DescribeStmt) stmtNode()    {}
 func (*ExplainStmt) stmtNode()     {}
@@ -538,7 +554,14 @@ func (s *LoadStmt) String() string {
 	return fmt.Sprintf("LOAD DATA INPATH '%s' %sINTO TABLE %s", s.Path, ow, s.Table)
 }
 
-func (s *CompactStmt) String() string    { return "COMPACT TABLE " + s.Table }
+func (s *CompactStmt) String() string { return "COMPACT TABLE " + s.Table }
+
+func (s *SetStmt) String() string {
+	if s.Key == "" {
+		return "SET"
+	}
+	return fmt.Sprintf("SET %s = '%s'", s.Key, strings.ReplaceAll(s.Value, "'", "''"))
+}
 func (s *ShowTablesStmt) String() string { return "SHOW TABLES" }
 func (s *DescribeStmt) String() string   { return "DESCRIBE " + s.Table }
 func (s *ExplainStmt) String() string    { return "EXPLAIN " + s.Stmt.String() }

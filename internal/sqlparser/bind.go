@@ -1,0 +1,173 @@
+package sqlparser
+
+import (
+	"fmt"
+
+	"dualtable/internal/datum"
+)
+
+// RewriteExpr rebuilds an expression bottom-up, applying fn to every
+// node of the (new) tree. The input tree is never mutated, so a cached
+// AST can be rewritten concurrently by many sessions. Subquery selects
+// are rewritten too.
+func RewriteExpr(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch v := e.(type) {
+	case *BinaryExpr:
+		e = &BinaryExpr{Op: v.Op, L: RewriteExpr(v.L, fn), R: RewriteExpr(v.R, fn)}
+	case *UnaryExpr:
+		e = &UnaryExpr{Op: v.Op, X: RewriteExpr(v.X, fn)}
+	case *FuncCall:
+		out := &FuncCall{Name: v.Name, Star: v.Star, Distinct: v.Distinct}
+		for _, a := range v.Args {
+			out.Args = append(out.Args, RewriteExpr(a, fn))
+		}
+		e = out
+	case *CaseExpr:
+		out := &CaseExpr{Operand: RewriteExpr(v.Operand, fn), Else: RewriteExpr(v.Else, fn)}
+		for _, w := range v.Whens {
+			out.Whens = append(out.Whens, WhenClause{
+				Cond: RewriteExpr(w.Cond, fn),
+				Then: RewriteExpr(w.Then, fn),
+			})
+		}
+		e = out
+	case *IsNullExpr:
+		e = &IsNullExpr{X: RewriteExpr(v.X, fn), Not: v.Not}
+	case *InExpr:
+		out := &InExpr{X: RewriteExpr(v.X, fn), Not: v.Not}
+		for _, i := range v.List {
+			out.List = append(out.List, RewriteExpr(i, fn))
+		}
+		e = out
+	case *BetweenExpr:
+		e = &BetweenExpr{X: RewriteExpr(v.X, fn), Lo: RewriteExpr(v.Lo, fn),
+			Hi: RewriteExpr(v.Hi, fn), Not: v.Not}
+	case *LikeExpr:
+		e = &LikeExpr{X: RewriteExpr(v.X, fn), Pattern: RewriteExpr(v.Pattern, fn), Not: v.Not}
+	case *CastExpr:
+		e = &CastExpr{X: RewriteExpr(v.X, fn), Type: v.Type}
+	case *SubqueryExpr:
+		e = &SubqueryExpr{Select: rewriteSelect(v.Select, fn)}
+	default:
+		// Literal, ColumnRef, Star, Placeholder: leaves.
+	}
+	return fn(e)
+}
+
+func rewriteSelect(s *SelectStmt, fn func(Expr) Expr) *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	out := &SelectStmt{Distinct: s.Distinct, Limit: s.Limit}
+	for _, it := range s.Items {
+		out.Items = append(out.Items, SelectItem{Expr: RewriteExpr(it.Expr, fn), Alias: it.Alias})
+	}
+	out.From = rewriteTableRef(s.From, fn)
+	out.Where = RewriteExpr(s.Where, fn)
+	for _, g := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, RewriteExpr(g, fn))
+	}
+	out.Having = RewriteExpr(s.Having, fn)
+	for _, o := range s.OrderBy {
+		out.OrderBy = append(out.OrderBy, OrderItem{Expr: RewriteExpr(o.Expr, fn), Desc: o.Desc})
+	}
+	return out
+}
+
+func rewriteTableRef(t TableRef, fn func(Expr) Expr) TableRef {
+	switch v := t.(type) {
+	case nil:
+		return nil
+	case *TableName:
+		cp := *v
+		return &cp
+	case *SubqueryRef:
+		return &SubqueryRef{Select: rewriteSelect(v.Select, fn), Alias: v.Alias}
+	case *JoinRef:
+		return &JoinRef{Type: v.Type,
+			Left:  rewriteTableRef(v.Left, fn),
+			Right: rewriteTableRef(v.Right, fn),
+			On:    RewriteExpr(v.On, fn)}
+	default:
+		return t
+	}
+}
+
+// RewriteStatement rebuilds a statement with fn applied to every
+// expression node, leaving the original untouched. Statements without
+// expressions are returned as-is.
+func RewriteStatement(stmt Statement, fn func(Expr) Expr) Statement {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return rewriteSelect(s, fn)
+	case *InsertStmt:
+		out := &InsertStmt{Overwrite: s.Overwrite, Table: s.Table, Select: rewriteSelect(s.Select, fn)}
+		for _, row := range s.Rows {
+			nr := make([]Expr, len(row))
+			for i, x := range row {
+				nr[i] = RewriteExpr(x, fn)
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+		return out
+	case *UpdateStmt:
+		out := &UpdateStmt{Table: s.Table, Alias: s.Alias, Where: RewriteExpr(s.Where, fn)}
+		for _, set := range s.Sets {
+			out.Sets = append(out.Sets, SetClause{Column: set.Column, Value: RewriteExpr(set.Value, fn)})
+		}
+		return out
+	case *DeleteStmt:
+		return &DeleteStmt{Table: s.Table, Alias: s.Alias, Where: RewriteExpr(s.Where, fn)}
+	case *ExplainStmt:
+		return &ExplainStmt{Stmt: RewriteStatement(s.Stmt, fn)}
+	default:
+		return stmt
+	}
+}
+
+// WalkStatementExprs calls fn on every expression node of a statement,
+// descending into subquery selects and derived tables (unlike
+// WalkExpr, which stops at subquery boundaries).
+func WalkStatementExprs(stmt Statement, fn func(Expr) bool) {
+	RewriteStatement(stmt, func(e Expr) Expr {
+		fn(e)
+		return e
+	})
+}
+
+// NumPlaceholders returns the number of '?' parameters a statement
+// takes (the highest placeholder index + 1).
+func NumPlaceholders(stmt Statement) int {
+	n := 0
+	WalkStatementExprs(stmt, func(e Expr) bool {
+		if ph, ok := e.(*Placeholder); ok && ph.Idx+1 > n {
+			n = ph.Idx + 1
+		}
+		return true
+	})
+	return n
+}
+
+// BindStatement returns a copy of the statement with every '?'
+// placeholder replaced by the corresponding argument literal. The
+// input statement is not modified, so a cached plan can be bound by
+// concurrent sessions. Binding with zero placeholders returns the
+// statement unchanged.
+func BindStatement(stmt Statement, args []datum.Datum) (Statement, error) {
+	want := NumPlaceholders(stmt)
+	if want != len(args) {
+		return nil, fmt.Errorf("sql: statement has %d placeholder(s), got %d argument(s)", want, len(args))
+	}
+	if want == 0 {
+		return stmt, nil
+	}
+	return RewriteStatement(stmt, func(e Expr) Expr {
+		if ph, ok := e.(*Placeholder); ok {
+			return &Literal{Value: args[ph.Idx]}
+		}
+		return e
+	}), nil
+}

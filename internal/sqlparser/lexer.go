@@ -279,7 +279,7 @@ func (l *Lexer) Next() (Token, error) {
 			return tok, nil
 		}
 		switch b {
-		case '+', '-', '*', '/', '%', '(', ')', ',', '=', '<', '>', '.', ';':
+		case '+', '-', '*', '/', '%', '(', ')', ',', '=', '<', '>', '.', ';', '?':
 			l.advance()
 			tok.Kind = TokOp
 			tok.Text = string(b)

@@ -10,8 +10,9 @@ import (
 
 // Parser is a recursive-descent parser over the token stream.
 type Parser struct {
-	toks []Token
-	pos  int
+	toks   []Token
+	pos    int
+	params int // '?' placeholders seen so far (assigns Placeholder.Idx)
 }
 
 // Parse parses one statement (a trailing semicolon is allowed).
@@ -130,6 +131,8 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseLoad()
 	case p.isKeyword("COMPACT"):
 		return p.parseCompact()
+	case p.isKeyword("SET"):
+		return p.parseSet()
 	case p.isKeyword("SHOW"):
 		p.next()
 		if _, err := p.expect(TokKeyword, "TABLES"); err != nil {
@@ -630,6 +633,43 @@ func (p *Parser) parseLoad() (Statement, error) {
 	return stmt, nil
 }
 
+// parseSet parses SET key = value (session settings; keys are dotted
+// identifier paths like dualtable.force.plan) or a bare SET that lists
+// the session's settings.
+func (p *Parser) parseSet() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	if p.atEOF() || p.is(TokOp, ";") {
+		return &SetStmt{}, nil
+	}
+	var parts []string
+	for {
+		t := p.cur()
+		if t.Kind != TokIdent && t.Kind != TokKeyword {
+			return nil, p.errf("expected setting name, got %s", t)
+		}
+		p.next()
+		parts = append(parts, t.Text)
+		if !p.accept(TokOp, ".") {
+			break
+		}
+	}
+	if _, err := p.expect(TokOp, "="); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	var val string
+	switch t.Kind {
+	case TokString, TokNumber, TokIdent, TokKeyword:
+		p.next()
+		val = t.Text
+	default:
+		return nil, p.errf("expected setting value, got %s", t)
+	}
+	return &SetStmt{Key: strings.ToLower(strings.Join(parts, ".")), Value: val}, nil
+}
+
 func (p *Parser) parseCompact() (Statement, error) {
 	if _, err := p.expect(TokKeyword, "COMPACT"); err != nil {
 		return nil, err
@@ -874,6 +914,11 @@ func (p *Parser) parseUnary() (Expr, error) {
 func (p *Parser) parsePrimary() (Expr, error) {
 	t := p.cur()
 	switch {
+	case t.Kind == TokOp && t.Text == "?":
+		p.next()
+		ph := &Placeholder{Idx: p.params}
+		p.params++
+		return ph, nil
 	case t.Kind == TokNumber:
 		p.next()
 		if !strings.ContainsAny(t.Text, ".eE") {

@@ -1,0 +1,245 @@
+package dualtable
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dualtable/internal/core"
+	"dualtable/internal/datum"
+	"dualtable/internal/hive"
+	"dualtable/internal/sqlparser"
+)
+
+// Rows re-exports the streaming result iterator (Next/Scan/Close).
+type Rows = hive.Rows
+
+// PlanDecision re-exports one cost-model decision record.
+type PlanDecision = core.PlanDecision
+
+// Session is an independent client of a DB: it owns the settings that
+// used to be process-global knobs (force plan, following reads k,
+// ratio hints, arbitrary SET key = value pairs) plus its own plan
+// log, so concurrent sessions with conflicting settings are safe and
+// race-free. Sessions are cheap; create one per logical client or
+// goroutine. A Session itself may be used from multiple goroutines.
+type Session struct {
+	db   *DB
+	vars *hive.SessionVars
+
+	mu      sync.Mutex
+	planLog []PlanDecision
+}
+
+// Session opens a new session over the database.
+func (db *DB) Session() *Session {
+	return &Session{db: db, vars: hive.NewSessionVars()}
+}
+
+// ec builds the per-call execution context: the caller's cancellation
+// context, this session's settings, and a plan observer feeding the
+// session-local log.
+func (s *Session) ec(ctx context.Context) *hive.ExecContext {
+	return &hive.ExecContext{
+		Ctx:  ctx,
+		Vars: s.vars,
+		PlanObserver: func(v any) {
+			if d, ok := v.(core.PlanDecision); ok {
+				s.mu.Lock()
+				s.planLog = append(s.planLog, d)
+				// Same retention bound as the handler-global log.
+				if len(s.planLog) > 1024 {
+					s.planLog = s.planLog[len(s.planLog)-1024:]
+				}
+				s.mu.Unlock()
+			}
+		},
+	}
+}
+
+// Exec runs one SQL statement (including SET key = value).
+func (s *Session) Exec(sql string) (*ResultSet, error) {
+	return s.ExecContext(context.Background(), sql)
+}
+
+// ExecContext runs one SQL statement under a cancellation context.
+// Long scans and DML abort between MapReduce records once ctx is
+// canceled, returning ctx.Err().
+func (s *Session) ExecContext(ctx context.Context, sql string) (*ResultSet, error) {
+	return s.db.Engine.ExecuteCtx(s.ec(ctx), sql)
+}
+
+// ExecScript runs a semicolon-separated script, returning the last
+// statement's result.
+func (s *Session) ExecScript(sql string) (*ResultSet, error) {
+	return s.ExecScriptContext(context.Background(), sql)
+}
+
+// ExecScriptContext runs a script under a cancellation context.
+func (s *Session) ExecScriptContext(ctx context.Context, sql string) (*ResultSet, error) {
+	return s.db.Engine.ExecuteScriptCtx(s.ec(ctx), sql)
+}
+
+// MustExec runs a statement and panics on error (examples, tests).
+func (s *Session) MustExec(sql string) *ResultSet {
+	rs, err := s.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("dualtable: %s: %v", sql, err))
+	}
+	return rs
+}
+
+// Query runs a SELECT and returns a streaming row iterator.
+func (s *Session) Query(sql string) (*Rows, error) {
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext runs a SELECT under a cancellation context. Streamable
+// queries (no aggregation, DISTINCT or ORDER BY) deliver rows while
+// the MapReduce job runs, in bounded memory; canceling ctx or closing
+// the Rows early aborts the job.
+func (s *Session) QueryContext(ctx context.Context, sql string) (*Rows, error) {
+	return s.db.Engine.QueryCtx(s.ec(ctx), sql)
+}
+
+// Prepare compiles a statement with '?' placeholders once; the
+// returned Stmt binds arguments per execution without reparsing.
+// Compiled plans are shared through the engine's LRU plan cache, so
+// preparing the same text across sessions parses it once.
+func (s *Session) Prepare(sql string) (*Stmt, error) {
+	p, err := s.db.Engine.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{sess: s, prep: p}, nil
+}
+
+// Set stores a session setting, as the SQL statement
+// SET key = value does. Recognized keys: "dualtable.force.plan"
+// (EDIT/OVERWRITE/empty) and "dualtable.following.reads" (float k).
+func (s *Session) Set(key, value string) { s.vars.Set(key, value) }
+
+// Unset removes a session setting, restoring the engine default.
+func (s *Session) Unset(key string) { s.vars.Unset(key) }
+
+// Settings returns the session's settings as sorted key/value pairs.
+func (s *Session) Settings() [][2]string { return s.vars.All() }
+
+// SetForcePlan forces EDIT or OVERWRITE plans on DualTable DML for
+// this session only ("" restores cost-model selection).
+func (s *Session) SetForcePlan(plan string) { s.vars.Set(hive.VarForcePlan, plan) }
+
+// SetFollowingReads sets the cost model's k for this session only.
+func (s *Session) SetFollowingReads(k float64) {
+	s.vars.Set(hive.VarFollowingReads, fmt.Sprintf("%g", k))
+}
+
+// SetRatioHint pins the modification-ratio estimate of a DML
+// statement for this session only (the designer-given α/β of the
+// paper's §IV).
+func (s *Session) SetRatioHint(sql string, ratio float64) error {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return err
+	}
+	key, err := s.db.Handler.StatementKey(stmt)
+	if err != nil {
+		return err
+	}
+	s.vars.SetRatioHint(key, ratio)
+	return nil
+}
+
+// PlanLog returns the cost-model decisions made on behalf of this
+// session, oldest first.
+func (s *Session) PlanLog() []PlanDecision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]PlanDecision(nil), s.planLog...)
+}
+
+// Stmt is a prepared statement bound to a session.
+type Stmt struct {
+	sess *Session
+	prep *hive.Prepared
+}
+
+// NumParams returns the number of '?' placeholders.
+func (st *Stmt) NumParams() int { return st.prep.NumParams }
+
+// Exec binds the arguments and runs the statement.
+func (st *Stmt) Exec(args ...any) (*ResultSet, error) {
+	return st.ExecContext(context.Background(), args...)
+}
+
+// ExecContext binds the arguments and runs the statement under a
+// cancellation context.
+func (st *Stmt) ExecContext(ctx context.Context, args ...any) (*ResultSet, error) {
+	bound, err := st.bind(args)
+	if err != nil {
+		return nil, err
+	}
+	return st.sess.db.Engine.ExecuteStmtCtx(st.sess.ec(ctx), bound)
+}
+
+// Query binds the arguments and runs the statement as a streaming
+// SELECT.
+func (st *Stmt) Query(args ...any) (*Rows, error) {
+	return st.QueryContext(context.Background(), args...)
+}
+
+// QueryContext binds the arguments and streams the SELECT's rows.
+func (st *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
+	bound, err := st.bind(args)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := bound.(*sqlparser.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("dualtable: Query requires a SELECT, got %T (use Exec)", bound)
+	}
+	return st.sess.db.Engine.QueryStmtCtx(st.sess.ec(ctx), sel)
+}
+
+// Close releases the statement. The compiled plan stays in the
+// engine's cache for future Prepare calls.
+func (st *Stmt) Close() error { return nil }
+
+// bind converts Go arguments to datums and substitutes placeholders.
+func (st *Stmt) bind(args []any) (sqlparser.Statement, error) {
+	ds := make([]datum.Datum, len(args))
+	for i, a := range args {
+		d, err := toDatum(a)
+		if err != nil {
+			return nil, fmt.Errorf("dualtable: argument %d: %w", i+1, err)
+		}
+		ds[i] = d
+	}
+	return st.prep.Bind(ds)
+}
+
+// toDatum converts a Go value to a datum.
+func toDatum(a any) (datum.Datum, error) {
+	switch v := a.(type) {
+	case nil:
+		return datum.Null, nil
+	case datum.Datum:
+		return v, nil
+	case int:
+		return datum.Int(int64(v)), nil
+	case int32:
+		return datum.Int(int64(v)), nil
+	case int64:
+		return datum.Int(v), nil
+	case float32:
+		return datum.Float(float64(v)), nil
+	case float64:
+		return datum.Float(v), nil
+	case string:
+		return datum.String_(v), nil
+	case bool:
+		return datum.Bool(v), nil
+	default:
+		return datum.Null, fmt.Errorf("unsupported argument type %T", a)
+	}
+}
