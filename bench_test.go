@@ -19,6 +19,8 @@ import (
 	"dualtable/internal/costmodel"
 	"dualtable/internal/datum"
 	"dualtable/internal/harness"
+	"dualtable/internal/mapred"
+	"dualtable/internal/sim"
 	"dualtable/internal/workload"
 )
 
@@ -111,6 +113,102 @@ func BenchmarkEditUpdateLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupByShuffle measures the MapReduce engine's shuffle hot
+// path directly: a keyed map over parallel splits, a combiner, and a
+// grouped reduce — every per-record engine cost (emit, partitioning,
+// sort, merge) without SQL planning on top.
+func BenchmarkGroupByShuffle(b *testing.B) {
+	cluster := mapred.NewCluster(sim.GridCluster())
+	const splitCount, rowsPerSplit, keyCard = 8, 4000, 97
+	splits := make([]mapred.InputSplit, splitCount)
+	for s := range splits {
+		rows := make([]datum.Row, rowsPerSplit)
+		for i := range rows {
+			rows[i] = datum.Row{datum.Int(int64((s*rowsPerSplit + i) % keyCard)), datum.Float(float64(i))}
+		}
+		splits[s] = &mapred.SliceSplit{Rows: rows, SimSize: int64(rowsPerSplit * 16)}
+	}
+	sum := func() mapred.Reducer {
+		return mapred.ReduceFunc(func(key []byte, rows []datum.Row, emit mapred.Emitter) error {
+			var total float64
+			var n int64
+			for _, r := range rows {
+				total += r[1].F
+				n += r[0].I // carry a second column through the shuffle
+			}
+			_ = n
+			return emit(key, datum.Row{datum.Int(int64(len(key))), datum.Float(total)})
+		})
+	}
+	job := func() *mapred.Job {
+		return &mapred.Job{
+			Name:   "bench-groupby",
+			Splits: splits,
+			NewMapper: func() mapred.Mapper {
+				var keyBuf []byte
+				return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+					keyBuf = datum.SortableKey(keyBuf[:0], row[0])
+					return emit(keyBuf, datum.Row{row[0], row[1]})
+				})
+			},
+			NewCombiner: sum,
+			NewReducer:  sum,
+			NumReducers: 4,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Run(job())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Counters.ReduceInputGroups != keyCard {
+			b.Fatalf("groups = %d", res.Counters.ReduceInputGroups)
+		}
+	}
+}
+
+// BenchmarkMapOnlyScanParallel measures the map-only output path: many
+// parallel splits funneling rows into the in-memory collector.
+func BenchmarkMapOnlyScanParallel(b *testing.B) {
+	cluster := mapred.NewCluster(sim.GridCluster())
+	const splitCount, rowsPerSplit = 16, 2000
+	splits := make([]mapred.InputSplit, splitCount)
+	for s := range splits {
+		rows := make([]datum.Row, rowsPerSplit)
+		for i := range rows {
+			rows[i] = datum.Row{datum.Int(int64(i)), datum.Float(float64(i))}
+		}
+		splits[s] = &mapred.SliceSplit{Rows: rows, SimSize: int64(rowsPerSplit * 16)}
+	}
+	job := func() *mapred.Job {
+		return &mapred.Job{
+			Name:   "bench-scan",
+			Splits: splits,
+			NewMapper: func() mapred.Mapper {
+				return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+					if row[0].I&1 == 0 {
+						return emit(nil, datum.Row{row[0], row[1]})
+					}
+					return nil
+				})
+			},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Run(job())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != splitCount*rowsPerSplit/2 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
 // BenchmarkUnionReadScan measures a full UNION READ scan with a 5%
 // dirty attached table.
 func BenchmarkUnionReadScan(b *testing.B) {
@@ -125,6 +223,7 @@ func BenchmarkUnionReadScan(b *testing.B) {
 		b.Fatal(err)
 	}
 	db.MustExec("UPDATE t SET v = 0.5 WHERE grp < 5")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rs := db.MustExec("SELECT COUNT(*), SUM(v) FROM t")

@@ -609,8 +609,12 @@ func (dm *deltaMapper) Flush(emit mapred.Emitter) error {
 }
 
 // Compact implements COMPACT TABLE for ACID tables: a major
-// compaction folding all deltas into a new base.
-func (h *Handler) Compact(e *hive.Engine, desc *metastore.TableDesc, m *sim.Meter) error {
+// compaction folding all deltas into a new base, cancellable between
+// records via the execution context.
+func (h *Handler) Compact(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, m *sim.Meter) error {
+	if err := ec.Err(); err != nil {
+		return err
+	}
 	splits, err := h.Splits(desc, hive.ScanOptions{})
 	if err != nil {
 		return err
@@ -629,7 +633,7 @@ func (h *Handler) Compact(e *hive.Engine, desc *metastore.TableDesc, m *sim.Mete
 		},
 		Output: factory,
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		committer.Abort()
 		return err

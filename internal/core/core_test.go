@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -509,5 +511,43 @@ func TestPlanLogBounded(t *testing.T) {
 	}
 	if n := len(h.PlanLog()); n != 1024 {
 		t.Errorf("plan log length = %d", n)
+	}
+}
+
+// TestCompactCancellable checks that canceling the context aborts
+// COMPACT between records, leaves the table (master + attached)
+// untouched, and releases the table lock for later statements.
+func TestCompactCancellable(t *testing.T) {
+	e, h := testEngine(t)
+	seedDual(t, e)
+	h.SetForcePlan("EDIT")
+	mustExec(t, e, "UPDATE m SET v = 777.0 WHERE day = 1")
+	desc, _ := e.MS.Get("m")
+	before, _ := h.AttachedEntryCount(desc)
+	if before == 0 {
+		t.Fatal("expected attached entries before compact")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: compact must do no work
+	ec := &hive.ExecContext{Ctx: ctx}
+	if _, err := e.ExecuteCtx(ec, "COMPACT TABLE m"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n, _ := h.AttachedEntryCount(desc); n != before {
+		t.Errorf("attached entries changed on canceled compact: %d -> %d", before, n)
+	}
+	got := mustExec(t, e, "SELECT COUNT(*) FROM m WHERE v = 777.0")
+	if got.Rows[0][0].I != 10 {
+		t.Errorf("table changed by canceled compact: %v", got.Rows[0])
+	}
+
+	// The lock was released: a real COMPACT still succeeds.
+	rs := mustExec(t, e, "COMPACT TABLE m")
+	if rs.Plan != "COMPACT" {
+		t.Fatalf("plan = %s", rs.Plan)
+	}
+	if n, _ := h.AttachedEntryCount(desc); n != 0 {
+		t.Errorf("attached entries after compact = %d", n)
 	}
 }

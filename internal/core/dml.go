@@ -498,11 +498,21 @@ func (h *Handler) observeRatio(desc *metastore.TableDesc, upd *sqlparser.UpdateS
 // Compact implements the COMPACT operation (§III-C): a UNION READ
 // over the existing tables rewritten into a fresh master table via
 // INSERT OVERWRITE, clearing the attached table. All other operations
-// are blocked for the duration (table-level exclusive lock).
-func (h *Handler) Compact(e *hive.Engine, desc *metastore.TableDesc, m *sim.Meter) error {
+// are blocked for the duration (table-level exclusive lock), so the
+// rewrite runs under the caller's context: canceling it aborts the
+// job between records, discards staging and releases the lock with
+// the table unchanged.
+func (h *Handler) Compact(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, m *sim.Meter) error {
+	if err := ec.Err(); err != nil {
+		return err
+	}
 	lock := h.tableLock(desc.Name)
 	lock.Lock()
 	defer lock.Unlock()
+	if err := ec.Err(); err != nil {
+		// Canceled while waiting for the table lock: do no work.
+		return err
+	}
 
 	// Read everything through UNION READ (without the handler lock —
 	// we already hold it exclusively, so do the work inline).
@@ -538,7 +548,7 @@ func (h *Handler) Compact(e *hive.Engine, desc *metastore.TableDesc, m *sim.Mete
 		},
 		Output: factory,
 	}
-	res, err := e.MR.Run(job)
+	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
 		h.e.FS.Delete(staging, true)
 		return err

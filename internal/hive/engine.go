@@ -70,9 +70,12 @@ type DMLHandler interface {
 	ExecDelete(ec *ExecContext, e *Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter) (int64, string, error)
 }
 
-// Compactor is a StorageHandler supporting the COMPACT statement.
+// Compactor is a StorageHandler supporting the COMPACT statement. The
+// execution context carries the caller's cancellation context: a
+// canceled COMPACT aborts between MapReduce records, releases the
+// table lock and leaves the table untouched (staging is discarded).
 type Compactor interface {
-	Compact(e *Engine, desc *metastore.TableDesc, m *sim.Meter) error
+	Compact(ec *ExecContext, e *Engine, desc *metastore.TableDesc, m *sim.Meter) error
 }
 
 // Engine executes SQL statements.
@@ -160,10 +163,11 @@ func (e *Engine) Execute(sql string) (*ResultSet, error) {
 	return e.ExecuteCtx(nil, sql)
 }
 
-// ExecuteCtx parses (through the plan cache) and runs one SQL
-// statement under an execution context.
+// ExecuteCtx parses (through the plan cache, with literal
+// normalization) and runs one SQL statement under an execution
+// context.
 func (e *Engine) ExecuteCtx(ec *ExecContext, sql string) (*ResultSet, error) {
-	p, err := e.Prepare(sql)
+	p, err := e.PrepareCtx(ec, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +224,7 @@ func (e *Engine) ExecuteStmtCtx(ec *ExecContext, stmt sqlparser.Statement) (*Res
 	case *sqlparser.LoadStmt:
 		return e.execLoad(ec, s)
 	case *sqlparser.CompactStmt:
-		return e.execCompact(s)
+		return e.execCompact(ec, s)
 	case *sqlparser.SetStmt:
 		return e.execSet(ec, s)
 	case *sqlparser.ShowTablesStmt:
@@ -324,7 +328,7 @@ func (e *Engine) execDrop(s *sqlparser.DropTableStmt) (*ResultSet, error) {
 	return &ResultSet{}, nil
 }
 
-func (e *Engine) execCompact(s *sqlparser.CompactStmt) (*ResultSet, error) {
+func (e *Engine) execCompact(ec *ExecContext, s *sqlparser.CompactStmt) (*ResultSet, error) {
 	desc, err := e.MS.Get(s.Table)
 	if err != nil {
 		return nil, err
@@ -338,7 +342,7 @@ func (e *Engine) execCompact(s *sqlparser.CompactStmt) (*ResultSet, error) {
 		return nil, fmt.Errorf("hive: table %s (%v) does not support COMPACT", s.Table, desc.Storage)
 	}
 	meter := sim.NewMeter(&e.MR.Params)
-	if err := c.Compact(e, desc, meter); err != nil {
+	if err := c.Compact(ec, e, desc, meter); err != nil {
 		return nil, err
 	}
 	return &ResultSet{SimSeconds: meter.Seconds(), Plan: "COMPACT"}, nil

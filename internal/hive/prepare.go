@@ -29,13 +29,17 @@ func (p *Prepared) Bind(args []datum.Datum) (sqlparser.Statement, error) {
 const planCacheCap = 512
 
 // planCache is a mutex-guarded LRU of Prepared statements keyed by
-// SQL text.
+// SQL text (exact texts and literal-normalized templates share the
+// same LRU). Hit/miss accounting is done by the callers in PrepareCtx
+// so the two-level lookup counts each Prepare exactly once.
 type planCache struct {
-	mu           sync.Mutex
-	cap          int
-	ll           *list.List // front = most recently used; values are *planEntry
-	m            map[string]*list.Element
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *planEntry
+	m   map[string]*list.Element
+
 	hits, misses atomic.Int64
+	normHits     atomic.Int64 // hits satisfied via a normalized template
 }
 
 type planEntry struct {
@@ -55,10 +59,8 @@ func (c *planCache) get(sql string) (*Prepared, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[sql]
 	if !ok {
-		c.misses.Add(1)
 		return nil, false
 	}
-	c.hits.Add(1)
 	c.ll.MoveToFront(el)
 	return el.Value.(*planEntry).p, true
 }
@@ -89,9 +91,32 @@ func (c *planCache) len() int {
 // statement. Repeated Prepare calls with the same text return the
 // same *Prepared without reparsing.
 func (e *Engine) Prepare(sql string) (*Prepared, error) {
+	return e.PrepareCtx(nil, sql)
+}
+
+// PrepareCtx is Prepare with per-session cache accounting: hits and
+// misses are also recorded on the execution context's PlanCacheStats
+// when present.
+//
+// Lookups are two-level. An exact-text hit returns the cached plan
+// directly. On a miss, the text is normalized — literals masked to
+// '?' placeholders (sqlparser.NormalizeForCache) — and the literal-
+// free template is looked up instead; a template hit binds the
+// extracted literals into a fresh AST without reparsing, so generated
+// workloads whose statements differ only in constants still hit the
+// cache. Both the template and the bound text are cached for next
+// time.
+func (e *Engine) PrepareCtx(ec *ExecContext, sql string) (*Prepared, error) {
 	if p, ok := e.plans.get(sql); ok {
+		e.plans.hits.Add(1)
+		ec.countPlanCache(true, false)
 		return p, nil
 	}
+	if p := e.prepareNormalized(ec, sql); p != nil {
+		return p, nil
+	}
+	e.plans.misses.Add(1)
+	ec.countPlanCache(false, false)
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -101,7 +126,53 @@ func (e *Engine) Prepare(sql string) (*Prepared, error) {
 	return p, nil
 }
 
-// PlanCacheStats reports the plan cache's size, hits and misses.
-func (e *Engine) PlanCacheStats() (size int, hits, misses int64) {
-	return e.plans.len(), e.plans.hits.Load(), e.plans.misses.Load()
+// prepareNormalized tries the literal-normalized template path.
+// Returns nil when the text is not normalizable or the template
+// disagrees with the extracted literals (the caller then parses the
+// raw text).
+func (e *Engine) prepareNormalized(ec *ExecContext, sql string) *Prepared {
+	tmpl, args, ok := sqlparser.NormalizeForCache(sql)
+	if !ok || tmpl == sql {
+		return nil
+	}
+	tp, hit := e.plans.get(tmpl)
+	if !hit {
+		// Parse and cache the template so the next constant variant
+		// binds without parsing. A template that fails to parse or
+		// disagrees on placeholder count falls back to the raw text.
+		tstmt, err := sqlparser.Parse(tmpl)
+		if err != nil || sqlparser.NumPlaceholders(tstmt) != len(args) {
+			return nil
+		}
+		tp = &Prepared{SQL: tmpl, Stmt: tstmt, NumParams: len(args)}
+		e.plans.put(tmpl, tp)
+	}
+	if tp.NumParams != len(args) {
+		return nil
+	}
+	bound, err := tp.Bind(args)
+	if err != nil {
+		return nil
+	}
+	p := &Prepared{SQL: sql, Stmt: bound, NumParams: 0}
+	e.plans.put(sql, p)
+	if hit {
+		e.plans.normHits.Add(1)
+		ec.countPlanCache(true, true)
+	} else {
+		e.plans.misses.Add(1)
+		ec.countPlanCache(false, false)
+	}
+	return p
 }
+
+// PlanCacheStats reports the plan cache's size, hits and misses.
+// Hits include normalized hits: lookups satisfied by binding a
+// literal-normalized template rather than an exact text match.
+func (e *Engine) PlanCacheStats() (size int, hits, misses int64) {
+	return e.plans.len(), e.plans.hits.Load() + e.plans.normHits.Load(), e.plans.misses.Load()
+}
+
+// PlanCacheNormalizedHits reports how many cache hits came from the
+// literal-normalization path.
+func (e *Engine) PlanCacheNormalizedHits() int64 { return e.plans.normHits.Load() }

@@ -171,7 +171,7 @@ func streamable(sel *sqlparser.SelectStmt) bool {
 // QueryCtx parses one SELECT (through the plan cache) and returns a
 // streaming row iterator.
 func (e *Engine) QueryCtx(ec *ExecContext, sql string) (*Rows, error) {
-	p, err := e.Prepare(sql)
+	p, err := e.PrepareCtx(ec, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +309,7 @@ func (c *chanCollector) Collect(row datum.Row) error {
 			return nil
 		}
 		select {
-		case f.ch <- row.Clone():
+		case f.ch <- row: // emit transfers ownership; no clone needed
 			if n == f.limit {
 				// Enough rows delivered: abort the rest of the job.
 				f.limitHit.Store(true)
@@ -321,7 +321,7 @@ func (c *chanCollector) Collect(row datum.Row) error {
 		}
 	}
 	select {
-	case f.ch <- row.Clone():
+	case f.ch <- row: // emit transfers ownership; no clone needed
 		return nil
 	case <-f.ctx.Done():
 		return f.ctx.Err()

@@ -529,10 +529,12 @@ func rewritePostAgg(x sqlparser.Expr, groupStrs []string, aggIndex map[string]in
 //	[count BIGINT, sum DOUBLE, sumInt BIGINT, intOnly BOOLEAN, min, max]
 const aggPartialWidth = 6
 
-// newPartial folds one argument value into a fresh partial.
-func newPartial(d datum.Datum) datum.Row {
+// appendPartial appends the partial-aggregate segment for one argument
+// value to dst in place (no temporary row allocation on the map hot
+// path).
+func appendPartial(dst datum.Row, d datum.Datum) datum.Row {
 	if d.IsNull() {
-		return datum.Row{datum.Int(0), datum.Float(0), datum.Int(0), datum.Bool(true), datum.Null, datum.Null}
+		return append(dst, datum.Int(0), datum.Float(0), datum.Int(0), datum.Bool(true), datum.Null, datum.Null)
 	}
 	sum := 0.0
 	sumInt := int64(0)
@@ -545,7 +547,7 @@ func newPartial(d datum.Datum) datum.Row {
 	} else {
 		intOnly = false
 	}
-	return datum.Row{datum.Int(1), datum.Float(sum), datum.Int(sumInt), datum.Bool(intOnly), d, d}
+	return append(dst, datum.Int(1), datum.Float(sum), datum.Int(sumInt), datum.Bool(intOnly), d, d)
 }
 
 // mergePartial folds src into dst (both aggPartialWidth segments).
@@ -609,6 +611,9 @@ func (e *Engine) partialAggJob(rel *relation, whereFn evalFn, groupFns, argFns [
 		Name:   "groupby",
 		Splits: rel.splits,
 		NewMapper: func() mapred.Mapper {
+			// The engine copies emitted keys, so one buffer serves
+			// every record of the task.
+			var keyBuf []byte
 			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
 				if whereFn != nil {
 					ok, err := whereFn(row)
@@ -629,17 +634,17 @@ func (e *Engine) partialAggJob(rel *relation, whereFn evalFn, groupFns, argFns [
 				}
 				for i := range aggs {
 					if aggs[i].star {
-						out = append(out, newPartial(datum.Bool(true))...)
+						out = appendPartial(out, datum.Bool(true))
 						continue
 					}
 					d, err := argFns[i](row)
 					if err != nil {
 						return err
 					}
-					out = append(out, newPartial(d)...)
+					out = appendPartial(out, d)
 				}
-				key := datum.SortableRowKey(nil, out[:nGroup])
-				return emit(key, out)
+				keyBuf = datum.SortableRowKey(keyBuf[:0], out[:nGroup])
+				return emit(keyBuf, out)
 			})
 		},
 		NewCombiner: func() mapred.Reducer { return merge },
@@ -672,6 +677,7 @@ func (e *Engine) rawAggJob(rel *relation, whereFn evalFn, groupFns, argFns []eva
 		Name:   "groupby-distinct",
 		Splits: rel.splits,
 		NewMapper: func() mapred.Mapper {
+			var keyBuf []byte
 			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
 				if whereFn != nil {
 					ok, err := whereFn(row)
@@ -701,8 +707,8 @@ func (e *Engine) rawAggJob(rel *relation, whereFn evalFn, groupFns, argFns []eva
 					}
 					out = append(out, d)
 				}
-				key := datum.SortableRowKey(nil, out[:nGroup])
-				return emit(key, out)
+				keyBuf = datum.SortableRowKey(keyBuf[:0], out[:nGroup])
+				return emit(keyBuf, out)
 			})
 		},
 		NewReducer: func() mapred.Reducer {
@@ -1077,6 +1083,8 @@ func (e *Engine) execJoin(ec *ExecContext, j *sqlparser.JoinRef, sel *sqlparser.
 		Splits: splits,
 		NewMapper: func() mapred.Mapper {
 			nullSeq := int64(0)
+			var keyBuf []byte
+			var keyRow datum.Row
 			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
 				tag := row[len(row)-1].I
 				data := row[:len(row)-1]
@@ -1084,9 +1092,9 @@ func (e *Engine) execJoin(ec *ExecContext, j *sqlparser.JoinRef, sel *sqlparser.
 				if tag == 1 {
 					keyFns = rightKeyFns
 				}
-				keyRow := make(datum.Row, len(keyFns))
+				keyRow = keyRow[:0]
 				hasNull := false
-				for i, fn := range keyFns {
+				for _, fn := range keyFns {
 					d, err := fn(data)
 					if err != nil {
 						return err
@@ -1094,19 +1102,21 @@ func (e *Engine) execJoin(ec *ExecContext, j *sqlparser.JoinRef, sel *sqlparser.
 					if d.IsNull() {
 						hasNull = true
 					}
-					keyRow[i] = d
+					keyRow = append(keyRow, d)
 				}
-				var key []byte
-				if len(keyFns) == 0 {
-					key = []byte{0x01} // cartesian: single group
-				} else if hasNull {
+				// The engine copies the key on emit, so one buffer
+				// serves the whole task.
+				switch {
+				case len(keyFns) == 0:
+					keyBuf = append(keyBuf[:0], 0x01) // cartesian: single group
+				case hasNull:
 					// NULL keys never match; isolate in unique groups.
 					nullSeq++
-					key = append([]byte{0x00, byte(tag)}, datum.SortableKey(nil, datum.Int(nullSeq))...)
-				} else {
-					key = append([]byte{0x01}, datum.SortableRowKey(nil, keyRow)...)
+					keyBuf = datum.SortableKey(append(keyBuf[:0], 0x00, byte(tag)), datum.Int(nullSeq))
+				default:
+					keyBuf = datum.SortableRowKey(append(keyBuf[:0], 0x01), keyRow)
 				}
-				return emit(key, row) // row still carries the tag
+				return emit(keyBuf, row) // row still carries the tag
 			})
 		},
 		NewReducer: func() mapred.Reducer {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Session setting keys the engine and the DualTable handler recognize.
@@ -101,6 +102,44 @@ type ExecContext struct {
 	// behalf of this context (the value is a core.PlanDecision; typed
 	// as any to avoid an import cycle).
 	PlanObserver func(any)
+	// PlanStats, when set, accumulates this context's plan-cache
+	// outcomes (sessions pass a per-session instance).
+	PlanStats *PlanCacheStats
+}
+
+// PlanCacheStats counts plan-cache outcomes for one session: exact or
+// normalized-template hits, misses, and the subset of hits that came
+// from literal normalization. All fields are atomically updated, so a
+// session shared across goroutines stays race-free.
+type PlanCacheStats struct {
+	Hits           atomic.Int64
+	Misses         atomic.Int64
+	NormalizedHits atomic.Int64
+}
+
+// HitRate returns the fraction of lookups served from the cache
+// (0 when nothing was looked up yet).
+func (s *PlanCacheStats) HitRate() float64 {
+	h, m := s.Hits.Load(), s.Misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// countPlanCache records one plan-cache outcome on the context.
+func (ec *ExecContext) countPlanCache(hit, normalized bool) {
+	if ec == nil || ec.PlanStats == nil {
+		return
+	}
+	if hit {
+		ec.PlanStats.Hits.Add(1)
+		if normalized {
+			ec.PlanStats.NormalizedHits.Add(1)
+		}
+	} else {
+		ec.PlanStats.Misses.Add(1)
+	}
 }
 
 // Context returns the call's context, defaulting to Background.

@@ -1,20 +1,54 @@
 // Package mapred implements the MapReduce execution engine the query
 // layer runs on: jobs over input splits, a map phase with optional
-// combiner, a hash-partitioned sort-merge shuffle, and a reduce phase.
-// Tasks execute concurrently on a bounded worker pool (the real
-// parallelism) while each task's I/O and CPU are charged to a
-// sim.Meter; the job's simulated wall time is the slot-scheduled
-// makespan of its task durations plus startup costs, mirroring the
-// paper's Hadoop clusters (6 map + 2 reduce slots per worker).
+// combiner, a sorted-run shuffle, and a reduce phase. Tasks execute
+// concurrently on a bounded worker pool (the real parallelism) while
+// each task's I/O and CPU are charged to a sim.Meter; the job's
+// simulated wall time is the slot-scheduled makespan of its task
+// durations plus startup costs, mirroring the paper's Hadoop clusters
+// (6 map + 2 reduce slots per worker).
+//
+// # Shuffle
+//
+// The per-record hot path is lock-free and allocation-light. Each map
+// task owns a private shuffleWriter: emitted keys are copied into a
+// per-task arena (no per-key allocation), rows are stored without
+// cloning, and partition byte sizes accumulate at emit time. After the
+// map function (and optional combiner) finishes, the task sorts each
+// of its partitions into a run ordered by (key, emission order) — a
+// stable concrete-type sort, no reflection. A reduce task then streams
+// its key groups out of the pre-sorted runs with a k-way merge in map
+// task order, which reproduces the engine's deterministic total order
+// (key, then map task, then emission order) without re-sorting and
+// independently of worker parallelism. In-memory job output is
+// collected into per-task shards and assembled in task order, so
+// Result.Rows is byte-identical across parallelism levels.
+//
+// # Ownership and row reuse
+//
+// Emitter and Collector calls hand rows over to the engine:
+//
+//   - The key passed to an Emitter is copied by the engine; callers
+//     may (and should) reuse one key buffer across emits.
+//   - The value row's ownership transfers on emit. Mappers, combiners
+//     and reducers must emit rows they own and must not mutate them
+//     afterwards. The engine stores them without cloning.
+//   - A RecordReader may reuse its row buffer between Next calls (the
+//     ORC reader does). Mappers must therefore not retain or emit an
+//     input row into a shuffle; forwarding an input row with
+//     emit(nil, row) is legal only for map-only jobs whose collector
+//     consumes rows synchronously (all storage collectors encode the
+//     row before returning; the in-memory collector is only used by
+//     jobs whose operators emit fresh rows).
+//   - The rows slice passed to Reducer.Reduce is reused between
+//     groups: retain its datum.Row elements freely, never the slice.
 package mapred
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
-	"sort"
 	"sync"
 
 	"dualtable/internal/datum"
@@ -27,7 +61,8 @@ type RecordMeta struct {
 	RecordID uint64
 }
 
-// RecordReader streams the rows of one split.
+// RecordReader streams the rows of one split. The returned row may be
+// reused between Next calls; see the package ownership contract.
 type RecordReader interface {
 	// Next returns the next row, or an error; io.EOF ends the stream.
 	Next() (datum.Row, RecordMeta, error)
@@ -44,7 +79,8 @@ type InputSplit interface {
 }
 
 // Emitter receives (key, value) pairs from a mapper, or output rows
-// (with nil key) from a reducer.
+// (with nil key) from a reducer. The engine copies the key and takes
+// ownership of the value (see the package ownership contract).
 type Emitter func(key []byte, value datum.Row) error
 
 // Mapper processes one input record. A fresh Mapper is built per map
@@ -55,7 +91,8 @@ type Mapper interface {
 	Flush(emit Emitter) error
 }
 
-// Reducer processes one key group.
+// Reducer processes one key group. The rows slice is reused between
+// groups; retain its elements, never the slice.
 type Reducer interface {
 	Reduce(key []byte, rows []datum.Row, emit Emitter) error
 	// Flush is called once after the task's last group.
@@ -70,7 +107,9 @@ type MeterAware interface {
 	SetMeter(m *sim.Meter)
 }
 
-// Collector receives output rows of one task.
+// Collector receives output rows of one task. Collect takes ownership
+// of the row when it retains it; storage collectors consume the row
+// synchronously instead.
 type Collector interface {
 	Collect(row datum.Row) error
 	Close() error
@@ -129,31 +168,11 @@ type Counters struct {
 type Result struct {
 	Counters   Counters
 	SimSeconds float64
-	// Rows holds the output when no OutputFactory was given.
+	// Rows holds the output when no OutputFactory was given, in
+	// deterministic task order (map task order for map-only jobs,
+	// reduce task order otherwise).
 	Rows []datum.Row
 }
-
-type kvPair struct {
-	key []byte
-	row datum.Row
-	seq int64 // tie-break for deterministic, stable ordering
-}
-
-// memCollector gathers rows in memory. All collectors of one job
-// share the same destination slice and mutex.
-type memCollector struct {
-	mu   *sync.Mutex
-	rows *[]datum.Row
-}
-
-func (m *memCollector) Collect(row datum.Row) error {
-	m.mu.Lock()
-	*m.rows = append(*m.rows, row.Clone())
-	m.mu.Unlock()
-	return nil
-}
-
-func (m *memCollector) Close() error { return nil }
 
 // Run executes the job to completion.
 func (c *Cluster) Run(job *Job) (*Result, error) {
@@ -186,23 +205,19 @@ func (c *Cluster) RunContext(ctx context.Context, job *Job) (*Result, error) {
 	mapOnly := job.NewReducer == nil
 
 	outFactory := job.Output
+	var memOut *memOutputFactory
 	if outFactory == nil {
-		outFactory = memOutputFactory{mu: &sync.Mutex{}, rows: &res.Rows}
+		numTasks := len(job.Splits)
+		if !mapOnly {
+			numTasks += numReducers
+		}
+		memOut = newMemOutputFactory(numTasks)
+		outFactory = memOut
 	}
 
 	// ---- Map phase ----
 	mapOuts := make([]mapTaskOutput, len(job.Splits))
 	mapErr := make([]error, len(job.Splits))
-	var seqCounter struct {
-		sync.Mutex
-		n int64
-	}
-	nextSeq := func() int64 {
-		seqCounter.Lock()
-		defer seqCounter.Unlock()
-		seqCounter.n++
-		return seqCounter.n
-	}
 
 	pool := newWorkerPool(c.parallelism())
 	for i := range job.Splits {
@@ -213,7 +228,7 @@ func (c *Cluster) RunContext(ctx context.Context, job *Job) (*Result, error) {
 				return
 			}
 			meter := sim.NewMeter(&c.Params)
-			mapErr[i] = c.runMapTask(ctx, job, i, meter, numReducers, mapOnly, outFactory, &mapOuts[i], nextSeq, &cnt.Counters, &cnt.Mutex)
+			mapErr[i] = c.runMapTask(ctx, job, i, meter, numReducers, mapOnly, outFactory, &mapOuts[i], &cnt.Counters, &cnt.Mutex)
 			mapOuts[i].secs = meter.Seconds()
 		})
 	}
@@ -241,6 +256,9 @@ func (c *Cluster) RunContext(ctx context.Context, job *Job) (*Result, error) {
 
 	if mapOnly {
 		res.Counters = cnt.Counters
+		if memOut != nil {
+			res.Rows = memOut.rows()
+		}
 		return res, nil
 	}
 
@@ -256,20 +274,21 @@ func (c *Cluster) RunContext(ctx context.Context, job *Job) (*Result, error) {
 				return
 			}
 			meter := sim.NewMeter(&c.Params)
-			var part []kvPair
+			// Gather this partition's pre-sorted runs in map task
+			// order; byte sizes were accumulated at emit time.
+			runs := make([][]kvPair, 0, len(mapOuts))
 			var shuffleBytes int64
 			for i := range mapOuts {
-				p := mapOuts[i].parts[r]
-				part = append(part, p...)
-				for _, kv := range p {
-					shuffleBytes += int64(len(kv.key) + datum.RowEncodedSize(kv.row))
+				if p := mapOuts[i].shuffle.parts[r]; len(p) > 0 {
+					runs = append(runs, p)
 				}
+				shuffleBytes += mapOuts[i].shuffle.bytes[r]
 			}
 			meter.Shuffle(shuffleBytes)
 			cnt.Lock()
 			cnt.ShuffleBytes += shuffleBytes
 			cnt.Unlock()
-			reduceErr[r] = c.runReduceTask(ctx, job, r, meter, part, outFactory, &cnt.Counters, &cnt.Mutex)
+			reduceErr[r] = c.runReduceTask(ctx, job, r, meter, runs, outFactory, &cnt.Counters, &cnt.Mutex)
 			reduceSecs[r] = meter.Seconds()
 		})
 	}
@@ -284,11 +303,14 @@ func (c *Cluster) RunContext(ctx context.Context, job *Job) (*Result, error) {
 	}
 	res.SimSeconds += sim.Makespan(reduceSecs, c.Params.ReduceSlots(), c.Params.TaskStartupCost)
 	res.Counters = cnt.Counters
+	if memOut != nil {
+		res.Rows = memOut.rows()
+	}
 	return res, nil
 }
 
 func (c *Cluster) runMapTask(ctx context.Context, job *Job, taskID int, meter *sim.Meter, numReducers int, mapOnly bool,
-	outFactory OutputFactory, out *mapTaskOutput, nextSeq func() int64, cnt *Counters, mu *sync.Mutex) error {
+	outFactory OutputFactory, out *mapTaskOutput, cnt *Counters, mu *sync.Mutex) error {
 	rr, err := job.Splits[taskID].Open(meter)
 	if err != nil {
 		return fmt.Errorf("mapred: open split %d: %w", taskID, err)
@@ -300,7 +322,7 @@ func (c *Cluster) runMapTask(ctx context.Context, job *Job, taskID int, meter *s
 	}
 
 	var collector Collector
-	var parts [][]kvPair
+	var sw *shuffleWriter
 	var emit Emitter
 	var inRecords, outRecords int64
 
@@ -314,11 +336,12 @@ func (c *Cluster) runMapTask(ctx context.Context, job *Job, taskID int, meter *s
 			return collector.Collect(value)
 		}
 	} else {
-		parts = make([][]kvPair, numReducers)
+		// With a combiner, partition byte sizes are recounted over the
+		// combined output instead of accumulated per emit.
+		sw = newShuffleWriter(numReducers, job.NewCombiner == nil)
 		emit = func(key []byte, value datum.Row) error {
 			outRecords++
-			p := int(hashBytes(key) % uint64(numReducers))
-			parts[p] = append(parts[p], kvPair{key: append([]byte(nil), key...), row: value.Clone(), seq: nextSeq()})
+			sw.add(key, value)
 			return nil
 		}
 	}
@@ -348,17 +371,26 @@ func (c *Cluster) runMapTask(ctx context.Context, job *Job, taskID int, meter *s
 	meter.CPURows(inRecords + outRecords)
 
 	combined := outRecords
-	if !mapOnly && job.NewCombiner != nil {
-		var err error
-		combined = 0
-		for p := range parts {
-			parts[p], err = runCombiner(job.NewCombiner(), parts[p], nextSeq)
-			if err != nil {
-				return fmt.Errorf("mapred: combiner task %d: %w", taskID, err)
+	if sw != nil {
+		// Sort each partition into a run map-side; the combiner needs
+		// sorted groups and the reducer merges the sorted runs.
+		sw.sortAll()
+		if job.NewCombiner != nil {
+			combined = 0
+			for p := range sw.parts {
+				sw.parts[p], err = runCombiner(job.NewCombiner(), sw.parts[p], &sw.arena)
+				if err != nil {
+					return fmt.Errorf("mapred: combiner task %d: %w", taskID, err)
+				}
+				// Combiner output is emitted in group order; re-sort
+				// only if a Flush emission broke the run.
+				sortPairs(sw.parts[p])
+				combined += int64(len(sw.parts[p]))
 			}
-			combined += int64(len(parts[p]))
+			sw.recountBytes()
+			meter.CPURows(outRecords)
 		}
-		meter.CPURows(outRecords)
+		out.shuffle = sw
 	}
 
 	if collector != nil {
@@ -366,7 +398,6 @@ func (c *Cluster) runMapTask(ctx context.Context, job *Job, taskID int, meter *s
 			return err
 		}
 	}
-	out.parts = parts
 	mu.Lock()
 	cnt.MapInputRecords += inRecords
 	cnt.MapOutputRecords += outRecords
@@ -382,46 +413,43 @@ func (c *Cluster) runMapTask(ctx context.Context, job *Job, taskID int, meter *s
 
 // mapTaskOutput is the per-task result captured by runMapTask.
 type mapTaskOutput struct {
-	parts [][]kvPair // per reducer partition (nil when map-only)
-	secs  float64
+	shuffle *shuffleWriter // per-reducer sorted runs (nil when map-only)
+	secs    float64
 }
 
-func runCombiner(comb Reducer, part []kvPair, nextSeq func() int64) ([]kvPair, error) {
-	sortPairs(part)
+// runCombiner folds one sorted partition through a combiner. The
+// input pairs already form a sorted run; combined pairs reuse the
+// group's arena-backed key.
+func runCombiner(comb Reducer, part []kvPair, arena *keyArena) ([]kvPair, error) {
 	var out []kvPair
-	emitKey := func(key []byte) Emitter {
-		return func(_ []byte, value datum.Row) error {
-			out = append(out, kvPair{key: key, row: value.Clone(), seq: nextSeq()})
-			return nil
-		}
+	flushEmit := func(key []byte, value datum.Row) error {
+		out = append(out, kvPair{key: arena.copyKey(key), row: value, ord: int32(len(out))})
+		return nil
 	}
-	i := 0
-	for i < len(part) {
-		j := i + 1
-		for j < len(part) && bytes.Equal(part[j].key, part[i].key) {
-			j++
-		}
-		rows := make([]datum.Row, 0, j-i)
-		for _, kv := range part[i:j] {
-			rows = append(rows, kv.row)
-		}
-		if err := comb.Reduce(part[i].key, rows, emitKey(part[i].key)); err != nil {
+	if len(part) == 0 {
+		// Still run Flush for stateful combiners.
+		err := comb.Flush(flushEmit)
+		return out, err
+	}
+	out = make([]kvPair, 0, len(part)/2+1)
+	it := &groupIter{runs: [][]kvPair{part}, pos: []int{0}, heap: []int{0}}
+	for it.next() {
+		key := it.key
+		if err := comb.Reduce(key, it.rows, func(_ []byte, value datum.Row) error {
+			out = append(out, kvPair{key: key, row: value, ord: int32(len(out))})
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		i = j
 	}
-	if err := comb.Flush(func(key []byte, value datum.Row) error {
-		out = append(out, kvPair{key: append([]byte(nil), key...), row: value.Clone(), seq: nextSeq()})
-		return nil
-	}); err != nil {
+	if err := comb.Flush(flushEmit); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-func (c *Cluster) runReduceTask(ctx context.Context, job *Job, taskID int, meter *sim.Meter, part []kvPair,
+func (c *Cluster) runReduceTask(ctx context.Context, job *Job, taskID int, meter *sim.Meter, runs [][]kvPair,
 	outFactory OutputFactory, cnt *Counters, mu *sync.Mutex) error {
-	sortPairs(part)
 	collector, err := outFactory.NewCollector(len(job.Splits)+taskID, meter)
 	if err != nil {
 		return err
@@ -432,31 +460,22 @@ func (c *Cluster) runReduceTask(ctx context.Context, job *Job, taskID int, meter
 		outRecords++
 		return collector.Collect(value)
 	}
-	i := 0
-	for i < len(part) {
+	it := newGroupIter(runs)
+	for it.next() {
 		if groups&127 == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		j := i + 1
-		for j < len(part) && bytes.Equal(part[j].key, part[i].key) {
-			j++
-		}
-		rows := make([]datum.Row, 0, j-i)
-		for _, kv := range part[i:j] {
-			rows = append(rows, kv.row)
-		}
 		groups++
-		if err := reducer.Reduce(part[i].key, rows, emit); err != nil {
+		if err := reducer.Reduce(it.key, it.rows, emit); err != nil {
 			return fmt.Errorf("mapred: reduce task %d: %w", taskID, err)
 		}
-		i = j
 	}
 	if err := reducer.Flush(emit); err != nil {
 		return fmt.Errorf("mapred: reduce flush %d: %w", taskID, err)
 	}
-	meter.CPURows(int64(len(part)) + outRecords)
+	meter.CPURows(totalPairs(runs) + outRecords)
 	if err := collector.Close(); err != nil {
 		return err
 	}
@@ -493,36 +512,57 @@ func virtualDurations(secs float64, length int64, p *sim.CostParams) []float64 {
 	return out
 }
 
-// sortPairs orders by key bytes then arrival sequence (stable).
-func sortPairs(part []kvPair) {
-	sort.Slice(part, func(i, j int) bool {
-		if c := bytes.Compare(part[i].key, part[j].key); c != 0 {
-			return c < 0
-		}
-		return part[i].seq < part[j].seq
-	})
-}
-
-func hashBytes(b []byte) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime64
-	}
-	return h
-}
-
+// memOutputFactory collects in-memory job output into one shard per
+// task; the shards are assembled in task order after the job's
+// barrier, so the result ordering is deterministic regardless of
+// worker parallelism and no per-row lock is ever taken.
 type memOutputFactory struct {
-	mu   *sync.Mutex
-	rows *[]datum.Row
+	mu     sync.Mutex
+	shards [][]datum.Row
 }
 
-func (f memOutputFactory) NewCollector(taskID int, m *sim.Meter) (Collector, error) {
-	return &memCollector{mu: f.mu, rows: f.rows}, nil
+func newMemOutputFactory(numTasks int) *memOutputFactory {
+	return &memOutputFactory{shards: make([][]datum.Row, numTasks)}
+}
+
+func (f *memOutputFactory) NewCollector(taskID int, m *sim.Meter) (Collector, error) {
+	return &memCollector{f: f, taskID: taskID}, nil
+}
+
+// rows concatenates the shards in task order. Callers invoke it only
+// after the phase barrier, when all collectors are closed.
+func (f *memOutputFactory) rows() []datum.Row {
+	total := 0
+	for _, s := range f.shards {
+		total += len(s)
+	}
+	out := make([]datum.Row, 0, total)
+	for _, s := range f.shards {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// memCollector buffers one task's rows locally (no lock, no clone —
+// rows are handed over by the emit contract) and publishes the shard
+// with a single append-under-lock at Close.
+type memCollector struct {
+	f      *memOutputFactory
+	taskID int
+	rows   []datum.Row
+}
+
+func (m *memCollector) Collect(row datum.Row) error {
+	m.rows = append(m.rows, row)
+	return nil
+}
+
+func (m *memCollector) Close() error {
+	m.f.mu.Lock()
+	m.f.shards[m.taskID] = append(m.f.shards[m.taskID], m.rows...)
+	m.f.mu.Unlock()
+	m.rows = nil
+	return nil
 }
 
 // workerPool bounds real concurrency.
@@ -550,7 +590,7 @@ func (p *workerPool) submit(fn func()) {
 func (p *workerPool) wait() { p.wg.Wait() }
 
 func isEOF(err error) bool {
-	return err != nil && (errors.Is(err, errEOF) || err.Error() == "EOF")
+	return errors.Is(err, errEOF) || errors.Is(err, io.EOF)
 }
 
 var errEOF = errors.New("EOF")

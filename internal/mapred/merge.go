@@ -1,0 +1,120 @@
+package mapred
+
+import (
+	"bytes"
+
+	"dualtable/internal/datum"
+)
+
+// groupIter streams key groups out of pre-sorted shuffle runs with a
+// k-way merge, replacing the old concat-then-full-sort reduce input.
+// Runs are the map tasks' partitions in task order; ties between runs
+// break toward the earlier task, and pairs within a run are already in
+// emission order, so group contents arrive exactly as the stable
+// (key, task, emission-order) sort would produce them.
+//
+// The rows slice returned for each group is reused between groups:
+// reducers may retain the datum.Row elements, but must not retain the
+// slice itself past the Reduce call.
+type groupIter struct {
+	runs [][]kvPair // each sorted by key, stable
+	pos  []int      // cursor into each run
+	heap []int      // min-heap of run indexes, ordered by (head key, run index)
+
+	key  []byte
+	rows []datum.Row
+}
+
+// newGroupIter builds an iterator over the non-empty runs.
+func newGroupIter(runs [][]kvPair) *groupIter {
+	it := &groupIter{runs: runs, pos: make([]int, len(runs))}
+	for r := range runs {
+		if len(runs[r]) > 0 {
+			it.heap = append(it.heap, r)
+		}
+	}
+	// Heapify (runs are appended in index order, which is already a
+	// valid tie-break order, but head keys are arbitrary).
+	for i := len(it.heap)/2 - 1; i >= 0; i-- {
+		it.siftDown(i)
+	}
+	return it
+}
+
+// head returns the current first pair of run r.
+func (it *groupIter) head(r int) *kvPair {
+	return &it.runs[r][it.pos[r]]
+}
+
+// less orders heap entries by (head key, run index).
+func (it *groupIter) less(a, b int) bool {
+	ra, rb := it.heap[a], it.heap[b]
+	if c := bytes.Compare(it.head(ra).key, it.head(rb).key); c != 0 {
+		return c < 0
+	}
+	return ra < rb
+}
+
+func (it *groupIter) siftDown(i int) {
+	n := len(it.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && it.less(l, m) {
+			m = l
+		}
+		if r < n && it.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		it.heap[i], it.heap[m] = it.heap[m], it.heap[i]
+		i = m
+	}
+}
+
+// next advances to the next key group, filling it.key and it.rows.
+// It reports false when all runs are exhausted.
+func (it *groupIter) next() bool {
+	if len(it.heap) == 0 {
+		return false
+	}
+	it.rows = it.rows[:0]
+	top := it.heap[0]
+	it.key = it.head(top).key
+	for len(it.heap) > 0 {
+		r := it.heap[0]
+		if !bytes.Equal(it.head(r).key, it.key) {
+			break
+		}
+		// Consume the whole equal-key prefix of this run; within a run
+		// equal keys are consecutive and in emission order.
+		run := it.runs[r]
+		i := it.pos[r]
+		for i < len(run) && bytes.Equal(run[i].key, it.key) {
+			it.rows = append(it.rows, run[i].row)
+			i++
+		}
+		it.pos[r] = i
+		if i >= len(run) {
+			// Run exhausted: drop it from the heap.
+			last := len(it.heap) - 1
+			it.heap[0] = it.heap[last]
+			it.heap = it.heap[:last]
+		}
+		if len(it.heap) > 0 {
+			it.siftDown(0)
+		}
+	}
+	return true
+}
+
+// totalPairs sums the run lengths (the reducer's input record count).
+func totalPairs(runs [][]kvPair) int64 {
+	var n int64
+	for _, r := range runs {
+		n += int64(len(r))
+	}
+	return n
+}

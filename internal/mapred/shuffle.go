@@ -1,0 +1,142 @@
+package mapred
+
+import (
+	"bytes"
+	"slices"
+
+	"dualtable/internal/datum"
+)
+
+// kvPair is one shuffled record. The key points into the owning
+// task's key arena; the row is the emitted row itself (emit transfers
+// ownership — see the Emitter contract). ord is the pair's emission
+// order within its partition, the stable tie-break for sorting.
+type kvPair struct {
+	key []byte
+	row datum.Row
+	ord int32
+}
+
+// arenaChunkSize is the allocation unit of key arenas. Keys are short
+// (group-by keys, join keys), so one chunk backs thousands of emits.
+const arenaChunkSize = 64 << 10
+
+// keyArena copies emitted keys into large shared chunks so the per-emit
+// cost is an append, not an allocation. Chunks are never freed
+// individually; they live as long as the task's shuffle output (the
+// reduce phase reads the key slices in place).
+type keyArena struct {
+	chunk []byte
+}
+
+// copyKey stores k in the arena and returns the stable copy.
+func (a *keyArena) copyKey(k []byte) []byte {
+	if len(k) > cap(a.chunk)-len(a.chunk) {
+		size := arenaChunkSize
+		if len(k) > size {
+			size = len(k)
+		}
+		a.chunk = make([]byte, 0, size)
+	}
+	off := len(a.chunk)
+	a.chunk = append(a.chunk, k...)
+	return a.chunk[off:len(a.chunk):len(a.chunk)]
+}
+
+// shuffleWriter is one map task's private shuffle state: a partition
+// buffer per reducer, the arena backing the keys, and the encoded byte
+// size of each partition (so ShuffleBytes needs no pass over the data
+// in the reducer). No locks anywhere — the task is the only writer,
+// and the reduce phase reads the buffers only after the map phase's
+// WaitGroup barrier.
+//
+// Byte sizes are accumulated at emit time when no combiner runs; with
+// a combiner, sizing is deferred to recountBytes over the (much
+// smaller) combined output, matching what actually shuffles.
+type shuffleWriter struct {
+	parts      [][]kvPair
+	bytes      []int64
+	arena      keyArena
+	sizeOnEmit bool
+}
+
+func newShuffleWriter(numParts int, sizeOnEmit bool) *shuffleWriter {
+	return &shuffleWriter{
+		parts:      make([][]kvPair, numParts),
+		bytes:      make([]int64, numParts),
+		sizeOnEmit: sizeOnEmit,
+	}
+}
+
+// add appends one emitted pair to its hash partition. The key is
+// copied into the arena (callers may reuse their key buffer); the row
+// is stored as-is (ownership transfers to the engine).
+func (w *shuffleWriter) add(key []byte, row datum.Row) {
+	p := int(hashBytes(key) % uint64(len(w.parts)))
+	w.parts[p] = append(w.parts[p], kvPair{key: w.arena.copyKey(key), row: row, ord: int32(len(w.parts[p]))})
+	if w.sizeOnEmit {
+		w.bytes[p] += int64(len(key) + datum.RowEncodedSize(row))
+	}
+}
+
+// sortAll sorts every partition into a run ordered by key, preserving
+// emission order within equal keys.
+func (w *shuffleWriter) sortAll() {
+	for _, p := range w.parts {
+		sortPairs(p)
+	}
+}
+
+// recountBytes recomputes partition byte sizes after a combiner has
+// replaced the partition contents (combined output is small, so the
+// walk is cheap).
+func (w *shuffleWriter) recountBytes() {
+	for p := range w.parts {
+		var n int64
+		for _, kv := range w.parts[p] {
+			n += int64(len(kv.key) + datum.RowEncodedSize(kv.row))
+		}
+		w.bytes[p] = n
+	}
+}
+
+// sortPairs orders a partition by key bytes with the emission order as
+// tie-break — an unstable concrete-type sort over (key, ord) is
+// equivalent to a stable sort by key and avoids both reflection and
+// merge-sort move overhead.
+func sortPairs(part []kvPair) {
+	if pairsSorted(part) {
+		return
+	}
+	slices.SortFunc(part, func(a, b kvPair) int {
+		if c := bytes.Compare(a.key, b.key); c != 0 {
+			return c
+		}
+		return int(a.ord - b.ord)
+	})
+}
+
+// pairsSorted reports whether the partition is already a sorted run —
+// the common case after a combiner, whose output is emitted in group
+// order.
+func pairsSorted(part []kvPair) bool {
+	for i := 1; i < len(part); i++ {
+		if bytes.Compare(part[i-1].key, part[i].key) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func hashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -159,6 +159,11 @@ func (p CostParams) slotDivisor() float64 {
 // Meter accumulates simulated seconds and I/O counters. It is safe for
 // concurrent use; MapReduce tasks each charge their own Meter and the
 // scheduler folds them into a makespan.
+//
+// Per-record charges should be batched: the row-count methods
+// (CPURows, UnionReadRows) take a count precisely so hot loops can
+// accumulate a plain local counter and flush once per task — n·cost
+// is charged either way, without an atomic float add per record.
 type Meter struct {
 	params  *CostParams
 	seconds atomic.Uint64 // float64 bits
@@ -312,7 +317,8 @@ func (m *Meter) CPURows(n int64) {
 
 // UnionReadRows charges the per-row merge overhead of DualTable's
 // UNION READ (the "function invocation" cost the paper measures as
-// the 8–12% empty-attached-table overhead of Fig. 4).
+// the 8–12% empty-attached-table overhead of Fig. 4). Callers batch
+// the row count per task and flush once (see the Meter doc).
 func (m *Meter) UnionReadRows(n int64) {
 	if m == nil || m.params == nil {
 		return

@@ -1,0 +1,161 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+
+	"dualtable/internal/datum"
+)
+
+// NormalizeForCache rewrites a SQL text into a literal-free template
+// plus the extracted literal values, so statements differing only in
+// constants (generated workloads, dashboards) can share one cached
+// plan: the template is parsed once and each variant binds its
+// literals as placeholder arguments.
+//
+// Number and string literals become '?' and are returned as datums in
+// token order, converted exactly the way the parser converts literal
+// tokens (integer when the text has no '.', 'e' or 'E' and fits int64;
+// float otherwise). The template is re-tokenizable text: keywords
+// upper-cased, identifiers back-quoted when needed, tokens joined by
+// single spaces — which also canonicalizes whitespace and comments.
+//
+// ok is false when the text should not be normalized: statements other
+// than SELECT / INSERT / UPDATE / DELETE (DDL carries structural
+// literals), texts that already contain '?' placeholders (mixing
+// extracted and user-supplied parameters would scramble indexes), a
+// LIMIT clause's count (the grammar requires a number there), or a
+// lexing error.
+func NormalizeForCache(sql string) (template string, args []datum.Datum, ok bool) {
+	toks, err := Tokenize(sql)
+	if err != nil {
+		return "", nil, false
+	}
+	// Gate on the statement kind: only plain DML/query statements are
+	// worth templating, and everything else (DDL, LOAD, SET, COMPACT,
+	// EXPLAIN) embeds literals the grammar won't accept as
+	// placeholders.
+	if len(toks) == 0 || toks[0].Kind != TokKeyword {
+		return "", nil, false
+	}
+	switch toks[0].Text {
+	case "SELECT", "INSERT", "UPDATE", "DELETE":
+	default:
+		return "", nil, false
+	}
+
+	var sb strings.Builder
+	sb.Grow(len(sql))
+	sawLiteral := false
+	first := true
+	emit := func(s string) {
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		sb.WriteString(s)
+	}
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == TokEOF {
+			break
+		}
+		switch t.Kind {
+		case TokNumber:
+			if i > 0 && toks[i-1].Kind == TokKeyword && toks[i-1].Text == "LIMIT" {
+				// LIMIT requires a literal count in the grammar.
+				emit(t.Text)
+				continue
+			}
+			args = append(args, numberDatum(t.Text))
+			sawLiteral = true
+			emit("?")
+		case TokString:
+			args = append(args, datum.String_(t.Text))
+			sawLiteral = true
+			emit("?")
+		case TokIdent:
+			emitIdent(emit, t.Text)
+		case TokOp:
+			switch {
+			case t.Text == "?":
+				// Existing placeholders: indexes would interleave with
+				// extracted literals; leave the text alone.
+				return "", nil, false
+			case t.Text == "-" && i+1 < len(toks) && toks[i+1].Kind == TokNumber && unaryContext(toks, i):
+				// Fold the unary minus into the extracted value, the
+				// way the parser folds negative numeric literals —
+				// keeps bound statements identical to the raw parse
+				// (and the estimator keys derived from them).
+				args = append(args, numberDatum("-"+toks[i+1].Text))
+				sawLiteral = true
+				emit("?")
+				i++
+			default:
+				emit(t.Text)
+			}
+		default:
+			emit(t.Text)
+		}
+	}
+	if !sawLiteral {
+		return "", nil, false
+	}
+	return sb.String(), args, true
+}
+
+// unaryContext reports whether the operator at toks[i] sits in prefix
+// position (nothing value-like precedes it).
+func unaryContext(toks []Token, i int) bool {
+	if i == 0 {
+		return true
+	}
+	p := toks[i-1]
+	switch p.Kind {
+	case TokIdent, TokNumber, TokString:
+		return false
+	case TokOp:
+		return p.Text != ")"
+	case TokKeyword:
+		switch p.Text {
+		case "NULL", "TRUE", "FALSE", "END":
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// numberDatum converts a number token the same way parsePrimary does.
+func numberDatum(text string) datum.Datum {
+	if !strings.ContainsAny(text, ".eE") {
+		if v, err := strconv.ParseInt(text, 10, 64); err == nil {
+			return datum.Int(v)
+		}
+	}
+	f, _ := strconv.ParseFloat(text, 64)
+	return datum.Float(f)
+}
+
+// emitIdent emits an identifier, back-quoting it when the bare text
+// would not re-lex as a plain identifier (quoted identifiers lose
+// their quotes in the token stream).
+func emitIdent(emit func(string), text string) {
+	plain := text != ""
+	for i := 0; i < len(text); i++ {
+		b := text[i]
+		if i == 0 && !isIdentStart(b) || i > 0 && !isIdentPart(b) {
+			plain = false
+			break
+		}
+	}
+	if plain && keywords[strings.ToUpper(text)] {
+		plain = false
+	}
+	if plain {
+		emit(text)
+		return
+	}
+	emit("`" + text + "`")
+}

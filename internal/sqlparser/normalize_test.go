@@ -1,0 +1,122 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"dualtable/internal/datum"
+)
+
+func TestNormalizeForCacheTemplates(t *testing.T) {
+	cases := []struct {
+		a, b string // must normalize to the same template
+		args int
+	}{
+		{"SELECT * FROM t WHERE v = 1", "SELECT * FROM t WHERE v = 2", 1},
+		{"UPDATE t SET v = 1.5 WHERE grp = 3", "UPDATE t SET v = 9.25 WHERE grp = 70", 2},
+		{"DELETE FROM t WHERE name = 'x'", "DELETE FROM t WHERE name = 'longer''str'", 1},
+		{"select v from t where a = 1 and b = 'x'", "SELECT v FROM t WHERE a=42 AND b='y'", 2},
+		{"INSERT INTO t VALUES (1, 2.5, 'a')", "INSERT INTO t VALUES (7, 0.125, 'zz')", 3},
+	}
+	for _, c := range cases {
+		ta, aa, ok := NormalizeForCache(c.a)
+		if !ok {
+			t.Fatalf("NormalizeForCache(%q) not ok", c.a)
+		}
+		tb, ab, ok := NormalizeForCache(c.b)
+		if !ok {
+			t.Fatalf("NormalizeForCache(%q) not ok", c.b)
+		}
+		if ta != tb {
+			t.Errorf("templates differ:\n  %q -> %q\n  %q -> %q", c.a, ta, c.b, tb)
+		}
+		if len(aa) != c.args || len(ab) != c.args {
+			t.Errorf("arg counts = %d/%d, want %d", len(aa), len(ab), c.args)
+		}
+		// The template must parse, take exactly len(args) placeholders,
+		// and bind back to a statement equivalent to the raw parse.
+		stmt, err := Parse(ta)
+		if err != nil {
+			t.Fatalf("template %q does not parse: %v", ta, err)
+		}
+		if n := NumPlaceholders(stmt); n != len(aa) {
+			t.Fatalf("template %q has %d placeholders, extracted %d args", ta, n, len(aa))
+		}
+		bound, err := BindStatement(stmt, aa)
+		if err != nil {
+			t.Fatalf("bind %q: %v", ta, err)
+		}
+		raw, err := Parse(c.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound.String() != raw.String() {
+			t.Errorf("bound statement differs from raw parse:\n  bound: %s\n  raw:   %s", bound, raw)
+		}
+	}
+}
+
+func TestNormalizeForCacheRefusals(t *testing.T) {
+	for _, sql := range []string{
+		"CREATE TABLE t (a BIGINT) STORED AS DUALTABLE", // DDL
+		"SET a = 1",                           // not a gated statement
+		"COMPACT TABLE t",                     // no literals anyway
+		"SELECT * FROM t WHERE v = ?",         // existing placeholders
+		"SELECT * FROM t",                     // no literals to extract
+		"LOAD DATA INPATH '/x' INTO TABLE t",  // path literal is structural
+		"EXPLAIN SELECT * FROM t WHERE v = 1", // un-gated prefix
+	} {
+		if _, _, ok := NormalizeForCache(sql); ok {
+			t.Errorf("NormalizeForCache(%q) should refuse", sql)
+		}
+	}
+}
+
+func TestNormalizeForCacheLimitKept(t *testing.T) {
+	tmpl, args, ok := NormalizeForCache("SELECT v FROM t WHERE a = 5 ORDER BY v LIMIT 10")
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if len(args) != 1 || !datum.Equal(args[0], datum.Int(5)) {
+		t.Fatalf("args = %v", args)
+	}
+	stmt, err := Parse(tmpl)
+	if err != nil {
+		t.Fatalf("template %q: %v", tmpl, err)
+	}
+	sel := stmt.(*SelectStmt)
+	if sel.Limit != 10 {
+		t.Errorf("LIMIT = %d, want 10 (kept literal)", sel.Limit)
+	}
+}
+
+func TestNormalizeForCacheNegativeNumbers(t *testing.T) {
+	tmpl, args, ok := NormalizeForCache("SELECT * FROM t WHERE v > -5")
+	if !ok {
+		t.Fatal("not ok")
+	}
+	stmt, err := Parse(tmpl)
+	if err != nil {
+		t.Fatalf("template %q: %v", tmpl, err)
+	}
+	bound, err := BindStatement(stmt, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The raw parse folds -5 into a literal; the bound template keeps
+	// the unary minus. Both must evaluate identically — the String
+	// forms agree because UnaryExpr prints without spacing.
+	raw, _ := Parse("SELECT * FROM t WHERE v > -5")
+	if bound.String() != raw.String() {
+		t.Errorf("bound %q != raw %q", bound, raw)
+	}
+}
+
+func TestNormalizeForCacheQuotedIdent(t *testing.T) {
+	tmpl, _, ok := NormalizeForCache("SELECT `from` FROM `select` WHERE x = 1")
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if _, err := Parse(tmpl); err != nil {
+		t.Fatalf("template %q must re-parse: %v", tmpl, err)
+	}
+}

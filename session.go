@@ -24,8 +24,9 @@ type PlanDecision = core.PlanDecision
 // race-free. Sessions are cheap; create one per logical client or
 // goroutine. A Session itself may be used from multiple goroutines.
 type Session struct {
-	db   *DB
-	vars *hive.SessionVars
+	db        *DB
+	vars      *hive.SessionVars
+	planStats hive.PlanCacheStats
 
 	mu      sync.Mutex
 	planLog []PlanDecision
@@ -41,8 +42,9 @@ func (db *DB) Session() *Session {
 // session-local log.
 func (s *Session) ec(ctx context.Context) *hive.ExecContext {
 	return &hive.ExecContext{
-		Ctx:  ctx,
-		Vars: s.vars,
+		Ctx:       ctx,
+		Vars:      s.vars,
+		PlanStats: &s.planStats,
 		PlanObserver: func(v any) {
 			if d, ok := v.(core.PlanDecision); ok {
 				s.mu.Lock()
@@ -107,7 +109,7 @@ func (s *Session) QueryContext(ctx context.Context, sql string) (*Rows, error) {
 // Compiled plans are shared through the engine's LRU plan cache, so
 // preparing the same text across sessions parses it once.
 func (s *Session) Prepare(sql string) (*Stmt, error) {
-	p, err := s.db.Engine.Prepare(sql)
+	p, err := s.db.Engine.PrepareCtx(s.ec(context.Background()), sql)
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +159,13 @@ func (s *Session) PlanLog() []PlanDecision {
 	defer s.mu.Unlock()
 	return append([]PlanDecision(nil), s.planLog...)
 }
+
+// PlanCacheStats returns this session's plan-cache outcomes: hits
+// (exact-text or literal-normalized template hits), misses, and the
+// subset of hits served by normalizing literals — statements differing
+// only in constants bind against one cached template instead of
+// reparsing. HitRate() on the result gives the session's hit rate.
+func (s *Session) PlanCacheStats() *hive.PlanCacheStats { return &s.planStats }
 
 // Stmt is a prepared statement bound to a session.
 type Stmt struct {

@@ -446,3 +446,43 @@ func TestSessionFollowingReadsAndRatioHint(t *testing.T) {
 		t.Errorf("other session decision = %+v", l)
 	}
 }
+
+// TestPlanCacheNormalizedHits checks that statements differing only in
+// literal constants share one cached template: after the first
+// variant, later variants are normalized hits, and results stay
+// correct for each constant.
+func TestPlanCacheNormalizedHits(t *testing.T) {
+	db := openDB(t)
+	sess := db.Session()
+	sess.MustExec("CREATE TABLE nrm (id BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	sess.MustExec("INSERT INTO nrm VALUES (1, 1.5), (2, 2.5), (3, 3.5)")
+
+	for id := 1; id <= 3; id++ {
+		rs := sess.MustExec(fmt.Sprintf("SELECT v FROM nrm WHERE id = %d", id))
+		if len(rs.Rows) != 1 || rs.Rows[0][0].F != float64(id)+0.5 {
+			t.Fatalf("id %d: rows = %v", id, rs.Rows)
+		}
+	}
+	stats := sess.PlanCacheStats()
+	// Variant 1 misses (and caches the template); variants 2 and 3 hit
+	// via normalization.
+	if got := stats.NormalizedHits.Load(); got < 2 {
+		t.Errorf("normalized hits = %d, want >= 2", got)
+	}
+	if stats.HitRate() == 0 {
+		t.Error("session hit rate is zero")
+	}
+	if n := db.Engine.PlanCacheNormalizedHits(); n < 2 {
+		t.Errorf("engine normalized hits = %d, want >= 2", n)
+	}
+
+	// Repeating an exact text is an exact hit, not a normalized one.
+	before := stats.NormalizedHits.Load()
+	sess.MustExec("SELECT v FROM nrm WHERE id = 2")
+	if stats.NormalizedHits.Load() != before {
+		t.Error("exact repeat should not count as a normalized hit")
+	}
+	if stats.Hits.Load() < before+1 {
+		t.Error("exact repeat should count as a hit")
+	}
+}
