@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/hive"
+	"dualtable/internal/mapred"
+	"dualtable/internal/sqlparser"
+)
+
+// scanResult captures everything the equivalence contract covers:
+// output rows (rendered), job counters and simulated seconds.
+type scanResult struct {
+	rows    []string
+	counts  mapred.Counters
+	simSecs float64
+}
+
+// runUnionScan executes one identity map-only job over a table's
+// UNION READ splits under the given parallelism and scan mode.
+func runUnionScan(t *testing.T, e *hive.Engine, h *Handler, table string, opts ScanOptions, workers int, disableBatch bool) scanResult {
+	t.Helper()
+	desc, err := e.MS.Get(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits, err := h.Splits(desc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := mapred.NewCluster(e.MR.Params)
+	mr.Parallelism = workers
+	mr.DisableBatchScan = disableBatch
+	job := &mapred.Job{
+		Name:   "equivalence-scan",
+		Splits: splits,
+		NewMapper: func() mapred.Mapper {
+			return mapred.MapFunc(func(row datum.Row, meta mapred.RecordMeta, emit mapred.Emitter) error {
+				out := row.Clone()
+				out = append(out, datum.Int(int64(meta.RecordID)))
+				return emit(nil, out)
+			})
+		},
+	}
+	res, err := mr.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := scanResult{counts: res.Counters, simSecs: res.SimSeconds}
+	for _, r := range res.Rows {
+		out.rows = append(out.rows, r.String())
+	}
+	return out
+}
+
+// assertSameScan compares two scan results byte for byte.
+func assertSameScan(t *testing.T, label string, want, got scanResult) {
+	t.Helper()
+	if len(want.rows) != len(got.rows) {
+		t.Fatalf("%s: row count %d != %d", label, len(got.rows), len(want.rows))
+	}
+	for i := range want.rows {
+		if want.rows[i] != got.rows[i] {
+			t.Fatalf("%s: row %d:\n got %q\nwant %q", label, i, got.rows[i], want.rows[i])
+		}
+	}
+	if want.counts != got.counts {
+		t.Fatalf("%s: counters %+v != %+v", label, got.counts, want.counts)
+	}
+	if want.simSecs != got.simSecs {
+		t.Fatalf("%s: sim seconds %v != %v", label, got.simSecs, want.simSecs)
+	}
+}
+
+// TestBatchRowScanEquivalence checks that the vectorized batch scan
+// and the row-at-a-time scan return byte-identical rows (including
+// record IDs), Counters and SimSeconds over clean, updated and
+// deleted-row tables — master files are flate-compressed by the
+// DualTable writer — across 1 and N workers.
+func TestBatchRowScanEquivalence(t *testing.T) {
+	e, h := testEngine(t)
+	h.SetForcePlan("EDIT")
+	mustExec(t, e, "CREATE TABLE eq (id BIGINT, grp BIGINT, v DOUBLE, tag STRING) STORED AS DUALTABLE")
+	// Two master files so per-file classification matters.
+	for f := 0; f < 2; f++ {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO eq VALUES ")
+		for i := 0; i < 500; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			id := f*500 + i
+			if id%97 == 0 {
+				fmt.Fprintf(&sb, "(%d, %d, NULL, NULL)", id, id%10)
+			} else {
+				fmt.Fprintf(&sb, "(%d, %d, %d.25, 'tag%d')", id, id%10, id, id%3)
+			}
+		}
+		mustExec(t, e, sb.String())
+	}
+
+	stages := []struct {
+		name string
+		sql  string
+	}{
+		{"clean", ""},
+		{"updated", "UPDATE eq SET v = 9000.5, tag = 'dirty' WHERE grp = 3"},
+		{"deleted", "DELETE FROM eq WHERE grp = 7"},
+		{"updated-second-file", "UPDATE eq SET v = 1.5 WHERE id >= 700 AND id < 720"},
+	}
+	scans := []struct {
+		name string
+		opts ScanOptions
+	}{
+		{"full", ScanOptions{}},
+		{"projected", ScanOptions{Projection: []int{0, 2}}},
+		{"pushdown", ScanOptions{SArg: hive.ExtractSearchArg(
+			mustWhere(t, "SELECT * FROM eq WHERE id >= 800"), "eq", mustSchema(t, e, "eq"))}},
+	}
+	for _, stage := range stages {
+		if stage.sql != "" {
+			mustExec(t, e, stage.sql)
+		}
+		for _, sc := range scans {
+			ref := runUnionScan(t, e, h, "eq", sc.opts, 1, true)
+			if len(ref.rows) == 0 {
+				t.Fatalf("%s/%s: reference scan returned no rows", stage.name, sc.name)
+			}
+			for _, workers := range []int{1, 4} {
+				for _, disable := range []bool{true, false} {
+					label := fmt.Sprintf("%s/%s workers=%d batch=%v", stage.name, sc.name, workers, !disable)
+					assertSameScan(t, label, ref, runUnionScan(t, e, h, "eq", sc.opts, workers, disable))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRowSQLEquivalence runs full SQL statements (aggregation and
+// filter+project, the two mapper kinds) on batch and row paths and
+// compares results and simulated seconds.
+func TestBatchRowSQLEquivalence(t *testing.T) {
+	e, h := testEngine(t)
+	h.SetForcePlan("EDIT")
+	seedDual(t, e)
+	mustExec(t, e, "UPDATE m SET v = 0.5 WHERE day < 3")
+	mustExec(t, e, "DELETE FROM m WHERE day = 9")
+	queries := []string{
+		"SELECT COUNT(*), SUM(v), MIN(tag), MAX(id) FROM m",
+		"SELECT day, COUNT(*), AVG(v) FROM m GROUP BY day ORDER BY day",
+		"SELECT id, v FROM m WHERE id >= 100 AND id < 140 ORDER BY id",
+		"SELECT tag, COUNT(DISTINCT day) FROM m GROUP BY tag ORDER BY tag",
+	}
+	for _, q := range queries {
+		e.MR.DisableBatchScan = true
+		want, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("%s (row): %v", q, err)
+		}
+		e.MR.DisableBatchScan = false
+		got, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("%s (batch): %v", q, err)
+		}
+		if len(want.Rows) == 0 {
+			t.Fatalf("%s: no rows", q)
+		}
+		if len(want.Rows) != len(got.Rows) {
+			t.Fatalf("%s: %d rows != %d rows", q, len(got.Rows), len(want.Rows))
+		}
+		for i := range want.Rows {
+			if want.Rows[i].String() != got.Rows[i].String() {
+				t.Fatalf("%s row %d: %s != %s", q, i, got.Rows[i], want.Rows[i])
+			}
+		}
+		if want.SimSeconds != got.SimSeconds {
+			t.Fatalf("%s: sim seconds %v != %v", q, got.SimSeconds, want.SimSeconds)
+		}
+	}
+}
+
+// mustWhere extracts the WHERE expression of a SELECT text.
+func mustWhere(t *testing.T, sql string) sqlparser.Expr {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := stmt.(*sqlparser.SelectStmt)
+	if !ok || sel.Where == nil {
+		t.Fatalf("not a SELECT with WHERE: %s", sql)
+	}
+	return sel.Where
+}
+
+func mustSchema(t *testing.T, e *hive.Engine, table string) datum.Schema {
+	t.Helper()
+	desc, err := e.MS.Get(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return desc.Schema
+}

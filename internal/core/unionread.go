@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"strconv"
 
 	"dualtable/internal/datum"
@@ -19,6 +21,13 @@ import (
 // are the big-endian IDs — so the merge is a single linear pass, as
 // §V-B describes ("it only needs to read through and merge two sorted
 // ID lists").
+//
+// Open pre-scans the attached table's entries for this file's ID
+// range. The pre-scan buys three things: predicate pushdown is
+// disabled per file instead of per table (one dirty file no longer
+// turns off stripe pruning for every clean file), the merge needs no
+// scanner lookahead, and the batch read path can classify a whole
+// batch as clean with two comparisons against the sorted entry list.
 type unionReadSplit struct {
 	h      *Handler
 	desc   *metastore.TableDesc
@@ -30,6 +39,12 @@ type unionReadSplit struct {
 
 func (s *unionReadSplit) Length() int64 { return s.file.size }
 
+// attEntry is one attached-table row (modification set) for a record.
+type attEntry struct {
+	rid   RecordID
+	cells []kvstore.Cell
+}
+
 func (s *unionReadSplit) Open(m *sim.Meter) (mapred.RecordReader, error) {
 	fr, err := s.h.e.FS.OpenMeter(s.file.path, m)
 	if err != nil {
@@ -40,97 +55,101 @@ func (s *unionReadSplit) Open(m *sim.Meter) (mapred.RecordReader, error) {
 		fr.Close()
 		return nil, err
 	}
+	// Pre-scan this file's slice of the attached table into a sorted
+	// entry list (the scan returns key order, which is record ID
+	// order). EDIT keeps the attached table small relative to the
+	// master, so buffering one file's modifications is cheap.
+	start, end := FileRange(s.file.fileID)
+	sc := s.att.NewRowScanner(kvstore.Scan{Start: start, End: end, Meter: m})
+	var entries []attEntry
+	for {
+		res, ok := sc.Next()
+		if !ok {
+			break
+		}
+		id, err := RecordIDFromKey(res.Row)
+		if err != nil {
+			continue // malformed key: skip (cannot happen with our writers)
+		}
+		entries = append(entries, attEntry{rid: id, cells: res.Cells})
+	}
+	sc.Close()
 	// Predicate pushdown note: a stripe may be pruned by stats even
-	// though the attached table holds an update that would make a row
-	// match. Pushdown therefore only applies when the attached table
-	// holds no updates for this table (common case: freshly
-	// compacted); otherwise we scan everything and filter after
-	// merging.
+	// though an attached update would make one of its rows match.
+	// Pushdown therefore only applies to files with no attached
+	// modifications — which, after the pre-scan, is a per-file fact
+	// rather than the table-wide EntryCount() it used to be.
 	sarg := s.opts.SArg
-	if sarg != nil && s.att.EntryCount() > 0 {
+	if sarg != nil && len(entries) > 0 {
 		sarg = nil
 	}
-	rr := rd.NewRowReader(orcfile.RowReaderOptions{
-		Columns:   s.opts.Projection,
-		SearchArg: sarg,
-	})
-	start, end := FileRange(s.file.fileID)
-	att := s.att.NewRowScanner(kvstore.Scan{Start: start, End: end, Meter: m})
 	return &unionReadReader{
-		fr:     fr,
-		rows:   rr,
-		att:    att,
-		fileID: s.file.fileID,
-		schema: s.schema,
-		meter:  m,
+		fr: fr,
+		rd: rd,
+		opts: orcfile.RowReaderOptions{
+			Columns:   s.opts.Projection,
+			SearchArg: sarg,
+		},
+		entries: entries,
+		fileID:  s.file.fileID,
+		schema:  s.schema,
+		meter:   m,
 	}, nil
 }
 
-// unionReadReader implements the merge.
+// unionReadReader implements the merge. It serves records either row
+// at a time (Next) or in vectorized batches (NextBatch); the MapReduce
+// engine picks one mode per task and never mixes them, so the ORC-side
+// machinery is created lazily for whichever mode runs.
 type unionReadReader struct {
-	fr     interface{ Close() error }
-	rows   *orcfile.RowReader
-	att    *kvstore.RowScanner
-	fileID uint32
-	meter  *sim.Meter
+	fr      interface{ Close() error }
+	rd      *orcfile.Reader
+	opts    orcfile.RowReaderOptions
+	rows    *orcfile.RowReader   // row mode, lazy
+	batch   *orcfile.BatchReader // batch mode, lazy
+	entries []attEntry
+	attIdx  int
+	fileID  uint32
+	meter   *sim.Meter
 
 	schema datum.Schema
-	// pending attached row (lookahead).
-	attRow  kvstore.RowResult
-	attID   RecordID
-	haveAtt bool
-	attDone bool
 	// mergedRows counts rows passed through the merge; the per-row
 	// UNION READ overhead is charged in one batch at Close so the hot
 	// loop performs no meter call per record (simulated seconds are
 	// n·cost either way).
 	mergedRows int64
-}
 
-// nextAtt advances the attached lookahead.
-func (r *unionReadReader) nextAtt() {
-	if r.attDone {
-		r.haveAtt = false
-		return
-	}
-	res, ok := r.att.Next()
-	if !ok {
-		r.attDone = true
-		r.haveAtt = false
-		return
-	}
-	id, err := RecordIDFromKey(res.Row)
-	if err != nil {
-		// Malformed key: skip (cannot happen with our writers).
-		r.nextAtt()
-		return
-	}
-	r.attRow = res
-	r.attID = id
-	r.haveAtt = true
+	// batch-mode reusable buffers.
+	cols    []datum.ColumnVector
+	rowsBuf []datum.Row
+	arena   datum.Row
+	ids     []uint64
 }
 
 func (r *unionReadReader) Next() (datum.Row, mapred.RecordMeta, error) {
-	if !r.haveAtt && !r.attDone {
-		r.nextAtt()
+	if r.rows == nil {
+		r.rows = r.rd.NewRowReader(r.opts)
 	}
 	for {
 		row, ord, err := r.rows.Next()
 		if err != nil {
-			return nil, mapred.RecordMeta{}, mapred.EOF
+			if errors.Is(err, io.EOF) {
+				return nil, mapred.RecordMeta{}, mapred.EOF
+			}
+			return nil, mapred.RecordMeta{}, err
 		}
 		// Per-row merge bookkeeping (the paper's Fig. 4 "function
 		// invocation" overhead, present even with an empty attached
 		// table); charged in batch at Close.
 		r.mergedRows++
 		rid := NewRecordID(r.fileID, uint32(ord))
-		// Advance attached side past any IDs below the master row
-		// (orphans from aborted writes are skipped).
-		for r.haveAtt && r.attID < rid {
-			r.nextAtt()
+		// Skip attached IDs below the master row (orphans from aborted
+		// writes).
+		for r.attIdx < len(r.entries) && r.entries[r.attIdx].rid < rid {
+			r.attIdx++
 		}
 		meta := mapred.RecordMeta{RecordID: uint64(rid)}
-		if !r.haveAtt || r.attID != rid {
+		if r.attIdx >= len(r.entries) || r.entries[r.attIdx].rid != rid {
 			return row, meta, nil
 		}
 		// Merge the modifications in place. The ORC reader hands out a
@@ -139,35 +158,154 @@ func (r *unionReadReader) Next() (datum.Row, mapred.RecordMeta, error) {
 		// per dirty row; every column the query evaluates is part of
 		// the projection, so a write to a non-projected column cannot
 		// leak into later rows' visible output.
-		deleted := false
-		merged := row
-		for _, cell := range r.attRow.Cells {
-			q := string(cell.Qualifier)
-			if q == deleteQualifier {
-				deleted = true
-				break
-			}
-			idx, err := strconv.Atoi(q)
-			if err != nil || idx < 0 || idx >= len(merged) {
-				continue
-			}
-			d, _, err := datum.DecodeDatum(cell.Value)
-			if err != nil {
-				return nil, meta, fmt.Errorf("core: decode attached cell %s: %w", rid, err)
-			}
-			merged[idx] = d
+		deleted, err := mergeCells(row, r.entries[r.attIdx].cells)
+		if err != nil {
+			return nil, meta, fmt.Errorf("core: decode attached cell %s: %w", rid, err)
 		}
-		r.nextAtt()
+		r.attIdx++
 		if deleted {
 			continue // row is deleted; skip to the next master row
 		}
-		return merged, meta, nil
+		return row, meta, nil
 	}
+}
+
+// mergeCells applies one attached entry's cells to row in place,
+// reporting whether the record carries a delete marker.
+func mergeCells(row datum.Row, cells []kvstore.Cell) (deleted bool, err error) {
+	for i := range cells {
+		q := string(cells[i].Qualifier)
+		if q == deleteQualifier {
+			return true, nil
+		}
+		idx, aerr := strconv.Atoi(q)
+		if aerr != nil || idx < 0 || idx >= len(row) {
+			continue
+		}
+		d, _, derr := datum.DecodeDatum(cells[i].Value)
+		if derr != nil {
+			return false, derr
+		}
+		row[idx] = d
+	}
+	return false, nil
+}
+
+// NextBatch decodes the next column-vector batch and classifies it
+// against the attached entries. Batches whose ID range contains no
+// entries pass through untouched (the delta-sparse fast path: no
+// per-row merge bookkeeping, record IDs are base+offset). Batches with
+// update entries get the changed cells scattered into the vectors in
+// place; only batches with delete markers (or a cell whose kind the
+// vector cannot hold) fall back to materialized rows.
+func (r *unionReadReader) NextBatch(b *mapred.RecordBatch) error {
+	if r.batch == nil {
+		r.batch = r.rd.NewBatchReader(r.opts)
+		r.cols = make([]datum.ColumnVector, len(r.schema))
+	}
+	n, base, err := r.batch.NextBatch(r.cols, 0)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return mapred.EOF
+		}
+		return err
+	}
+	r.mergedRows += int64(n)
+	baseRid := NewRecordID(r.fileID, uint32(base))
+	endRid := baseRid + RecordID(n)
+	// Skip orphan entries below the batch, then collect the overlap.
+	for r.attIdx < len(r.entries) && r.entries[r.attIdx].rid < baseRid {
+		r.attIdx++
+	}
+	lo := r.attIdx
+	for r.attIdx < len(r.entries) && r.entries[r.attIdx].rid < endRid {
+		r.attIdx++
+	}
+	overlap := r.entries[lo:r.attIdx]
+
+	b.Len = n
+	b.Cols = r.cols
+	b.Rows = nil
+	b.BaseID = uint64(baseRid)
+	b.IDs = nil
+	if len(overlap) == 0 {
+		return nil // clean batch: pure pass-through
+	}
+	// Dirty batch: try the in-place scatter merge first.
+	for _, e := range overlap {
+		slot := int(e.rid - baseRid)
+		for i := range e.cells {
+			q := string(e.cells[i].Qualifier)
+			if q == deleteQualifier {
+				return r.materializeBatch(b, n, baseRid, overlap)
+			}
+			idx, aerr := strconv.Atoi(q)
+			if aerr != nil || idx < 0 || idx >= len(r.cols) {
+				continue
+			}
+			d, _, derr := datum.DecodeDatum(e.cells[i].Value)
+			if derr != nil {
+				return fmt.Errorf("core: decode attached cell %s: %w", e.rid, derr)
+			}
+			if !r.cols[idx].SetDatum(slot, d) {
+				return r.materializeBatch(b, n, baseRid, overlap)
+			}
+		}
+	}
+	return nil
+}
+
+// materializeBatch handles delete markers (and scatter misfits): the
+// batch is rebuilt as rows with explicit record IDs, deleted records
+// dropped — the same per-row path the row-mode merge takes. Updates
+// already scattered into the vectors before the fallback are harmless:
+// rows are re-materialized from the vectors and the remaining cells
+// re-applied idempotently.
+func (r *unionReadReader) materializeBatch(b *mapred.RecordBatch, n int, baseRid RecordID, overlap []attEntry) error {
+	if cap(r.rowsBuf) < n {
+		r.rowsBuf = make([]datum.Row, n)
+	}
+	if cap(r.ids) < n {
+		r.ids = make([]uint64, n)
+	}
+	ncols := len(r.cols)
+	if cap(r.arena) < n*ncols {
+		r.arena = make(datum.Row, n*ncols)
+	}
+	rows := r.rowsBuf[:0]
+	ids := r.ids[:0]
+	k := 0
+	for i := 0; i < n; i++ {
+		rid := baseRid + RecordID(i)
+		for k < len(overlap) && overlap[k].rid < rid {
+			k++
+		}
+		row := r.arena[i*ncols : (i+1)*ncols : (i+1)*ncols]
+		for c := 0; c < ncols; c++ {
+			row[c] = r.cols[c].Datum(i)
+		}
+		if k < len(overlap) && overlap[k].rid == rid {
+			deleted, err := mergeCells(row, overlap[k].cells)
+			if err != nil {
+				return fmt.Errorf("core: decode attached cell %s: %w", rid, err)
+			}
+			k++
+			if deleted {
+				continue
+			}
+		}
+		rows = append(rows, row)
+		ids = append(ids, uint64(rid))
+	}
+	b.Len = len(rows)
+	b.Cols = nil
+	b.Rows = rows
+	b.IDs = ids
+	return nil
 }
 
 func (r *unionReadReader) Close() error {
 	r.meter.UnionReadRows(r.mergedRows)
 	r.mergedRows = 0
-	r.att.Close()
 	return r.fr.Close()
 }

@@ -1,0 +1,152 @@
+package datum
+
+// ColumnVector holds a batch of decoded values of one column in typed
+// slices — the columnar counterpart of a Row position. Storage is
+// positional: every slice the active kind uses has one slot per batch
+// row (including NULL rows, whose value slot is the zero value), so
+// vector index i always addresses batch row i without rank queries.
+//
+// Vectors are reused between batches: Reset re-slices the backing
+// arrays in place, so a steady-state scan performs no per-batch
+// allocation once the slices have grown to the batch size.
+type ColumnVector struct {
+	Kind Kind
+	// Nulls flags NULL rows (true = NULL). Always length Len.
+	Nulls []bool
+	// Exactly one of the value slices is active, selected by Kind.
+	Ints   []int64
+	Floats []float64
+	Bools  []bool
+	Strs   []string
+}
+
+// Reset prepares the vector to hold n rows of the given kind, reusing
+// backing arrays. All rows start NULL with zero value slots.
+func (v *ColumnVector) Reset(kind Kind, n int) {
+	v.Kind = kind
+	v.Nulls = resetBools(v.Nulls, n, true)
+	v.Ints = v.Ints[:0]
+	v.Floats = v.Floats[:0]
+	v.Bools = v.Bools[:0]
+	v.Strs = v.Strs[:0]
+	switch kind {
+	case KindInt:
+		v.Ints = resetInts(v.Ints, n)
+	case KindFloat:
+		v.Floats = resetFloats(v.Floats, n)
+	case KindBool:
+		v.Bools = resetBools(v.Bools[:0], n, false)
+	case KindString:
+		v.Strs = resetStrs(v.Strs, n)
+	}
+}
+
+func resetBools(s []bool, n int, val bool) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = val
+	}
+	return s
+}
+
+func resetInts(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resetFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resetStrs(s []string, n int) []string {
+	if cap(s) < n {
+		return make([]string, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = ""
+	}
+	return s
+}
+
+// Len returns the number of rows in the vector.
+func (v *ColumnVector) Len() int { return len(v.Nulls) }
+
+// Datum returns row i as a Datum.
+func (v *ColumnVector) Datum(i int) Datum {
+	if v.Nulls[i] {
+		return Null
+	}
+	switch v.Kind {
+	case KindInt:
+		return Datum{K: KindInt, I: v.Ints[i]}
+	case KindFloat:
+		return Datum{K: KindFloat, F: v.Floats[i]}
+	case KindBool:
+		return Datum{K: KindBool, B: v.Bools[i]}
+	case KindString:
+		return Datum{K: KindString, S: v.Strs[i]}
+	default:
+		return Null
+	}
+}
+
+// SetDatum overwrites row i with d. It accepts NULL, the vector's own
+// kind, or — when the vector is all-NULL with no typed storage yet
+// (an unprojected column receiving a scattered UNION READ merge) —
+// any kind, adopted lazily. It returns false on a kind mismatch; the
+// caller then falls back to materializing rows.
+func (v *ColumnVector) SetDatum(i int, d Datum) bool {
+	if d.IsNull() {
+		v.Nulls[i] = true
+		return true
+	}
+	if v.Kind == KindNull {
+		// All-NULL vector (unprojected column): adopt the datum's kind
+		// lazily, growing the matching value slice.
+		v.Kind = d.K
+		n := len(v.Nulls)
+		switch d.K {
+		case KindInt:
+			v.Ints = resetInts(v.Ints, n)
+		case KindFloat:
+			v.Floats = resetFloats(v.Floats, n)
+		case KindBool:
+			v.Bools = resetBools(v.Bools[:0], n, false)
+		case KindString:
+			v.Strs = resetStrs(v.Strs, n)
+		}
+	}
+	if d.K != v.Kind {
+		return false
+	}
+	v.Nulls[i] = false
+	switch v.Kind {
+	case KindInt:
+		v.Ints[i] = d.I
+	case KindFloat:
+		v.Floats[i] = d.F
+	case KindBool:
+		v.Bools[i] = d.B
+	case KindString:
+		v.Strs[i] = d.S
+	}
+	return true
+}

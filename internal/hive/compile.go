@@ -892,7 +892,8 @@ func (e *Engine) innerScopeFor(sel *sqlparser.SelectStmt) (*scope, bool) {
 // grouped inner query and then performs hash lookups per outer row.
 func (e *Engine) tryDecorrelate(ec *ExecContext, sel *sqlparser.SelectStmt, outer *scope) (evalFn, bool, error) {
 	if sel.From == nil || len(sel.Items) != 1 || sel.Distinct ||
-		len(sel.GroupBy) != 0 || sel.Having != nil || len(sel.OrderBy) != 0 || sel.Limit >= 0 {
+		len(sel.GroupBy) != 0 || sel.Having != nil || len(sel.OrderBy) != 0 ||
+		sel.Limit >= 0 || sel.LimitExpr != nil {
 		return nil, false, nil
 	}
 	inner, ok := e.innerScopeFor(sel)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"dualtable/internal/datum"
 )
 
 // Second-round coverage: expression corner cases, cross-table
@@ -361,4 +363,38 @@ func TestBigTableManyStripes(t *testing.T) {
 	if f, _ := r[3].AsFloat(); f != wantSum {
 		t.Errorf("sum = %v, want %v", f, wantSum)
 	}
+}
+
+// TestMapSideHashAggOverflow drives the map-side hash table past its
+// flush cap: mid-task flushes must hand partial groups to the
+// combiner, not lose or double them, on both scan paths.
+func TestMapSideHashAggOverflow(t *testing.T) {
+	old := maxHashGroups
+	maxHashGroups = 8
+	defer func() { maxHashGroups = old }()
+
+	e := testEngine(t)
+	mustExec(t, e, "CREATE TABLE hov (id BIGINT, grp BIGINT, v DOUBLE) STORED AS ORC")
+	rows := make([]datum.Row, 600)
+	for i := range rows {
+		// 30 groups, revisited repeatedly so accumulators keep folding
+		// across flush boundaries.
+		rows[i] = datum.Row{datum.Int(int64(i)), datum.Int(int64(i % 30)), datum.Float(1)}
+	}
+	if _, err := e.BulkLoad("hov", rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, disable := range []bool{false, true} {
+		e.MR.DisableBatchScan = disable
+		rs := mustExec(t, e, "SELECT grp, COUNT(*), SUM(v) FROM hov GROUP BY grp ORDER BY grp")
+		if len(rs.Rows) != 30 {
+			t.Fatalf("disable=%v: %d groups, want 30", disable, len(rs.Rows))
+		}
+		for i, r := range rs.Rows {
+			if sum, _ := r[2].AsFloat(); r[0].I != int64(i) || r[1].I != 20 || sum != 20 {
+				t.Fatalf("disable=%v: group row %d = %s, want %d 20 20", disable, i, r, i)
+			}
+		}
+	}
+	e.MR.DisableBatchScan = false
 }

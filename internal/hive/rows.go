@@ -225,14 +225,18 @@ func (e *Engine) QueryStmtCtx(ec *ExecContext, sel *sqlparser.SelectStmt) (*Rows
 		}
 		names[i] = outputName(it, i)
 	}
+	limit, err := sel.EffectiveLimit()
+	if err != nil {
+		return nil, err
+	}
 	// LIMIT 0 needs no scan at all.
-	if sel.Limit == 0 {
+	if limit == 0 {
 		return &Rows{cols: names}, nil
 	}
 
 	ctx, cancel := context.WithCancel(ec.Context())
 	ch := make(chan datum.Row, 64)
-	sink := &chanOutputFactory{ctx: ctx, cancel: cancel, ch: ch, limit: sel.Limit}
+	sink := &chanOutputFactory{ctx: ctx, cancel: cancel, ch: ch, limit: limit}
 	job := &mapred.Job{
 		Name:   "select-stream",
 		Splits: rel.splits,

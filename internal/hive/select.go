@@ -125,8 +125,12 @@ func (e *Engine) execSelect(ec *ExecContext, sel *sqlparser.SelectStmt, meter *s
 		// pass.
 		meter.CPURows(int64(len(rows)) * 2)
 	}
-	if sel.Limit >= 0 && int64(len(rows)) > sel.Limit {
-		rows = rows[:sel.Limit]
+	limit, err := sel.EffectiveLimit()
+	if err != nil {
+		return nil, nil, err
+	}
+	if limit >= 0 && int64(len(rows)) > limit {
+		rows = rows[:limit]
 	}
 	// Strip hidden order-key columns.
 	for i := range rows {
@@ -198,10 +202,12 @@ func (e *Engine) execSimpleSelect(ec *ExecContext, sel *sqlparser.SelectStmt, it
 		names[i] = outputName(it, i)
 	}
 	orderFns := make([]evalFn, len(sel.OrderBy))
+	orderIsAlias := make([]bool, len(sel.OrderBy))
 	for i, o := range sel.OrderBy {
 		// Try output aliases first, then the input scope.
 		if fn, err2 := e.compileOrderKey(o.Expr, items, projFns); err2 == nil {
 			orderFns[i] = fn
+			orderIsAlias[i] = true
 			continue
 		}
 		orderFns[i], err = e.compileExpr(ec, o.Expr, rel.sc)
@@ -210,37 +216,33 @@ func (e *Engine) execSimpleSelect(ec *ExecContext, sel *sqlparser.SelectStmt, it
 		}
 	}
 
+	// Vectorized fast paths: simple conjuncts evaluate on column
+	// vectors, bare column refs read vectors directly. Order keys that
+	// resolved as select-list aliases keep their evalFn (the alias does
+	// not name an input column).
+	preds, usePreds := compileVecFilter(sel.Where, rel.sc)
+	projVec := compileVecExprs(itemExprs(items), projFns, rel.sc)
+	orderVec := make([]vecExpr, len(orderFns))
+	for i := range orderFns {
+		orderVec[i] = vecExpr{col: -1, fn: orderFns[i]}
+		if !orderIsAlias[i] {
+			if idx, ok := colRefIndex(sel.OrderBy[i].Expr, rel.sc); ok {
+				orderVec[i].col = idx
+			}
+		}
+	}
+
 	job := &mapred.Job{
 		Name:   "select",
 		Splits: rel.splits,
 		NewMapper: func() mapred.Mapper {
-			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
-				if whereFn != nil {
-					ok, err := whereFn(row)
-					if err != nil {
-						return err
-					}
-					if !ok.Truthy() {
-						return nil
-					}
-				}
-				out := make(datum.Row, 0, len(projFns)+len(orderFns))
-				for _, fn := range projFns {
-					d, err := fn(row)
-					if err != nil {
-						return err
-					}
-					out = append(out, d)
-				}
-				for _, fn := range orderFns {
-					d, err := fn(row)
-					if err != nil {
-						return err
-					}
-					out = append(out, d)
-				}
-				return emit(nil, out)
-			})
+			return &simpleScanMapper{
+				whereFn:  whereFn,
+				preds:    preds,
+				usePreds: usePreds && whereFn != nil,
+				projs:    projVec,
+				orders:   orderVec,
+			}
 		},
 	}
 	res, err := e.MR.RunContext(ec.Context(), job)
@@ -249,6 +251,104 @@ func (e *Engine) execSimpleSelect(ec *ExecContext, sel *sqlparser.SelectStmt, it
 	}
 	meter.AddSeconds(res.SimSeconds)
 	return res.Rows, names, nil
+}
+
+// itemExprs projects the expression list out of select items.
+func itemExprs(items []sqlparser.SelectItem) []sqlparser.Expr {
+	out := make([]sqlparser.Expr, len(items))
+	for i := range items {
+		out[i] = items[i].Expr
+	}
+	return out
+}
+
+// simpleScanMapper is the filter+project mapper. Map handles one row
+// (the classic path); MapBatch filters a whole batch with vector
+// predicates and materializes only surviving rows — and of those only
+// the columns an expression actually needs.
+type simpleScanMapper struct {
+	whereFn  evalFn
+	preds    []vecPred
+	usePreds bool
+	projs    []vecExpr
+	orders   []vecExpr
+	sel      []int32
+	brow     batchRow
+}
+
+func (m *simpleScanMapper) Map(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+	if m.whereFn != nil {
+		ok, err := m.whereFn(row)
+		if err != nil {
+			return err
+		}
+		if !ok.Truthy() {
+			return nil
+		}
+	}
+	out := make(datum.Row, 0, len(m.projs)+len(m.orders))
+	for i := range m.projs {
+		d, err := m.projs[i].fn(row)
+		if err != nil {
+			return err
+		}
+		out = append(out, d)
+	}
+	for i := range m.orders {
+		d, err := m.orders[i].fn(row)
+		if err != nil {
+			return err
+		}
+		out = append(out, d)
+	}
+	return emit(nil, out)
+}
+
+func (m *simpleScanMapper) Flush(emit mapred.Emitter) error { return nil }
+
+func (m *simpleScanMapper) MapBatch(b *mapred.RecordBatch, emit mapred.Emitter) error {
+	m.brow.filled = -1
+	vectorized := b.Cols != nil && m.usePreds
+	if vectorized {
+		m.sel = filterBatch(m.preds, b.Cols, b.Len, m.sel)
+	}
+	count := b.Len
+	if vectorized {
+		count = len(m.sel)
+	}
+	for k := 0; k < count; k++ {
+		i := k
+		if vectorized {
+			i = int(m.sel[k])
+		} else if m.whereFn != nil {
+			ok, err := m.whereFn(m.brow.row(b, i))
+			if err != nil {
+				return err
+			}
+			if !ok.Truthy() {
+				continue
+			}
+		}
+		out := make(datum.Row, 0, len(m.projs)+len(m.orders))
+		for pi := range m.projs {
+			d, err := m.projs[pi].eval(b, i, &m.brow)
+			if err != nil {
+				return err
+			}
+			out = append(out, d)
+		}
+		for oi := range m.orders {
+			d, err := m.orders[oi].eval(b, i, &m.brow)
+			if err != nil {
+				return err
+			}
+			out = append(out, d)
+		}
+		if err := emit(nil, out); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // compileOrderKey resolves an ORDER BY expression against the select
@@ -360,12 +460,31 @@ func (e *Engine) execAggSelect(ec *ExecContext, sel *sqlparser.SelectStmt, items
 		}
 	}
 
+	// Vectorized fast paths for the scan side of the aggregation.
+	preds, usePreds := compileVecFilter(sel.Where, rel.sc)
+	groupVec := compileVecExprs(sel.GroupBy, groupFns, rel.sc)
+	argExprs := make([]sqlparser.Expr, len(aggs))
+	for i, a := range aggs {
+		if !a.star {
+			argExprs[i] = a.call.Args[0]
+		}
+	}
+	argVec := compileVecExprs(argExprs, argFns, rel.sc)
+	scan := aggScanSpec{
+		whereFn:  whereFn,
+		preds:    preds,
+		usePreds: usePreds && whereFn != nil,
+		groups:   groupVec,
+		args:     argVec,
+		aggs:     aggs,
+	}
+
 	// ---- Map + Reduce job ----
 	var job *mapred.Job
 	if anyDistinct {
-		job = e.rawAggJob(rel, whereFn, groupFns, argFns, aggs)
+		job = e.rawAggJob(rel, scan)
 	} else {
-		job = e.partialAggJob(rel, whereFn, groupFns, argFns, aggs)
+		job = e.partialAggJob(rel, scan)
 	}
 	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
@@ -550,6 +669,35 @@ func appendPartial(dst datum.Row, d datum.Datum) datum.Row {
 	return append(dst, datum.Int(1), datum.Float(sum), datum.Int(sumInt), datum.Bool(intOnly), d, d)
 }
 
+// updatePartial folds one argument value into a partial segment in
+// place — exactly mergePartial(p, appendPartial(nil, d)) without
+// building the single-value segment. NULL arguments are no-ops, like
+// merging the all-zero segment appendPartial emits for them.
+func updatePartial(p datum.Row, d datum.Datum) {
+	if d.IsNull() {
+		return
+	}
+	p[0].I++
+	intOnly := d.K == datum.KindInt
+	if f, ok := d.AsFloat(); ok {
+		p[1].F += f
+		if intOnly {
+			p[2].I += d.I
+		}
+	} else {
+		intOnly = false
+	}
+	if !intOnly {
+		p[3].B = false
+	}
+	if p[4].IsNull() || datum.Compare(d, p[4]) < 0 {
+		p[4] = d
+	}
+	if p[5].IsNull() || datum.Compare(d, p[5]) > 0 {
+		p[5] = d
+	}
+}
+
 // mergePartial folds src into dst (both aggPartialWidth segments).
 func mergePartial(dst, src datum.Row) {
 	dst[0] = datum.Int(dst[0].I + src[0].I)
@@ -592,11 +740,184 @@ func finalizePartial(name string, p datum.Row) datum.Datum {
 	}
 }
 
+// aggScanSpec is the compiled scan side of an aggregation: filter,
+// group keys and aggregate arguments, each with its vectorized fast
+// path.
+type aggScanSpec struct {
+	whereFn  evalFn
+	preds    []vecPred
+	usePreds bool
+	groups   []vecExpr
+	args     []vecExpr
+	aggs     []aggSpec
+}
+
+// maxHashGroups bounds the map-side hash table; past it the mapper
+// flushes its partial groups and starts over (Hive's map-aggregation
+// memory check). The flush point depends only on record order, so
+// results stay deterministic across worker counts. A variable so the
+// overflow path is testable.
+var maxHashGroups = 1 << 16
+
+// aggScanMapper is the scan side of an aggregation. In partial mode
+// (everything but DISTINCT) it hash-aggregates map-side: each record
+// folds into its group's accumulator in place and one partial row per
+// group is emitted at Flush — Hive's hive.map.aggr, which removes the
+// per-record row allocation, emit and combiner merge entirely. In raw
+// mode (DISTINCT) it emits the argument values per record. Map is the
+// classic row path; MapBatch filters on column vectors and reads
+// bare-column group keys and arguments straight off the vectors. Both
+// paths share the same per-record fold, so batch and row execution
+// produce identical output, counters and simulated seconds.
+type aggScanMapper struct {
+	aggScanSpec
+	partial bool
+	keyBuf  []byte
+	groupRw datum.Row // reused group-value scratch
+	accum   map[string]datum.Row
+	order   []string // accum keys in first-seen order (deterministic Flush)
+	sel     []int32
+	brow    batchRow
+}
+
+// emitRecord folds one input record (already past the filter) into
+// the hash table, or emits it directly in raw mode; get abstracts row
+// vs batch evaluation.
+func (m *aggScanMapper) emitRecord(get func(*vecExpr) (datum.Datum, error), emit mapred.Emitter) error {
+	nGroup := len(m.groups)
+	if !m.partial {
+		out := make(datum.Row, 0, nGroup+len(m.aggs))
+		for i := range m.groups {
+			d, err := get(&m.groups[i])
+			if err != nil {
+				return err
+			}
+			out = append(out, d)
+		}
+		for i := range m.aggs {
+			if m.aggs[i].star {
+				out = append(out, datum.Bool(true))
+				continue
+			}
+			d, err := get(&m.args[i])
+			if err != nil {
+				return err
+			}
+			out = append(out, d)
+		}
+		m.keyBuf = datum.SortableRowKey(m.keyBuf[:0], out[:nGroup])
+		return emit(m.keyBuf, out)
+	}
+	if cap(m.groupRw) < nGroup {
+		m.groupRw = make(datum.Row, nGroup)
+	}
+	grp := m.groupRw[:nGroup]
+	for i := range m.groups {
+		d, err := get(&m.groups[i])
+		if err != nil {
+			return err
+		}
+		grp[i] = d
+	}
+	m.keyBuf = datum.SortableRowKey(m.keyBuf[:0], grp)
+	if m.accum == nil {
+		m.accum = make(map[string]datum.Row)
+	}
+	acc, ok := m.accum[string(m.keyBuf)]
+	if !ok {
+		if len(m.accum) >= maxHashGroups {
+			if err := m.Flush(emit); err != nil {
+				return err
+			}
+			m.accum = make(map[string]datum.Row)
+		}
+		acc = make(datum.Row, 0, nGroup+len(m.aggs)*aggPartialWidth)
+		acc = append(acc, grp...)
+		for range m.aggs {
+			acc = append(acc, datum.Int(0), datum.Float(0), datum.Int(0), datum.Bool(true), datum.Null, datum.Null)
+		}
+		key := string(m.keyBuf)
+		m.accum[key] = acc
+		m.order = append(m.order, key)
+	}
+	for i := range m.aggs {
+		var d datum.Datum
+		if m.aggs[i].star {
+			d = datum.Bool(true)
+		} else {
+			var err error
+			d, err = get(&m.args[i])
+			if err != nil {
+				return err
+			}
+		}
+		updatePartial(acc[nGroup+i*aggPartialWidth:], d)
+	}
+	return nil
+}
+
+func (m *aggScanMapper) Map(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
+	if m.whereFn != nil {
+		ok, err := m.whereFn(row)
+		if err != nil {
+			return err
+		}
+		if !ok.Truthy() {
+			return nil
+		}
+	}
+	return m.emitRecord(func(x *vecExpr) (datum.Datum, error) { return x.fn(row) }, emit)
+}
+
+// Flush emits the hash-aggregated partial groups in first-seen order
+// and resets the table.
+func (m *aggScanMapper) Flush(emit mapred.Emitter) error {
+	for _, key := range m.order {
+		if err := emit([]byte(key), m.accum[key]); err != nil {
+			return err
+		}
+	}
+	m.accum = nil
+	m.order = m.order[:0]
+	return nil
+}
+
+func (m *aggScanMapper) MapBatch(b *mapred.RecordBatch, emit mapred.Emitter) error {
+	m.brow.filled = -1
+	vectorized := b.Cols != nil && m.usePreds
+	if vectorized {
+		m.sel = filterBatch(m.preds, b.Cols, b.Len, m.sel)
+	}
+	count := b.Len
+	if vectorized {
+		count = len(m.sel)
+	}
+	for k := 0; k < count; k++ {
+		i := k
+		if vectorized {
+			i = int(m.sel[k])
+		} else if m.whereFn != nil {
+			ok, err := m.whereFn(m.brow.row(b, i))
+			if err != nil {
+				return err
+			}
+			if !ok.Truthy() {
+				continue
+			}
+		}
+		err := m.emitRecord(func(x *vecExpr) (datum.Datum, error) { return x.eval(b, i, &m.brow) }, emit)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // partialAggJob shuffles partial aggregates with a map-side combiner
 // (Hive's hive.map.aggr).
-func (e *Engine) partialAggJob(rel *relation, whereFn evalFn, groupFns, argFns []evalFn, aggs []aggSpec) *mapred.Job {
-	nGroup := len(groupFns)
-	width := nGroup + len(aggs)*aggPartialWidth
+func (e *Engine) partialAggJob(rel *relation, scan aggScanSpec) *mapred.Job {
+	aggs := scan.aggs
+	nGroup := len(scan.groups)
 	merge := mapred.ReduceFunc(func(key []byte, rows []datum.Row, emit mapred.Emitter) error {
 		acc := rows[0].Clone()
 		for _, r := range rows[1:] {
@@ -611,41 +932,7 @@ func (e *Engine) partialAggJob(rel *relation, whereFn evalFn, groupFns, argFns [
 		Name:   "groupby",
 		Splits: rel.splits,
 		NewMapper: func() mapred.Mapper {
-			// The engine copies emitted keys, so one buffer serves
-			// every record of the task.
-			var keyBuf []byte
-			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
-				if whereFn != nil {
-					ok, err := whereFn(row)
-					if err != nil {
-						return err
-					}
-					if !ok.Truthy() {
-						return nil
-					}
-				}
-				out := make(datum.Row, 0, width)
-				for _, fn := range groupFns {
-					d, err := fn(row)
-					if err != nil {
-						return err
-					}
-					out = append(out, d)
-				}
-				for i := range aggs {
-					if aggs[i].star {
-						out = appendPartial(out, datum.Bool(true))
-						continue
-					}
-					d, err := argFns[i](row)
-					if err != nil {
-						return err
-					}
-					out = appendPartial(out, d)
-				}
-				keyBuf = datum.SortableRowKey(keyBuf[:0], out[:nGroup])
-				return emit(keyBuf, out)
-			})
+			return &aggScanMapper{aggScanSpec: scan, partial: true}
 		},
 		NewCombiner: func() mapred.Reducer { return merge },
 		NewReducer: func() mapred.Reducer {
@@ -670,46 +957,15 @@ func (e *Engine) partialAggJob(rel *relation, whereFn evalFn, groupFns, argFns [
 }
 
 // rawAggJob ships raw argument values (needed by DISTINCT).
-func (e *Engine) rawAggJob(rel *relation, whereFn evalFn, groupFns, argFns []evalFn, aggs []aggSpec) *mapred.Job {
-	nGroup := len(groupFns)
+func (e *Engine) rawAggJob(rel *relation, scan aggScanSpec) *mapred.Job {
+	aggs := scan.aggs
+	nGroup := len(scan.groups)
 	nAggs := len(aggs)
 	return &mapred.Job{
 		Name:   "groupby-distinct",
 		Splits: rel.splits,
 		NewMapper: func() mapred.Mapper {
-			var keyBuf []byte
-			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
-				if whereFn != nil {
-					ok, err := whereFn(row)
-					if err != nil {
-						return err
-					}
-					if !ok.Truthy() {
-						return nil
-					}
-				}
-				out := make(datum.Row, 0, nGroup+nAggs)
-				for _, fn := range groupFns {
-					d, err := fn(row)
-					if err != nil {
-						return err
-					}
-					out = append(out, d)
-				}
-				for i := range aggs {
-					if aggs[i].star {
-						out = append(out, datum.Bool(true))
-						continue
-					}
-					d, err := argFns[i](row)
-					if err != nil {
-						return err
-					}
-					out = append(out, d)
-				}
-				keyBuf = datum.SortableRowKey(keyBuf[:0], out[:nGroup])
-				return emit(keyBuf, out)
-			})
+			return &aggScanMapper{aggScanSpec: scan}
 		},
 		NewReducer: func() mapred.Reducer {
 			return mapred.ReduceFunc(func(_ []byte, rows []datum.Row, emit mapred.Emitter) error {

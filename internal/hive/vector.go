@@ -1,0 +1,242 @@
+package hive
+
+import (
+	"strings"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/mapred"
+	"dualtable/internal/sqlparser"
+)
+
+// This file holds the vectorized scan support: predicate evaluation
+// over column vectors (selection vectors instead of per-row evalFn
+// calls) and direct column reads for bare column references, so batch
+// mappers materialize rows only where an expression genuinely needs
+// one.
+
+// vecPred is one pushable conjunct (col <op> literal) compiled for
+// column-vector evaluation. Comparison semantics are exactly
+// datum.Compare + SQL three-valued logic: NULL never matches.
+type vecPred struct {
+	col int
+	op  string // "=", "!=", "<", "<=", ">", ">="
+	lit datum.Datum
+}
+
+// compileVecFilter compiles a WHERE clause into vector predicates.
+// It succeeds only when every conjunct has the (col <op> literal)
+// shape — the same shape the ORC search-argument extractor accepts —
+// because then row-at-a-time evaluation and vector evaluation agree
+// on three-valued logic. Anything else returns ok=false and the
+// caller keeps the compiled evalFn.
+func compileVecFilter(where sqlparser.Expr, sc *scope) (preds []vecPred, ok bool) {
+	if where == nil {
+		return nil, true
+	}
+	for _, conj := range sqlparser.SplitConjuncts(where) {
+		bin, isBin := conj.(*sqlparser.BinaryExpr)
+		if !isBin {
+			return nil, false
+		}
+		op := bin.Op
+		switch op {
+		case "=", "!=", "<", "<=", ">", ">=":
+		default:
+			return nil, false
+		}
+		ref, refOK := bin.L.(*sqlparser.ColumnRef)
+		lit, litOK := bin.R.(*sqlparser.Literal)
+		if !refOK || !litOK {
+			if ref2, ok2 := bin.R.(*sqlparser.ColumnRef); ok2 {
+				if lit2, ok3 := bin.L.(*sqlparser.Literal); ok3 {
+					ref, lit = ref2, lit2
+					op = flipCmp(op)
+					refOK, litOK = true, true
+				}
+			}
+		}
+		if !refOK || !litOK || lit.Value.IsNull() {
+			return nil, false
+		}
+		idx, err := sc.resolve(ref)
+		if err != nil {
+			return nil, false
+		}
+		preds = append(preds, vecPred{col: idx, op: op, lit: lit.Value})
+	}
+	return preds, true
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// cmpMatches maps a datum.Compare result through the operator.
+func (p *vecPred) cmpMatches(c int) bool {
+	switch p.op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	default: // ">="
+		return c >= 0
+	}
+}
+
+// filterBatch evaluates the predicate conjunction over a columnar
+// batch, appending the surviving row indexes to sel (reused across
+// batches). Typed inner loops handle the common int/float/string
+// columns; everything else goes through Datum+Compare, which is still
+// branch-per-row but allocation-free.
+func filterBatch(preds []vecPred, cols []datum.ColumnVector, n int, sel []int32) []int32 {
+	sel = sel[:0]
+	for i := 0; i < n; i++ {
+		sel = append(sel, int32(i))
+	}
+	for pi := range preds {
+		if len(sel) == 0 {
+			return sel
+		}
+		p := &preds[pi]
+		v := &cols[p.col]
+		out := sel[:0]
+		switch {
+		case v.Kind == datum.KindInt && p.lit.K == datum.KindInt:
+			lit := p.lit.I
+			for _, i := range sel {
+				if v.Nulls[i] {
+					continue
+				}
+				x := v.Ints[i]
+				var c int
+				if x < lit {
+					c = -1
+				} else if x > lit {
+					c = 1
+				}
+				if p.cmpMatches(c) {
+					out = append(out, i)
+				}
+			}
+		case v.Kind == datum.KindFloat && (p.lit.K == datum.KindFloat || p.lit.K == datum.KindInt):
+			lit, _ := p.lit.AsFloat()
+			for _, i := range sel {
+				if v.Nulls[i] {
+					continue
+				}
+				x := v.Floats[i]
+				var c int
+				if x < lit {
+					c = -1
+				} else if x > lit {
+					c = 1
+				}
+				if p.cmpMatches(c) {
+					out = append(out, i)
+				}
+			}
+		case v.Kind == datum.KindString && p.lit.K == datum.KindString:
+			lit := p.lit.S
+			for _, i := range sel {
+				if v.Nulls[i] {
+					continue
+				}
+				if p.cmpMatches(strings.Compare(v.Strs[i], lit)) {
+					out = append(out, i)
+				}
+			}
+		default:
+			for _, i := range sel {
+				d := v.Datum(int(i))
+				if d.IsNull() {
+					continue
+				}
+				if p.cmpMatches(datum.Compare(d, p.lit)) {
+					out = append(out, i)
+				}
+			}
+		}
+		sel = out
+	}
+	return sel
+}
+
+// colRefIndex reports the scope index of a bare column reference, the
+// expressions a batch consumer can read straight off a vector.
+func colRefIndex(expr sqlparser.Expr, sc *scope) (int, bool) {
+	ref, ok := expr.(*sqlparser.ColumnRef)
+	if !ok {
+		return 0, false
+	}
+	idx, err := sc.resolve(ref)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// vecExpr evaluates one select/group/aggregate-argument expression
+// against a batch: either a direct vector read (bare column ref) or
+// the compiled evalFn over a lazily materialized row.
+type vecExpr struct {
+	col int // vector index when direct
+	fn  evalFn
+}
+
+// compileVecExprs pairs each expression with its fast path.
+func compileVecExprs(exprs []sqlparser.Expr, fns []evalFn, sc *scope) []vecExpr {
+	out := make([]vecExpr, len(fns))
+	for i := range fns {
+		out[i] = vecExpr{col: -1, fn: fns[i]}
+		if i < len(exprs) && exprs[i] != nil {
+			if idx, ok := colRefIndex(exprs[i], sc); ok {
+				out[i].col = idx
+			}
+		}
+	}
+	return out
+}
+
+// batchRow lazily materializes one batch row for evalFn fallbacks: the
+// buffer is filled at most once per (batch, index).
+type batchRow struct {
+	buf    datum.Row
+	filled int // index the buffer currently holds, -1 = none
+}
+
+func (br *batchRow) row(b *mapred.RecordBatch, i int) datum.Row {
+	if b.Rows != nil {
+		return b.Rows[i]
+	}
+	if br.filled == i && br.buf != nil {
+		return br.buf
+	}
+	br.buf = b.RowInto(br.buf, i)
+	br.filled = i
+	return br.buf
+}
+
+// eval evaluates one vecExpr for batch row i.
+func (x *vecExpr) eval(b *mapred.RecordBatch, i int, br *batchRow) (datum.Datum, error) {
+	if x.col >= 0 && b.Cols != nil {
+		return b.Cols[x.col].Datum(i), nil
+	}
+	return x.fn(br.row(b, i))
+}

@@ -1,0 +1,109 @@
+package mapred
+
+import (
+	"dualtable/internal/datum"
+)
+
+// RecordBatch carries a batch of input records through the map phase
+// in one of two representations:
+//
+//   - Columnar: Cols holds one typed vector per column (all of length
+//     Len) and record IDs are BaseID + row index. This is the fast
+//     path storage readers produce for untouched data.
+//   - Row: Rows holds materialized rows (len Len) and IDs, when
+//     non-nil, holds each row's record ID (BaseID + index otherwise).
+//     Readers fall back to this shape when per-row work was already
+//     necessary (e.g. a UNION READ merge that dropped deleted rows).
+//
+// Exactly one of Cols/Rows is non-nil. Batches and everything they
+// reference are reused by the reader between NextBatch calls; mappers
+// must not retain them (the same contract as row readers' row reuse).
+type RecordBatch struct {
+	Len    int
+	Cols   []datum.ColumnVector
+	Rows   []datum.Row
+	BaseID uint64
+	IDs    []uint64
+}
+
+// Meta returns row i's record metadata.
+func (b *RecordBatch) Meta(i int) RecordMeta {
+	if b.IDs != nil {
+		return RecordMeta{RecordID: b.IDs[i]}
+	}
+	return RecordMeta{RecordID: b.BaseID + uint64(i)}
+}
+
+// RowInto materializes row i into buf (reusing its backing when wide
+// enough) for row-at-a-time consumers of columnar batches.
+func (b *RecordBatch) RowInto(buf datum.Row, i int) datum.Row {
+	if b.Rows != nil {
+		return b.Rows[i]
+	}
+	if cap(buf) < len(b.Cols) {
+		buf = make(datum.Row, len(b.Cols))
+	}
+	buf = buf[:len(b.Cols)]
+	for c := range b.Cols {
+		buf[c] = b.Cols[c].Datum(i)
+	}
+	return buf
+}
+
+// BatchRecordReader is a RecordReader that can also deliver its
+// records in batches. The engine drives whichever shape it prefers but
+// never mixes the two on one reader.
+type BatchRecordReader interface {
+	RecordReader
+	// NextBatch fills b with the next records; io.EOF ends the stream.
+	// The reader owns b's contents until the next call.
+	NextBatch(b *RecordBatch) error
+}
+
+// BatchMapper is a Mapper that can consume whole record batches,
+// amortizing per-record dispatch. The engine calls MapBatch instead of
+// Map when the input reader produces batches; Flush still runs once at
+// task end.
+type BatchMapper interface {
+	Mapper
+	MapBatch(b *RecordBatch, emit Emitter) error
+}
+
+// runBatchLoop drives a map task from a batching reader. When the
+// mapper is batch-aware it receives whole batches; otherwise rows are
+// materialized into a reused buffer — the adapter that keeps
+// row-at-a-time mappers working unchanged on batch inputs.
+func runBatchLoop(ctx ctxDone, br BatchRecordReader, mapper Mapper, emit Emitter, inRecords *int64) error {
+	bm, batchAware := mapper.(BatchMapper)
+	var batch RecordBatch
+	var rowBuf datum.Row
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := br.NextBatch(&batch)
+		if err != nil {
+			if isEOF(err) {
+				return nil
+			}
+			return err
+		}
+		*inRecords += int64(batch.Len)
+		if batchAware {
+			if err := bm.MapBatch(&batch, emit); err != nil {
+				return err
+			}
+			continue
+		}
+		for i := 0; i < batch.Len; i++ {
+			rowBuf = batch.RowInto(rowBuf, i)
+			if err := mapper.Map(rowBuf, batch.Meta(i), emit); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ctxDone is the slice of context.Context the batch loop needs (kept
+// narrow for tests).
+type ctxDone interface{ Err() error }

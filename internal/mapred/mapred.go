@@ -7,6 +7,17 @@
 // durations plus startup costs, mirroring the paper's Hadoop clusters
 // (6 map + 2 reduce slots per worker).
 //
+// # Batched input
+//
+// Readers that implement BatchRecordReader deliver records as
+// RecordBatch values — column vectors for untouched data, materialized
+// rows where the reader already paid per-row work — and the map loop
+// consumes whole batches: a BatchMapper receives them directly, a
+// plain Mapper sees rows materialized from the batch into a reused
+// buffer. Batch and row execution are interchangeable by contract
+// (identical output, counters and metering); Cluster.DisableBatchScan
+// forces the row loop for equivalence testing.
+//
 // # Shuffle
 //
 // The per-record hot path is lock-free and allocation-light. Each map
@@ -125,6 +136,12 @@ type OutputFactory interface {
 type Cluster struct {
 	Params      sim.CostParams
 	Parallelism int // concurrent tasks (real goroutines); 0 = NumCPU
+	// DisableBatchScan forces the row-at-a-time map loop even when a
+	// reader implements BatchRecordReader. Both loops produce
+	// byte-identical results, counters and simulated seconds (the
+	// equivalence tests assert it); the toggle exists for those tests
+	// and for isolating regressions.
+	DisableBatchScan bool
 }
 
 // NewCluster builds a Cluster for the given cost parameters.
@@ -346,23 +363,29 @@ func (c *Cluster) runMapTask(ctx context.Context, job *Job, taskID int, meter *s
 		}
 	}
 
-	for {
-		// Cancellation check between records (cheap: every 128 rows).
-		if inRecords&127 == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		row, meta, err := rr.Next()
-		if err != nil {
-			if isEOF(err) {
-				break
-			}
-			return fmt.Errorf("mapred: split %d: %w", taskID, err)
-		}
-		inRecords++
-		if err := mapper.Map(row, meta, emit); err != nil {
+	if br, ok := rr.(BatchRecordReader); ok && !c.DisableBatchScan {
+		if err := runBatchLoop(ctx, br, mapper, emit, &inRecords); err != nil {
 			return fmt.Errorf("mapred: map task %d: %w", taskID, err)
+		}
+	} else {
+		for {
+			// Cancellation check between records (cheap: every 128 rows).
+			if inRecords&127 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			row, meta, err := rr.Next()
+			if err != nil {
+				if isEOF(err) {
+					break
+				}
+				return fmt.Errorf("mapred: split %d: %w", taskID, err)
+			}
+			inRecords++
+			if err := mapper.Map(row, meta, emit); err != nil {
+				return fmt.Errorf("mapred: map task %d: %w", taskID, err)
+			}
 		}
 	}
 	if err := mapper.Flush(emit); err != nil {

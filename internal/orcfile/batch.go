@@ -1,0 +1,237 @@
+package orcfile
+
+import (
+	"fmt"
+	"io"
+
+	"dualtable/internal/datum"
+)
+
+// DefaultBatchRows is the row capacity a batch scan decodes per
+// NextBatch call. ~1k rows amortizes per-call dispatch while keeping
+// a batch's column vectors comfortably inside the L2 cache.
+const DefaultBatchRows = 1024
+
+// BatchReader decodes a file stripe-by-stripe into typed column
+// vectors, the vectorized counterpart of RowReader. A batch never
+// spans a stripe boundary, so the rows of one batch always carry
+// consecutive file ordinals starting at the batch's base ordinal —
+// the property DualTable's UNION READ fast path uses to classify a
+// whole batch against the attached table with two comparisons.
+//
+// Batch and row readers share the stripe cursors and therefore decode
+// byte-identical values; pruned stripes advance the ordinal exactly
+// like RowReader.
+type BatchReader struct {
+	rd        *Reader
+	opts      RowReaderOptions
+	project   []bool
+	stripeIdx int
+	cols      []*columnCursor
+	inStripe  int64
+	stripeLen int64
+	// rowOrdinal is the file ordinal of the next undecoded row.
+	rowOrdinal int64
+
+	// scratch buffers reused across batches.
+	present []bool
+	ints    []int64
+	floats  []float64
+	bools   []bool
+}
+
+// NewBatchReader starts a vectorized scan with the same options as
+// NewRowReader.
+func (rd *Reader) NewBatchReader(opts RowReaderOptions) *BatchReader {
+	br := &BatchReader{rd: rd, opts: opts, project: make([]bool, len(rd.schema))}
+	if opts.Columns == nil {
+		for i := range br.project {
+			br.project[i] = true
+		}
+	} else {
+		for _, c := range opts.Columns {
+			if c >= 0 && c < len(br.project) {
+				br.project[c] = true
+			}
+		}
+	}
+	return br
+}
+
+// NextBatch decodes up to max rows (DefaultBatchRows when max <= 0)
+// into cols, which must have one vector per schema column.
+// Unprojected columns become all-NULL vectors, keeping column indexes
+// stable like the row reader. It returns the number of rows decoded
+// and the file ordinal of the batch's first row; io.EOF ends the scan.
+func (br *BatchReader) NextBatch(cols []datum.ColumnVector, max int) (int, int64, error) {
+	if len(cols) != len(br.rd.schema) {
+		return 0, 0, fmt.Errorf("orcfile: batch arity %d, schema arity %d", len(cols), len(br.rd.schema))
+	}
+	if max <= 0 {
+		max = DefaultBatchRows
+	}
+	for br.inStripe >= br.stripeLen {
+		if br.stripeIdx >= len(br.rd.stripes) {
+			return 0, 0, io.EOF
+		}
+		sm := br.rd.stripes[br.stripeIdx]
+		if br.opts.SearchArg != nil && !br.opts.SearchArg.MaybeMatches(sm.stats) {
+			br.rowOrdinal += sm.rows
+			br.stripeIdx++
+			continue
+		}
+		cursors, err := br.rd.openStripeCursors(sm, br.project)
+		if err != nil {
+			return 0, 0, err
+		}
+		br.cols = cursors
+		br.stripeIdx++
+		br.inStripe = 0
+		br.stripeLen = sm.rows
+	}
+	n := max
+	if rem := int(br.stripeLen - br.inStripe); n > rem {
+		n = rem
+	}
+	base := br.rowOrdinal
+	for i, cur := range br.cols {
+		if cur == nil {
+			cols[i].Reset(datum.KindNull, n)
+			continue
+		}
+		if err := br.fillVector(&cols[i], cur, n); err != nil {
+			return 0, 0, fmt.Errorf("orcfile: column %s rows %d..%d: %w",
+				br.rd.schema[i].Name, base, base+int64(n)-1, err)
+		}
+	}
+	br.inStripe += int64(n)
+	br.rowOrdinal += int64(n)
+	return n, base, nil
+}
+
+// fillVector decodes n values of one column into v: presence bits in
+// bulk, then the value stream in bulk — straight into the vector's
+// positional slots when the batch has no NULLs, via a dense scratch
+// buffer plus scatter otherwise.
+func (br *BatchReader) fillVector(v *datum.ColumnVector, cur *columnCursor, n int) error {
+	if cap(br.present) < n {
+		br.present = make([]bool, n)
+	}
+	present := br.present[:n]
+	if err := cur.presence.Fill(present); err != nil {
+		return err
+	}
+	v.Reset(cur.kind, n)
+	nonNull := 0
+	for i, p := range present {
+		if p {
+			v.Nulls[i] = false
+			nonNull++
+		}
+	}
+	dense := nonNull == n
+	switch cur.kind {
+	case datum.KindInt:
+		if dense {
+			return cur.ints.Fill(v.Ints)
+		}
+		if err := cur.ints.Fill(br.scratchInts(nonNull)); err != nil {
+			return err
+		}
+		k := 0
+		for i, p := range present {
+			if p {
+				v.Ints[i] = br.ints[k]
+				k++
+			}
+		}
+	case datum.KindFloat:
+		if dense {
+			return cur.floats.Fill(v.Floats)
+		}
+		if cap(br.floats) < nonNull {
+			br.floats = make([]float64, nonNull)
+		}
+		if err := cur.floats.Fill(br.floats[:nonNull]); err != nil {
+			return err
+		}
+		k := 0
+		for i, p := range present {
+			if p {
+				v.Floats[i] = br.floats[k]
+				k++
+			}
+		}
+	case datum.KindBool:
+		if dense {
+			return cur.bools.Fill(v.Bools)
+		}
+		if cap(br.bools) < nonNull {
+			br.bools = make([]bool, nonNull)
+		}
+		if err := cur.bools.Fill(br.bools[:nonNull]); err != nil {
+			return err
+		}
+		k := 0
+		for i, p := range present {
+			if p {
+				v.Bools[i] = br.bools[k]
+				k++
+			}
+		}
+	case datum.KindString:
+		return br.fillStrings(v, cur, present, nonNull)
+	default:
+		return fmt.Errorf("orcfile: bad cursor kind")
+	}
+	return nil
+}
+
+// fillStrings decodes n string slots: dictionary indexes map to shared
+// dict entries (no per-value allocation); direct mode slices the blob
+// and converts, exactly the bytes the row reader would produce.
+func (br *BatchReader) fillStrings(v *datum.ColumnVector, cur *columnCursor, present []bool, nonNull int) error {
+	vals := br.scratchInts(nonNull)
+	if cur.dict != nil {
+		if err := cur.indices.Fill(vals); err != nil {
+			return err
+		}
+		k := 0
+		for i, p := range present {
+			if !p {
+				continue
+			}
+			idx := vals[k]
+			k++
+			if idx < 0 || int(idx) >= len(cur.dict) {
+				return fmt.Errorf("orcfile: dict index %d out of range", idx)
+			}
+			v.Strs[i] = cur.dict[idx]
+		}
+		return nil
+	}
+	if err := cur.lens.Fill(vals); err != nil {
+		return err
+	}
+	k := 0
+	for i, p := range present {
+		if !p {
+			continue
+		}
+		end := cur.blobOff + int(vals[k])
+		k++
+		if end > len(cur.blob) || end < cur.blobOff {
+			return fmt.Errorf("orcfile: string blob exhausted")
+		}
+		v.Strs[i] = string(cur.blob[cur.blobOff:end])
+		cur.blobOff = end
+	}
+	return nil
+}
+
+func (br *BatchReader) scratchInts(n int) []int64 {
+	if cap(br.ints) < n {
+		br.ints = make([]int64, n)
+	}
+	return br.ints[:n]
+}

@@ -1,0 +1,182 @@
+package orcfile
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"dualtable/internal/datum"
+)
+
+// genRows builds a mixed-kind table with NULLs, runs, deltas, and both
+// string encodings (low-cardinality column → dictionary, unique
+// column → direct).
+func genRows(t *testing.T, n int, seed int64) (datum.Schema, []datum.Row) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	schema := datum.Schema{
+		{Name: "id", Kind: datum.KindInt},       // delta runs
+		{Name: "grp", Kind: datum.KindInt},      // repeats + nulls
+		{Name: "v", Kind: datum.KindFloat},      // nulls
+		{Name: "flag", Kind: datum.KindBool},    // nulls
+		{Name: "tag", Kind: datum.KindString},   // dictionary
+		{Name: "note", Kind: datum.KindString},  // direct
+		{Name: "empty", Kind: datum.KindString}, // all NULL
+	}
+	rows := make([]datum.Row, n)
+	tags := []string{"a", "bb", "ccc", ""}
+	for i := range rows {
+		row := datum.Row{
+			datum.Int(int64(i)),
+			datum.Int(int64(i / 7)),
+			datum.Float(rng.Float64() * 100),
+			datum.Bool(i%3 == 0),
+			datum.String_(tags[i%len(tags)]),
+			datum.String_(string(rune('a'+i%26)) + string(rune('0'+i%10)) + "x"),
+			datum.Null,
+		}
+		if i%11 == 0 {
+			row[1] = datum.Null
+		}
+		if i%5 == 0 {
+			row[2] = datum.Null
+		}
+		if i%13 == 0 {
+			row[3] = datum.Null
+		}
+		if i%17 == 0 {
+			row[4] = datum.Null
+		}
+		rows[i] = row
+	}
+	return schema, rows
+}
+
+func writeBatchFile(t *testing.T, schema datum.Schema, rows []datum.Row, opts WriterOptions) *Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.WriteRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rd
+}
+
+// TestBatchRowEquivalence checks that the batch reader reproduces the
+// row reader exactly — values, NULLs, ordinals — across compression,
+// stripe sizes, batch sizes and projections.
+func TestBatchRowEquivalence(t *testing.T) {
+	schema, rows := genRows(t, 3777, 1)
+	cases := []struct {
+		name string
+		opts WriterOptions
+	}{
+		{"plain", WriterOptions{StripeRows: 1000}},
+		{"flate", WriterOptions{StripeRows: 1000, Compression: true}},
+		{"one-stripe", WriterOptions{StripeRows: 100000}},
+		{"tiny-stripes", WriterOptions{StripeRows: 17, Compression: true}},
+	}
+	projections := [][]int{nil, {0, 2}, {4, 5}, {1}}
+	batchSizes := []int{0, 1, 7, 1000, 5000}
+	for _, tc := range cases {
+		rd := writeBatchFile(t, schema, rows, tc.opts)
+		for _, proj := range projections {
+			for _, bs := range batchSizes {
+				opts := RowReaderOptions{Columns: proj}
+				rr := rd.NewRowReader(opts)
+				br := rd.NewBatchReader(opts)
+				cols := make([]datum.ColumnVector, len(schema))
+				var batchOrd int64
+				var inBatch, batchLen int
+				for {
+					wantRow, wantOrd, rerr := rr.Next()
+					for inBatch >= batchLen {
+						n, base, berr := br.NextBatch(cols, bs)
+						if berr == io.EOF {
+							batchLen = -1
+							break
+						}
+						if berr != nil {
+							t.Fatalf("%s proj=%v bs=%d: %v", tc.name, proj, bs, berr)
+						}
+						batchOrd, inBatch, batchLen = base, 0, n
+					}
+					if rerr == io.EOF {
+						if batchLen != -1 {
+							t.Fatalf("%s proj=%v bs=%d: batch reader has extra rows", tc.name, proj, bs)
+						}
+						break
+					}
+					if rerr != nil {
+						t.Fatal(rerr)
+					}
+					if batchLen == -1 {
+						t.Fatalf("%s proj=%v bs=%d: batch reader ended early at ord %d", tc.name, proj, bs, wantOrd)
+					}
+					gotOrd := batchOrd + int64(inBatch)
+					if gotOrd != wantOrd {
+						t.Fatalf("%s proj=%v bs=%d: ordinal %d != %d", tc.name, proj, bs, gotOrd, wantOrd)
+					}
+					for c := range schema {
+						got := cols[c].Datum(inBatch)
+						if datum.Compare(got, wantRow[c]) != 0 || got.K != wantRow[c].K {
+							t.Fatalf("%s proj=%v bs=%d row %d col %d: %v != %v",
+								tc.name, proj, bs, wantOrd, c, got, wantRow[c])
+						}
+					}
+					inBatch++
+				}
+			}
+		}
+	}
+}
+
+// TestBatchReaderPruning checks that pruned stripes advance ordinals
+// identically on both readers.
+func TestBatchReaderPruning(t *testing.T) {
+	schema, rows := genRows(t, 3000, 2)
+	rd := writeBatchFile(t, schema, rows, WriterOptions{StripeRows: 500})
+	sarg := &SearchArg{Predicates: []Predicate{{Column: 0, Op: OpGE, Value: datum.Int(2200)}}}
+	opts := RowReaderOptions{SearchArg: sarg}
+	rr := rd.NewRowReader(opts)
+	br := rd.NewBatchReader(opts)
+	var rowOrds, batchOrds []int64
+	for {
+		_, ord, err := rr.Next()
+		if err != nil {
+			break
+		}
+		rowOrds = append(rowOrds, ord)
+	}
+	cols := make([]datum.ColumnVector, len(schema))
+	for {
+		n, base, err := br.NextBatch(cols, 0)
+		if err != nil {
+			break
+		}
+		for i := 0; i < n; i++ {
+			batchOrds = append(batchOrds, base+int64(i))
+		}
+	}
+	if len(rowOrds) == 0 || len(rowOrds) != len(batchOrds) {
+		t.Fatalf("ordinal count mismatch: %d vs %d", len(rowOrds), len(batchOrds))
+	}
+	for i := range rowOrds {
+		if rowOrds[i] != batchOrds[i] {
+			t.Fatalf("ordinal %d: %d != %d", i, rowOrds[i], batchOrds[i])
+		}
+	}
+}

@@ -272,30 +272,42 @@ func (rr *RowReader) Next() (datum.Row, int64, error) {
 
 // openStripe loads and decodes the projected column streams.
 func (rr *RowReader) openStripe(sm stripeMeta) error {
-	rr.cols = make([]*columnCursor, len(rr.rd.schema))
-	for i := range rr.rd.schema {
-		if !rr.project[i] {
+	cols, err := rr.rd.openStripeCursors(sm, rr.project)
+	if err != nil {
+		return err
+	}
+	rr.cols = cols
+	return nil
+}
+
+// openStripeCursors reads and decodes the projected column streams of
+// one stripe — shared by the row and batch readers, so both charge
+// identical I/O and decode identical bytes.
+func (rd *Reader) openStripeCursors(sm stripeMeta, project []bool) ([]*columnCursor, error) {
+	cols := make([]*columnCursor, len(rd.schema))
+	for i := range rd.schema {
+		if !project[i] {
 			continue
 		}
 		st := sm.streams[i]
 		buf := make([]byte, st.length)
-		if _, err := rr.rd.r.ReadAt(buf, int64(sm.offset+st.relOff)); err != nil {
-			return fmt.Errorf("orcfile: read stripe stream: %w", err)
+		if _, err := rd.r.ReadAt(buf, int64(sm.offset+st.relOff)); err != nil {
+			return nil, fmt.Errorf("orcfile: read stripe stream: %w", err)
 		}
-		if rr.rd.compressed {
+		if rd.compressed {
 			dec, err := io.ReadAll(flate.NewReader(bytes.NewReader(buf)))
 			if err != nil {
-				return fmt.Errorf("orcfile: decompress stream: %w", err)
+				return nil, fmt.Errorf("orcfile: decompress stream: %w", err)
 			}
 			buf = dec
 		}
-		cur, err := newColumnCursor(rr.rd.schema[i].Kind, buf)
+		cur, err := newColumnCursor(rd.schema[i].Kind, buf)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		rr.cols[i] = cur
+		cols[i] = cur
 	}
-	return nil
+	return cols, nil
 }
 
 func newColumnCursor(kind datum.Kind, buf []byte) (*columnCursor, error) {

@@ -346,6 +346,30 @@ type SelectStmt struct {
 	Having   Expr
 	OrderBy  []OrderItem
 	Limit    int64 // -1 = none
+	// LimitExpr carries a parameterized LIMIT: a Placeholder when the
+	// statement text says LIMIT ?, the bound Literal after
+	// BindStatement. nil when the LIMIT is a literal count (Limit) or
+	// absent. Statements differing only in LIMIT therefore share one
+	// cached plan template.
+	LimitExpr Expr
+}
+
+// EffectiveLimit resolves the LIMIT clause to a row count: the
+// literal count, the bound placeholder's value, or -1 when no LIMIT
+// was given. An unbound placeholder or a bound value that is not a
+// non-negative integer is an error.
+func (s *SelectStmt) EffectiveLimit() (int64, error) {
+	if s.LimitExpr == nil {
+		return s.Limit, nil
+	}
+	lit, ok := s.LimitExpr.(*Literal)
+	if !ok {
+		return 0, fmt.Errorf("sql: LIMIT parameter is not bound")
+	}
+	if lit.Value.K != datum.KindInt || lit.Value.I < 0 {
+		return 0, fmt.Errorf("sql: LIMIT must be a non-negative integer, got %s", lit.Value.SQLLiteral())
+	}
+	return lit.Value.I, nil
 }
 
 // InsertStmt is INSERT INTO/OVERWRITE TABLE t [SELECT ...|VALUES ...].
@@ -470,7 +494,9 @@ func (s *SelectStmt) String() string {
 		}
 		sb.WriteString(" ORDER BY " + strings.Join(keys, ", "))
 	}
-	if s.Limit >= 0 {
+	if s.LimitExpr != nil {
+		sb.WriteString(" LIMIT " + s.LimitExpr.String())
+	} else if s.Limit >= 0 {
 		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
 	}
 	return sb.String()

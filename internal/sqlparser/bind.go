@@ -61,7 +61,8 @@ func rewriteSelect(s *SelectStmt, fn func(Expr) Expr) *SelectStmt {
 	if s == nil {
 		return nil
 	}
-	out := &SelectStmt{Distinct: s.Distinct, Limit: s.Limit}
+	out := &SelectStmt{Distinct: s.Distinct, Limit: s.Limit,
+		LimitExpr: RewriteExpr(s.LimitExpr, fn)}
 	for _, it := range s.Items {
 		out.Items = append(out.Items, SelectItem{Expr: RewriteExpr(it.Expr, fn), Alias: it.Alias})
 	}

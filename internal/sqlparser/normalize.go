@@ -23,9 +23,10 @@ import (
 // ok is false when the text should not be normalized: statements other
 // than SELECT / INSERT / UPDATE / DELETE (DDL carries structural
 // literals), texts that already contain '?' placeholders (mixing
-// extracted and user-supplied parameters would scramble indexes), a
-// LIMIT clause's count (the grammar requires a number there), or a
-// lexing error.
+// extracted and user-supplied parameters would scramble indexes), or a
+// lexing error. LIMIT counts normalize like any other literal — the
+// grammar accepts LIMIT ? — so statements differing only in LIMIT
+// share one cached template.
 func NormalizeForCache(sql string) (template string, args []datum.Datum, ok bool) {
 	toks, err := Tokenize(sql)
 	if err != nil {
@@ -62,11 +63,6 @@ func NormalizeForCache(sql string) (template string, args []datum.Datum, ok bool
 		}
 		switch t.Kind {
 		case TokNumber:
-			if i > 0 && toks[i-1].Kind == TokKeyword && toks[i-1].Text == "LIMIT" {
-				// LIMIT requires a literal count in the grammar.
-				emit(t.Text)
-				continue
-			}
 			args = append(args, numberDatum(t.Text))
 			sawLiteral = true
 			emit("?")

@@ -71,12 +71,12 @@ func TestNormalizeForCacheRefusals(t *testing.T) {
 	}
 }
 
-func TestNormalizeForCacheLimitKept(t *testing.T) {
+func TestNormalizeForCacheLimitParameterized(t *testing.T) {
 	tmpl, args, ok := NormalizeForCache("SELECT v FROM t WHERE a = 5 ORDER BY v LIMIT 10")
 	if !ok {
 		t.Fatal("not ok")
 	}
-	if len(args) != 1 || !datum.Equal(args[0], datum.Int(5)) {
+	if len(args) != 2 || !datum.Equal(args[0], datum.Int(5)) || !datum.Equal(args[1], datum.Int(10)) {
 		t.Fatalf("args = %v", args)
 	}
 	stmt, err := Parse(tmpl)
@@ -84,8 +84,65 @@ func TestNormalizeForCacheLimitKept(t *testing.T) {
 		t.Fatalf("template %q: %v", tmpl, err)
 	}
 	sel := stmt.(*SelectStmt)
-	if sel.Limit != 10 {
-		t.Errorf("LIMIT = %d, want 10 (kept literal)", sel.Limit)
+	if sel.Limit != -1 {
+		t.Errorf("template Limit = %d, want -1", sel.Limit)
+	}
+	ph, ok := sel.LimitExpr.(*Placeholder)
+	if !ok || ph.Idx != 1 {
+		t.Fatalf("template LimitExpr = %#v, want placeholder 1", sel.LimitExpr)
+	}
+	// Two texts differing only in LIMIT share the template.
+	tmpl2, args2, ok := NormalizeForCache("SELECT v FROM t WHERE a = 5 ORDER BY v LIMIT 99")
+	if !ok || tmpl2 != tmpl || !datum.Equal(args2[1], datum.Int(99)) {
+		t.Fatalf("LIMIT variant: tmpl %q vs %q, args %v", tmpl2, tmpl, args2)
+	}
+	// Binding restores the concrete count.
+	bound, err := BindStatement(stmt, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit, err := bound.(*SelectStmt).EffectiveLimit()
+	if err != nil || limit != 10 {
+		t.Fatalf("EffectiveLimit = %d, %v; want 10", limit, err)
+	}
+}
+
+func TestLimitPlaceholderParseAndBind(t *testing.T) {
+	stmt, err := Parse("SELECT v FROM t WHERE a = ? LIMIT ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NumPlaceholders(stmt); got != 2 {
+		t.Fatalf("NumPlaceholders = %d, want 2", got)
+	}
+	if s := stmt.String(); s != "SELECT v FROM t WHERE (a = ?) LIMIT ?" {
+		t.Fatalf("String = %q", s)
+	}
+	// Unbound LIMIT parameter refuses to resolve.
+	if _, err := stmt.(*SelectStmt).EffectiveLimit(); err == nil {
+		t.Fatal("EffectiveLimit on unbound placeholder should error")
+	}
+	bound, err := BindStatement(stmt, []datum.Datum{datum.Int(7), datum.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit, err := bound.(*SelectStmt).EffectiveLimit()
+	if err != nil || limit != 3 {
+		t.Fatalf("EffectiveLimit = %d, %v; want 3", limit, err)
+	}
+	// The original cached AST is untouched by binding.
+	if _, ok := stmt.(*SelectStmt).LimitExpr.(*Placeholder); !ok {
+		t.Fatal("binding mutated the cached statement's LimitExpr")
+	}
+	// Negative and non-integer bindings are rejected at resolution.
+	for _, bad := range []datum.Datum{datum.Int(-1), datum.Float(1.5), datum.String_("x")} {
+		b, err := BindStatement(stmt, []datum.Datum{datum.Int(7), bad})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.(*SelectStmt).EffectiveLimit(); err == nil {
+			t.Fatalf("EffectiveLimit(%v) should error", bad)
+		}
 	}
 }
 

@@ -236,6 +236,13 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 		}
 	}
 	if p.accept(TokKeyword, "LIMIT") {
+		// LIMIT takes a literal count or a '?' parameter (bound to a
+		// non-negative integer at execution time).
+		if p.accept(TokOp, "?") {
+			s.LimitExpr = &Placeholder{Idx: p.params}
+			p.params++
+			return s, nil
+		}
 		t, err := p.expect(TokNumber, "")
 		if err != nil {
 			return nil, err

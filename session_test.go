@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -484,5 +485,54 @@ func TestPlanCacheNormalizedHits(t *testing.T) {
 	}
 	if stats.Hits.Load() < before+1 {
 		t.Error("exact repeat should count as a hit")
+	}
+}
+
+// TestPreparedLimitParameter covers the parameterized LIMIT path end
+// to end: LIMIT ? binds per execution, and two texts differing only
+// in the LIMIT count share one normalized plan template.
+func TestPreparedLimitParameter(t *testing.T) {
+	db := openDB(t)
+	sess := db.Session()
+	sess.MustExec("CREATE TABLE lim (id BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO lim VALUES ")
+	for i := 0; i < 50; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d.5)", i, i)
+	}
+	sess.MustExec(sb.String())
+
+	sel, err := sess.Prepare("SELECT id FROM lim ORDER BY id LIMIT ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []int{1, 7, 50, 0} {
+		rows, err := sel.Query(int64(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		rows.Close()
+		if n != want {
+			t.Fatalf("LIMIT %d returned %d rows", want, n)
+		}
+	}
+	if _, err := sel.Query(int64(-2)); err == nil {
+		t.Error("negative LIMIT binding should fail")
+	}
+
+	// Literal-LIMIT variants normalize onto one cached template.
+	stats := sess.PlanCacheStats()
+	before := stats.NormalizedHits.Load()
+	sess.MustExec("SELECT id FROM lim WHERE id = 3 LIMIT 4")
+	sess.MustExec("SELECT id FROM lim WHERE id = 3 LIMIT 9")
+	if got := stats.NormalizedHits.Load() - before; got < 1 {
+		t.Fatalf("LIMIT variants should share a normalized template (normalized hits %d)", got)
 	}
 }
