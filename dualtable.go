@@ -37,6 +37,17 @@
 //		rows.Scan(&id, &v)
 //	}
 //
+// Table storage is versioned with epoch-numbered snapshot manifests:
+// scans pin an immutable snapshot at open and read it to completion,
+// so COMPACT and INSERT OVERWRITE never block reads — a scan racing a
+// compaction returns byte-identical rows to a pre-compaction scan of
+// the same epoch. Long statements run asynchronously on job handles
+// while the session keeps serving snapshot reads:
+//
+//	job, _ := sess.Submit(`COMPACT TABLE t`)
+//	st := job.Poll()            // RUNNING, never blocks
+//	rs, err := job.Wait()       // or job.Cancel()
+//
 // The one-shot DB.Exec/DB.MustExec helpers remain as conveniences
 // over a default session.
 package dualtable

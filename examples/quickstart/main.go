@@ -85,8 +85,21 @@ func main() {
 	edit.MustExec(`SET dualtable.force.plan = EDIT`)
 	edit.MustExec(`DELETE FROM meters WHERE status = 'missing'`)
 
-	// COMPACT folds the attached table back into a fresh master.
-	rs = sess.MustExec(`COMPACT TABLE meters`)
+	// COMPACT folds the attached table back into a fresh master and
+	// publishes it as a new epoch. Submit runs it asynchronously on a
+	// job handle — and because scans pin immutable snapshots, the
+	// session keeps serving reads at the old epoch while the
+	// compaction runs (Poll/Wait/Cancel control the job).
+	job, err := sess.Submit(`COMPACT TABLE meters`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("compact submitted: %v\n", job.Poll().State)
+	rs = sess.MustExec(`SELECT COUNT(*) FROM meters`) // concurrent snapshot read
+	fmt.Printf("rows during compact: %s\n", rs.Rows[0])
+	if rs, err = job.Wait(); err != nil {
+		panic(err)
+	}
 	fmt.Printf("compact: %.2f simulated cluster seconds\n", rs.SimSeconds)
 
 	rs = sess.MustExec(`SELECT COUNT(*) FROM meters`)

@@ -5,8 +5,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"time"
 
+	"dualtable/internal/datum"
+	"dualtable/internal/hive"
+	"dualtable/internal/mapred"
 	"dualtable/internal/metastore"
 	"dualtable/internal/orcfile"
 )
@@ -14,38 +16,176 @@ import (
 // Second-round coverage: locking, pushdown interaction with the
 // attached table, statistics estimation, and edge cases.
 
-func TestCompactBlocksConcurrentDML(t *testing.T) {
+// runPinnedScan executes one identity map-only job over pre-built
+// pinned splits with the given parallelism, returning an error
+// instead of failing the test (safe from worker goroutines).
+func runPinnedScan(e *hive.Engine, splits []mapred.InputSplit, workers int) (scanResult, error) {
+	mr := mapred.NewCluster(e.MR.Params)
+	mr.Parallelism = workers
+	job := &mapred.Job{
+		Name:   "mvcc-scan",
+		Splits: splits,
+		NewMapper: func() mapred.Mapper {
+			return mapred.MapFunc(func(row datum.Row, meta mapred.RecordMeta, emit mapred.Emitter) error {
+				out := row.Clone()
+				out = append(out, datum.Int(int64(meta.RecordID)))
+				return emit(nil, out)
+			})
+		},
+	}
+	res, err := mr.Run(job)
+	if err != nil {
+		return scanResult{}, err
+	}
+	out := scanResult{counts: res.Counters, simSecs: res.SimSeconds}
+	for _, r := range res.Rows {
+		out.rows = append(out.rows, r.String())
+	}
+	return out, nil
+}
+
+// TestCompactDoesNotBlockScans is the MVCC flip side of the old
+// "COMPACT blocks everything" contract: a COMPACT held mid-flight
+// (staged but not yet published) must not block concurrent scans —
+// each scan pins the pre-compaction epoch and returns rows, Counters
+// and SimSeconds byte-identical to a solo scan of that epoch — while
+// concurrent *writers* still block until the compaction finishes. A
+// scan pinned before the epoch swap completes after it, against the
+// superseded files deferred deletion kept alive.
+func TestCompactDoesNotBlockScans(t *testing.T) {
 	e, h := testEngine(t)
 	seedDual(t, e)
 	h.SetForcePlan("EDIT")
+	mustExec(t, e, "UPDATE m SET v = 9999.5 WHERE day < 6")
+	mustExec(t, e, "DELETE FROM m WHERE day = 7")
 	desc, _ := e.MS.Get("m")
-
-	// Hold the compact (exclusive) lock manually and verify DML
-	// blocks until released — the paper: "all the other operations
-	// will be blocked during COMPACT".
-	lock := h.tableLock(desc.Name)
-	lock.Lock()
-	started := make(chan struct{})
-	done := make(chan error, 1)
-	go func() {
-		close(started)
-		_, err := e.Execute("UPDATE m SET v = 1.0 WHERE id = 1")
-		done <- err
-	}()
-	<-started
-	select {
-	case <-done:
-		t.Fatal("UPDATE completed while compact lock held")
-	case <-time.After(50 * time.Millisecond):
+	epochBefore, err := h.CurrentEpoch(desc)
+	if err != nil {
+		t.Fatal(err)
 	}
-	lock.Unlock()
+
+	// Reference: a solo scan of the pre-compaction epoch.
+	ref := runUnionScan(t, e, h, "m", ScanOptions{}, 4, false)
+	if len(ref.rows) == 0 {
+		t.Fatal("reference scan returned no rows")
+	}
+	manBefore, err := e.MS.CurrentManifest("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Gate the compaction between stage (rewrite job done) and
+	// publish (epoch swap).
+	staged := make(chan struct{})
+	releaseGate := make(chan struct{})
+	h.SetCompactStagedHook(func(string) { close(staged); <-releaseGate })
+	t.Cleanup(func() { h.SetCompactStagedHook(nil) })
+	compactDone := make(chan error, 1)
+	go func() {
+		_, err := e.Execute("COMPACT TABLE m")
+		compactDone <- err
+	}()
+	<-staged
+
+	// A writer issued mid-COMPACT must block until the compaction
+	// releases the writer lock (the paper's blocking contract, now
+	// scoped to writers only).
+	dmlDone := make(chan error, 1)
+	go func() {
+		_, err := e.Execute("UPDATE m SET v = 1.0 WHERE id = 1")
+		dmlDone <- err
+	}()
+
+	// One scan pins the pre-compaction epoch now and runs only after
+	// the epoch swap: deferred deletion must keep its files alive.
+	pinnedSplits, releasePin, err := h.PinnedSplits(desc, ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Four workers scan mid-COMPACT; all must run to completion while
+	// the compaction is still in flight — no scan blocked on the
+	// table lock.
+	const scanners = 4
+	results := make([]scanResult, scanners)
+	errs := make([]error, scanners)
+	var wg sync.WaitGroup
+	for i := 0; i < scanners; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			splits, release, err := h.PinnedSplits(desc, ScanOptions{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer release()
+			results[i], errs[i] = runPinnedScan(e, splits, 4)
+		}()
+	}
+	wg.Wait()
 	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("update after unlock: %v", err)
+	case err := <-compactDone:
+		t.Fatalf("compaction published before the gate opened: %v", err)
+	case err := <-dmlDone:
+		t.Fatalf("writer did not block on in-flight COMPACT: %v", err)
+	default:
+	}
+	for i := 0; i < scanners; i++ {
+		if errs[i] != nil {
+			t.Fatalf("mid-compact scan %d: %v", i, errs[i])
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("update never completed after unlock")
+		assertSameScan(t, fmt.Sprintf("mid-compact scan %d", i), ref, results[i])
+	}
+
+	// Open the gate: the compaction publishes, the blocked writer
+	// proceeds.
+	close(releaseGate)
+	if err := <-compactDone; err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := <-dmlDone; err != nil {
+		t.Fatalf("update after compact: %v", err)
+	}
+
+	// The pre-swap pinned scan still reads its epoch byte-identically
+	// — superseded masters survive until the pin drops.
+	late, err := runPinnedScan(e, pinnedSplits, 4)
+	if err != nil {
+		t.Fatalf("post-swap pinned scan: %v", err)
+	}
+	assertSameScan(t, "post-swap pinned scan", ref, late)
+	for _, f := range manBefore.Files {
+		if !e.FS.Exists(f.Path) {
+			t.Errorf("superseded master %s removed while still pinned", f.Path)
+		}
+	}
+	releasePin()
+	// The last pin dropped: deferred deletion reclaims every
+	// superseded master — no leak.
+	for _, f := range manBefore.Files {
+		if e.FS.Exists(f.Path) {
+			t.Errorf("superseded master %s leaked after last pin dropped", f.Path)
+		}
+		if n := e.FS.Pins(f.Path); n != 0 {
+			t.Errorf("superseded master %s still has %d pins", f.Path, n)
+		}
+	}
+
+	// Epoch advanced; attached table cleared up to the post-compact
+	// UPDATE's single re-applied cell; row content preserved.
+	epochAfter, err := h.CurrentEpoch(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochAfter <= epochBefore {
+		t.Errorf("epoch did not advance: %d -> %d", epochBefore, epochAfter)
+	}
+	rs := mustExec(t, e, "SELECT COUNT(*) FROM m WHERE v = 9999.5")
+	want := mustExec(t, e, "SELECT COUNT(*) FROM m WHERE day < 6 AND id != 1")
+	if rs.Rows[0][0].I != want.Rows[0][0].I {
+		t.Errorf("post-compact content: %v updated rows, want %v", rs.Rows[0][0].I, want.Rows[0][0].I)
 	}
 }
 

@@ -88,14 +88,19 @@ func (h *Handler) applyForce(ec *hive.ExecContext, plan costmodel.Plan) costmode
 }
 
 // workloadFor builds the cost-model workload for a statement:
-// D and row counts from the master files, α/β from hint → history →
-// stripe-statistics estimate → default, k from options or table
-// property. The second result names the ratio-estimate source.
+// D and row counts from the current snapshot's master files, α/β from
+// hint → history → stripe-statistics estimate → default, k from
+// options or table property. The second result names the
+// ratio-estimate source.
 func (h *Handler) workloadFor(ec *hive.ExecContext, desc *metastore.TableDesc, where sqlparser.Expr, upd *sqlparser.UpdateStmt, del *sqlparser.DeleteStmt) (costmodel.Workload, string, error) {
-	files, err := h.masterFiles(desc)
+	// Cost-model sizing needs file metadata and stripe statistics
+	// only, not attached entries.
+	snap, err := h.openSnapshot(desc, false)
 	if err != nil {
 		return costmodel.Workload{}, "", err
 	}
+	defer snap.Release()
+	files := snap.files
 	var bytes, rows int64
 	for _, f := range files {
 		bytes += f.size
@@ -303,9 +308,11 @@ func (h *Handler) runOverwriteUpdate(ec *hive.ExecContext, e *hive.Engine, desc 
 // the predicate, compute new values, and put the changed cells into
 // the attached table.
 func (h *Handler) runEditUpdate(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.UpdateStmt, m *sim.Meter, w costmodel.Workload) (int64, error) {
-	lock := h.tableLock(desc.Name)
-	lock.RLock()
-	defer lock.RUnlock()
+	// Writers serialize against each other (and COMPACT); snapshot
+	// scans run untouched throughout.
+	st := h.state(desc.Name)
+	st.writer.Lock()
+	defer st.writer.Unlock()
 
 	att, err := h.attached(desc)
 	if err != nil {
@@ -335,10 +342,21 @@ func (h *Handler) runEditUpdate(ec *hive.ExecContext, e *hive.Engine, desc *meta
 		}
 		sets = append(sets, setCol{idx: idx, fn: fn})
 	}
-	splits, err := h.splitsLocked(desc, ScanOptions{})
+	// The UDTF scans its own pinned snapshot; its writes carry
+	// timestamps above the snapshot watermark, so the scan cannot see
+	// them (no Halloween problem) and they become visible atomically
+	// at the watermark publish below. A job that fails or is canceled
+	// mid-flight leaves its partial cells orphaned above the
+	// watermark; they surface when the table's next writer publishes —
+	// the same no-DML-transaction semantics the pre-snapshot code had
+	// (where partial writes were visible immediately), deferred to a
+	// commit boundary.
+	snap, err := h.OpenSnapshot(desc)
 	if err != nil {
 		return 0, err
 	}
+	defer snap.Release()
+	splits := snap.Splits(ScanOptions{})
 	job := &mapred.Job{
 		Name:   "dualtable-update-udtf",
 		Splits: splits,
@@ -402,6 +420,9 @@ func (h *Handler) runEditUpdate(ec *hive.ExecContext, e *hive.Engine, desc *meta
 	if err != nil {
 		return 0, err
 	}
+	if err := h.publishWatermark(desc); err != nil {
+		return 0, err
+	}
 	m.AddSeconds(res.SimSeconds)
 	affected := res.Counters.OutputRecords
 	h.observeRatio(desc, stmt, nil, affected, w.TableRows)
@@ -412,9 +433,9 @@ func (h *Handler) runEditUpdate(ec *hive.ExecContext, e *hive.Engine, desc *meta
 // matching record (§V-A: "the DELETE UDTF only takes the name of the
 // table and puts a DELETE marker for each deleted row").
 func (h *Handler) runEditDelete(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, stmt *sqlparser.DeleteStmt, m *sim.Meter, w costmodel.Workload) (int64, error) {
-	lock := h.tableLock(desc.Name)
-	lock.RLock()
-	defer lock.RUnlock()
+	st := h.state(desc.Name)
+	st.writer.Lock()
+	defer st.writer.Unlock()
 
 	att, err := h.attached(desc)
 	if err != nil {
@@ -431,10 +452,12 @@ func (h *Handler) runEditDelete(ec *hive.ExecContext, e *hive.Engine, desc *meta
 			return 0, err
 		}
 	}
-	splits, err := h.splitsLocked(desc, ScanOptions{})
+	snap, err := h.OpenSnapshot(desc)
 	if err != nil {
 		return 0, err
 	}
+	defer snap.Release()
+	splits := snap.Splits(ScanOptions{})
 	job := &mapred.Job{
 		Name:   "dualtable-delete-udtf",
 		Splits: splits,
@@ -479,6 +502,9 @@ func (h *Handler) runEditDelete(ec *hive.ExecContext, e *hive.Engine, desc *meta
 	if err != nil {
 		return 0, err
 	}
+	if err := h.publishWatermark(desc); err != nil {
+		return 0, err
+	}
 	m.AddSeconds(res.SimSeconds)
 	affected := res.Counters.OutputRecords
 	h.observeRatio(desc, nil, stmt, affected, w.TableRows)
@@ -496,51 +522,40 @@ func (h *Handler) observeRatio(desc *metastore.TableDesc, upd *sqlparser.UpdateS
 }
 
 // Compact implements the COMPACT operation (§III-C): a UNION READ
-// over the existing tables rewritten into a fresh master table via
-// INSERT OVERWRITE, clearing the attached table. All other operations
-// are blocked for the duration (table-level exclusive lock), so the
-// rewrite runs under the caller's context: canceling it aborts the
-// job between records, discards staging and releases the lock with
-// the table unchanged.
+// over the table's pinned snapshot rewritten into a fresh master file
+// set, published as a new epoch with the attached table cleared.
+// Unlike the paper's "all the other operations will be blocked during
+// COMPACT", only *writers* block (the per-table writer lock): scans
+// pin their own snapshots and proceed concurrently, and a scan that
+// raced the compaction returns byte-identical rows to a pre-compaction
+// scan of the same epoch. The rewrite runs under the caller's
+// context: canceling it aborts the job between records, discards the
+// staged files and releases the writer lock with the table unchanged
+// (nothing was published).
 func (h *Handler) Compact(ec *hive.ExecContext, e *hive.Engine, desc *metastore.TableDesc, m *sim.Meter) error {
 	if err := ec.Err(); err != nil {
 		return err
 	}
-	lock := h.tableLock(desc.Name)
-	lock.Lock()
-	defer lock.Unlock()
+	st := h.state(desc.Name)
+	st.writer.Lock()
+	defer st.writer.Unlock()
 	if err := ec.Err(); err != nil {
-		// Canceled while waiting for the table lock: do no work.
+		// Canceled while waiting for the writer lock: do no work.
 		return err
 	}
 
-	// Read everything through UNION READ (without the handler lock —
-	// we already hold it exclusively, so do the work inline).
-	files, err := h.masterFiles(desc)
+	snap, err := h.OpenSnapshot(desc)
 	if err != nil {
 		return err
 	}
-	att, err := h.attached(desc)
-	if err != nil {
-		return err
-	}
-	var splits []mapred.InputSplit
-	for _, f := range files {
-		splits = append(splits, &unionReadSplit{h: h, desc: desc, file: f, att: att, schema: desc.Schema})
-	}
-	staging := desc.Location + "/.compact"
-	if h.e.FS.Exists(staging) {
-		if err := h.e.FS.Delete(staging, true); err != nil {
-			return err
-		}
-	}
-	if err := h.e.FS.MkdirAll(staging); err != nil {
-		return err
-	}
-	factory := &masterOutputFactory{h: h, desc: desc, dir: staging}
+	defer snap.Release()
+	// Stage: rewrite the snapshot through UNION READ into fresh master
+	// files. They live in the master directory but no manifest names
+	// them yet, so concurrent scans cannot see them.
+	factory := &masterOutputFactory{h: h, desc: desc, dir: masterDir(desc)}
 	job := &mapred.Job{
 		Name:   "dualtable-compact",
-		Splits: splits,
+		Splits: snap.Splits(ScanOptions{}),
 		NewMapper: func() mapred.Mapper {
 			return mapred.MapFunc(func(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
 				return emit(nil, row)
@@ -550,12 +565,29 @@ func (h *Handler) Compact(ec *hive.ExecContext, e *hive.Engine, desc *metastore.
 	}
 	res, err := e.MR.RunContext(ec.Context(), job)
 	if err != nil {
-		h.e.FS.Delete(staging, true)
+		factory.discard()
+		return err
+	}
+	if hook := h.compactStagedHook(); hook != nil {
+		hook(desc.Name)
+	}
+	// Last cancellation point: once the manifest publishes, the
+	// compaction is committed. A cancel landing before this discards
+	// the staged files and leaves the table at its current epoch.
+	if err := ec.Err(); err != nil {
+		factory.discard()
+		return err
+	}
+	// Publish: one atomic manifest swap makes the rewrite current,
+	// truncates the attached table, and hands the superseded masters
+	// to deferred deletion (they outlive the swap exactly as long as
+	// pinned snapshots still read them).
+	if err := h.publishReplace(desc, factory.files()); err != nil {
+		factory.discard()
 		return err
 	}
 	m.AddSeconds(res.SimSeconds)
-	committer := &dualOverwriteCommitter{h: h, desc: desc, staging: staging, unlock: func() {}}
-	return committer.Commit()
+	return nil
 }
 
 // editMapper is a stateful mapper for the EDIT UDTFs. It is

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"path"
+	"sort"
 	"strings"
 	"sync"
 
@@ -52,12 +53,16 @@ type Handler struct {
 	est   *costmodel.RatioEstimator
 	opts  Options
 
-	mu    sync.Mutex
-	meta  *kvstore.Table
-	locks map[string]*sync.RWMutex // per-table COMPACT locks
+	mu     sync.Mutex
+	meta   *kvstore.Table
+	states map[string]*tableState // per-table writer/publish locks
 	// planLog records the plan chosen for each DML statement, newest
 	// last (observability for tests and the harness).
 	planLog []PlanDecision
+	// onCompactStaged, when set, runs after a COMPACT's rewrite job
+	// finishes but before its epoch publishes (test hook for holding a
+	// compaction mid-flight while concurrent scans run).
+	onCompactStaged func(table string)
 }
 
 // PlanDecision records one cost-model decision.
@@ -83,11 +88,11 @@ func Register(e *hive.Engine, opts Options) (*Handler, error) {
 		return nil, err
 	}
 	h := &Handler{
-		e:     e,
-		model: model,
-		est:   costmodel.NewRatioEstimator(),
-		opts:  opts,
-		locks: map[string]*sync.RWMutex{},
+		e:      e,
+		model:  model,
+		est:    costmodel.NewRatioEstimator(),
+		opts:   opts,
+		states: map[string]*tableState{},
 	}
 	if !e.KV.HasTable(metaTableName) {
 		if _, err := e.KV.CreateTable(metaTableName); err != nil {
@@ -165,17 +170,21 @@ func (h *Handler) logPlan(ec *hive.ExecContext, d PlanDecision) {
 	ec.ObservePlan(d)
 }
 
-// tableLock returns the COMPACT lock of a table.
-func (h *Handler) tableLock(name string) *sync.RWMutex {
+// SetCompactStagedHook installs a callback that runs after a
+// COMPACT's rewrite job completes but before its new epoch publishes
+// (nil to clear). Tests use it to hold a compaction mid-flight and
+// prove concurrent scans neither block on it nor observe it.
+func (h *Handler) SetCompactStagedHook(fn func(table string)) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	key := strings.ToLower(name)
-	l, ok := h.locks[key]
-	if !ok {
-		l = &sync.RWMutex{}
-		h.locks[key] = l
-	}
-	return l
+	h.onCompactStaged = fn
+}
+
+// compactStagedHook reads the hook under the mutex.
+func (h *Handler) compactStagedHook() func(string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.onCompactStaged
 }
 
 func masterDir(desc *metastore.TableDesc) string {
@@ -186,8 +195,9 @@ func attachedName(desc *metastore.TableDesc) string {
 	return "dt_" + strings.ToLower(desc.Name) + "_attached"
 }
 
-// Create provisions the master directory, the attached table, and the
-// file ID counter (paper §III-C CREATE).
+// Create provisions the master directory, the attached table, the
+// file ID counter (paper §III-C CREATE), and the table's epoch-0
+// manifest (empty file set).
 func (h *Handler) Create(desc *metastore.TableDesc) error {
 	if err := h.e.FS.MkdirAll(masterDir(desc)); err != nil {
 		return err
@@ -195,12 +205,27 @@ func (h *Handler) Create(desc *metastore.TableDesc) error {
 	if _, err := h.e.KV.CreateTable(attachedName(desc)); err != nil {
 		return err
 	}
+	// A leftover chain from a partially failed CREATE is reset, not
+	// grown: the table is brand new.
+	h.e.MS.DropManifests(desc.Name)
+	if err := h.e.MS.PublishManifest(&metastore.Manifest{
+		Table:     desc.Name,
+		Epoch:     0,
+		Watermark: h.e.KV.NextTs(),
+	}); err != nil {
+		return err
+	}
 	return h.meta.PutRow([]byte(strings.ToLower(desc.Name)), attachedFamily,
 		map[string][]byte{"nextfile": []byte("1")}, nil)
 }
 
-// Drop removes master, attached and metadata (paper §III-C DROP).
+// Drop removes master, attached, manifests and metadata (paper §III-C
+// DROP). Drop is force-destructive: it does not honor snapshot pins,
+// so an in-flight scan of a table being dropped fails on its next
+// file open — the pre-snapshot behavior; see ROADMAP for the
+// pin-aware DROP follow-on.
 func (h *Handler) Drop(desc *metastore.TableDesc) error {
+	h.e.MS.DropManifests(desc.Name)
 	if h.e.FS.Exists(desc.Location) {
 		if err := h.e.FS.Delete(desc.Location, true); err != nil {
 			return err
@@ -256,7 +281,10 @@ type masterFile struct {
 	reader *orcfile.Reader
 }
 
-// masterFiles opens the footers of all master files.
+// masterFiles opens the footers of all master files found in the
+// master directory. It is the manifest-synthesis path for tables that
+// predate epoch manifests; every current read path resolves the file
+// set from the table's manifest instead (see snapshot.go).
 func (h *Handler) masterFiles(desc *metastore.TableDesc) ([]masterFile, error) {
 	infos, err := h.e.FS.ListFiles(masterDir(desc))
 	if err != nil {
@@ -289,60 +317,77 @@ func (h *Handler) masterFiles(desc *metastore.TableDesc) ([]masterFile, error) {
 
 // Splits returns UNION READ splits: one per master file, each merging
 // the ORC rows with the attached table's modifications for that
-// file's record ID range (paper §III-C UNION READ, §V-B).
+// file's record ID range (paper §III-C UNION READ, §V-B). The splits
+// resolve the current epoch's snapshot; attached entries are
+// materialized into them, but the master files are not kept pinned —
+// callers that must survive a concurrent COMPACT/OVERWRITE use
+// PinnedSplits, which the SQL engine's scan planner picks up via the
+// hive.SnapshotScanner interface.
 func (h *Handler) Splits(desc *metastore.TableDesc, opts ScanOptions) ([]mapred.InputSplit, error) {
-	lock := h.tableLock(desc.Name)
-	lock.RLock()
-	defer lock.RUnlock()
-	return h.splitsLocked(desc, opts)
+	snap, err := h.OpenSnapshot(desc)
+	if err != nil {
+		return nil, err
+	}
+	splits := snap.Splits(opts)
+	snap.Release()
+	return splits, nil
 }
 
-// splitsLocked builds splits without acquiring the table lock; the
-// caller must hold it (shared) already. Avoids re-entrant RLock,
-// which can deadlock when a COMPACT is waiting for the write lock.
-func (h *Handler) splitsLocked(desc *metastore.TableDesc, opts ScanOptions) ([]mapred.InputSplit, error) {
-	files, err := h.masterFiles(desc)
+// PinnedSplits implements hive.SnapshotScanner: the returned release
+// function unpins the snapshot once the scan's job has consumed the
+// splits. Until then a concurrent COMPACT/OVERWRITE may publish new
+// epochs freely — the pinned files outlive their manifest via the
+// DFS's deferred deletion, so the scan completes against the exact
+// epoch it opened.
+func (h *Handler) PinnedSplits(desc *metastore.TableDesc, opts ScanOptions) ([]mapred.InputSplit, func(), error) {
+	snap, err := h.OpenSnapshot(desc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	att, err := h.attached(desc)
-	if err != nil {
-		return nil, err
-	}
-	var splits []mapred.InputSplit
-	for _, f := range files {
-		splits = append(splits, &unionReadSplit{
-			h:      h,
-			desc:   desc,
-			file:   f,
-			att:    att,
-			opts:   opts,
-			schema: desc.Schema,
-		})
-	}
-	return splits, nil
+	return snap.Splits(opts), snap.Release, nil
 }
 
 // ScanOptions aliases hive.ScanOptions (same package shape).
 type ScanOptions = hive.ScanOptions
 
-// RowCount sums master file row counts (visible rows may be fewer if
-// delete markers exist; the cost model wants the master size).
+// RowCount sums the current manifest's row counts (visible rows may
+// be fewer if delete markers exist; the cost model wants the master
+// size). Manifest-backed, so no footer I/O.
 func (h *Handler) RowCount(desc *metastore.TableDesc) (int64, error) {
-	files, err := h.masterFiles(desc)
+	man, err := h.currentManifest(desc)
 	if err != nil {
 		return 0, err
 	}
 	var total int64
-	for _, f := range files {
-		total += f.rows
+	for _, f := range man.Files {
+		total += f.Rows
 	}
 	return total, nil
 }
 
-// DataSize returns the master table byte size (D in the cost model).
+// DataSize returns the master table byte size (D in the cost model):
+// the current manifest's file sizes, which — unlike a directory du —
+// exclude in-flight staged writes and condemned pre-compaction files
+// awaiting deferred deletion.
 func (h *Handler) DataSize(desc *metastore.TableDesc) (int64, error) {
-	return h.e.FS.Du(masterDir(desc))
+	man, err := h.currentManifest(desc)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, f := range man.Files {
+		total += f.Size
+	}
+	return total, nil
+}
+
+// currentManifest resolves the current manifest under the publish
+// lock.
+func (h *Handler) currentManifest(desc *metastore.TableDesc) (*metastore.Manifest, error) {
+	st := h.state(desc.Name)
+	st.pub.Lock()
+	defer st.pub.Unlock()
+	return h.currentManifestLocked(desc)
 }
 
 // AttachedEntryCount returns the number of cells in the attached
@@ -357,96 +402,107 @@ func (h *Handler) AttachedEntryCount(desc *metastore.TableDesc) (int64, error) {
 
 // Append returns a factory writing new master files, each with a
 // freshly allocated file ID (paper §III-C LOAD/INSERT: "data are
-// loaded and inserted into the Master Table").
+// loaded and inserted into the Master Table"). The files land in the
+// master directory but stay invisible to scans until Commit publishes
+// a new epoch appending them to the manifest; Abort deletes them.
+// The per-table writer lock is held from here to Commit/Abort, so
+// appends serialize against OVERWRITE and COMPACT — while snapshot
+// scans proceed untouched.
 func (h *Handler) Append(desc *metastore.TableDesc) (mapred.OutputFactory, hive.Committer, error) {
-	lock := h.tableLock(desc.Name)
-	lock.RLock()
-	return &masterOutputFactory{h: h, desc: desc, dir: masterDir(desc)},
-		unlockCommitter{unlock: lock.RUnlock}, nil
+	st := h.state(desc.Name)
+	st.writer.Lock()
+	factory := &masterOutputFactory{h: h, desc: desc, dir: masterDir(desc)}
+	return factory, &publishCommitter{h: h, desc: desc, factory: factory,
+		unlock: st.writer.Unlock, replace: false}, nil
 }
 
-// Overwrite writes a new master into staging and, on commit, swaps it
-// in and clears the attached table — the OVERWRITE plan's storage
-// semantics (§III-C: "replace the existing Master Table and Attached
-// Table with a newly generated Master Table and an empty Attached
-// Table").
+// Overwrite writes a fresh master file set and, on Commit, atomically
+// swaps the manifest to exactly that set and clears the attached
+// table — the OVERWRITE plan's storage semantics (§III-C: "replace
+// the existing Master Table and Attached Table with a newly generated
+// Master Table and an empty Attached Table"). No staging directory is
+// needed: manifest publication is the commit point, and superseded
+// files are removed by deferred deletion once no snapshot pins them.
 func (h *Handler) Overwrite(desc *metastore.TableDesc) (mapred.OutputFactory, hive.Committer, error) {
-	lock := h.tableLock(desc.Name)
-	lock.RLock()
-	staging := path.Join(desc.Location, ".staging")
-	if h.e.FS.Exists(staging) {
-		if err := h.e.FS.Delete(staging, true); err != nil {
-			lock.RUnlock()
-			return nil, nil, err
-		}
-	}
-	if err := h.e.FS.MkdirAll(staging); err != nil {
-		lock.RUnlock()
-		return nil, nil, err
-	}
-	factory := &masterOutputFactory{h: h, desc: desc, dir: staging}
-	return factory, &dualOverwriteCommitter{h: h, desc: desc, staging: staging, unlock: lock.RUnlock}, nil
+	st := h.state(desc.Name)
+	st.writer.Lock()
+	factory := &masterOutputFactory{h: h, desc: desc, dir: masterDir(desc)}
+	return factory, &publishCommitter{h: h, desc: desc, factory: factory,
+		unlock: st.writer.Unlock, replace: true}, nil
 }
 
-type unlockCommitter struct{ unlock func() }
-
-func (c unlockCommitter) Commit() error { c.unlock(); return nil }
-func (c unlockCommitter) Abort() error  { c.unlock(); return nil }
-
-// dualOverwriteCommitter swaps staged master files in and truncates
-// the attached table.
-type dualOverwriteCommitter struct {
+// publishCommitter finalizes a bulk write by publishing a new epoch:
+// append mode adds the written files to the manifest, replace mode
+// (OVERWRITE) swaps the file set wholesale. Abort deletes the written
+// files; nothing was published, so the table is untouched.
+type publishCommitter struct {
 	h       *Handler
 	desc    *metastore.TableDesc
-	staging string
+	factory *masterOutputFactory
 	unlock  func()
+	replace bool
 }
 
-func (c *dualOverwriteCommitter) Commit() error {
+func (c *publishCommitter) Commit() error {
 	defer c.unlock()
-	fs := c.h.e.FS
-	dir := masterDir(c.desc)
-	infos, err := fs.ListFiles(dir)
-	if err != nil {
-		return err
+	if c.replace {
+		return c.h.publishReplace(c.desc, c.factory.files())
 	}
-	for _, fi := range infos {
-		if err := fs.Delete(fi.Path, false); err != nil {
-			return err
-		}
-	}
-	staged, err := fs.ListFiles(c.staging)
-	if err != nil {
-		return err
-	}
-	for _, fi := range staged {
-		if err := fs.Rename(fi.Path, path.Join(dir, fi.Name)); err != nil {
-			return err
-		}
-	}
-	if err := fs.Delete(c.staging, true); err != nil {
-		return err
-	}
-	return c.h.e.KV.TruncateTable(attachedName(c.desc))
+	return c.h.publishAppend(c.desc, c.factory.files())
 }
 
-func (c *dualOverwriteCommitter) Abort() error {
+func (c *publishCommitter) Abort() error {
 	defer c.unlock()
-	if c.h.e.FS.Exists(c.staging) {
-		return c.h.e.FS.Delete(c.staging, true)
-	}
-	return nil
+	return c.factory.discard()
 }
 
-// masterOutputFactory writes ORC master files with allocated file IDs.
+// masterOutputFactory writes ORC master files with allocated file
+// IDs, tracking every file it creates so the committer can publish
+// (or discard) exactly that set.
 type masterOutputFactory struct {
 	h    *Handler
 	desc *metastore.TableDesc
 	dir  string
+
+	mu      sync.Mutex
+	written []metastore.ManifestFile
 }
 
 func (f *masterOutputFactory) NewCollector(taskID int, m *sim.Meter) (mapred.Collector, error) {
 	return &masterCollector{f: f, taskID: taskID, meter: m}, nil
+}
+
+// record registers one finished master file.
+func (f *masterOutputFactory) record(mf metastore.ManifestFile) {
+	f.mu.Lock()
+	f.written = append(f.written, mf)
+	f.mu.Unlock()
+}
+
+// files returns the manifest entries of everything written, ordered
+// by file ID so manifests are deterministic regardless of task
+// completion order.
+func (f *masterOutputFactory) files() []metastore.ManifestFile {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := append([]metastore.ManifestFile(nil), f.written...)
+	sort.Slice(out, func(i, j int) bool { return out[i].FileID < out[j].FileID })
+	return out
+}
+
+// discard deletes every written file (abort path; none were
+// published).
+func (f *masterOutputFactory) discard() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var firstErr error
+	for _, mf := range f.written {
+		if err := f.h.e.FS.Delete(mf.Path, false); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.written = nil
+	return firstErr
 }
 
 type masterCollector struct {
@@ -455,6 +511,9 @@ type masterCollector struct {
 	meter  *sim.Meter
 	fw     *dfs.FileWriter
 	w      *orcfile.Writer
+	path   string
+	fileID uint32
+	rows   int64
 }
 
 func (c *masterCollector) Collect(row datum.Row) error {
@@ -464,7 +523,8 @@ func (c *masterCollector) Collect(row datum.Row) error {
 			return err
 		}
 		name := fmt.Sprintf("m-%08d.orc", fid)
-		fw, err := c.f.h.e.FS.CreateMeter(path.Join(c.f.dir, name), c.meter)
+		p := path.Join(c.f.dir, name)
+		fw, err := c.f.h.e.FS.CreateMeter(p, c.meter)
 		if err != nil {
 			return err
 		}
@@ -477,8 +537,9 @@ func (c *masterCollector) Collect(row datum.Row) error {
 		if err != nil {
 			return err
 		}
-		c.fw, c.w = fw, w
+		c.fw, c.w, c.path, c.fileID = fw, w, p, fid
 	}
+	c.rows++
 	return c.w.WriteRow(row)
 }
 
@@ -489,5 +550,13 @@ func (c *masterCollector) Close() error {
 	if err := c.w.Close(); err != nil {
 		return err
 	}
-	return c.fw.Close()
+	if err := c.fw.Close(); err != nil {
+		return err
+	}
+	fi, err := c.f.h.e.FS.Stat(c.path)
+	if err != nil {
+		return err
+	}
+	c.f.record(metastore.ManifestFile{Path: c.path, Size: fi.Size, FileID: c.fileID, Rows: c.rows})
+	return nil
 }

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dualtable/internal/kvstore"
+	"dualtable/internal/mapred"
+	"dualtable/internal/metastore"
+	"dualtable/internal/orcfile"
+	"dualtable/internal/sim"
+)
+
+// tableState is the per-table concurrency state. Two locks with
+// strictly separated roles replace the old per-table RWMutex that
+// COMPACT held exclusively for its whole rewrite:
+//
+//   - writer serializes mutating operations (EDIT DML, INSERT append,
+//     OVERWRITE, COMPACT) against each other, preserving the paper's
+//     "all the other operations will be blocked during COMPACT" for
+//     writers. Scans never touch it.
+//   - pub guards the manifest swap and snapshot acquisition only: it
+//     is held for the brief moment a writer publishes a new epoch or
+//     a reader pins the current one — never across a MapReduce job —
+//     so scans and compactions overlap freely.
+type tableState struct {
+	writer sync.Mutex
+	pub    sync.Mutex
+}
+
+// state returns (creating on first use) the table's concurrency state.
+func (h *Handler) state(name string) *tableState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := strings.ToLower(name)
+	st, ok := h.states[key]
+	if !ok {
+		st = &tableState{}
+		h.states[key] = st
+	}
+	return st
+}
+
+// Snapshot is a pinned, immutable view of one DUALTABLE epoch: the
+// manifest's exact master file set (pin-counted in the DFS so a
+// concurrent COMPACT/OVERWRITE cannot delete them mid-scan) plus the
+// attached-table modifications visible at the manifest watermark,
+// materialized at open. A scan resolves one Snapshot and reads it to
+// completion; writers publishing new epochs never invalidate it, so a
+// scan that races a compaction returns byte-identical rows to a
+// pre-compaction scan of the same epoch.
+type Snapshot struct {
+	h    *Handler
+	desc *metastore.TableDesc
+	// Epoch is the manifest epoch this snapshot pinned.
+	Epoch uint64
+	// Watermark is the attached-table visibility ceiling: only cells
+	// with timestamp <= Watermark belong to this epoch.
+	Watermark uint64
+
+	files []masterFile
+	// pinned lists the DFS paths this snapshot holds pins on (may be
+	// longer than files while an open is in progress).
+	pinned []string
+	// entries maps master file ID -> that file's attached-table
+	// modifications (sorted by record ID), filtered to the watermark.
+	entries map[uint32][]attEntry
+	// attSeconds maps master file ID -> the simulated cost of that
+	// file's attached pre-scan, measured at materialization and
+	// charged to the task meter when the file's split opens — so the
+	// per-task makespan accounting is identical to when tasks scanned
+	// the attached table themselves.
+	attSeconds map[uint32]float64
+
+	released atomic.Bool
+}
+
+// OpenSnapshot pins the table's current epoch, including materialized
+// attached entries. Release must be called exactly once when the scan
+// is done.
+func (h *Handler) OpenSnapshot(desc *metastore.TableDesc) (*Snapshot, error) {
+	return h.openSnapshot(desc, true)
+}
+
+// openSnapshot pins the current epoch. withEntries=false skips the
+// attached-table materialization for callers that only need file
+// metadata and stripe statistics (cost-model sizing).
+//
+// Only the cheap parts run under the publish lock: manifest
+// resolution and file pinning. The heavy parts — footer opens and the
+// attached-table materialization — run optimistically outside it,
+// then the file set is re-validated: if a concurrent
+// COMPACT/OVERWRITE replaced any pinned file (the only publishes that
+// truncate the attached table), the attempt retries against the new
+// epoch. Watermark-only publishes (EDIT commits) need no retry: the
+// materialization filters to this snapshot's watermark, so cells a
+// concurrent EDIT writes are invisible regardless of interleaving.
+// After a few racing replaces the open falls back to holding the
+// lock, bounding livelock under pathological compaction churn.
+func (h *Handler) openSnapshot(desc *metastore.TableDesc, withEntries bool) (*Snapshot, error) {
+	const optimisticAttempts = 3
+	st := h.state(desc.Name)
+	for attempt := 0; ; attempt++ {
+		pessimistic := attempt >= optimisticAttempts
+		st.pub.Lock()
+		man, err := h.currentManifestLocked(desc)
+		if err != nil {
+			st.pub.Unlock()
+			return nil, err
+		}
+		snap := &Snapshot{h: h, desc: desc, Epoch: man.Epoch, Watermark: man.Watermark}
+		for _, mf := range man.Files {
+			if err := h.e.FS.Pin(mf.Path); err != nil {
+				snap.unpinFiles()
+				st.pub.Unlock()
+				return nil, fmt.Errorf("core: pin master file %s: %w", mf.Path, err)
+			}
+			snap.pinned = append(snap.pinned, mf.Path)
+		}
+		if !pessimistic {
+			st.pub.Unlock()
+		}
+
+		loadErr := snap.loadFiles(man)
+		if loadErr == nil && withEntries {
+			loadErr = snap.loadEntries()
+		}
+		if pessimistic {
+			st.pub.Unlock()
+		}
+		if loadErr != nil {
+			snap.unpinFiles()
+			return nil, loadErr
+		}
+		if pessimistic {
+			return snap, nil
+		}
+
+		// Validate: the pinned file set must still be part of the
+		// current manifest (appends are fine; a replace means the
+		// attached table may have been truncated mid-materialization).
+		st.pub.Lock()
+		cur, err := h.currentManifestLocked(desc)
+		st.pub.Unlock()
+		if err != nil {
+			snap.unpinFiles()
+			return nil, err
+		}
+		if fileSetPreserved(man.Files, cur.Files) {
+			return snap, nil
+		}
+		snap.unpinFiles() // epoch replaced mid-open: retry
+	}
+}
+
+// loadFiles opens the footers of every pinned manifest file.
+func (s *Snapshot) loadFiles(man *metastore.Manifest) error {
+	for _, mf := range man.Files {
+		f, err := s.h.openMasterFile(mf)
+		if err != nil {
+			return err
+		}
+		s.files = append(s.files, f)
+	}
+	return nil
+}
+
+// fileSetPreserved reports whether every file of the pinned manifest
+// is still part of the current one (i.e. no COMPACT/OVERWRITE
+// replaced it since the pin).
+func fileSetPreserved(pinned, cur []metastore.ManifestFile) bool {
+	if len(pinned) > len(cur) {
+		return false
+	}
+	have := make(map[string]bool, len(cur))
+	for _, f := range cur {
+		have[f.Path] = true
+	}
+	for _, f := range pinned {
+		if !have[f.Path] {
+			return false
+		}
+	}
+	return true
+}
+
+// openMasterFile opens one manifest file's footer (reader metadata
+// only; scan tasks reopen the file themselves with their task meter).
+func (h *Handler) openMasterFile(mf metastore.ManifestFile) (masterFile, error) {
+	fr, err := h.e.FS.Open(mf.Path)
+	if err != nil {
+		return masterFile{}, err
+	}
+	rd, err := orcfile.Open(fr, fr.Size())
+	fr.Close()
+	if err != nil {
+		return masterFile{}, fmt.Errorf("core: open master file %s: %w", mf.Path, err)
+	}
+	return masterFile{path: mf.Path, size: mf.Size, fileID: mf.FileID, rows: mf.Rows, reader: rd}, nil
+}
+
+// loadEntries materializes the attached table into per-file entry
+// lists, keeping for each (record, column) the newest cell at or
+// below the snapshot watermark. Materializing at open (under the
+// publish lock) is what makes a pinned scan immune to the attached
+// truncation a concurrent COMPACT performs when it publishes: the
+// entries this snapshot needs already live in memory. EDIT keeps the
+// attached table small relative to the master, so the one-pass
+// buffering is cheap — and scan tasks no longer touch the key-value
+// store at all. Each file's ranged pre-scan is metered separately;
+// its simulated cost is replayed onto the task meter when the file's
+// split opens, keeping the per-task makespan accounting of the old
+// scan-at-task-open design.
+func (s *Snapshot) loadEntries() error {
+	s.entries = map[uint32][]attEntry{}
+	s.attSeconds = map[uint32]float64{}
+	att, err := s.h.attached(s.desc)
+	if err != nil {
+		return err
+	}
+	for _, f := range s.files {
+		start, end := FileRange(f.fileID)
+		m := sim.NewMeter(&s.h.e.MR.Params)
+		sc := att.NewRowScanner(kvstore.Scan{Start: start, End: end, Meter: m, MaxVersions: math.MaxInt32})
+		for {
+			res, ok := sc.Next()
+			if !ok {
+				break
+			}
+			rid, err := RecordIDFromKey(res.Row)
+			if err != nil {
+				continue // malformed key: skip (cannot happen with our writers)
+			}
+			cells := cellsAtWatermark(res.Cells, s.Watermark)
+			if len(cells) == 0 {
+				continue // every cell is newer than this epoch
+			}
+			s.entries[f.fileID] = append(s.entries[f.fileID], attEntry{rid: rid, cells: cells})
+		}
+		sc.Close()
+		s.attSeconds[f.fileID] = m.Seconds()
+	}
+	return nil
+}
+
+// cellsAtWatermark filters one row's multi-version cells down to the
+// newest version per column with Ts <= wm. Cells arrive from the
+// version resolver ordered (family, qualifier) ascending with
+// timestamps descending inside each column, so a single pass keeping
+// the first qualifying version per column suffices. Attached tables
+// hold only puts (delete markers are puts of __del__), never
+// tombstones, so no delete semantics apply here.
+func cellsAtWatermark(cells []kvstore.Cell, wm uint64) []kvstore.Cell {
+	out := make([]kvstore.Cell, 0, len(cells))
+	for i := 0; i < len(cells); {
+		j := i
+		for j < len(cells) && cells[j].Family == cells[i].Family && bytes.Equal(cells[j].Qualifier, cells[i].Qualifier) {
+			j++
+		}
+		for k := i; k < j; k++ {
+			if cells[k].Ts <= wm {
+				out = append(out, cells[k])
+				break
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// Files exposes the pinned master file set (observability).
+func (s *Snapshot) Files() []string {
+	paths := make([]string, len(s.files))
+	for i, f := range s.files {
+		paths[i] = f.path
+	}
+	return paths
+}
+
+// Splits returns UNION READ splits over the pinned file set: one per
+// master file, each merging the ORC rows with this snapshot's
+// materialized attached entries for that file (paper §III-C UNION
+// READ, §V-B). The splits stay valid until Release.
+func (s *Snapshot) Splits(opts ScanOptions) []mapred.InputSplit {
+	var splits []mapred.InputSplit
+	for _, f := range s.files {
+		splits = append(splits, &unionReadSplit{
+			h:          s.h,
+			file:       f,
+			entries:    s.entries[f.fileID],
+			attSeconds: s.attSeconds[f.fileID],
+			opts:       opts,
+			schema:     s.desc.Schema,
+		})
+	}
+	return splits
+}
+
+// Release unpins the snapshot's master files; superseded files whose
+// last pin drops are removed by the DFS's deferred deletion.
+// Idempotent.
+func (s *Snapshot) Release() {
+	if s.released.Swap(true) {
+		return
+	}
+	s.unpinFilesDone()
+}
+
+// unpinFiles is the error/retry-path cleanup during open (not yet
+// handed to a caller, so no released guard needed).
+func (s *Snapshot) unpinFiles() {
+	s.released.Store(true)
+	s.unpinFilesDone()
+}
+
+func (s *Snapshot) unpinFilesDone() {
+	for _, p := range s.pinned {
+		s.h.e.FS.Unpin(p)
+	}
+}
+
+// currentManifestLocked returns the table's current manifest, lazily
+// synthesizing (and publishing) an epoch-0 manifest from the master
+// directory listing for tables that predate manifests. Caller holds
+// the table's pub lock.
+func (h *Handler) currentManifestLocked(desc *metastore.TableDesc) (*metastore.Manifest, error) {
+	man, err := h.e.MS.CurrentManifest(desc.Name)
+	if err == nil {
+		return man, nil
+	}
+	files, err := h.masterFiles(desc)
+	if err != nil {
+		return nil, err
+	}
+	man = &metastore.Manifest{
+		Table:     desc.Name,
+		Epoch:     0,
+		Watermark: h.e.KV.NextTs(),
+	}
+	for _, f := range files {
+		man.Files = append(man.Files, metastore.ManifestFile{
+			Path: f.path, Size: f.size, FileID: f.fileID, Rows: f.rows,
+		})
+	}
+	if err := h.e.MS.PublishManifest(man); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// publishAppend publishes a new epoch whose file set is the current
+// set plus the freshly written files (INSERT INTO / LOAD / bulk
+// load).
+func (h *Handler) publishAppend(desc *metastore.TableDesc, added []metastore.ManifestFile) error {
+	st := h.state(desc.Name)
+	st.pub.Lock()
+	defer st.pub.Unlock()
+	cur, err := h.currentManifestLocked(desc)
+	if err != nil {
+		return err
+	}
+	next := &metastore.Manifest{
+		Table:     desc.Name,
+		Epoch:     cur.Epoch + 1,
+		Watermark: h.e.KV.NextTs(),
+		Files:     append(append([]metastore.ManifestFile(nil), cur.Files...), added...),
+	}
+	return h.e.MS.PublishManifest(next)
+}
+
+// publishReplace atomically swaps the table's entire file set
+// (OVERWRITE and COMPACT): the new epoch holds exactly files, the
+// attached table is truncated, and every superseded master file is
+// handed to the DFS's deferred deletion — removed immediately unless
+// a pinned snapshot still reads it, in which case it survives until
+// the last such snapshot releases.
+//
+// The manifest swap is the commit point: an error return means the
+// swap did NOT happen and the caller may discard its staged files.
+// Post-swap cleanup (attached truncation, deferred deletes) is
+// best-effort — a failure there must never surface as a publish
+// failure, because the new epoch is already current and discarding
+// its files would leave the table pointing at nothing. A missed
+// truncation only leaves orphaned cells keyed by superseded file IDs
+// (invisible to the new epoch's scans); a missed delete only leaks a
+// file.
+func (h *Handler) publishReplace(desc *metastore.TableDesc, files []metastore.ManifestFile) error {
+	st := h.state(desc.Name)
+	st.pub.Lock()
+	defer st.pub.Unlock()
+	cur, err := h.currentManifestLocked(desc)
+	if err != nil {
+		return err
+	}
+	next := &metastore.Manifest{
+		Table:     desc.Name,
+		Epoch:     cur.Epoch + 1,
+		Watermark: h.e.KV.NextTs(),
+		Files:     append([]metastore.ManifestFile(nil), files...),
+	}
+	if err := h.e.MS.PublishManifest(next); err != nil {
+		return err
+	}
+	// Committed. Cleanup below is best-effort.
+	h.e.KV.TruncateTable(attachedName(desc))
+	for _, f := range cur.Files {
+		h.e.FS.DeleteDeferred(f.Path)
+	}
+	return nil
+}
+
+// publishWatermark publishes a new epoch with an unchanged file set
+// and a fresh watermark — the commit point of an EDIT UPDATE/DELETE.
+// Cells the DML wrote carry timestamps above the previous watermark,
+// so snapshots opened before this publish do not see them; the bump
+// makes them visible atomically.
+func (h *Handler) publishWatermark(desc *metastore.TableDesc) error {
+	st := h.state(desc.Name)
+	st.pub.Lock()
+	defer st.pub.Unlock()
+	cur, err := h.currentManifestLocked(desc)
+	if err != nil {
+		return err
+	}
+	next := cur.Clone()
+	next.Epoch = cur.Epoch + 1
+	next.Watermark = h.e.KV.NextTs()
+	return h.e.MS.PublishManifest(next)
+}
+
+// CurrentEpoch returns the table's current manifest epoch
+// (observability for tests and the harness).
+func (h *Handler) CurrentEpoch(desc *metastore.TableDesc) (uint64, error) {
+	st := h.state(desc.Name)
+	st.pub.Lock()
+	defer st.pub.Unlock()
+	man, err := h.currentManifestLocked(desc)
+	if err != nil {
+		return 0, err
+	}
+	return man.Epoch, nil
+}

@@ -9,7 +9,6 @@ import (
 	"dualtable/internal/datum"
 	"dualtable/internal/kvstore"
 	"dualtable/internal/mapred"
-	"dualtable/internal/metastore"
 	"dualtable/internal/orcfile"
 	"dualtable/internal/sim"
 )
@@ -22,19 +21,27 @@ import (
 // §V-B describes ("it only needs to read through and merge two sorted
 // ID lists").
 //
-// Open pre-scans the attached table's entries for this file's ID
-// range. The pre-scan buys three things: predicate pushdown is
-// disabled per file instead of per table (one dirty file no longer
-// turns off stripe pruning for every clean file), the merge needs no
-// scanner lookahead, and the batch read path can classify a whole
-// batch as clean with two comparisons against the sorted entry list.
+// The entries arrive pre-materialized from the snapshot the scan
+// pinned (snapshot.go): they were read once at snapshot open,
+// filtered to the epoch's attached-table watermark, and bucketed per
+// file. That buys four things: predicate pushdown is disabled per
+// file instead of per table (one dirty file no longer turns off
+// stripe pruning for every clean file), the merge needs no scanner
+// lookahead, the batch read path can classify a whole batch as clean
+// with two comparisons against the sorted entry list — and scan tasks
+// never touch the key-value store, so a concurrent COMPACT truncating
+// the attached table cannot perturb a scan already open.
 type unionReadSplit struct {
-	h      *Handler
-	desc   *metastore.TableDesc
-	file   masterFile
-	att    *kvstore.Table
-	opts   ScanOptions
-	schema datum.Schema
+	h       *Handler
+	file    masterFile
+	entries []attEntry
+	// attSeconds is the simulated cost of this file's attached
+	// pre-scan, measured at snapshot open and charged to the task
+	// meter at Open (the task "performs" the read it got the results
+	// of).
+	attSeconds float64
+	opts       ScanOptions
+	schema     datum.Schema
 }
 
 func (s *unionReadSplit) Length() int64 { return s.file.size }
@@ -55,32 +62,14 @@ func (s *unionReadSplit) Open(m *sim.Meter) (mapred.RecordReader, error) {
 		fr.Close()
 		return nil, err
 	}
-	// Pre-scan this file's slice of the attached table into a sorted
-	// entry list (the scan returns key order, which is record ID
-	// order). EDIT keeps the attached table small relative to the
-	// master, so buffering one file's modifications is cheap.
-	start, end := FileRange(s.file.fileID)
-	sc := s.att.NewRowScanner(kvstore.Scan{Start: start, End: end, Meter: m})
-	var entries []attEntry
-	for {
-		res, ok := sc.Next()
-		if !ok {
-			break
-		}
-		id, err := RecordIDFromKey(res.Row)
-		if err != nil {
-			continue // malformed key: skip (cannot happen with our writers)
-		}
-		entries = append(entries, attEntry{rid: id, cells: res.Cells})
-	}
-	sc.Close()
+	m.AddSeconds(s.attSeconds)
 	// Predicate pushdown note: a stripe may be pruned by stats even
 	// though an attached update would make one of its rows match.
 	// Pushdown therefore only applies to files with no attached
-	// modifications — which, after the pre-scan, is a per-file fact
-	// rather than the table-wide EntryCount() it used to be.
+	// modifications — a per-file fact known from the snapshot's
+	// materialized entry buckets.
 	sarg := s.opts.SArg
-	if sarg != nil && len(entries) > 0 {
+	if sarg != nil && len(s.entries) > 0 {
 		sarg = nil
 	}
 	return &unionReadReader{
@@ -90,7 +79,7 @@ func (s *unionReadSplit) Open(m *sim.Meter) (mapred.RecordReader, error) {
 			Columns:   s.opts.Projection,
 			SearchArg: sarg,
 		},
-		entries: entries,
+		entries: s.entries,
 		fileID:  s.file.fileID,
 		schema:  s.schema,
 		meter:   m,

@@ -70,6 +70,12 @@ type fileMeta struct {
 	mtime    uint64 // logical timestamp
 	fileID   uint64 // opaque user-settable ID (used by ORC master files)
 	userMeta map[string]string
+	// pins counts snapshot references holding this file alive; a
+	// condemned file is physically removed when the last pin drops
+	// (DualTable's superseded master files stay readable until every
+	// scan pinning a pre-compaction epoch closes).
+	pins      int
+	condemned bool
 }
 
 type node struct {
@@ -378,6 +384,98 @@ func (fs *FileSystem) Delete(p string, recursive bool) error {
 	fs.releaseTree(n)
 	delete(parent.children, name)
 	return nil
+}
+
+// Pin adds a snapshot reference to a file, deferring any
+// DeleteDeferred removal until the matching Unpin. Directories cannot
+// be pinned.
+func (fs *FileSystem) Pin(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return err
+	}
+	if n.file == nil {
+		return fmt.Errorf("%w: %q", ErrIsDirectory, p)
+	}
+	n.file.pins++
+	return nil
+}
+
+// Unpin drops one snapshot reference. When the last pin of a
+// condemned file drops, the file is removed and its blocks freed —
+// never before, so in-flight snapshot reads always complete.
+func (fs *FileSystem) Unpin(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.lookupParent(p)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, p)
+	}
+	if n.file == nil {
+		return fmt.Errorf("%w: %q", ErrIsDirectory, p)
+	}
+	if n.file.pins <= 0 {
+		return fmt.Errorf("dfs: unpin of unpinned file %q", p)
+	}
+	n.file.pins--
+	if n.file.pins == 0 && n.file.condemned {
+		fs.releaseTree(n)
+		delete(parent.children, name)
+	}
+	return nil
+}
+
+// DeleteDeferred removes a file as soon as it has no pins: unpinned
+// files are removed immediately, pinned files are condemned and
+// removed when the last pin drops. Condemned files remain fully
+// readable (and visible to Exists/Stat) until then. This is the
+// deletion path for superseded master files after a COMPACT or
+// OVERWRITE publishes a new epoch.
+func (fs *FileSystem) DeleteDeferred(p string) error {
+	if err := fs.checkWritable(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.lookupParent(p)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, p)
+	}
+	if n.file == nil {
+		return fmt.Errorf("%w: %q", ErrIsDirectory, p)
+	}
+	if n.file.writing {
+		return fmt.Errorf("%w: %q", ErrFileOpen, p)
+	}
+	if n.file.pins > 0 {
+		n.file.condemned = true
+		return nil
+	}
+	fs.releaseTree(n)
+	delete(parent.children, name)
+	return nil
+}
+
+// Pins reports the current pin count of a file (0 for absent paths),
+// an observability hook for tests and leak checks.
+func (fs *FileSystem) Pins(p string) int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	if err != nil || n.file == nil {
+		return 0
+	}
+	return n.file.pins
 }
 
 // releaseTree frees the blocks of every file under n. Caller holds fs.mu.

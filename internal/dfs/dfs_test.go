@@ -569,3 +569,103 @@ func TestEmptyFile(t *testing.T) {
 		t.Errorf("empty file stat = %+v", fi)
 	}
 }
+
+// TestDeferredDeletionWithPins is the snapshot-pinning contract
+// superseded master files rely on: a condemned file survives —
+// readable, visible, blocks allocated — exactly as long as any pin
+// holds it, and is removed the instant the last pin drops. Never
+// before.
+func TestDeferredDeletionWithPins(t *testing.T) {
+	fs := testFS()
+	data := []byte("superseded master file contents, several blocks long....")
+	if err := fs.WriteFile("/m-1.orc", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two snapshots pin the file; a compaction condemns it.
+	if err := fs.Pin("/m-1.orc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Pin("/m-1.orc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.DeleteDeferred("/m-1.orc"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/m-1.orc") {
+		t.Fatal("condemned file removed while pinned")
+	}
+	// Still fully readable mid-condemnation.
+	got, err := fs.ReadFile("/m-1.orc")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("condemned read: %v", err)
+	}
+
+	// First snapshot closes: the remaining pin still holds it.
+	if err := fs.Unpin("/m-1.orc"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/m-1.orc") {
+		t.Fatal("condemned file removed before last pin dropped")
+	}
+	if n := fs.Pins("/m-1.orc"); n != 1 {
+		t.Fatalf("pins = %d, want 1", n)
+	}
+
+	// Last snapshot closes: file and blocks go.
+	if err := fs.Unpin("/m-1.orc"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/m-1.orc") {
+		t.Fatal("condemned file survived last unpin")
+	}
+	if n := fs.Metrics().LiveBlocks; n != 0 {
+		t.Errorf("blocks leaked after deferred deletion: %d", n)
+	}
+	if fs.Metrics().FilesDeleted != 1 {
+		t.Errorf("FilesDeleted = %d", fs.Metrics().FilesDeleted)
+	}
+}
+
+// TestDeferredDeletionUnpinned removes immediately when nothing pins
+// the file, and pins without a condemnation never delete.
+func TestDeferredDeletionUnpinned(t *testing.T) {
+	fs := testFS()
+	if err := fs.WriteFile("/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.DeleteDeferred("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a") {
+		t.Fatal("unpinned DeleteDeferred must remove immediately")
+	}
+
+	// Pin/Unpin without condemnation leaves the file alone.
+	if err := fs.WriteFile("/b", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Pin("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unpin("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/b") {
+		t.Fatal("unpin deleted a non-condemned file")
+	}
+	// Double unpin is an error, not a crash.
+	if err := fs.Unpin("/b"); err == nil {
+		t.Error("unpin of unpinned file should fail")
+	}
+	// Directories cannot be pinned or deferred-deleted.
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Pin("/d"); err == nil {
+		t.Error("pin of a directory should fail")
+	}
+	if err := fs.DeleteDeferred("/d"); err == nil {
+		t.Error("DeleteDeferred of a directory should fail")
+	}
+}

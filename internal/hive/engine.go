@@ -58,6 +58,17 @@ type StorageHandler interface {
 	DataSize(desc *metastore.TableDesc) (int64, error)
 }
 
+// SnapshotScanner is an optional StorageHandler extension for
+// MVCC/snapshot storage (DualTable's epoch manifests): PinnedSplits
+// resolves the table's current snapshot, pins its files against
+// concurrent COMPACT/OVERWRITE, and returns a release function the
+// scan planner invokes once the consuming job finishes (or fails).
+// Handlers without it get plain Splits, whose file set a concurrent
+// rewrite may invalidate mid-scan.
+type SnapshotScanner interface {
+	PinnedSplits(desc *metastore.TableDesc, opts ScanOptions) ([]mapred.InputSplit, func(), error)
+}
+
 // DMLHandler is a StorageHandler with native UPDATE/DELETE support
 // (the key-value handler and DualTable). Handlers without it get the
 // INSERT OVERWRITE rewrite, like plain Hive. The ExecContext carries

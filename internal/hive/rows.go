@@ -207,12 +207,14 @@ func (e *Engine) QueryStmtCtx(ec *ExecContext, sel *sqlparser.SelectStmt) (*Rows
 	}
 	items, err := expandStars(sel.Items, rel)
 	if err != nil {
+		rel.Release()
 		return nil, err
 	}
 	var whereFn evalFn
 	if sel.Where != nil {
 		whereFn, err = e.compileExpr(ec, sel.Where, rel.sc)
 		if err != nil {
+			rel.Release()
 			return nil, err
 		}
 	}
@@ -221,16 +223,19 @@ func (e *Engine) QueryStmtCtx(ec *ExecContext, sel *sqlparser.SelectStmt) (*Rows
 	for i, it := range items {
 		projFns[i], err = e.compileExpr(ec, it.Expr, rel.sc)
 		if err != nil {
+			rel.Release()
 			return nil, err
 		}
 		names[i] = outputName(it, i)
 	}
 	limit, err := sel.EffectiveLimit()
 	if err != nil {
+		rel.Release()
 		return nil, err
 	}
 	// LIMIT 0 needs no scan at all.
 	if limit == 0 {
+		rel.Release()
 		return &Rows{cols: names}, nil
 	}
 
@@ -273,6 +278,9 @@ func (e *Engine) QueryStmtCtx(ec *ExecContext, sel *sqlparser.SelectStmt) (*Rows
 		defer close(done)
 		defer close(ch)
 		res, err := e.MR.RunContext(ctx, job)
+		// The job is done with the splits (success, cancel or error):
+		// unpin the scanned snapshot.
+		rel.Release()
 		if res != nil {
 			meter.AddSeconds(res.SimSeconds)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"dualtable/internal/datum"
 	"dualtable/internal/mapred"
@@ -13,11 +14,26 @@ import (
 )
 
 // relation is a planned FROM source: a resolution scope plus the
-// input splits that produce its rows.
+// input splits that produce its rows. Base-table scans over snapshot
+// storage (hive.SnapshotScanner) carry a release callback that unpins
+// the snapshot; Release must run exactly once after the job consuming
+// the splits finishes (idempotent, nil-safe).
 type relation struct {
 	sc     *scope
 	names  []string // output names aligned with sc.cols
 	splits []mapred.InputSplit
+
+	release     func()
+	releaseOnce sync.Once
+}
+
+// Release unpins the relation's snapshot, if any. Safe to call
+// multiple times and on relations without a snapshot.
+func (r *relation) Release() {
+	if r == nil || r.release == nil {
+		return
+	}
+	r.releaseOnce.Do(r.release)
 }
 
 // runSelect executes a SELECT and returns its rows. Simulated time is
@@ -58,6 +74,7 @@ func (e *Engine) execSelect(ec *ExecContext, sel *sqlparser.SelectStmt, meter *s
 	if err != nil {
 		return nil, nil, err
 	}
+	defer rel.Release()
 
 	items, err := expandStars(sel.Items, rel)
 	if err != nil {
@@ -1144,6 +1161,15 @@ func (e *Engine) buildTableScan(t *sqlparser.TableName, sel *sqlparser.SelectStm
 		opts.Projection = referencedColumns(sel, sc)
 	}
 
+	// Snapshot handlers pin the scanned epoch; the release callback
+	// travels on the relation and runs when the consuming job is done.
+	if ss, ok := h.(SnapshotScanner); ok {
+		splits, release, err := ss.PinnedSplits(desc, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &relation{sc: sc, names: desc.Schema.Names(), splits: splits, release: release}, nil
+	}
 	splits, err := h.Splits(desc, opts)
 	if err != nil {
 		return nil, err
@@ -1270,10 +1296,12 @@ func (e *Engine) execJoin(ec *ExecContext, j *sqlparser.JoinRef, sel *sqlparser.
 	if err != nil {
 		return nil, err
 	}
+	defer left.Release()
 	right, err := e.buildRelation(ec, j.Right, nil, meter)
 	if err != nil {
 		return nil, err
 	}
+	defer right.Release()
 	combined := left.sc.concat(right.sc)
 	leftWidth := len(left.sc.cols)
 	rightWidth := len(right.sc.cols)

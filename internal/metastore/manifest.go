@@ -1,0 +1,142 @@
+package metastore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Manifest errors.
+var (
+	// ErrNoManifest is returned when a table has no manifest chain yet.
+	ErrNoManifest = errors.New("metastore: table has no manifest")
+	// ErrEpochConflict is returned when a publish loses the
+	// compare-and-swap on the current epoch (another writer published
+	// first).
+	ErrEpochConflict = errors.New("metastore: manifest epoch conflict")
+	// ErrEpochExpired is returned when a historical epoch has been
+	// garbage-collected from the chain.
+	ErrEpochExpired = errors.New("metastore: manifest epoch expired")
+)
+
+// manifestHistoryCap bounds the per-table manifest chain kept for
+// historical lookups (ManifestAt). The current manifest never expires.
+const manifestHistoryCap = 64
+
+// ManifestFile describes one immutable master file of a snapshot.
+type ManifestFile struct {
+	Path   string
+	Size   int64
+	FileID uint32
+	Rows   int64
+}
+
+// Manifest is one immutable, epoch-numbered snapshot of a table's
+// storage: the exact master file set plus the attached-table watermark
+// (the key-value timestamp up to which attached modifications belong
+// to this epoch). Writers publish a new manifest with an atomic
+// compare-and-swap instead of mutating file lists in place; scans
+// resolve one manifest at open and read those exact files to
+// completion, so a snapshot read is repeatable regardless of
+// concurrent COMPACT or OVERWRITE.
+type Manifest struct {
+	Table string
+	Epoch uint64
+	// Watermark is the attached-table visibility ceiling: a scan
+	// pinned at this epoch applies only attached cells with
+	// timestamp <= Watermark.
+	Watermark uint64
+	Files     []ManifestFile
+}
+
+// Clone deep-copies the manifest.
+func (m *Manifest) Clone() *Manifest {
+	cp := *m
+	cp.Files = append([]ManifestFile(nil), m.Files...)
+	return &cp
+}
+
+// manifestChain is one table's epoch history, newest last.
+type manifestChain struct {
+	current *Manifest
+	history []*Manifest // includes current as the last element
+}
+
+// manifests lazily allocates the manifest map. Caller holds m.mu.
+func (m *Metastore) manifestsLocked() map[string]*manifestChain {
+	if m.manifests == nil {
+		m.manifests = map[string]*manifestChain{}
+	}
+	return m.manifests
+}
+
+// PublishManifest installs a new current manifest for the table with
+// compare-and-swap semantics: the new epoch must be exactly one past
+// the current epoch (or any starting epoch when the table has no
+// chain yet). On success the previous manifest stays readable through
+// ManifestAt until it ages out of the bounded history.
+func (m *Metastore) PublishManifest(man *Manifest) error {
+	if man.Table == "" {
+		return fmt.Errorf("metastore: manifest without table name")
+	}
+	key := strings.ToLower(man.Table)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	chains := m.manifestsLocked()
+	ch, ok := chains[key]
+	cp := man.Clone()
+	if !ok {
+		chains[key] = &manifestChain{current: cp, history: []*Manifest{cp}}
+		return nil
+	}
+	if man.Epoch != ch.current.Epoch+1 {
+		return fmt.Errorf("%w: %s publish epoch %d, current %d",
+			ErrEpochConflict, man.Table, man.Epoch, ch.current.Epoch)
+	}
+	ch.current = cp
+	ch.history = append(ch.history, cp)
+	if len(ch.history) > manifestHistoryCap {
+		ch.history = ch.history[len(ch.history)-manifestHistoryCap:]
+	}
+	return nil
+}
+
+// CurrentManifest returns a copy of the table's current manifest.
+func (m *Metastore) CurrentManifest(table string) (*Manifest, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ch, ok := m.manifests[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoManifest, table)
+	}
+	return ch.current.Clone(), nil
+}
+
+// ManifestAt returns a copy of the manifest at a historical epoch
+// (the basis for time-travel reads). Epochs older than the bounded
+// history return ErrEpochExpired.
+func (m *Metastore) ManifestAt(table string, epoch uint64) (*Manifest, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ch, ok := m.manifests[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoManifest, table)
+	}
+	for _, man := range ch.history {
+		if man.Epoch == epoch {
+			return man.Clone(), nil
+		}
+	}
+	if epoch < ch.current.Epoch {
+		return nil, fmt.Errorf("%w: %s epoch %d (current %d)", ErrEpochExpired, table, epoch, ch.current.Epoch)
+	}
+	return nil, fmt.Errorf("%w: %s epoch %d not published (current %d)",
+		ErrNoManifest, table, epoch, ch.current.Epoch)
+}
+
+// DropManifests removes a table's manifest chain (DROP TABLE).
+func (m *Metastore) DropManifests(table string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.manifests, strings.ToLower(table))
+}

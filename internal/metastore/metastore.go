@@ -107,6 +107,11 @@ func (d *TableDesc) Clone() *TableDesc {
 type Metastore struct {
 	mu     sync.RWMutex
 	tables map[string]*TableDesc // key: lower-case name
+	// manifests holds each table's epoch-numbered snapshot chain
+	// (see manifest.go); it is keyed independently of tables so a
+	// storage handler can publish the initial manifest during Create,
+	// before the descriptor is registered.
+	manifests map[string]*manifestChain
 }
 
 // New creates an empty metastore.

@@ -125,3 +125,70 @@ func TestStorageKindNames(t *testing.T) {
 		}
 	}
 }
+
+func TestManifestPublishCAS(t *testing.T) {
+	m := New()
+	base := &Manifest{Table: "T", Epoch: 0, Watermark: 5,
+		Files: []ManifestFile{{Path: "/w/t/master/m-1.orc", Size: 100, FileID: 1, Rows: 10}}}
+	if err := m.PublishManifest(base); err != nil {
+		t.Fatal(err)
+	}
+	// Names are case-insensitive, manifests are copies.
+	cur, err := m.CurrentManifest("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Files[0].Path = "mutated"
+	cur2, _ := m.CurrentManifest("T")
+	if cur2.Files[0].Path != "/w/t/master/m-1.orc" {
+		t.Error("CurrentManifest must return a copy")
+	}
+	// CAS: skipping an epoch or republishing the same epoch fails.
+	if err := m.PublishManifest(&Manifest{Table: "t", Epoch: 0}); !errors.Is(err, ErrEpochConflict) {
+		t.Errorf("same-epoch publish: %v", err)
+	}
+	if err := m.PublishManifest(&Manifest{Table: "t", Epoch: 2}); !errors.Is(err, ErrEpochConflict) {
+		t.Errorf("skipped-epoch publish: %v", err)
+	}
+	if err := m.PublishManifest(&Manifest{Table: "t", Epoch: 1, Watermark: 9}); err != nil {
+		t.Fatal(err)
+	}
+	// History: both epochs resolvable; unknown table and future epoch
+	// fail.
+	old, err := m.ManifestAt("t", 0)
+	if err != nil || len(old.Files) != 1 {
+		t.Fatalf("ManifestAt(0): %v", err)
+	}
+	if _, err := m.ManifestAt("t", 7); err == nil {
+		t.Error("future epoch should fail")
+	}
+	if _, err := m.CurrentManifest("nope"); !errors.Is(err, ErrNoManifest) {
+		t.Errorf("missing chain: %v", err)
+	}
+	// Drop clears the chain; a fresh epoch-0 publish then succeeds.
+	m.DropManifests("T")
+	if _, err := m.CurrentManifest("t"); !errors.Is(err, ErrNoManifest) {
+		t.Errorf("after drop: %v", err)
+	}
+	if err := m.PublishManifest(&Manifest{Table: "t", Epoch: 0}); err != nil {
+		t.Errorf("re-create after drop: %v", err)
+	}
+}
+
+func TestManifestHistoryBounded(t *testing.T) {
+	m := New()
+	if err := m.PublishManifest(&Manifest{Table: "t", Epoch: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 200; e++ {
+		if err := m.PublishManifest(&Manifest{Table: "t", Epoch: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.ManifestAt("t", 200); err != nil {
+		t.Errorf("current epoch must stay resolvable: %v", err)
+	}
+	if _, err := m.ManifestAt("t", 0); !errors.Is(err, ErrEpochExpired) {
+		t.Errorf("ancient epoch should be expired: %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+package dualtable
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// JobState describes where an asynchronously submitted statement is
+// in its lifecycle.
+type JobState int32
+
+// Job lifecycle states.
+const (
+	// JobRunning: the statement is executing.
+	JobRunning JobState = iota
+	// JobSucceeded: the statement finished; Result holds its result.
+	JobSucceeded
+	// JobFailed: the statement returned an error other than
+	// cancellation.
+	JobFailed
+	// JobCanceled: the job was canceled (Cancel or context).
+	JobCanceled
+)
+
+// String names the state.
+func (s JobState) String() string {
+	switch s {
+	case JobRunning:
+		return "RUNNING"
+	case JobSucceeded:
+		return "SUCCEEDED"
+	case JobFailed:
+		return "FAILED"
+	case JobCanceled:
+		return "CANCELED"
+	default:
+		return fmt.Sprintf("JobState(%d)", int32(s))
+	}
+}
+
+// JobStatus is a point-in-time snapshot of an async job.
+type JobStatus struct {
+	State JobState
+	// SQL is the submitted statement text.
+	SQL string
+	// Err is the terminal error (nil unless FAILED or CANCELED).
+	Err error
+}
+
+// Job is the handle of a statement submitted with Session.Submit: the
+// statement runs on its own goroutine under the session's settings
+// while the caller keeps using the session — the intended way to kick
+// off a long COMPACT and keep serving snapshot reads from the same
+// session. Poll never blocks, Wait blocks until completion, Cancel
+// aborts the statement between MapReduce records (a canceled COMPACT
+// discards its staged files and leaves the table unchanged; nothing
+// was published).
+type Job struct {
+	sql    string
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	state atomic.Int32
+	// rs/err are written once before done closes.
+	rs  *ResultSet
+	err error
+}
+
+// Submit starts the statement asynchronously and returns its handle.
+// Errors detected at execution time (including parse errors) surface
+// through Poll/Wait, not here.
+func (s *Session) Submit(sql string) (*Job, error) {
+	return s.SubmitContext(context.Background(), sql)
+}
+
+// SubmitContext is Submit under a parent context: canceling the
+// parent cancels the job as Job.Cancel does.
+func (s *Session) SubmitContext(ctx context.Context, sql string) (*Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{sql: sql, cancel: cancel, done: make(chan struct{})}
+	j.state.Store(int32(JobRunning))
+	go func() {
+		defer close(j.done)
+		defer cancel()
+		rs, err := s.ExecContext(jctx, sql)
+		j.rs, j.err = rs, err
+		switch {
+		case err == nil:
+			j.state.Store(int32(JobSucceeded))
+		case jctx.Err() != nil:
+			j.state.Store(int32(JobCanceled))
+		default:
+			j.state.Store(int32(JobFailed))
+		}
+	}()
+	return j, nil
+}
+
+// Poll returns the job's current status without blocking.
+func (j *Job) Poll() JobStatus {
+	st := JobStatus{State: JobState(j.state.Load()), SQL: j.sql}
+	select {
+	case <-j.done:
+		st.Err = j.err
+	default:
+	}
+	return st
+}
+
+// Done returns a channel closed when the job reaches a terminal
+// state (select-friendly companion to Wait).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes and returns its result.
+func (j *Job) Wait() (*ResultSet, error) {
+	<-j.done
+	return j.rs, j.err
+}
+
+// WaitContext is Wait bounded by ctx: it returns ctx.Err() if the
+// context expires first (the job keeps running; use Cancel to stop
+// it).
+func (j *Job) WaitContext(ctx context.Context) (*ResultSet, error) {
+	select {
+	case <-j.done:
+		return j.rs, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel aborts the job between MapReduce records. Idempotent; a no-op
+// once the job finished.
+func (j *Job) Cancel() { j.cancel() }

@@ -1,0 +1,173 @@
+package dualtable_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dualtable"
+)
+
+func seedJobTable(t *testing.T, db *dualtable.DB, rows int) {
+	t.Helper()
+	db.MustExec("CREATE TABLE j (id BIGINT, grp BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO j VALUES ")
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %d.5)", i, i%10, i)
+	}
+	db.MustExec(sb.String())
+}
+
+// TestSubmitWaitResult runs a statement asynchronously and collects
+// its result through the job handle.
+func TestSubmitWaitResult(t *testing.T) {
+	db := openDB(t)
+	seedJobTable(t, db, 100)
+	sess := db.Session()
+
+	job, err := sess.Submit("SELECT COUNT(*) FROM j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].I != 100 {
+		t.Errorf("count = %v", rs.Rows[0])
+	}
+	if st := job.Poll(); st.State != dualtable.JobSucceeded || st.Err != nil {
+		t.Errorf("terminal status = %+v", st)
+	}
+}
+
+// TestSubmitCompactServesSnapshotReads submits a COMPACT held
+// mid-flight and verifies the same session keeps serving reads while
+// the job reports RUNNING — the async-execution half of the
+// non-blocking compaction story.
+func TestSubmitCompactServesSnapshotReads(t *testing.T) {
+	db := openDB(t)
+	seedJobTable(t, db, 200)
+	sess := db.Session()
+	sess.SetForcePlan("EDIT")
+	if _, err := sess.Exec("UPDATE j SET v = 424242.5 WHERE grp = 3"); err != nil {
+		t.Fatal(err)
+	}
+
+	staged := make(chan struct{})
+	releaseGate := make(chan struct{})
+	db.Handler.SetCompactStagedHook(func(string) { close(staged); <-releaseGate })
+	t.Cleanup(func() { db.Handler.SetCompactStagedHook(nil) })
+
+	job, err := sess.Submit("COMPACT TABLE j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-staged
+	if st := job.Poll(); st.State != dualtable.JobRunning {
+		t.Fatalf("mid-compact state = %v", st.State)
+	}
+	// The session serves reads while its COMPACT is in flight.
+	rs, err := sess.Exec("SELECT COUNT(*) FROM j WHERE v = 424242.5")
+	if err != nil {
+		t.Fatalf("read during compact: %v", err)
+	}
+	if rs.Rows[0][0].I != 20 {
+		t.Errorf("read during compact = %v", rs.Rows[0])
+	}
+	close(releaseGate)
+	if _, err := job.Wait(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if st := job.Poll(); st.State != dualtable.JobSucceeded {
+		t.Errorf("state after wait = %v", st.State)
+	}
+}
+
+// TestSubmitCancel cancels an in-flight job and checks the canceled
+// state; the table is left unchanged (nothing published).
+func TestSubmitCancel(t *testing.T) {
+	db := openDB(t)
+	seedJobTable(t, db, 200)
+	sess := db.Session()
+
+	staged := make(chan struct{})
+	releaseGate := make(chan struct{})
+	db.Handler.SetCompactStagedHook(func(string) { close(staged); <-releaseGate })
+	t.Cleanup(func() { db.Handler.SetCompactStagedHook(nil) })
+
+	job, err := sess.Submit("COMPACT TABLE j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-staged
+	job.Cancel()
+	close(releaseGate)
+	if _, err := job.Wait(); err == nil {
+		t.Fatal("canceled job returned no error")
+	}
+	if st := job.Poll(); st.State != dualtable.JobCanceled {
+		t.Errorf("state = %v, want CANCELED", st.State)
+	}
+	// Reads still work and see every row.
+	rs, err := sess.Exec("SELECT COUNT(*) FROM j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].I != 200 {
+		t.Errorf("count after canceled compact = %v", rs.Rows[0])
+	}
+}
+
+// TestSubmitFailedStatement surfaces execution errors through the
+// handle, not Submit.
+func TestSubmitFailedStatement(t *testing.T) {
+	db := openDB(t)
+	sess := db.Session()
+	job, err := sess.Submit("SELECT * FROM does_not_exist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err == nil {
+		t.Fatal("want error from missing table")
+	}
+	if st := job.Poll(); st.State != dualtable.JobFailed || st.Err == nil {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestSubmitWaitContext bounds Wait without canceling the job.
+func TestSubmitWaitContext(t *testing.T) {
+	db := openDB(t)
+	seedJobTable(t, db, 50)
+	sess := db.Session()
+
+	staged := make(chan struct{})
+	releaseGate := make(chan struct{})
+	db.Handler.SetCompactStagedHook(func(string) { close(staged); <-releaseGate })
+	t.Cleanup(func() { db.Handler.SetCompactStagedHook(nil) })
+
+	job, err := sess.Submit("COMPACT TABLE j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-staged
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := job.WaitContext(ctx); err == nil {
+		t.Fatal("bounded wait on a gated job should time out")
+	}
+	if st := job.Poll(); st.State != dualtable.JobRunning {
+		t.Errorf("job should still be running, state = %v", st.State)
+	}
+	close(releaseGate)
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
