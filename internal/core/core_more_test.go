@@ -55,6 +55,10 @@ func runPinnedScan(e *hive.Engine, splits []mapred.InputSplit, workers int) (sca
 func TestCompactDoesNotBlockScans(t *testing.T) {
 	e, h := testEngine(t)
 	seedDual(t, e)
+	// Retention off: this test asserts superseded masters are reclaimed
+	// exactly when the last scan pin drops; the pin-last-N-epochs
+	// time-travel window (covered by TestTimeTravel*) would keep them.
+	e.MS.SetRetentionEpochs("m", 0)
 	h.SetForcePlan("EDIT")
 	mustExec(t, e, "UPDATE m SET v = 9999.5 WHERE day < 6")
 	mustExec(t, e, "DELETE FROM m WHERE day = 7")

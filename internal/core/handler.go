@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"path"
 	"sort"
 	"strings"
@@ -29,6 +30,13 @@ const (
 	metaTableName = "dualtable_meta"
 	// fileIDMetaKey is the ORC user-metadata key storing the file ID.
 	fileIDMetaKey = "dualtable.fileid"
+	// genProperty is the table property holding the incarnation tag a
+	// CREATE assigns. Every physical name the handler derives (attached
+	// KV table, master directory, file-ID counter row) embeds it, so a
+	// table re-created while a pin-aware DROP's reclamation is still
+	// pending gets fresh storage instead of resurrecting the doomed
+	// incarnation's rows and colliding with its condemned files.
+	genProperty = "dualtable.gen"
 )
 
 // Options tunes the DualTable handler.
@@ -187,26 +195,62 @@ func (h *Handler) compactStagedHook() func(string) {
 	return h.onCompactStaged
 }
 
+// masterDir is the incarnation's master-file directory. Tables created
+// before incarnation tags fall back to the legacy location/master.
 func masterDir(desc *metastore.TableDesc) string {
+	if g := desc.Properties[genProperty]; g != "" {
+		return path.Join(desc.Location, "master_"+g)
+	}
 	return path.Join(desc.Location, "master")
 }
 
+// attachedName is the incarnation's attached KV table name.
 func attachedName(desc *metastore.TableDesc) string {
-	return "dt_" + strings.ToLower(desc.Name) + "_attached"
+	base := "dt_" + strings.ToLower(desc.Name) + "_attached"
+	if g := desc.Properties[genProperty]; g != "" {
+		return base + "_" + g
+	}
+	return base
+}
+
+// metaRow is the incarnation's file-ID counter row in the system
+// metadata table.
+func metaRow(desc *metastore.TableDesc) []byte {
+	key := strings.ToLower(desc.Name)
+	if g := desc.Properties[genProperty]; g != "" {
+		key += "#" + g
+	}
+	return []byte(key)
 }
 
 // Create provisions the master directory, the attached table, the
 // file ID counter (paper §III-C CREATE), and the table's epoch-0
-// manifest (empty file set).
+// manifest (empty file set). Each CREATE is a fresh incarnation: its
+// physical names carry a unique tag, so creating a name whose previous
+// incarnation is still being reclaimed (pin-aware DROP with snapshots
+// in flight) starts from genuinely empty storage.
 func (h *Handler) Create(desc *metastore.TableDesc) error {
+	if desc.Properties == nil {
+		desc.Properties = map[string]string{}
+	}
+	desc.Properties[genProperty] = fmt.Sprintf("g%d", h.e.KV.NextTs())
+	// Reset the per-table concurrency state: a dropped previous
+	// incarnation's state (pending reclamation, dropped flag) must not
+	// leak into the new table. Snapshots of the old incarnation hold
+	// direct pointers to the old state, so their releases still land
+	// there.
+	h.mu.Lock()
+	h.states[strings.ToLower(desc.Name)] = &tableState{}
+	h.mu.Unlock()
 	if err := h.e.FS.MkdirAll(masterDir(desc)); err != nil {
 		return err
 	}
 	if _, err := h.e.KV.CreateTable(attachedName(desc)); err != nil {
 		return err
 	}
-	// A leftover chain from a partially failed CREATE is reset, not
-	// grown: the table is brand new.
+	// A leftover chain — from a partially failed CREATE or a previous
+	// incarnation awaiting reclamation — is reset, not grown: the
+	// table is brand new and starts at an empty epoch 0.
 	h.e.MS.DropManifests(desc.Name)
 	if err := h.e.MS.PublishManifest(&metastore.Manifest{
 		Table:     desc.Name,
@@ -215,28 +259,119 @@ func (h *Handler) Create(desc *metastore.TableDesc) error {
 	}); err != nil {
 		return err
 	}
-	return h.meta.PutRow([]byte(strings.ToLower(desc.Name)), attachedFamily,
+	return h.meta.PutRow(metaRow(desc), attachedFamily,
 		map[string][]byte{"nextfile": []byte("1")}, nil)
 }
 
-// Drop removes master, attached, manifests and metadata (paper §III-C
-// DROP). Drop is force-destructive: it does not honor snapshot pins,
-// so an in-flight scan of a table being dropped fails on its next
-// file open — the pre-snapshot behavior; see ROADMAP for the
-// pin-aware DROP follow-on.
+// dropJob captures everything a pin-aware DROP must reclaim once the
+// table's last pinned snapshot releases: the incarnation's attached KV
+// table, manifest chain (by identity, so a re-CREATE's chain is safe),
+// file-ID counter row, and master directory.
+type dropJob struct {
+	table     string
+	attached  string
+	metaRow   []byte
+	masterDir string
+	location  string
+	chainID   uint64
+	hasChain  bool
+}
+
+// Drop removes the table (paper §III-C DROP) while honoring the MVCC
+// contract: instead of deleting master files out from under pinned
+// scans, it hands the current manifest's files to the DFS's deferred
+// deletion (a scan that pinned its snapshot before the DROP completes
+// byte-identically), marks the table state dropped so new snapshot
+// opens fail immediately, and defers the rest of the reclamation —
+// attached KV table, manifest chain, metadata row, master directory —
+// until the last pinned snapshot releases. The engine removes the
+// metastore descriptor first, so new scans and writes see
+// ErrTableNotFound the moment the DROP statement runs.
 func (h *Handler) Drop(desc *metastore.TableDesc) error {
-	h.e.MS.DropManifests(desc.Name)
-	if h.e.FS.Exists(desc.Location) {
-		if err := h.e.FS.Delete(desc.Location, true); err != nil {
-			return err
+	st := h.state(desc.Name)
+	// Serialize against writers: an INSERT/EDIT/COMPACT in flight
+	// finishes (or aborts) before the table goes away.
+	st.writer.Lock()
+	defer st.writer.Unlock()
+
+	st.pub.Lock()
+	if st.dropped {
+		st.pub.Unlock()
+		return nil // already dropped (idempotent)
+	}
+	man, manErr := h.currentManifestLocked(desc)
+	st.dropped = true
+	job := &dropJob{
+		table:     desc.Name,
+		attached:  attachedName(desc),
+		metaRow:   metaRow(desc),
+		masterDir: masterDir(desc),
+		location:  desc.Location,
+	}
+	job.chainID, job.hasChain = h.e.MS.ManifestChainID(desc.Name)
+	// Time travel dies with the table: release every retention pin so
+	// the files' deferred deletions can fire once scans let go.
+	for _, re := range st.retained {
+		for _, f := range re.files {
+			h.e.FS.Unpin(f.Path)
 		}
 	}
-	if h.e.KV.HasTable(attachedName(desc)) {
-		if err := h.e.KV.DropTable(attachedName(desc)); err != nil {
-			return err
+	st.retained = nil
+	reclaimNow := st.snaps == 0
+	if !reclaimNow {
+		st.pendingDrop = job
+	}
+	st.pub.Unlock()
+
+	// Condemn the current manifest's files: removed immediately unless
+	// a pinned snapshot still reads them. Best effort — a file already
+	// gone needs no deletion.
+	if manErr == nil {
+		for _, f := range man.Files {
+			_ = h.e.FS.DeleteDeferred(f.Path)
 		}
 	}
-	return h.meta.DeleteRow([]byte(strings.ToLower(desc.Name)), nil)
+	if reclaimNow {
+		// Best effort: the tombstone already committed (the engine
+		// removed the descriptor before calling Drop), so a failed
+		// cleanup step must not fail the statement — the table would
+		// be gone from the namespace yet report an error, and the DROP
+		// is not retryable through SQL. A missed step only leaks
+		// storage, the same stance publishReplace takes for post-swap
+		// cleanup.
+		_ = h.reclaim(job)
+	}
+	return nil
+}
+
+// reclaim finishes a DROP once no snapshot pins the table: it removes
+// the incarnation's attached KV table, manifest chain, file-ID counter
+// row and master directory, then the table location itself when
+// nothing else (a newer incarnation) lives there.
+func (h *Handler) reclaim(job *dropJob) error {
+	var firstErr error
+	if h.e.KV.HasTable(job.attached) {
+		if err := h.e.KV.DropTable(job.attached); err != nil {
+			firstErr = err
+		}
+	}
+	if job.hasChain {
+		h.e.MS.DropManifestsByID(job.table, job.chainID)
+	}
+	if err := h.meta.DeleteRow(job.metaRow, nil); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if h.e.FS.Exists(job.masterDir) {
+		if err := h.e.FS.Delete(job.masterDir, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Best effort: the location root goes away only when empty (a
+	// re-created incarnation keeps its own master directory there).
+	if h.e.FS.Exists(job.location) {
+		_ = h.e.FS.Delete(job.location, false)
+	}
+	return firstErr
 }
 
 // attached returns the table's attached kv table.
@@ -250,7 +385,7 @@ func (h *Handler) attached(desc *metastore.TableDesc) (*kvstore.Table, error) {
 func (h *Handler) nextFileID(desc *metastore.TableDesc, m *sim.Meter) (uint32, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	row := []byte(strings.ToLower(desc.Name))
+	row := metaRow(desc)
 	cells, err := h.meta.Get(row, m)
 	if err != nil {
 		return 0, err
@@ -324,7 +459,7 @@ func (h *Handler) masterFiles(desc *metastore.TableDesc) ([]masterFile, error) {
 // PinnedSplits, which the SQL engine's scan planner picks up via the
 // hive.SnapshotScanner interface.
 func (h *Handler) Splits(desc *metastore.TableDesc, opts ScanOptions) ([]mapred.InputSplit, error) {
-	snap, err := h.OpenSnapshot(desc)
+	snap, err := h.snapshotFor(desc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -338,13 +473,23 @@ func (h *Handler) Splits(desc *metastore.TableDesc, opts ScanOptions) ([]mapred.
 // splits. Until then a concurrent COMPACT/OVERWRITE may publish new
 // epochs freely — the pinned files outlive their manifest via the
 // DFS's deferred deletion, so the scan completes against the exact
-// epoch it opened.
+// epoch it opened. When opts.AsOfEpoch is set, the snapshot pins that
+// historical epoch instead of the current one (AS OF EPOCH reads).
 func (h *Handler) PinnedSplits(desc *metastore.TableDesc, opts ScanOptions) ([]mapred.InputSplit, func(), error) {
-	snap, err := h.OpenSnapshot(desc)
+	snap, err := h.snapshotFor(desc, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return snap.Splits(opts), snap.Release, nil
+}
+
+// snapshotFor opens the snapshot a scan's options ask for: the current
+// epoch, or a pinned historical epoch for time-travel reads.
+func (h *Handler) snapshotFor(desc *metastore.TableDesc, opts ScanOptions) (*Snapshot, error) {
+	if opts.AsOfEpoch != nil {
+		return h.OpenSnapshotAt(desc, *opts.AsOfEpoch)
+	}
+	return h.OpenSnapshot(desc)
 }
 
 // ScanOptions aliases hive.ScanOptions (same package shape).
@@ -390,14 +535,46 @@ func (h *Handler) currentManifest(desc *metastore.TableDesc) (*metastore.Manifes
 	return h.currentManifestLocked(desc)
 }
 
-// AttachedEntryCount returns the number of cells in the attached
-// table (UNION READ overhead indicator; COMPACT trigger input).
+// AttachedEntryCount returns the number of attached-table cells that
+// belong to the current manifest's master files (UNION READ overhead
+// indicator; COMPACT trigger input). Cells keyed by superseded file
+// IDs — kept alive only so time-travel reads inside the retention
+// window can reconstruct old epochs — do not count: they are invisible
+// to current scans.
 func (h *Handler) AttachedEntryCount(desc *metastore.TableDesc) (int64, error) {
 	att, err := h.attached(desc)
 	if err != nil {
 		return 0, err
 	}
-	return att.EntryCount(), nil
+	st := h.state(desc.Name)
+	st.pub.Lock()
+	scanRanges := st.everRetained
+	st.pub.Unlock()
+	if !scanRanges {
+		// No retained ranges ever existed: every cell belongs to a
+		// current master file, so the O(regions) raw count is exact.
+		return att.EntryCount(), nil
+	}
+	// Retained (or purged) ranges exist: the raw count would include
+	// dead cells and purge tombstones, so count the current ranges
+	// directly — O(live delta), the very quantity being measured.
+	man, err := h.currentManifest(desc)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, f := range man.Files {
+		start, end := FileRange(f.FileID)
+		sc := att.NewScanner(kvstore.Scan{Start: start, End: end, MaxVersions: math.MaxInt32})
+		for {
+			if _, ok := sc.Next(); !ok {
+				break
+			}
+			total++
+		}
+		sc.Close()
+	}
+	return total, nil
 }
 
 // Append returns a factory writing new master files, each with a

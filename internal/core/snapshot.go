@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -27,9 +28,42 @@ import (
 //     is held for the brief moment a writer publishes a new epoch or
 //     a reader pins the current one — never across a MapReduce job —
 //     so scans and compactions overlap freely.
+//
+// pub additionally guards the MVCC-DDL bookkeeping: the live snapshot
+// count, the dropped flag and pending drop job (pin-aware DROP defers
+// reclamation until the last snapshot releases), and the retention
+// ledger pinning the last N epochs' superseded files for time travel.
 type tableState struct {
 	writer sync.Mutex
 	pub    sync.Mutex
+
+	// snaps counts open (or opening) snapshots of this table.
+	snaps int
+	// dropped marks a table whose DROP ran; new snapshot opens fail.
+	dropped bool
+	// pendingDrop is the reclamation deferred until snaps reaches 0.
+	pendingDrop *dropJob
+	// retained pins superseded master file sets for the retention
+	// window, newest last; everRetained stays true after the first
+	// entry (AttachedEntryCount's exact-count fast path applies only
+	// while the attached table has never carried retained ranges).
+	retained     []retainedEpochs
+	everRetained bool
+	// floorEpoch is the oldest serviceable epoch: expiring (or
+	// truncating) a superseded file set purges the attached cells of
+	// every epoch below the set's supersede point, so those epochs
+	// must never be served again — even if the retention knob is later
+	// raised or their files incidentally survive under other pins.
+	floorEpoch uint64
+}
+
+// retainedEpochs records one superseded master file set and the epoch
+// whose publish superseded it: the files serve every historical epoch
+// below supersededAt, so they stay pinned until all of those age out
+// of the retention window.
+type retainedEpochs struct {
+	supersededAt uint64
+	files        []metastore.ManifestFile
 }
 
 // state returns (creating on first use) the table's concurrency state.
@@ -76,6 +110,11 @@ type Snapshot struct {
 	// the attached table themselves.
 	attSeconds map[uint32]float64
 
+	// st is the table state whose snapshot count this snapshot holds;
+	// set once the open is counted, so Release can decrement it and
+	// fire a pending DROP's reclamation when it was the last one.
+	st *tableState
+
 	released atomic.Bool
 }
 
@@ -84,6 +123,91 @@ type Snapshot struct {
 // is done.
 func (h *Handler) OpenSnapshot(desc *metastore.TableDesc) (*Snapshot, error) {
 	return h.openSnapshot(desc, true)
+}
+
+// OpenSnapshotAt pins a historical epoch for a time-travel read
+// (SELECT ... AS OF EPOCH n). The epoch must still be in the manifest
+// history, inside the retention window, and above the purge floor —
+// the retention policy (pin the last N epochs' superseded files)
+// guarantees its files and attached cells are intact there. Only the
+// cheap parts (manifest resolution, window checks, file pinning) run
+// under the publish lock; the materialization runs outside it and the
+// purge floor is re-validated afterwards, so a session-wide read.epoch
+// pin does not serialize every open and publish behind historical
+// materializations. Release must be called exactly once.
+func (h *Handler) OpenSnapshotAt(desc *metastore.TableDesc, epoch uint64) (*Snapshot, error) {
+	st := h.state(desc.Name)
+	st.pub.Lock()
+	if err := h.checkIncarnationLocked(desc, st); err != nil {
+		st.pub.Unlock()
+		return nil, err
+	}
+	man, err := h.e.MS.ManifestAt(desc.Name, epoch)
+	if err != nil {
+		st.pub.Unlock()
+		return nil, fmt.Errorf("core: %s AS OF EPOCH %d: %w", desc.Name, epoch, err)
+	}
+	// Enforce the retention window explicitly rather than relying on a
+	// pin failure: an expired epoch's files can incidentally stay
+	// alive (another long scan may still pin them), but its attached
+	// cells were purged at expiry, so serving it would silently drop
+	// that epoch's UPDATE/DELETE effects. ManifestAt succeeded, so the
+	// chain (and its current manifest) exists.
+	cur, err := h.e.MS.CurrentManifest(desc.Name)
+	if err != nil {
+		st.pub.Unlock()
+		return nil, err
+	}
+	if n := h.e.MS.RetentionEpochs(desc.Name); epoch < cur.Epoch && cur.Epoch-epoch > uint64(n) {
+		st.pub.Unlock()
+		return nil, fmt.Errorf("core: %s AS OF EPOCH %d: outside the retention window (current %d, retained %d): %w",
+			desc.Name, epoch, cur.Epoch, n, metastore.ErrEpochExpired)
+	}
+	// The purge floor is authoritative regardless of the (mutable)
+	// retention knob: epochs whose attached cells were already purged
+	// stay unserviceable even after the window is widened.
+	if epoch < st.floorEpoch {
+		st.pub.Unlock()
+		return nil, fmt.Errorf("core: %s AS OF EPOCH %d: attached history purged up to epoch %d: %w",
+			desc.Name, epoch, st.floorEpoch, metastore.ErrEpochExpired)
+	}
+	snap := &Snapshot{h: h, desc: desc, Epoch: man.Epoch, Watermark: man.Watermark}
+	for _, mf := range man.Files {
+		if err := h.e.FS.Pin(mf.Path); err != nil {
+			snap.unpinFiles()
+			st.pub.Unlock()
+			// The manifest survives in history longer than its files
+			// survive retention; a reclaimed file means the epoch aged
+			// out of the serviceable window.
+			return nil, fmt.Errorf("core: %s AS OF EPOCH %d: file %s reclaimed: %w",
+				desc.Name, epoch, mf.Path, metastore.ErrEpochExpired)
+		}
+		snap.pinned = append(snap.pinned, mf.Path)
+	}
+	st.snaps++
+	snap.st = st
+	st.pub.Unlock()
+
+	loadErr := snap.loadFiles(man)
+	if loadErr == nil {
+		loadErr = snap.loadEntries()
+	}
+	// Re-validate the purge floor: a publish that ran during the
+	// materialization may have expired this epoch and purged its
+	// attached cells mid-scan (the files themselves stayed safe under
+	// our pins).
+	st.pub.Lock()
+	expired := epoch < st.floorEpoch
+	st.pub.Unlock()
+	if loadErr != nil || expired {
+		snap.unpinFiles()
+		if loadErr != nil {
+			return nil, loadErr
+		}
+		return nil, fmt.Errorf("core: %s AS OF EPOCH %d: epoch expired during open: %w",
+			desc.Name, epoch, metastore.ErrEpochExpired)
+	}
+	return snap, nil
 }
 
 // openSnapshot pins the current epoch. withEntries=false skips the
@@ -107,6 +231,10 @@ func (h *Handler) openSnapshot(desc *metastore.TableDesc, withEntries bool) (*Sn
 	for attempt := 0; ; attempt++ {
 		pessimistic := attempt >= optimisticAttempts
 		st.pub.Lock()
+		if err := h.checkIncarnationLocked(desc, st); err != nil {
+			st.pub.Unlock()
+			return nil, err
+		}
 		man, err := h.currentManifestLocked(desc)
 		if err != nil {
 			st.pub.Unlock()
@@ -121,6 +249,11 @@ func (h *Handler) openSnapshot(desc *metastore.TableDesc, withEntries bool) (*Sn
 			}
 			snap.pinned = append(snap.pinned, mf.Path)
 		}
+		// Count the open while still under pub: a DROP landing after
+		// this point defers its reclamation until this snapshot (and
+		// every other) releases.
+		st.snaps++
+		snap.st = st
 		if !pessimistic {
 			st.pub.Unlock()
 		}
@@ -251,9 +384,12 @@ func (s *Snapshot) loadEntries() error {
 // newest version per column with Ts <= wm. Cells arrive from the
 // version resolver ordered (family, qualifier) ascending with
 // timestamps descending inside each column, so a single pass keeping
-// the first qualifying version per column suffices. Attached tables
-// hold only puts (delete markers are puts of __del__), never
-// tombstones, so no delete semantics apply here.
+// the first qualifying version per column suffices. The ranges this
+// reads hold only puts (delete markers are puts of __del__), so no
+// delete semantics apply here: KV tombstones exist in attached tables
+// only in purged file-ID ranges (written by purgeAttachedRanges at
+// retention expiry), and the purge floor guarantees no snapshot ever
+// materializes those ranges again.
 func cellsAtWatermark(cells []kvstore.Cell, wm uint64) []kvstore.Cell {
 	out := make([]kvstore.Cell, 0, len(cells))
 	for i := 0; i < len(cells); {
@@ -301,8 +437,10 @@ func (s *Snapshot) Splits(opts ScanOptions) []mapred.InputSplit {
 }
 
 // Release unpins the snapshot's master files; superseded files whose
-// last pin drops are removed by the DFS's deferred deletion.
-// Idempotent.
+// last pin drops are removed by the DFS's deferred deletion. When this
+// was the last snapshot of a dropped table, the table's deferred
+// reclamation (attached KV table, manifest chain, metadata, master
+// directory) runs now — the pin-aware DROP contract. Idempotent.
 func (s *Snapshot) Release() {
 	if s.released.Swap(true) {
 		return
@@ -320,6 +458,19 @@ func (s *Snapshot) unpinFiles() {
 func (s *Snapshot) unpinFilesDone() {
 	for _, p := range s.pinned {
 		s.h.e.FS.Unpin(p)
+	}
+	if s.st == nil {
+		return // open failed before the snapshot was counted
+	}
+	s.st.pub.Lock()
+	s.st.snaps--
+	var job *dropJob
+	if s.st.snaps == 0 && s.st.pendingDrop != nil {
+		job, s.st.pendingDrop = s.st.pendingDrop, nil
+	}
+	s.st.pub.Unlock()
+	if job != nil {
+		_ = s.h.reclaim(job) // best effort; see Handler.Drop
 	}
 }
 
@@ -358,9 +509,13 @@ func (h *Handler) currentManifestLocked(desc *metastore.TableDesc) (*metastore.M
 func (h *Handler) publishAppend(desc *metastore.TableDesc, added []metastore.ManifestFile) error {
 	st := h.state(desc.Name)
 	st.pub.Lock()
-	defer st.pub.Unlock()
+	if err := h.checkIncarnationLocked(desc, st); err != nil {
+		st.pub.Unlock()
+		return err
+	}
 	cur, err := h.currentManifestLocked(desc)
 	if err != nil {
+		st.pub.Unlock()
 		return err
 	}
 	next := &metastore.Manifest{
@@ -369,7 +524,14 @@ func (h *Handler) publishAppend(desc *metastore.TableDesc, added []metastore.Man
 		Watermark: h.e.KV.NextTs(),
 		Files:     append(append([]metastore.ManifestFile(nil), cur.Files...), added...),
 	}
-	return h.e.MS.PublishManifest(next)
+	if err := h.e.MS.PublishManifest(next); err != nil {
+		st.pub.Unlock()
+		return err
+	}
+	expired := h.expireRetainedLocked(desc, st, next.Epoch)
+	st.pub.Unlock()
+	h.purgeExpired(desc, expired)
+	return nil
 }
 
 // publishReplace atomically swaps the table's entire file set
@@ -391,9 +553,13 @@ func (h *Handler) publishAppend(desc *metastore.TableDesc, added []metastore.Man
 func (h *Handler) publishReplace(desc *metastore.TableDesc, files []metastore.ManifestFile) error {
 	st := h.state(desc.Name)
 	st.pub.Lock()
-	defer st.pub.Unlock()
+	if err := h.checkIncarnationLocked(desc, st); err != nil {
+		st.pub.Unlock()
+		return err
+	}
 	cur, err := h.currentManifestLocked(desc)
 	if err != nil {
+		st.pub.Unlock()
 		return err
 	}
 	next := &metastore.Manifest{
@@ -403,13 +569,50 @@ func (h *Handler) publishReplace(desc *metastore.TableDesc, files []metastore.Ma
 		Files:     append([]metastore.ManifestFile(nil), files...),
 	}
 	if err := h.e.MS.PublishManifest(next); err != nil {
+		st.pub.Unlock()
 		return err
 	}
 	// Committed. Cleanup below is best-effort.
-	h.e.KV.TruncateTable(attachedName(desc))
+	//
+	// Retention: with a pin-last-N-epochs window, the superseded file
+	// set stays pinned (and the attached cells keyed by its file IDs
+	// stay in place) so ManifestAt time-travel reads of the epochs it
+	// served remain serviceable; both are reclaimed when those epochs
+	// age out of the window. File IDs are never reused and the new
+	// files' IDs are disjoint, so the stale cells are invisible to
+	// every scan of the new epoch. Without retention, the attached
+	// table truncates and the files are condemned immediately — the
+	// pre-time-travel behavior.
+	if n := h.e.MS.RetentionEpochs(desc.Name); n > 0 {
+		// An empty superseded set (replacing an empty table) retains
+		// nothing — but it must NOT fall into the truncate branch,
+		// which would destroy older retained sets' attached cells and
+		// floor every in-window epoch.
+		if len(cur.Files) > 0 {
+			retained := make([]metastore.ManifestFile, 0, len(cur.Files))
+			for _, f := range cur.Files {
+				if err := h.e.FS.Pin(f.Path); err == nil {
+					retained = append(retained, f)
+				}
+			}
+			st.retained = append(st.retained, retainedEpochs{supersededAt: next.Epoch, files: retained})
+			st.everRetained = true
+		}
+	} else {
+		// Truncation destroys the attached history of every epoch
+		// below this publish; record that so no later retention change
+		// can re-admit them.
+		if next.Epoch > st.floorEpoch {
+			st.floorEpoch = next.Epoch
+		}
+		h.e.KV.TruncateTable(attachedName(desc))
+	}
 	for _, f := range cur.Files {
 		h.e.FS.DeleteDeferred(f.Path)
 	}
+	expired := h.expireRetainedLocked(desc, st, next.Epoch)
+	st.pub.Unlock()
+	h.purgeExpired(desc, expired)
 	return nil
 }
 
@@ -417,19 +620,136 @@ func (h *Handler) publishReplace(desc *metastore.TableDesc, files []metastore.Ma
 // and a fresh watermark — the commit point of an EDIT UPDATE/DELETE.
 // Cells the DML wrote carry timestamps above the previous watermark,
 // so snapshots opened before this publish do not see them; the bump
-// makes them visible atomically.
+// makes them visible atomically. The metastore's PublishWatermark fast
+// path shares the current manifest's file slice instead of cloning it
+// twice (once to read the current manifest, once to publish), so a
+// watermark-only commit costs no per-file work.
 func (h *Handler) publishWatermark(desc *metastore.TableDesc) error {
 	st := h.state(desc.Name)
 	st.pub.Lock()
-	defer st.pub.Unlock()
-	cur, err := h.currentManifestLocked(desc)
-	if err != nil {
+	if err := h.checkIncarnationLocked(desc, st); err != nil {
+		st.pub.Unlock()
 		return err
 	}
-	next := cur.Clone()
-	next.Epoch = cur.Epoch + 1
-	next.Watermark = h.e.KV.NextTs()
-	return h.e.MS.PublishManifest(next)
+	epoch, err := h.e.MS.PublishWatermark(desc.Name, h.e.KV.NextTs())
+	if errors.Is(err, metastore.ErrNoManifest) {
+		// Tables predating manifests: synthesize the chain, then bump.
+		if _, synthErr := h.currentManifestLocked(desc); synthErr != nil {
+			st.pub.Unlock()
+			return synthErr
+		}
+		epoch, err = h.e.MS.PublishWatermark(desc.Name, h.e.KV.NextTs())
+	}
+	if err != nil {
+		st.pub.Unlock()
+		return err
+	}
+	var expired []retainedEpochs
+	if len(st.retained) > 0 {
+		expired = h.expireRetainedLocked(desc, st, epoch)
+	}
+	st.pub.Unlock()
+	h.purgeExpired(desc, expired)
+	return nil
+}
+
+// checkIncarnationLocked rejects work against a dropped or re-created
+// table. For writers: a descriptor resolved just before a concurrent
+// DROP tombstoned the namespace must not publish a new epoch onto the
+// doomed chain (the acknowledged write would vanish at reclamation),
+// nor may a previous incarnation's descriptor publish its files into
+// the chain a re-CREATE established. For readers: a stale descriptor
+// would resolve the NEW incarnation's manifest by name but materialize
+// attached entries from the OLD incarnation's gen-tagged KV table —
+// and since file IDs restart per incarnation, the dead edits would
+// silently overlay the new table's rows. Caller holds the table's pub
+// lock.
+func (h *Handler) checkIncarnationLocked(desc *metastore.TableDesc, st *tableState) error {
+	if st.dropped {
+		return fmt.Errorf("%w: %s (dropped)", metastore.ErrTableNotFound, desc.Name)
+	}
+	gen, registered := h.e.MS.TableProperty(desc.Name, genProperty)
+	if !registered {
+		return fmt.Errorf("%w: %s (dropped)", metastore.ErrTableNotFound, desc.Name)
+	}
+	if gen != desc.Properties[genProperty] {
+		return fmt.Errorf("%w: %s (re-created since this descriptor was resolved)",
+			metastore.ErrTableNotFound, desc.Name)
+	}
+	return nil
+}
+
+// expireRetainedLocked drops retained file sets whose serviceable
+// epochs all aged out of the retention window at the given current
+// epoch: their retention pins release (letting the deferred deletions
+// issued at supersede time fire) and the purge floor advances so the
+// expired epochs can never be served again. The expired sets are
+// returned for the caller to purge with purgeExpired AFTER releasing
+// the pub lock — the attached-range scan is the slow part, and the
+// floor (set here, under the lock) already guarantees no new
+// time-travel open can touch the doomed ranges. Caller holds the
+// table's pub lock.
+func (h *Handler) expireRetainedLocked(desc *metastore.TableDesc, st *tableState, current uint64) []retainedEpochs {
+	n := h.e.MS.RetentionEpochs(desc.Name)
+	keep := st.retained[:0]
+	var expired []retainedEpochs
+	for _, re := range st.retained {
+		// The newest epoch a set serves is supersededAt-1; an epoch e
+		// is inside the window iff current-e <= n.
+		if re.supersededAt+uint64(n) <= current {
+			for _, f := range re.files {
+				h.e.FS.Unpin(f.Path)
+			}
+			if re.supersededAt > st.floorEpoch {
+				st.floorEpoch = re.supersededAt
+			}
+			expired = append(expired, re)
+		} else {
+			keep = append(keep, re)
+		}
+	}
+	st.retained = keep
+	return expired
+}
+
+// purgeExpired purges the attached ranges of expired retained sets
+// (outside any lock; see expireRetainedLocked).
+func (h *Handler) purgeExpired(desc *metastore.TableDesc, expired []retainedEpochs) {
+	for _, re := range expired {
+		h.purgeAttachedRanges(desc, re.files)
+	}
+}
+
+// purgeAttachedRanges deletes the attached-table rows keyed by the
+// given (superseded) master files' record ID ranges, as one batched
+// write of row tombstones. Best effort: the cells are invisible to
+// every live scan regardless, so a missed purge only delays space
+// reclamation.
+func (h *Handler) purgeAttachedRanges(desc *metastore.TableDesc, files []metastore.ManifestFile) {
+	att, err := h.attached(desc)
+	if err != nil {
+		return
+	}
+	var batch []*kvstore.Cell
+	for _, f := range files {
+		start, end := FileRange(f.FileID)
+		sc := att.NewScanner(kvstore.Scan{Start: start, End: end})
+		var last []byte
+		for {
+			c, ok := sc.Next()
+			if !ok {
+				break
+			}
+			if last == nil || !bytes.Equal(last, c.Row) {
+				last = append([]byte(nil), c.Row...)
+				batch = append(batch, &kvstore.Cell{Row: last, Type: kvstore.TypeDeleteRow})
+			}
+		}
+		sc.Close()
+	}
+	if len(batch) > 0 {
+		att.Put(batch, nil)
+	}
 }
 
 // CurrentEpoch returns the table's current manifest epoch

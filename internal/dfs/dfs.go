@@ -478,6 +478,20 @@ func (fs *FileSystem) Pins(p string) int {
 	return n.file.pins
 }
 
+// Condemned reports whether the file is awaiting deferred deletion
+// (DeleteDeferred ran while it was pinned; it will be removed when the
+// last pin drops). False for absent paths and directories — an
+// observability hook for DROP/retention tests.
+func (fs *FileSystem) Condemned(p string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	if err != nil || n.file == nil {
+		return false
+	}
+	return n.file.condemned
+}
+
 // releaseTree frees the blocks of every file under n. Caller holds fs.mu.
 func (fs *FileSystem) releaseTree(n *node) {
 	if n.file != nil {

@@ -11,6 +11,18 @@ import (
 
 // execInsert runs INSERT INTO / INSERT OVERWRITE.
 func (e *Engine) execInsert(ec *ExecContext, s *sqlparser.InsertStmt) (*ResultSet, error) {
+	// INSERT OVERWRITE destroys the target's current contents; under a
+	// session-wide read.epoch pin its source SELECT would silently read
+	// historical data, so it is refused like UPDATE/DELETE. An explicit
+	// AS OF EPOCH clause in the source is still allowed — that is the
+	// intentional "roll the table back to epoch n" idiom. Plain INSERT
+	// INTO stays legal: appending historical rows (e.g. into a backup
+	// table) is additive and a primary use of time travel.
+	if s.Overwrite {
+		if err := rejectDMLUnderReadEpoch(ec, "INSERT OVERWRITE"); err != nil {
+			return nil, err
+		}
+	}
 	desc, err := e.MS.Get(s.Table)
 	if err != nil {
 		return nil, err
@@ -92,6 +104,9 @@ func (e *Engine) execInsert(ec *ExecContext, s *sqlparser.InsertStmt) (*ResultSe
 // run their own plan; ORC/Text tables get the Hive-classic INSERT
 // OVERWRITE rewrite (the paper's Listing 2).
 func (e *Engine) execUpdate(ec *ExecContext, s *sqlparser.UpdateStmt) (*ResultSet, error) {
+	if err := rejectDMLUnderReadEpoch(ec, "UPDATE"); err != nil {
+		return nil, err
+	}
 	desc, err := e.MS.Get(s.Table)
 	if err != nil {
 		return nil, err
@@ -128,6 +143,9 @@ func (e *Engine) execUpdate(ec *ExecContext, s *sqlparser.UpdateStmt) (*ResultSe
 
 // execDelete routes DELETE like execUpdate.
 func (e *Engine) execDelete(ec *ExecContext, s *sqlparser.DeleteStmt) (*ResultSet, error) {
+	if err := rejectDMLUnderReadEpoch(ec, "DELETE"); err != nil {
+		return nil, err
+	}
 	desc, err := e.MS.Get(s.Table)
 	if err != nil {
 		return nil, err

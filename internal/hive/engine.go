@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"path"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"dualtable/internal/datum"
@@ -31,6 +32,12 @@ type ScanOptions struct {
 	Projection []int
 	// SArg prunes ORC stripes by statistics.
 	SArg *orcfile.SearchArg
+	// AsOfEpoch, when non-nil, asks a snapshot-capable handler for a
+	// time-travel scan pinned at that historical manifest epoch
+	// (SELECT ... AS OF EPOCH n / SET read.epoch). Only handlers
+	// implementing SnapshotScanner honor it; the planner rejects the
+	// clause for other storage kinds.
+	AsOfEpoch *uint64
 }
 
 // Committer finalizes or aborts a bulk write.
@@ -100,6 +107,48 @@ type Engine struct {
 	handlers map[metastore.StorageKind]StorageHandler
 	plans    *planCache
 	tmpSeq   atomic.Uint64
+
+	// ddlMu guards ddlLocks, the per-table-name DDL mutexes. CREATE
+	// and DROP each pair a metastore namespace change with a handler
+	// storage change; serializing the pair per name keeps a CREATE
+	// racing into a DROP's tombstone window from having its fresh
+	// storage torn down by the in-flight DROP. Entries are
+	// reference-counted and removed when idle, so churning unique temp
+	// table names does not grow the map unboundedly.
+	ddlMu    sync.Mutex
+	ddlLocks map[string]*ddlEntry
+}
+
+// ddlEntry is one name's DDL mutex plus its holder/waiter count.
+type ddlEntry struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// ddlLock serializes DDL on one table name; the returned func unlocks.
+func (e *Engine) ddlLock(name string) func() {
+	key := strings.ToLower(name)
+	e.ddlMu.Lock()
+	if e.ddlLocks == nil {
+		e.ddlLocks = map[string]*ddlEntry{}
+	}
+	ent, ok := e.ddlLocks[key]
+	if !ok {
+		ent = &ddlEntry{}
+		e.ddlLocks[key] = ent
+	}
+	ent.refs++
+	e.ddlMu.Unlock()
+	ent.mu.Lock()
+	return func() {
+		ent.mu.Unlock()
+		e.ddlMu.Lock()
+		ent.refs--
+		if ent.refs == 0 {
+			delete(e.ddlLocks, key)
+		}
+		e.ddlMu.Unlock()
+	}
 }
 
 // Config assembles an Engine.
@@ -280,6 +329,7 @@ func (e *Engine) execSet(ec *ExecContext, s *sqlparser.SetStmt) (*ResultSet, err
 }
 
 func (e *Engine) execCreate(s *sqlparser.CreateTableStmt) (*ResultSet, error) {
+	defer e.ddlLock(s.Name)()
 	if e.MS.Exists(s.Name) {
 		if s.IfNotExists {
 			return &ResultSet{}, nil
@@ -319,6 +369,7 @@ func (e *Engine) execCreate(s *sqlparser.CreateTableStmt) (*ResultSet, error) {
 }
 
 func (e *Engine) execDrop(s *sqlparser.DropTableStmt) (*ResultSet, error) {
+	defer e.ddlLock(s.Name)()
 	desc, err := e.MS.Get(s.Name)
 	if err != nil {
 		if s.IfExists {
@@ -330,10 +381,23 @@ func (e *Engine) execDrop(s *sqlparser.DropTableStmt) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := h.Drop(desc); err != nil {
+	// Tombstone first: the namespace disappears from the metastore
+	// before any physical teardown, so new scans and writes see
+	// ErrTableNotFound immediately even while a pin-aware handler is
+	// still waiting on in-flight writers or deferring reclamation to
+	// the last pinned snapshot.
+	if err := e.MS.Drop(s.Name); err != nil {
 		return nil, err
 	}
-	if err := e.MS.Drop(s.Name); err != nil {
+	if err := h.Drop(desc); err != nil {
+		// Restore the descriptor so the failed DROP stays retryable
+		// (non-pin-aware handlers can fail mid-teardown; without the
+		// rollback their storage would be unreachable through SQL).
+		// The per-name DDL lock guarantees nobody took the name in
+		// between.
+		if cerr := e.MS.Create(desc); cerr != nil {
+			return nil, fmt.Errorf("%w (and restoring the dropped descriptor failed: %v)", err, cerr)
+		}
 		return nil, err
 	}
 	return &ResultSet{}, nil

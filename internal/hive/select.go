@@ -3,6 +3,7 @@ package hive
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -1071,7 +1072,7 @@ func computeAggregate(spec aggSpec, rows []datum.Row, argCol int) datum.Datum {
 func (e *Engine) buildRelation(ec *ExecContext, ref sqlparser.TableRef, sel *sqlparser.SelectStmt, meter *sim.Meter) (*relation, error) {
 	switch t := ref.(type) {
 	case *sqlparser.TableName:
-		return e.buildTableScan(t, sel, meter)
+		return e.buildTableScan(ec, t, sel, meter)
 	case *sqlparser.SubqueryRef:
 		rs, err := e.runSelect(ec, t.Select, meter)
 		if err != nil {
@@ -1134,8 +1135,11 @@ func sliceSplitsFor(rows []datum.Row) []mapred.InputSplit {
 }
 
 // buildTableScan plans a base-table scan with projection and
-// predicate pushdown (single-table queries only push predicates).
-func (e *Engine) buildTableScan(t *sqlparser.TableName, sel *sqlparser.SelectStmt, meter *sim.Meter) (*relation, error) {
+// predicate pushdown (single-table queries only push predicates) plus
+// time-travel resolution: an AS OF EPOCH clause on the table reference
+// or the session's read.epoch setting pins the scan at a historical
+// manifest epoch.
+func (e *Engine) buildTableScan(ec *ExecContext, t *sqlparser.TableName, sel *sqlparser.SelectStmt, meter *sim.Meter) (*relation, error) {
 	desc, err := e.MS.Get(t.Name)
 	if err != nil {
 		return nil, err
@@ -1151,6 +1155,10 @@ func (e *Engine) buildTableScan(t *sqlparser.TableName, sel *sqlparser.SelectStm
 	sc := newScope(alias, desc.Schema)
 
 	opts := ScanOptions{}
+	opts.AsOfEpoch, err = resolveReadEpoch(ec, t)
+	if err != nil {
+		return nil, err
+	}
 	// Predicate pushdown only when this table is the sole FROM source
 	// (conjuncts referencing just it are then safe to push).
 	if sel != nil && sel.From == sqlparser.TableRef(t) && sel.Where != nil {
@@ -1170,11 +1178,70 @@ func (e *Engine) buildTableScan(t *sqlparser.TableName, sel *sqlparser.SelectStm
 		}
 		return &relation{sc: sc, names: desc.Schema.Names(), splits: splits, release: release}, nil
 	}
+	// Non-snapshot storage has no epoch history. An explicit AS OF
+	// clause on such a table is an error; the session-wide read.epoch
+	// pin is simply ignored for it (current is its only epoch), so
+	// mixed-storage queries — a DUALTABLE joined to an ORC dimension
+	// table — still run under a session pin.
+	if t.AsOf != nil {
+		return nil, fmt.Errorf("hive: table %s (%v) does not support time travel (AS OF EPOCH)",
+			t.Name, desc.Storage)
+	}
+	opts.AsOfEpoch = nil
 	splits, err := h.Splits(desc, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &relation{sc: sc, names: desc.Schema.Names(), splits: splits}, nil
+}
+
+// resolveReadEpoch picks the epoch a table scan reads at: the table
+// reference's AS OF EPOCH clause when present (a bound literal by
+// execution time), else the session's read.epoch setting, else nil
+// (current epoch).
+func resolveReadEpoch(ec *ExecContext, t *sqlparser.TableName) (*uint64, error) {
+	if t.AsOf != nil {
+		lit, ok := t.AsOf.(*sqlparser.Literal)
+		if !ok {
+			return nil, fmt.Errorf("sql: AS OF EPOCH parameter is not bound")
+		}
+		if lit.Value.K != datum.KindInt || lit.Value.I < 0 {
+			return nil, fmt.Errorf("sql: AS OF EPOCH must be a non-negative integer, got %s",
+				lit.Value.SQLLiteral())
+		}
+		ep := uint64(lit.Value.I)
+		return &ep, nil
+	}
+	v, ok := ec.Var(VarReadEpoch)
+	if !ok {
+		return nil, nil
+	}
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "", "current", "latest":
+		return nil, nil
+	}
+	ep, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("hive: bad %s value %q (want a non-negative integer, \"\" or \"current\")",
+			VarReadEpoch, v)
+	}
+	return &ep, nil
+}
+
+// rejectDMLUnderReadEpoch refuses UPDATE/DELETE while the session pins
+// historical reads: their OVERWRITE rewrites scan the target table,
+// and a pinned epoch would silently rewrite the table from stale data.
+func rejectDMLUnderReadEpoch(ec *ExecContext, stmt string) error {
+	v, ok := ec.Var(VarReadEpoch)
+	if !ok {
+		return nil
+	}
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "", "current", "latest":
+		return nil
+	}
+	return fmt.Errorf("hive: %s cannot run while %s = %q pins historical reads (SET %s = '' first)",
+		stmt, VarReadEpoch, v, VarReadEpoch)
 }
 
 // ExtractSearchArg converts pushable conjuncts (col <op> literal) of

@@ -18,6 +18,14 @@ const (
 	// VarFollowingReads overrides the cost model's k (expected reads
 	// after each modification) for this session.
 	VarFollowingReads = "dualtable.following.reads"
+	// VarReadEpoch pins every snapshot-capable table scan in the
+	// session at the named manifest epoch — the session-level
+	// equivalent of SELECT ... AS OF EPOCH n. Values: a non-negative
+	// integer epoch; "" / "current" / "latest" restore current-epoch
+	// reads. An explicit AS OF clause on a table reference wins over
+	// the session setting. UPDATE and DELETE refuse to run while it is
+	// set (their table rewrites would silently read stale data).
+	VarReadEpoch = "read.epoch"
 )
 
 // SessionVars holds the per-session settings that used to be

@@ -15,9 +15,21 @@ var (
 	// first).
 	ErrEpochConflict = errors.New("metastore: manifest epoch conflict")
 	// ErrEpochExpired is returned when a historical epoch has been
-	// garbage-collected from the chain.
+	// garbage-collected from the chain (or its files have been
+	// reclaimed past the retention window).
 	ErrEpochExpired = errors.New("metastore: manifest epoch expired")
+	// ErrEpochFuture is returned when the requested epoch was never
+	// published: it lies beyond the table's current epoch.
+	ErrEpochFuture = errors.New("metastore: manifest epoch not published yet")
 )
+
+// DefaultRetentionEpochs is the pin-last-N-epochs retention default:
+// the files of the last N historical epochs stay pinned against
+// deferred deletion, so AS OF EPOCH reads within the window are
+// serviceable instead of racing the reaper. 0 disables retention
+// (historical epochs become unreadable as soon as their files are
+// superseded and unpinned).
+const DefaultRetentionEpochs = 8
 
 // manifestHistoryCap bounds the per-table manifest chain kept for
 // historical lookups (ManifestAt). The current manifest never expires.
@@ -56,8 +68,12 @@ func (m *Manifest) Clone() *Manifest {
 	return &cp
 }
 
-// manifestChain is one table's epoch history, newest last.
+// manifestChain is one table's epoch history, newest last. The id is
+// unique per chain incarnation: a DROP whose reclamation is pending
+// records it, so a deferred chain removal cannot destroy the chain a
+// re-CREATE of the same name published meanwhile.
 type manifestChain struct {
+	id      uint64
 	current *Manifest
 	history []*Manifest // includes current as the last element
 }
@@ -86,7 +102,8 @@ func (m *Metastore) PublishManifest(man *Manifest) error {
 	ch, ok := chains[key]
 	cp := man.Clone()
 	if !ok {
-		chains[key] = &manifestChain{current: cp, history: []*Manifest{cp}}
+		m.chainSeq++
+		chains[key] = &manifestChain{id: m.chainSeq, current: cp, history: []*Manifest{cp}}
 		return nil
 	}
 	if man.Epoch != ch.current.Epoch+1 {
@@ -101,6 +118,35 @@ func (m *Metastore) PublishManifest(man *Manifest) error {
 	return nil
 }
 
+// PublishWatermark publishes the next epoch with the current file set
+// unchanged and a fresh watermark — the EDIT DML commit point. Unlike
+// PublishManifest, it shares the current manifest's file slice instead
+// of copying it twice (manifests are immutable after publish, and
+// every read path hands out clones), so a watermark-only commit does
+// no per-file work at all. Returns the published epoch.
+func (m *Metastore) PublishWatermark(table string, watermark uint64) (uint64, error) {
+	key := strings.ToLower(table)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch, ok := m.manifests[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoManifest, table)
+	}
+	cur := ch.current
+	next := &Manifest{
+		Table:     cur.Table,
+		Epoch:     cur.Epoch + 1,
+		Watermark: watermark,
+		Files:     cur.Files, // shared; manifests are immutable
+	}
+	ch.current = next
+	ch.history = append(ch.history, next)
+	if len(ch.history) > manifestHistoryCap {
+		ch.history = ch.history[len(ch.history)-manifestHistoryCap:]
+	}
+	return next.Epoch, nil
+}
+
 // CurrentManifest returns a copy of the table's current manifest.
 func (m *Metastore) CurrentManifest(table string) (*Manifest, error) {
 	m.mu.RLock()
@@ -113,8 +159,10 @@ func (m *Metastore) CurrentManifest(table string) (*Manifest, error) {
 }
 
 // ManifestAt returns a copy of the manifest at a historical epoch
-// (the basis for time-travel reads). Epochs older than the bounded
-// history return ErrEpochExpired.
+// (the basis for time-travel reads). The two failure modes carry
+// distinct sentinels: epochs that aged out of the bounded history
+// return ErrEpochExpired, epochs beyond the current one (never
+// published) return ErrEpochFuture.
 func (m *Metastore) ManifestAt(table string, epoch uint64) (*Manifest, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -128,10 +176,25 @@ func (m *Metastore) ManifestAt(table string, epoch uint64) (*Manifest, error) {
 		}
 	}
 	if epoch < ch.current.Epoch {
-		return nil, fmt.Errorf("%w: %s epoch %d (current %d)", ErrEpochExpired, table, epoch, ch.current.Epoch)
+		return nil, fmt.Errorf("%w: %s epoch %d aged out of history (current %d)",
+			ErrEpochExpired, table, epoch, ch.current.Epoch)
 	}
-	return nil, fmt.Errorf("%w: %s epoch %d not published (current %d)",
-		ErrNoManifest, table, epoch, ch.current.Epoch)
+	return nil, fmt.Errorf("%w: %s epoch %d (current %d)",
+		ErrEpochFuture, table, epoch, ch.current.Epoch)
+}
+
+// ManifestChainID returns the identity of the table's current manifest
+// chain (false when the table has no chain). A pin-aware DROP records
+// it so the deferred chain removal at last-pin release cannot destroy
+// a chain a re-CREATE published under the same name meanwhile.
+func (m *Metastore) ManifestChainID(table string) (uint64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ch, ok := m.manifests[strings.ToLower(table)]
+	if !ok {
+		return 0, false
+	}
+	return ch.id, true
 }
 
 // DropManifests removes a table's manifest chain (DROP TABLE).
@@ -139,4 +202,17 @@ func (m *Metastore) DropManifests(table string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.manifests, strings.ToLower(table))
+}
+
+// DropManifestsByID removes the table's manifest chain only when its
+// identity still matches — the deferred-reclamation path of a
+// pin-aware DROP. A chain republished by a re-CREATE (different id)
+// is left untouched.
+func (m *Metastore) DropManifestsByID(table string, id uint64) {
+	key := strings.ToLower(table)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ch, ok := m.manifests[key]; ok && ch.id == id {
+		delete(m.manifests, key)
+	}
 }

@@ -1,0 +1,148 @@
+package metastore
+
+import (
+	"errors"
+	"testing"
+
+	"dualtable/internal/datum"
+)
+
+func publishN(t *testing.T, m *Metastore, table string, upto uint64) {
+	t.Helper()
+	for e := uint64(0); e <= upto; e++ {
+		err := m.PublishManifest(&Manifest{Table: table, Epoch: e, Watermark: e * 10,
+			Files: []ManifestFile{{Path: "/f", FileID: uint32(e)}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestManifestAtErrorSentinels(t *testing.T) {
+	m := New()
+	publishN(t, m, "t", 3)
+	// Present epochs resolve.
+	man, err := m.ManifestAt("t", 2)
+	if err != nil || man.Epoch != 2 {
+		t.Fatalf("ManifestAt(2) = %v, %v", man, err)
+	}
+	// Future epoch: never published.
+	if _, err := m.ManifestAt("t", 9); !errors.Is(err, ErrEpochFuture) {
+		t.Fatalf("future epoch error = %v, want ErrEpochFuture", err)
+	}
+	if _, err := m.ManifestAt("t", 9); errors.Is(err, ErrEpochExpired) {
+		t.Fatal("future epoch must not also match ErrEpochExpired")
+	}
+	// Aged-out epoch: publish past the history cap.
+	for e := uint64(4); e <= manifestHistoryCap+5; e++ {
+		if err := m.PublishManifest(&Manifest{Table: "t", Epoch: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.ManifestAt("t", 0); !errors.Is(err, ErrEpochExpired) {
+		t.Fatalf("aged-out epoch error = %v, want ErrEpochExpired", err)
+	}
+	// Unknown table.
+	if _, err := m.ManifestAt("nope", 0); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("unknown table error = %v, want ErrNoManifest", err)
+	}
+}
+
+func TestPublishWatermarkSharesFileSet(t *testing.T) {
+	m := New()
+	publishN(t, m, "t", 1)
+	before, _ := m.CurrentManifest("t")
+	ep, err := m.PublishWatermark("t", 777)
+	if err != nil || ep != 2 {
+		t.Fatalf("PublishWatermark = %d, %v", ep, err)
+	}
+	cur, _ := m.CurrentManifest("t")
+	if cur.Epoch != 2 || cur.Watermark != 777 {
+		t.Fatalf("current = %+v", cur)
+	}
+	if len(cur.Files) != len(before.Files) || cur.Files[0] != before.Files[0] {
+		t.Fatalf("watermark publish changed the file set: %+v", cur.Files)
+	}
+	// The previous epoch stays in history with its old watermark.
+	old, err := m.ManifestAt("t", 1)
+	if err != nil || old.Watermark != 10 {
+		t.Fatalf("ManifestAt(1) = %+v, %v", old, err)
+	}
+	// A regular CAS publish still applies after the fast path.
+	if err := m.PublishManifest(&Manifest{Table: "t", Epoch: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PublishWatermark("missing", 1); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("watermark on missing table = %v, want ErrNoManifest", err)
+	}
+}
+
+func TestManifestChainIdentity(t *testing.T) {
+	m := New()
+	publishN(t, m, "t", 0)
+	id1, ok := m.ManifestChainID("t")
+	if !ok {
+		t.Fatal("no chain id")
+	}
+	// A re-created chain gets a new identity; the stale id no longer
+	// deletes it (the deferred-DROP safety property).
+	m.DropManifests("t")
+	publishN(t, m, "t", 0)
+	id2, ok := m.ManifestChainID("t")
+	if !ok || id2 == id1 {
+		t.Fatalf("chain ids: %d then %d, want distinct", id1, id2)
+	}
+	m.DropManifestsByID("t", id1) // stale: must be a no-op
+	if _, err := m.CurrentManifest("t"); err != nil {
+		t.Fatalf("stale DropManifestsByID removed the live chain: %v", err)
+	}
+	m.DropManifestsByID("t", id2)
+	if _, err := m.CurrentManifest("t"); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("matching DropManifestsByID left the chain: %v", err)
+	}
+}
+
+func TestRetentionEpochKnobs(t *testing.T) {
+	m := New()
+	if n := m.RetentionEpochs("t"); n != DefaultRetentionEpochs {
+		t.Fatalf("default retention = %d, want %d", n, DefaultRetentionEpochs)
+	}
+	m.SetDefaultRetentionEpochs(3)
+	if n := m.RetentionEpochs("t"); n != 3 {
+		t.Fatalf("metastore default = %d, want 3", n)
+	}
+	m.SetRetentionEpochs("T", 5) // case-insensitive
+	if n := m.RetentionEpochs("t"); n != 5 {
+		t.Fatalf("per-table retention = %d, want 5", n)
+	}
+	if n := m.RetentionEpochs("other"); n != 3 {
+		t.Fatalf("other table retention = %d, want 3", n)
+	}
+	m.SetRetentionEpochs("t", -4) // clamps to 0 (disabled)
+	if n := m.RetentionEpochs("t"); n != 0 {
+		t.Fatalf("negative retention = %d, want 0", n)
+	}
+	// Windows wider than the bounded manifest history are unserviceable
+	// (no manifest left to read); clamp instead of pinning files for
+	// epochs ManifestAt can never resolve.
+	m.SetRetentionEpochs("t", 10000)
+	if n := m.RetentionEpochs("t"); n != manifestHistoryCap-1 {
+		t.Fatalf("oversized retention = %d, want %d", n, manifestHistoryCap-1)
+	}
+}
+
+func TestRetentionOverrideDiesWithTable(t *testing.T) {
+	m := New()
+	if err := m.Create(&TableDesc{Name: "t",
+		Schema: datum.Schema{{Name: "id", Kind: datum.KindInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	m.SetRetentionEpochs("t", 0)
+	if err := m.Drop("t"); err != nil {
+		t.Fatal(err)
+	}
+	// A re-created table uses the default again, not the stale 0.
+	if n := m.RetentionEpochs("t"); n != DefaultRetentionEpochs {
+		t.Fatalf("retention after drop = %d, want default %d", n, DefaultRetentionEpochs)
+	}
+}

@@ -235,10 +235,14 @@ type TableRef interface {
 	tableRefNode()
 }
 
-// TableName references a named table with an optional alias.
+// TableName references a named table with an optional alias and an
+// optional time-travel clause (t [alias] AS OF EPOCH n): AsOf is nil
+// for a current read, a *Literal (or a *Placeholder until bound) whose
+// non-negative integer value names the manifest epoch to scan.
 type TableName struct {
 	Name  string
 	Alias string
+	AsOf  Expr
 }
 
 // SubqueryRef is a derived table: (SELECT ...) alias.
@@ -290,10 +294,14 @@ func (*SubqueryRef) tableRefNode() {}
 func (*JoinRef) tableRefNode()     {}
 
 func (t *TableName) String() string {
+	s := t.Name
 	if t.Alias != "" {
-		return t.Name + " " + t.Alias
+		s += " " + t.Alias
 	}
-	return t.Name
+	if t.AsOf != nil {
+		s += " AS OF EPOCH " + t.AsOf.String()
+	}
+	return s
 }
 
 func (t *SubqueryRef) String() string {

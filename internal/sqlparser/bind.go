@@ -84,6 +84,7 @@ func rewriteTableRef(t TableRef, fn func(Expr) Expr) TableRef {
 		return nil
 	case *TableName:
 		cp := *v
+		cp.AsOf = RewriteExpr(v.AsOf, fn)
 		return &cp
 	case *SubqueryRef:
 		return &SubqueryRef{Select: rewriteSelect(v.Select, fn), Alias: v.Alias}

@@ -58,7 +58,7 @@ var keywords = map[string]bool{
 	"ELSE": true, "END": true, "CAST": true, "DISTINCT": true, "ALL": true,
 	"UNION": true, "COMPACT": true, "SHOW": true, "TABLES": true,
 	"DESCRIBE": true, "EXPLAIN": true, "ANALYZE": true, "WITH": true,
-	"PARTITIONED": true, "TBLPROPERTIES": true,
+	"PARTITIONED": true, "TBLPROPERTIES": true, "OF": true, "EPOCH": true,
 }
 
 // Lexer tokenizes a SQL string.

@@ -117,6 +117,11 @@ func unaryContext(toks []Token, i int) bool {
 		case "NULL", "TRUE", "FALSE", "END":
 			return false
 		}
+		// Soft keywords read as identifiers (column refs), which are
+		// value-like: "WHERE epoch - 3" is a binary minus.
+		if softKeywords[p.Text] {
+			return false
+		}
 		return true
 	default:
 		return true

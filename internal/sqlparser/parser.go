@@ -105,9 +105,34 @@ func (p *Parser) expect(kind TokenKind, text string) (Token, error) {
 	return Token{}, p.errf("expected %q, got %s", want, p.cur())
 }
 
-// expectIdent consumes an identifier (keywords not allowed).
+// softKeywords are context-sensitive: the lexer tokenizes them as
+// keywords (the AS OF EPOCH grammar needs them), but everywhere an
+// identifier is expected they still read as plain identifiers, so
+// pre-existing schemas with columns or aliases named "of"/"epoch"
+// keep parsing.
+var softKeywords = map[string]bool{"OF": true, "EPOCH": true}
+
+// identLike reports whether the current token can serve as an
+// identifier (a real identifier or a soft keyword).
+func (p *Parser) identLike() bool {
+	t := p.cur()
+	return t.Kind == TokIdent || (t.Kind == TokKeyword && softKeywords[t.Text])
+}
+
+// peekKeyword reports whether the token at offset off from the
+// current position is the given keyword.
+func (p *Parser) peekKeyword(off int, kw string) bool {
+	if p.pos+off >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+off]
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+// expectIdent consumes an identifier (soft keywords allowed, reserved
+// keywords not).
 func (p *Parser) expectIdent() (string, error) {
-	if p.cur().Kind == TokIdent {
+	if p.identLike() {
 		return p.next().Text, nil
 	}
 	return "", p.errf("expected identifier, got %s", p.cur())
@@ -261,7 +286,7 @@ func (p *Parser) parseSelectItem() (SelectItem, error) {
 	if p.accept(TokOp, "*") {
 		return SelectItem{Expr: &Star{}}, nil
 	}
-	if p.cur().Kind == TokIdent && p.pos+2 < len(p.toks) &&
+	if p.identLike() && p.pos+2 < len(p.toks) &&
 		p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "." &&
 		p.toks[p.pos+2].Kind == TokOp && p.toks[p.pos+2].Text == "*" {
 		tab := p.next().Text
@@ -280,7 +305,7 @@ func (p *Parser) parseSelectItem() (SelectItem, error) {
 			return SelectItem{}, err
 		}
 		item.Alias = a
-	} else if p.cur().Kind == TokIdent {
+	} else if p.identLike() {
 		item.Alias = p.next().Text
 	}
 	return item, nil
@@ -376,15 +401,58 @@ func (p *Parser) parsePrimaryTableRef() (TableRef, error) {
 	}
 	ref := &TableName{Name: name}
 	if p.accept(TokKeyword, "AS") {
-		a, err := p.expectIdent()
-		if err != nil {
-			return nil, err
+		// AS introduces either an alias or the AS OF EPOCH time-travel
+		// clause; OF is a soft keyword, so the clause is recognized
+		// only by the full AS OF EPOCH sequence — "t AS of" still
+		// aliases the table as "of".
+		if p.isKeyword("OF") && p.peekKeyword(1, "EPOCH") {
+			if err := p.parseAsOf(ref); err != nil {
+				return nil, err
+			}
+		} else {
+			a, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = a
 		}
-		ref.Alias = a
-	} else if p.cur().Kind == TokIdent {
+	} else if p.identLike() {
 		ref.Alias = p.next().Text
 	}
+	// AS OF EPOCH after an alias: t x AS OF EPOCH 3.
+	if ref.AsOf == nil && p.isKeyword("AS") && p.peekKeyword(1, "OF") {
+		p.next()
+		if err := p.parseAsOf(ref); err != nil {
+			return nil, err
+		}
+	}
 	return ref, nil
+}
+
+// parseAsOf parses the OF EPOCH (n | ?) tail of a time-travel clause
+// (the leading AS is already consumed).
+func (p *Parser) parseAsOf(ref *TableName) error {
+	if _, err := p.expect(TokKeyword, "OF"); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokKeyword, "EPOCH"); err != nil {
+		return err
+	}
+	if p.accept(TokOp, "?") {
+		ref.AsOf = &Placeholder{Idx: p.params}
+		p.params++
+		return nil
+	}
+	t, err := p.expect(TokNumber, "")
+	if err != nil {
+		return err
+	}
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil || n < 0 {
+		return p.errf("bad epoch %q (want a non-negative integer)", t.Text)
+	}
+	ref.AsOf = &Literal{Value: datum.Int(n)}
+	return nil
 }
 
 func (p *Parser) parseInsert() (Statement, error) {
@@ -448,7 +516,7 @@ func (p *Parser) parseUpdate() (Statement, error) {
 		return nil, err
 	}
 	stmt := &UpdateStmt{Table: name}
-	if p.cur().Kind == TokIdent {
+	if p.identLike() {
 		stmt.Alias = p.next().Text
 	}
 	if _, err := p.expect(TokKeyword, "SET"); err != nil {
@@ -513,7 +581,7 @@ func (p *Parser) parseDelete() (Statement, error) {
 		return nil, err
 	}
 	stmt := &DeleteStmt{Table: name}
-	if p.cur().Kind == TokIdent {
+	if p.identLike() {
 		stmt.Alias = p.next().Text
 	}
 	if p.accept(TokKeyword, "WHERE") {
@@ -1021,7 +1089,7 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			return nil, err
 		}
 		return e, nil
-	case t.Kind == TokIdent:
+	case t.Kind == TokIdent || (t.Kind == TokKeyword && softKeywords[t.Text]):
 		name := p.next().Text
 		// Function call?
 		if p.accept(TokOp, "(") {

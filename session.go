@@ -136,6 +136,18 @@ func (s *Session) SetFollowingReads(k float64) {
 	s.vars.Set(hive.VarFollowingReads, fmt.Sprintf("%g", k))
 }
 
+// SetReadEpoch pins every snapshot-capable table scan in this session
+// at the given manifest epoch — the session-level equivalent of
+// SELECT ... AS OF EPOCH n (and of the SQL statement
+// SET read.epoch = n). An explicit AS OF clause on a table reference
+// still wins. UPDATE/DELETE refuse to run while the pin is active.
+func (s *Session) SetReadEpoch(epoch uint64) {
+	s.vars.Set(hive.VarReadEpoch, fmt.Sprintf("%d", epoch))
+}
+
+// ClearReadEpoch restores current-epoch reads for this session.
+func (s *Session) ClearReadEpoch() { s.vars.Unset(hive.VarReadEpoch) }
+
 // SetRatioHint pins the modification-ratio estimate of a DML
 // statement for this session only (the designer-given α/β of the
 // paper's §IV).

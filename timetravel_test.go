@@ -1,0 +1,154 @@
+package dualtable_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dualtable"
+)
+
+// sumOn runs SELECT SUM(v) FROM tt on the session.
+func sumOn(t *testing.T, s *dualtable.Session) float64 {
+	t.Helper()
+	rs, err := s.Exec("SELECT SUM(v) FROM tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs.Rows[0][0].F
+}
+
+// TestSessionReadEpoch exercises the session-level time-travel surface:
+// SET read.epoch (SQL and the SetReadEpoch helper), its precedence
+// below an explicit AS OF clause, the DML guard, and prepared
+// statements with AS OF EPOCH ? placeholders.
+func TestSessionReadEpoch(t *testing.T) {
+	db := openDB(t)
+	s := db.Session()
+	s.MustExec("CREATE TABLE tt (id BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	s.MustExec("INSERT INTO tt VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
+	desc, err := db.Engine.MS.Get("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epBefore, err := db.Handler.CurrentEpoch(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustExec("SET dualtable.force.plan = EDIT")
+	s.MustExec("UPDATE tt SET v = 99.0 WHERE id = 2")
+	epAfter, err := db.Handler.CurrentEpoch(desc)
+	if err != nil || epAfter <= epBefore {
+		t.Fatalf("epoch did not advance: %d -> %d (%v)", epBefore, epAfter, err)
+	}
+
+	reader := db.Session()
+	reader.MustExec(fmt.Sprintf("SET read.epoch = %d", epBefore))
+	rs := reader.MustExec("SELECT SUM(v) FROM tt")
+	if rs.Rows[0][0].F != 6.0 {
+		t.Fatalf("pinned-epoch sum = %v, want 6 (pre-update)", rs.Rows[0])
+	}
+	// An explicit AS OF clause wins over the session pin.
+	rs = reader.MustExec(fmt.Sprintf("SELECT SUM(v) FROM tt AS OF EPOCH %d", epAfter))
+	if rs.Rows[0][0].F != 103.0 {
+		t.Fatalf("explicit AS OF sum = %v, want 103", rs.Rows[0])
+	}
+	// DML refuses to run while the session pins historical reads.
+	if _, err := reader.Exec("UPDATE tt SET v = 0.0 WHERE id = 1"); err == nil ||
+		!strings.Contains(err.Error(), "read.epoch") {
+		t.Fatalf("UPDATE under read.epoch = %v, want refusal", err)
+	}
+	if _, err := reader.Exec("DELETE FROM tt WHERE id = 1"); err == nil {
+		t.Fatal("DELETE under read.epoch succeeded, want refusal")
+	}
+	// INSERT OVERWRITE would rewrite the table from stale reads.
+	if _, err := reader.Exec("INSERT OVERWRITE TABLE tt SELECT * FROM tt"); err == nil ||
+		!strings.Contains(err.Error(), "read.epoch") {
+		t.Fatalf("INSERT OVERWRITE under read.epoch = %v, want refusal", err)
+	}
+	// Plain INSERT INTO stays legal (appending historical rows into a
+	// backup table is a primary time-travel use).
+	reader.MustExec("CREATE TABLE tt_backup (id BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	rs2, err := reader.Exec("INSERT INTO tt_backup SELECT * FROM tt")
+	if err != nil || rs2.Affected != 3 {
+		t.Fatalf("INSERT INTO backup under read.epoch = %v, %v", rs2, err)
+	}
+	bk := db.Session()
+	rs2, err = bk.Exec("SELECT SUM(v) FROM tt_backup")
+	if err != nil || rs2.Rows[0][0].F != 6.0 {
+		t.Fatalf("backup captured %v, want the pinned epoch's 6.0", rs2.Rows[0])
+	}
+	// The session pin only applies to snapshot-capable tables: a join
+	// against an ORC dimension table still runs (the ORC side reads
+	// current — its only epoch); an explicit AS OF on it still errors.
+	reader.MustExec("CREATE TABLE dim (id BIGINT, name STRING) STORED AS ORC")
+	reader.MustExec("INSERT INTO dim VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+	rs, err = reader.Exec("SELECT SUM(tt.v) FROM tt JOIN dim ON tt.id = dim.id")
+	if err != nil || rs.Rows[0][0].F != 6.0 {
+		t.Fatalf("mixed-storage join under pin = %v, %v (want 6)", rs, err)
+	}
+	if _, err := reader.Exec("SELECT * FROM dim AS OF EPOCH 1"); err == nil ||
+		!strings.Contains(err.Error(), "time travel") {
+		t.Fatalf("explicit AS OF on ORC = %v, want rejection", err)
+	}
+
+	// "current" releases the pin; other sessions were never affected.
+	reader.MustExec("SET read.epoch = current")
+	rs = reader.MustExec("SELECT SUM(v) FROM tt")
+	if rs.Rows[0][0].F != 103.0 {
+		t.Fatalf("current sum = %v, want 103", rs.Rows[0])
+	}
+	if got := sumOn(t, s); got != 103.0 {
+		t.Fatalf("other session sum = %v, want 103", got)
+	}
+
+	// The Go helpers mirror the SQL setting.
+	reader.SetReadEpoch(epBefore)
+	if got := sumOn(t, reader); got != 6.0 {
+		t.Fatalf("SetReadEpoch sum = %v, want 6", got)
+	}
+	reader.ClearReadEpoch()
+	if got := sumOn(t, reader); got != 103.0 {
+		t.Fatalf("ClearReadEpoch sum = %v, want 103", got)
+	}
+	// A bad value surfaces as a clean error at scan time.
+	reader.MustExec("SET read.epoch = nonsense")
+	if _, err := reader.Exec("SELECT SUM(v) FROM tt"); err == nil {
+		t.Fatal("bad read.epoch value accepted")
+	}
+	reader.ClearReadEpoch()
+
+	// Prepared statements bind the epoch like any other parameter and
+	// share one cached plan across epochs.
+	st, err := s.Prepare("SELECT SUM(v) FROM tt AS OF EPOCH ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.NumParams() != 1 {
+		t.Fatalf("params = %d, want 1", st.NumParams())
+	}
+	rs, err = st.Exec(int64(epBefore))
+	if err != nil || rs.Rows[0][0].F != 6.0 {
+		t.Fatalf("prepared AS OF old epoch = %v, %v", rs, err)
+	}
+	rs, err = st.Exec(int64(epAfter))
+	if err != nil || rs.Rows[0][0].F != 103.0 {
+		t.Fatalf("prepared AS OF new epoch = %v, %v", rs, err)
+	}
+
+	// Streaming queries honor the pin too.
+	reader.SetReadEpoch(epBefore)
+	rows, err := reader.Query("SELECT v FROM tt WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("no streamed row: %v", rows.Err())
+	}
+	var v float64
+	if err := rows.Scan(&v); err != nil || v != 2.0 {
+		t.Fatalf("streamed pinned read = %v (%v), want 2.0", v, err)
+	}
+}
