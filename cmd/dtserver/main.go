@@ -1,0 +1,102 @@
+// Command dtserver serves an in-memory DualTable cluster over TCP,
+// speaking the dtserver wire protocol. Clients connect through the
+// dualtable database/sql driver:
+//
+//	dtserver -addr 127.0.0.1:7717 &
+//	... sql.Open("dualtable", "dt://127.0.0.1:7717")
+//
+// Each connection gets its own engine session (SET statements apply
+// per connection); statements run under per-tenant admission control:
+// -max-concurrent caps concurrently executing statements, up to
+// -queue-depth more wait at most -queue-wait for a slot, and the rest
+// are shed with the typed "server busy" error. SIGINT/SIGTERM shut
+// down cleanly: in-flight statements are canceled, sessions closed,
+// and the process exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dualtable"
+	"dualtable/internal/server"
+	"dualtable/internal/sim"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7717", "TCP listen address")
+		cluster   = flag.String("cluster", "grid", "simulated cluster: grid (26 nodes) or tpch (10 nodes)")
+		maxConc   = flag.Int("max-concurrent", 8, "per-tenant cap on concurrently executing statements")
+		queueDep  = flag.Int("queue-depth", 16, "per-tenant wait-queue depth beyond the cap (0 = shed immediately)")
+		queueWait = flag.Duration("queue-wait", 2*time.Second, "max time a queued statement waits before being shed")
+		initFile  = flag.String("init", "", "SQL script executed on the default session before serving")
+		quiet     = flag.Bool("q", false, "suppress per-connection logging")
+	)
+	flag.Parse()
+
+	cfg := dualtable.DefaultConfig()
+	if *cluster == "tpch" {
+		cfg.Cluster = sim.TPCHCluster()
+	}
+	db, err := dualtable.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtserver:", err)
+		os.Exit(1)
+	}
+
+	if *initFile != "" {
+		script, err := os.ReadFile(*initFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtserver:", err)
+			os.Exit(1)
+		}
+		if _, err := db.ExecScript(string(script)); err != nil {
+			fmt.Fprintln(os.Stderr, "dtserver: init script:", err)
+			os.Exit(1)
+		}
+	}
+
+	scfg := server.Config{
+		Addr:          *addr,
+		MaxConcurrent: *maxConc,
+		QueueDepth:    *queueDep,
+		QueueWait:     *queueWait,
+	}
+	if !*quiet {
+		scfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dtserver: "+format+"\n", args...)
+		}
+	}
+	srv := server.New(db, scfg)
+	bound, err := srv.Listen()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dtserver listening on %s (cluster=%s, max-concurrent=%d, queue-depth=%d, queue-wait=%s)\n",
+		bound, cfg.Cluster.Name, *maxConc, *queueDep, *queueWait)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("dtserver: %s, shutting down\n", sig)
+		srv.Close()
+		st := srv.Stats()
+		fmt.Printf("dtserver: served %d statements (%d queued, %d shed), bye\n",
+			st.Admitted, st.Queued, st.Shed)
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtserver:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,41 +1,89 @@
-// Command dtsql is an interactive SQL shell over an in-memory
-// DualTable cluster — a stand-in for the Hive CLI of the paper's
-// Figure 3. The shell runs on its own *dualtable.Session, so SET
-// statements (e.g. SET dualtable.force.plan = EDIT) apply to this
-// shell only; a bare SET lists the session's settings. Statements end
-// with ';'. Meta commands: \q quits, \plans shows this session's
-// cost-model decision log, \set lists settings, \t toggles timing.
+// Command dtsql is an interactive SQL shell over a DualTable cluster —
+// a stand-in for the Hive CLI of the paper's Figure 3. By default it
+// runs an in-process simulated cluster; with -connect dt://host:port
+// the same shell drives a remote dtserver through the database/sql
+// driver instead (one code path, two transports). Either way the shell
+// owns one session, so SET statements (e.g. SET dualtable.force.plan =
+// EDIT) apply to this shell only. Statements end with ';'. Meta
+// commands: \q quits, \plans shows the cost-model decision log, \set
+// lists settings, \t toggles timing (\plans and \set are in-process
+// only).
 package main
 
 import (
 	"bufio"
+	"database/sql"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"dualtable"
+	_ "dualtable/driver"
 	"dualtable/internal/sim"
 )
+
+// shellResult is the transport-neutral result the REPL renders: the
+// in-process path fills it from *dualtable.ResultSet, the remote path
+// from database/sql rows.
+type shellResult struct {
+	columns    []string
+	rows       []string // pre-rendered, tab-separated
+	affected   int64
+	plan       string
+	simSeconds float64
+	hasTiming  bool
+}
+
+// executor runs one ';'-terminated statement buffer.
+type executor interface {
+	execScript(sqlText string) (*shellResult, error)
+	// meta handles a local-only meta command; false means unsupported
+	// on this transport.
+	meta(cmd string) bool
+}
 
 func main() {
 	var (
 		cluster = flag.String("cluster", "grid", "simulated cluster: grid (26 nodes) or tpch (10 nodes)")
+		connect = flag.String("connect", "", "drive a remote dtserver (dt://host:port) instead of an in-process cluster")
 		script  = flag.String("f", "", "execute a SQL script file and exit")
 		quiet   = flag.Bool("q", false, "suppress the banner")
 	)
 	flag.Parse()
 
-	cfg := dualtable.DefaultConfig()
-	if *cluster == "tpch" {
-		cfg.Cluster = sim.TPCHCluster()
+	var (
+		ex     executor
+		banner string
+	)
+	if *connect != "" {
+		db, err := sql.Open("dualtable", *connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// One connection, so SET statements stick for the whole shell.
+		db.SetMaxOpenConns(1)
+		if err := db.Ping(); err != nil {
+			fmt.Fprintln(os.Stderr, "dtsql: connect:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		ex = &remoteExecutor{db: db}
+		banner = fmt.Sprintf("DualTable SQL shell — connected to %s", *connect)
+	} else {
+		cfg := dualtable.DefaultConfig()
+		if *cluster == "tpch" {
+			cfg.Cluster = sim.TPCHCluster()
+		}
+		db, err := dualtable.Open(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ex = &localExecutor{sess: db.Session()}
+		banner = fmt.Sprintf("DualTable SQL shell — simulated %s cluster", cfg.Cluster.Name)
 	}
-	db, err := dualtable.Open(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	sess := db.Session()
 
 	if *script != "" {
 		data, err := os.ReadFile(*script)
@@ -43,17 +91,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		rs, err := sess.ExecScript(string(data))
+		res, err := ex.execScript(string(data))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		printResult(rs, true)
+		printResult(res, true)
 		return
 	}
 
 	if !*quiet {
-		fmt.Printf("DualTable SQL shell — simulated %s cluster\n", cfg.Cluster.Name)
+		fmt.Println(banner)
 		fmt.Println(`Statements end with ';'.  SET key = value configures this session.`)
 		fmt.Println(`\q quits, \plans shows plan decisions, \set lists settings, \t toggles timing.`)
 	}
@@ -80,15 +128,9 @@ func main() {
 			fmt.Println("timing:", timing)
 			prompt()
 			continue
-		case `\set`:
-			for _, kv := range sess.Settings() {
-				fmt.Printf("%s = %s\n", kv[0], kv[1])
-			}
-			prompt()
-			continue
-		case `\plans`:
-			for _, d := range sess.PlanLog() {
-				fmt.Printf("%-9s ratio=%.4f (%s) Δ=%.2fs  %s\n", d.Plan, d.Ratio, d.RatioSrc, d.CostDelta, d.Statement)
+		case `\set`, `\plans`:
+			if !ex.meta(trimmed) {
+				fmt.Printf("%s is not available over -connect (server-side state)\n", trimmed)
 			}
 			prompt()
 			continue
@@ -101,34 +143,157 @@ func main() {
 		}
 		sqlText := buf.String()
 		buf.Reset()
-		rs, err := sess.ExecScript(sqlText)
+		res, err := ex.execScript(sqlText)
 		if err != nil {
 			fmt.Println("ERROR:", err)
 		} else {
-			printResult(rs, timing)
+			printResult(res, timing)
 		}
 		prompt()
 	}
 }
 
-func printResult(rs *dualtable.ResultSet, timing bool) {
+// localExecutor runs statements on an in-process session.
+type localExecutor struct {
+	sess *dualtable.Session
+}
+
+func (l *localExecutor) execScript(sqlText string) (*shellResult, error) {
+	rs, err := l.sess.ExecScript(sqlText)
+	if err != nil {
+		return nil, err
+	}
 	if rs == nil {
+		return nil, nil
+	}
+	res := &shellResult{
+		columns:    rs.Columns,
+		affected:   rs.Affected,
+		plan:       rs.Plan,
+		simSeconds: rs.SimSeconds,
+		hasTiming:  true,
+	}
+	for _, r := range rs.Rows {
+		res.rows = append(res.rows, r.String())
+	}
+	return res, nil
+}
+
+func (l *localExecutor) meta(cmd string) bool {
+	switch cmd {
+	case `\set`:
+		for _, kv := range l.sess.Settings() {
+			fmt.Printf("%s = %s\n", kv[0], kv[1])
+		}
+	case `\plans`:
+		for _, d := range l.sess.PlanLog() {
+			fmt.Printf("%-9s ratio=%.4f (%s) Δ=%.2fs  %s\n", d.Plan, d.Ratio, d.RatioSrc, d.CostDelta, d.Statement)
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// remoteExecutor runs statements on a dtserver through database/sql.
+// SELECTs stream over the wire as row batches; everything else (DDL,
+// DML, SET, multi-statement scripts) goes through the exec path, which
+// the server runs as a script and answers with the last statement's
+// result.
+type remoteExecutor struct {
+	db *sql.DB
+}
+
+func (r *remoteExecutor) execScript(sqlText string) (*shellResult, error) {
+	if firstKeyword(sqlText) == "SELECT" {
+		rows, err := r.db.Query(sqlText)
+		if err != nil {
+			return nil, err
+		}
+		defer rows.Close()
+		cols, err := rows.Columns()
+		if err != nil {
+			return nil, err
+		}
+		res := &shellResult{columns: cols}
+		vals := make([]any, len(cols))
+		ptrs := make([]any, len(cols))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		for rows.Next() {
+			if err := rows.Scan(ptrs...); err != nil {
+				return nil, err
+			}
+			res.rows = append(res.rows, renderRow(vals))
+		}
+		if err := rows.Err(); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	sr, err := r.db.Exec(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	res := &shellResult{}
+	if n, err := sr.RowsAffected(); err == nil {
+		res.affected = n
+	}
+	return res, nil
+}
+
+func (r *remoteExecutor) meta(string) bool { return false }
+
+// firstKeyword returns the upper-cased first SQL token, skipping
+// leading whitespace and '--' comments.
+func firstKeyword(sqlText string) string {
+	for _, line := range strings.Split(sqlText, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "--") {
+			continue
+		}
+		if i := strings.IndexAny(t, " \t("); i >= 0 {
+			t = t[:i]
+		}
+		return strings.ToUpper(t)
+	}
+	return ""
+}
+
+func renderRow(vals []any) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			parts[i] = "NULL"
+		case []byte:
+			parts[i] = string(x)
+		default:
+			parts[i] = fmt.Sprint(x)
+		}
+	}
+	return strings.Join(parts, "\t")
+}
+
+func printResult(res *shellResult, timing bool) {
+	if res == nil {
 		return
 	}
-	if len(rs.Columns) > 0 {
-		fmt.Println(strings.Join(rs.Columns, "\t"))
-		for _, r := range rs.Rows {
-			fmt.Println(r.String())
+	if len(res.columns) > 0 {
+		fmt.Println(strings.Join(res.columns, "\t"))
+		for _, r := range res.rows {
+			fmt.Println(r)
 		}
-		fmt.Printf("%d row(s)", len(rs.Rows))
+		fmt.Printf("%d row(s)", len(res.rows))
 	} else {
-		fmt.Printf("OK, %d row(s) affected", rs.Affected)
+		fmt.Printf("OK, %d row(s) affected", res.affected)
 	}
-	if rs.Plan != "" {
-		fmt.Printf("  [plan: %s]", rs.Plan)
+	if res.plan != "" {
+		fmt.Printf("  [plan: %s]", res.plan)
 	}
-	if timing {
-		fmt.Printf("  (%.2f simulated cluster seconds)", rs.SimSeconds)
+	if timing && res.hasTiming {
+		fmt.Printf("  (%.2f simulated cluster seconds)", res.simSeconds)
 	}
 	fmt.Println()
 }

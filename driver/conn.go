@@ -1,0 +1,413 @@
+package driver
+
+import (
+	"context"
+	sqldriver "database/sql/driver"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dualtable"
+	"dualtable/internal/datum"
+	"dualtable/internal/wire"
+)
+
+// conn is one wire connection. database/sql serializes all calls on a
+// driver.Conn, so the request/response protocol needs no client-side
+// demultiplexing: the issuing operation owns Recv until its response
+// (or response stream) completes. The only concurrent writers are
+// cancel and credit frames, which wire.Conn serializes internally.
+type conn struct {
+	wc        *wire.Conn
+	cfg       Config
+	sessionID uint64
+
+	nextStmt atomic.Uint64
+	nextOp   atomic.Uint64
+
+	closed bool
+	broken atomic.Bool // a mid-stream network error poisons the conn
+}
+
+var _ sqldriver.Conn = (*conn)(nil)
+var _ sqldriver.ExecerContext = (*conn)(nil)
+var _ sqldriver.QueryerContext = (*conn)(nil)
+var _ sqldriver.ConnPrepareContext = (*conn)(nil)
+var _ sqldriver.Pinger = (*conn)(nil)
+var _ sqldriver.Validator = (*conn)(nil)
+
+// markBroken poisons the connection after an I/O failure so the pool
+// retires it instead of reusing a desynchronized frame stream.
+func (c *conn) markBroken() { c.broken.Store(true) }
+
+// IsValid lets the pool drop poisoned connections.
+func (c *conn) IsValid() bool { return !c.broken.Load() && !c.closed }
+
+// Prepare compiles a statement server-side.
+func (c *conn) Prepare(query string) (sqldriver.Stmt, error) {
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext compiles a statement server-side. The round trip is
+// not cancelable mid-flight (prepare is parse-only and fast); ctx is
+// checked up front.
+func (c *conn) PrepareContext(ctx context.Context, query string) (sqldriver.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	id := c.nextStmt.Add(1)
+	req := wire.Prepare{StmtID: id, SQL: query}
+	if err := c.wc.Send(wire.TypePrepare, req.Encode()); err != nil {
+		c.markBroken()
+		return nil, err
+	}
+	t, payload, err := c.wc.Recv()
+	if err != nil {
+		c.markBroken()
+		return nil, err
+	}
+	switch t {
+	case wire.TypePrepareOK:
+		var ok wire.PrepareOK
+		if err := ok.Decode(payload); err != nil {
+			c.markBroken()
+			return nil, err
+		}
+		return &stmt{c: c, id: ok.StmtID, numParams: int(ok.NumParams)}, nil
+	case wire.TypeError:
+		return nil, c.decodeError(payload)
+	default:
+		c.markBroken()
+		return nil, fmt.Errorf("%w: PREPARE answered with %v", dualtable.ErrProtocol, t)
+	}
+}
+
+// Close sends an orderly Quit and closes the socket.
+func (c *conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.wc.Send(wire.TypeQuit, nil) // best-effort
+	return c.wc.Close()
+}
+
+// Begin is required by driver.Conn; the engine has no multi-statement
+// transactions (statements are individually atomic via epoch
+// manifests).
+func (c *conn) Begin() (sqldriver.Tx, error) {
+	return nil, errors.New("dualtable: transactions are not supported (statements are individually atomic)")
+}
+
+// Ping round-trips a liveness frame.
+func (c *conn) Ping(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	op := c.nextOp.Add(1)
+	if err := c.wc.Send(wire.TypePing, (&wire.OK{OpID: op}).Encode()); err != nil {
+		c.markBroken()
+		return sqldriver.ErrBadConn
+	}
+	t, payload, err := c.wc.Recv()
+	if err != nil {
+		c.markBroken()
+		return sqldriver.ErrBadConn
+	}
+	if t != wire.TypeOK {
+		c.markBroken()
+		return sqldriver.ErrBadConn
+	}
+	var ok wire.OK
+	if err := ok.Decode(payload); err != nil || ok.OpID != op {
+		c.markBroken()
+		return sqldriver.ErrBadConn
+	}
+	return nil
+}
+
+// ExecContext executes a statement (inline SQL; semicolon-separated
+// scripts run server-side, returning the last result).
+func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	ds, err := namedToDatums(args)
+	if err != nil {
+		return nil, err
+	}
+	return c.exec(ctx, 0, query, ds)
+}
+
+// QueryContext streams a SELECT (inline SQL).
+func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	ds, err := namedToDatums(args)
+	if err != nil {
+		return nil, err
+	}
+	return c.query(ctx, 0, query, ds)
+}
+
+// exec runs one Exec round trip. The response is awaited even after
+// ctx cancels — the watcher sends a wire cancel frame and the server
+// always answers, keeping the frame stream in sync for the next
+// request.
+func (c *conn) exec(ctx context.Context, stmtID uint64, sql string, args []datum.Datum) (sqldriver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opID := c.nextOp.Add(1)
+	req := wire.Exec{OpID: opID, StmtID: stmtID, SQL: sql, Args: args}
+	if err := c.wc.Send(wire.TypeExec, req.Encode()); err != nil {
+		c.markBroken()
+		return nil, err
+	}
+	stopWatch := c.watchCancel(ctx, opID)
+	defer stopWatch()
+	for {
+		t, payload, err := c.wc.Recv()
+		if err != nil {
+			c.markBroken()
+			return nil, err
+		}
+		switch t {
+		case wire.TypeResult:
+			var res wire.Result
+			if err := res.Decode(payload); err != nil {
+				c.markBroken()
+				return nil, err
+			}
+			if res.OpID != opID {
+				c.markBroken()
+				return nil, fmt.Errorf("%w: result for op %d, want %d", dualtable.ErrProtocol, res.OpID, opID)
+			}
+			return execResult{affected: res.Affected}, nil
+		case wire.TypeError:
+			err := c.decodeError(payload)
+			if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		default:
+			c.markBroken()
+			return nil, fmt.Errorf("%w: EXEC answered with %v", dualtable.ErrProtocol, t)
+		}
+	}
+}
+
+// query runs one Query request and returns the response stream.
+func (c *conn) query(ctx context.Context, stmtID uint64, sql string, args []datum.Datum) (sqldriver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opID := c.nextOp.Add(1)
+	req := wire.Query{OpID: opID, StmtID: stmtID, SQL: sql, Args: args, Window: c.cfg.Window}
+	if err := c.wc.Send(wire.TypeQuery, req.Encode()); err != nil {
+		c.markBroken()
+		return nil, err
+	}
+	// The watcher covers the planning window (send → RowHeader).
+	// After the header, database/sql's own ctx monitor closes the
+	// Rows on cancellation, which sends the cancel frame and drains.
+	stopWatch := c.watchCancel(ctx, opID)
+	defer stopWatch()
+	t, payload, err := c.wc.Recv()
+	if err != nil {
+		c.markBroken()
+		return nil, err
+	}
+	switch t {
+	case wire.TypeRowHeader:
+		var hdr wire.RowHeader
+		if err := hdr.Decode(payload); err != nil {
+			c.markBroken()
+			return nil, err
+		}
+		if hdr.OpID != opID {
+			c.markBroken()
+			return nil, fmt.Errorf("%w: header for op %d, want %d", dualtable.ErrProtocol, hdr.OpID, opID)
+		}
+		return &rows{c: c, opID: opID, cols: hdr.Columns}, nil
+	case wire.TypeError:
+		err := c.decodeError(payload)
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	default:
+		c.markBroken()
+		return nil, fmt.Errorf("%w: QUERY answered with %v", dualtable.ErrProtocol, t)
+	}
+}
+
+// watchCancel propagates ctx cancellation as a wire cancel frame
+// until the returned stop func runs.
+func (c *conn) watchCancel(ctx context.Context, opID uint64) func() {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.wc.Send(wire.TypeCancel, (&wire.Cancel{OpID: opID}).Encode())
+		case <-stop:
+		}
+	}()
+	var once atomic.Bool
+	return func() {
+		if !once.Swap(true) {
+			close(stop)
+		}
+	}
+}
+
+// decodeError turns an error frame into its typed client-side error.
+func (c *conn) decodeError(payload []byte) error {
+	var ef wire.ErrorFrame
+	if err := ef.Decode(payload); err != nil {
+		c.markBroken()
+		return err
+	}
+	return dualtable.CodeError(dualtable.ErrCode(ef.Code), ef.Msg)
+}
+
+// execResult implements driver.Result. The engine has no
+// LastInsertId concept.
+type execResult struct{ affected int64 }
+
+func (r execResult) LastInsertId() (int64, error) {
+	return 0, errors.New("dualtable: LastInsertId is not supported")
+}
+func (r execResult) RowsAffected() (int64, error) { return r.affected, nil }
+
+// stmt is a server-side prepared statement.
+type stmt struct {
+	c         *conn
+	id        uint64
+	numParams int
+	closed    bool
+}
+
+var _ sqldriver.Stmt = (*stmt)(nil)
+var _ sqldriver.StmtExecContext = (*stmt)(nil)
+var _ sqldriver.StmtQueryContext = (*stmt)(nil)
+
+// Close releases the server-side statement (fire-and-forget frame; no
+// response, so it can never desynchronize an in-flight stream).
+func (s *stmt) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.c.wc.Send(wire.TypeCloseStmt, (&wire.CloseStmt{StmtID: s.id}).Encode())
+	return nil
+}
+
+// NumInput returns the '?' placeholder count.
+func (s *stmt) NumInput() int { return s.numParams }
+
+// Exec runs the statement with bound arguments.
+func (s *stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
+	ds, err := valuesToDatums(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.c.exec(context.Background(), s.id, "", ds)
+}
+
+// ExecContext runs the statement with bound arguments under ctx.
+func (s *stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	ds, err := namedToDatums(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.c.exec(ctx, s.id, "", ds)
+}
+
+// Query streams the statement's SELECT result.
+func (s *stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
+	ds, err := valuesToDatums(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.c.query(context.Background(), s.id, "", ds)
+}
+
+// QueryContext streams the statement's SELECT result under ctx.
+func (s *stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	ds, err := namedToDatums(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.c.query(ctx, s.id, "", ds)
+}
+
+// ---- value conversion ----
+
+func namedToDatums(args []sqldriver.NamedValue) ([]datum.Datum, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]datum.Datum, len(args))
+	for _, a := range args {
+		if a.Name != "" {
+			return nil, errors.New("dualtable: named parameters are not supported (use ? placeholders)")
+		}
+		d, err := valueToDatum(a.Value)
+		if err != nil {
+			return nil, fmt.Errorf("dualtable: argument %d: %w", a.Ordinal, err)
+		}
+		out[a.Ordinal-1] = d
+	}
+	return out, nil
+}
+
+func valuesToDatums(args []sqldriver.Value) ([]datum.Datum, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]datum.Datum, len(args))
+	for i, a := range args {
+		d, err := valueToDatum(a)
+		if err != nil {
+			return nil, fmt.Errorf("dualtable: argument %d: %w", i+1, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+func valueToDatum(v sqldriver.Value) (datum.Datum, error) {
+	switch x := v.(type) {
+	case nil:
+		return datum.Null, nil
+	case int64:
+		return datum.Int(x), nil
+	case float64:
+		return datum.Float(x), nil
+	case bool:
+		return datum.Bool(x), nil
+	case string:
+		return datum.String_(x), nil
+	case []byte:
+		return datum.String_(string(x)), nil
+	case time.Time:
+		return datum.String_(x.Format(time.RFC3339Nano)), nil
+	default:
+		return datum.Null, fmt.Errorf("unsupported argument type %T", v)
+	}
+}
+
+func datumToValue(d datum.Datum) sqldriver.Value {
+	switch d.K {
+	case datum.KindNull:
+		return nil
+	case datum.KindInt:
+		return d.I
+	case datum.KindFloat:
+		return d.F
+	case datum.KindBool:
+		return d.B
+	default:
+		return d.S
+	}
+}

@@ -1,0 +1,203 @@
+// Package driver registers a database/sql driver named "dualtable"
+// that speaks the dtserver wire protocol:
+//
+//	import _ "dualtable/driver"
+//
+//	db, err := sql.Open("dualtable", "dt://127.0.0.1:7717?tenant=acme")
+//	rows, err := db.QueryContext(ctx, "SELECT id, v FROM t WHERE v > ?", 10.0)
+//
+// Statements prepare server-side ('?' placeholders bind over the
+// wire), SELECTs stream as credit-flow-controlled row batches in
+// bounded memory, and context cancellation propagates as wire cancel
+// frames that abort the server-side MapReduce job mid-stream. Server
+// errors round-trip as stable codes: errors.Is(err,
+// dualtable.ErrServerBusy), dualtable.ErrTableNotFound,
+// dualtable.ErrEpochExpired etc. work exactly as they do in process.
+//
+// DSN form:
+//
+//	dt://host:port[?user=u&tenant=t&token=k&window=8&dial_timeout=5s]
+//
+// tenant selects the server-side admission-control gate (defaults to
+// user, then "default"); window is the streaming flow-control window
+// in row batches.
+//
+// Session variables (SET dualtable.force.plan = EDIT, SET read.epoch
+// = 3, ...) are per-connection server state: use a single-connection
+// pool (db.SetMaxOpenConns(1)) or a sql.Conn when you need them to
+// stick.
+package driver
+
+import (
+	"context"
+	"database/sql"
+	sqldriver "database/sql/driver"
+	"fmt"
+	"net"
+	"net/url"
+	"strconv"
+	"time"
+
+	"dualtable"
+	"dualtable/internal/wire"
+)
+
+func init() { sql.Register("dualtable", &Driver{}) }
+
+// DefaultWindow is the streaming flow-control window (in row-batch
+// frames) when the DSN does not override it.
+const DefaultWindow = 8
+
+// Config is a parsed DSN.
+type Config struct {
+	// Addr is the host:port of the dtserver.
+	Addr string
+	// User and Token feed the handshake's auth stub.
+	User  string
+	Token string
+	// Tenant names the admission-control gate this connection's
+	// statements run under (defaults to User, then "default").
+	Tenant string
+	// Window is the streaming flow-control window in row batches.
+	Window uint32
+	// DialTimeout bounds the TCP connect (default 5s).
+	DialTimeout time.Duration
+}
+
+// ParseDSN parses a dt:// connection string.
+func ParseDSN(dsn string) (Config, error) {
+	u, err := url.Parse(dsn)
+	if err != nil {
+		return Config{}, fmt.Errorf("driver: bad DSN %q: %w", dsn, err)
+	}
+	if u.Scheme != "dt" && u.Scheme != "dualtable" {
+		return Config{}, fmt.Errorf("driver: DSN scheme must be dt:// or dualtable://, got %q", u.Scheme)
+	}
+	if u.Host == "" {
+		return Config{}, fmt.Errorf("driver: DSN %q has no host:port", dsn)
+	}
+	cfg := Config{
+		Addr:        u.Host,
+		Window:      DefaultWindow,
+		DialTimeout: 5 * time.Second,
+	}
+	if u.User != nil {
+		cfg.User = u.User.Username()
+		if pw, ok := u.User.Password(); ok {
+			cfg.Token = pw
+		}
+	}
+	q := u.Query()
+	if v := q.Get("user"); v != "" {
+		cfg.User = v
+	}
+	if v := q.Get("token"); v != "" {
+		cfg.Token = v
+	}
+	if v := q.Get("tenant"); v != "" {
+		cfg.Tenant = v
+	}
+	if v := q.Get("window"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 16)
+		if err != nil || n == 0 {
+			return Config{}, fmt.Errorf("driver: bad window %q", v)
+		}
+		cfg.Window = uint32(n)
+	}
+	if v := q.Get("dial_timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return Config{}, fmt.Errorf("driver: bad dial_timeout %q", v)
+		}
+		cfg.DialTimeout = d
+	}
+	return cfg, nil
+}
+
+// Driver implements database/sql/driver.Driver (and DriverContext).
+type Driver struct{}
+
+// Open dials and handshakes one connection.
+func (d *Driver) Open(dsn string) (sqldriver.Conn, error) {
+	ctor, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return ctor.Connect(context.Background())
+}
+
+// OpenConnector parses the DSN once; the pool dials through the
+// resulting Connector.
+func (d *Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
+	cfg, err := ParseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &Connector{cfg: cfg, drv: d}, nil
+}
+
+// Connector dials pre-parsed connections for the pool.
+type Connector struct {
+	cfg Config
+	drv *Driver
+}
+
+// NewConnector builds a Connector from an explicit Config (programmatic
+// alternative to a DSN, for sql.OpenDB).
+func NewConnector(cfg Config) *Connector {
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	return &Connector{cfg: cfg, drv: &Driver{}}
+}
+
+// Connect dials the server and performs the wire handshake.
+func (c *Connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", c.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	wc := wire.NewConn(nc)
+	hello := wire.Hello{
+		Proto:  wire.ProtoVersion,
+		User:   c.cfg.User,
+		Tenant: c.cfg.Tenant,
+		Token:  c.cfg.Token,
+	}
+	if err := wc.Send(wire.TypeHello, hello.Encode()); err != nil {
+		wc.Close()
+		return nil, err
+	}
+	t, payload, err := wc.Recv()
+	if err != nil {
+		wc.Close()
+		return nil, err
+	}
+	switch t {
+	case wire.TypeHelloOK:
+		var ok wire.HelloOK
+		if err := ok.Decode(payload); err != nil {
+			wc.Close()
+			return nil, err
+		}
+		return &conn{wc: wc, cfg: c.cfg, sessionID: ok.SessionID}, nil
+	case wire.TypeError:
+		var ef wire.ErrorFrame
+		if err := ef.Decode(payload); err != nil {
+			wc.Close()
+			return nil, err
+		}
+		wc.Close()
+		return nil, dualtable.CodeError(dualtable.ErrCode(ef.Code), ef.Msg)
+	default:
+		wc.Close()
+		return nil, fmt.Errorf("%w: handshake answered with %v", dualtable.ErrProtocol, t)
+	}
+}
+
+// Driver returns the parent driver.
+func (c *Connector) Driver() sqldriver.Driver { return c.drv }

@@ -1,0 +1,138 @@
+package driver
+
+import (
+	sqldriver "database/sql/driver"
+	"fmt"
+	"io"
+
+	"dualtable"
+	"dualtable/internal/datum"
+	"dualtable/internal/wire"
+)
+
+// rows consumes one query's response stream: RowBatch frames under
+// credit-based flow control, terminated by QueryEnd. Each consumed
+// batch grants one replacement credit, so at most Window batches are
+// ever in flight — a huge scan streams in bounded client memory.
+type rows struct {
+	c    *conn
+	opID uint64
+	cols []string
+
+	buf []datum.Row
+	idx int
+
+	done bool  // QueryEnd received
+	err  error // terminal stream error (from QueryEnd's code)
+
+	simSeconds float64
+	closed     bool
+}
+
+var _ sqldriver.Rows = (*rows)(nil)
+
+// Columns returns the result column names.
+func (r *rows) Columns() []string { return r.cols }
+
+// Next fills dest with the next row, or returns io.EOF at the end of
+// the stream (or the stream's terminal error).
+func (r *rows) Next(dest []sqldriver.Value) error {
+	for {
+		if r.idx < len(r.buf) {
+			row := r.buf[r.idx]
+			r.idx++
+			if len(row) != len(dest) {
+				return fmt.Errorf("dualtable: row has %d columns, want %d", len(row), len(dest))
+			}
+			for i, d := range row {
+				dest[i] = datumToValue(d)
+			}
+			return nil
+		}
+		if r.done {
+			if r.err != nil {
+				return r.err
+			}
+			return io.EOF
+		}
+		if err := r.recvFrame(); err != nil {
+			return err
+		}
+	}
+}
+
+// recvFrame consumes the next stream frame: a row batch (granting a
+// replacement credit) or the terminal QueryEnd.
+func (r *rows) recvFrame() error {
+	t, payload, err := r.c.wc.Recv()
+	if err != nil {
+		r.c.markBroken()
+		r.done = true
+		return err
+	}
+	switch t {
+	case wire.TypeRowBatch:
+		var rb wire.RowBatch
+		if err := rb.Decode(payload); err != nil {
+			r.c.markBroken()
+			r.done = true
+			return err
+		}
+		if rb.OpID != r.opID {
+			r.c.markBroken()
+			r.done = true
+			return fmt.Errorf("%w: batch for op %d, want %d", dualtable.ErrProtocol, rb.OpID, r.opID)
+		}
+		r.buf = rb.Rows
+		r.idx = 0
+		// Grant a replacement credit for the consumed batch.
+		r.c.wc.Send(wire.TypeFetch, (&wire.Fetch{OpID: r.opID, Credits: 1}).Encode())
+		return nil
+	case wire.TypeQueryEnd:
+		var end wire.QueryEnd
+		if err := end.Decode(payload); err != nil {
+			r.c.markBroken()
+			r.done = true
+			return err
+		}
+		r.done = true
+		r.simSeconds = end.SimSeconds
+		r.err = dualtable.CodeError(dualtable.ErrCode(end.Code), end.Msg)
+		return nil
+	default:
+		r.c.markBroken()
+		r.done = true
+		return fmt.Errorf("%w: unexpected %v in query stream", dualtable.ErrProtocol, t)
+	}
+}
+
+// Close abandons the stream: it tells the server to cancel the job
+// and drains the remaining frames so the connection is clean for the
+// next request. Closing a drained stream is free.
+func (r *rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.done {
+		return nil
+	}
+	// Ask the server to stop, then drain to the QueryEnd. The server
+	// always terminates the stream once the header was sent, and
+	// cancellation unblocks its credit waits, so this converges.
+	if err := r.c.wc.Send(wire.TypeCloseQuery, (&wire.CloseQuery{OpID: r.opID}).Encode()); err != nil {
+		r.c.markBroken()
+		return nil
+	}
+	for !r.done {
+		if err := r.recvFrame(); err != nil {
+			break
+		}
+		r.buf, r.idx = nil, 0 // discard undelivered rows
+	}
+	return nil
+}
+
+// SimSeconds reports the query's simulated cluster seconds (complete
+// once the stream has ended). Driver-specific extension.
+func (r *rows) SimSeconds() float64 { return r.simSeconds }

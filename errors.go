@@ -1,0 +1,148 @@
+package dualtable
+
+import (
+	"context"
+	"errors"
+
+	"dualtable/internal/metastore"
+)
+
+// Public error sentinels. Engine-internal errors that clients are
+// expected to branch on are re-exported here so callers (and the wire
+// protocol) never have to match strings: test with errors.Is.
+var (
+	// ErrTableNotFound: the named table does not exist (or was
+	// dropped).
+	ErrTableNotFound = metastore.ErrTableNotFound
+	// ErrEpochExpired: an AS OF EPOCH / read.epoch read named an epoch
+	// outside the retention window.
+	ErrEpochExpired = metastore.ErrEpochExpired
+	// ErrEpochFuture: an AS OF EPOCH / read.epoch read named an epoch
+	// that was never published.
+	ErrEpochFuture = metastore.ErrEpochFuture
+	// ErrServerBusy: the serving layer's admission control shed the
+	// statement — the per-tenant concurrency cap is reached and the
+	// wait queue is full (or the queue wait timed out). Backpressure,
+	// not failure: retry later.
+	ErrServerBusy = errors.New("dualtable: server busy")
+	// ErrSessionClosed: the session was closed; no further statements
+	// run on it.
+	ErrSessionClosed = errors.New("dualtable: session is closed")
+	// ErrProtocol: the wire peer violated the framing protocol
+	// (malformed frame, oversized length, bad handshake).
+	ErrProtocol = errors.New("dualtable: wire protocol error")
+)
+
+// ErrCode is a stable numeric error code carried in wire-protocol
+// error frames so server errors round-trip to the driver without
+// string matching. Codes are append-only: never renumber.
+type ErrCode uint32
+
+// Stable wire error codes.
+const (
+	// CodeOK: no error.
+	CodeOK ErrCode = 0
+	// CodeUnknown: an error with no more specific code; the message
+	// carries the detail.
+	CodeUnknown ErrCode = 1
+	// CodeTableNotFound maps ErrTableNotFound.
+	CodeTableNotFound ErrCode = 2
+	// CodeEpochExpired maps ErrEpochExpired.
+	CodeEpochExpired ErrCode = 3
+	// CodeEpochFuture maps ErrEpochFuture.
+	CodeEpochFuture ErrCode = 4
+	// CodeServerBusy maps ErrServerBusy (admission control shed).
+	CodeServerBusy ErrCode = 5
+	// CodeSessionClosed maps ErrSessionClosed.
+	CodeSessionClosed ErrCode = 6
+	// CodeCanceled maps context.Canceled / context.DeadlineExceeded
+	// (statement aborted by a cancel frame or connection teardown).
+	CodeCanceled ErrCode = 7
+	// CodeProtocol maps ErrProtocol.
+	CodeProtocol ErrCode = 8
+)
+
+// CodeOf classifies an error into its stable wire code.
+func CodeOf(err error) ErrCode {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, ErrTableNotFound):
+		return CodeTableNotFound
+	case errors.Is(err, ErrEpochExpired):
+		return CodeEpochExpired
+	case errors.Is(err, ErrEpochFuture):
+		return CodeEpochFuture
+	case errors.Is(err, ErrServerBusy):
+		return CodeServerBusy
+	case errors.Is(err, ErrSessionClosed):
+		return CodeSessionClosed
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return CodeCanceled
+	case errors.Is(err, ErrProtocol):
+		return CodeProtocol
+	default:
+		return CodeUnknown
+	}
+}
+
+// sentinel returns the error identity a code stands for (nil for
+// CodeOK and CodeUnknown).
+func (c ErrCode) sentinel() error {
+	switch c {
+	case CodeTableNotFound:
+		return ErrTableNotFound
+	case CodeEpochExpired:
+		return ErrEpochExpired
+	case CodeEpochFuture:
+		return ErrEpochFuture
+	case CodeServerBusy:
+		return ErrServerBusy
+	case CodeSessionClosed:
+		return ErrSessionClosed
+	case CodeCanceled:
+		return context.Canceled
+	case CodeProtocol:
+		return ErrProtocol
+	default:
+		return nil
+	}
+}
+
+// CodeError rebuilds a client-side error from a wire (code, message)
+// pair. The result keeps the server's message text and unwraps to the
+// code's sentinel, so errors.Is(err, dualtable.ErrServerBusy) (or
+// context.Canceled, for CodeCanceled) works across the wire exactly
+// as it does in process. CodeOK returns nil.
+func CodeError(c ErrCode, msg string) error {
+	if c == CodeOK {
+		return nil
+	}
+	if msg == "" {
+		if s := c.sentinel(); s != nil {
+			return s
+		}
+		msg = "unknown server error"
+	}
+	return &codedError{code: c, msg: msg}
+}
+
+type codedError struct {
+	code ErrCode
+	msg  string
+}
+
+func (e *codedError) Error() string { return e.msg }
+
+// Unwrap exposes the sentinel identity for errors.Is.
+func (e *codedError) Unwrap() error { return e.code.sentinel() }
+
+// Code extracts the stable code a CodeError was built with; for other
+// errors it falls back to CodeOf classification.
+func Code(err error) ErrCode {
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return CodeOf(err)
+}

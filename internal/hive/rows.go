@@ -37,7 +37,16 @@ type Rows struct {
 
 	cur datum.Row
 	err error
+
+	// closeHook, when set, runs exactly once when Close first
+	// releases the iterator (session-teardown bookkeeping).
+	closeHook func()
 }
+
+// SetCloseHook registers a function Close runs exactly once when the
+// iterator is released. It must be set before the Rows is shared with
+// other goroutines (the session sets it on the Query return path).
+func (r *Rows) SetCloseHook(fn func()) { r.closeHook = fn }
 
 // Columns returns the result column names.
 func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
@@ -149,6 +158,9 @@ func (r *Rows) Close() error {
 		<-r.done
 	}
 	r.cur = nil
+	if r.closeHook != nil {
+		r.closeHook()
+	}
 	return nil
 }
 

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dualtable"
+)
+
+// gate is one tenant's admission controller: a semaphore capping
+// concurrently executing statements plus a bounded wait queue with a
+// deadline. Excess load is shed with dualtable.ErrServerBusy —
+// backpressure, not collapse: a queued statement runs as soon as a
+// slot frees, a shed statement fails fast and cheap.
+type gate struct {
+	sem     chan struct{}
+	depth   int64
+	maxWait time.Duration
+
+	waiting atomic.Int64
+
+	// Stats.
+	admitted atomic.Int64
+	queued   atomic.Int64
+	shed     atomic.Int64
+}
+
+func newGate(capacity, depth int, maxWait time.Duration) *gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Second
+	}
+	return &gate{sem: make(chan struct{}, capacity), depth: int64(depth), maxWait: maxWait}
+}
+
+// acquire claims an execution slot. Fast path: a free slot admits
+// immediately. Slow path: join the wait queue if it has room and wait
+// until a slot frees, the queue deadline passes (shed), or ctx is
+// canceled. The caller must release() after the statement finishes
+// iff acquire returned nil.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		g.admitted.Add(1)
+		return nil
+	default:
+	}
+	if g.waiting.Add(1) > g.depth {
+		g.waiting.Add(-1)
+		g.shed.Add(1)
+		return fmt.Errorf("%w: %d executing, queue of %d full",
+			dualtable.ErrServerBusy, cap(g.sem), g.depth)
+	}
+	defer g.waiting.Add(-1)
+	g.queued.Add(1)
+	t := time.NewTimer(g.maxWait)
+	defer t.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		g.admitted.Add(1)
+		return nil
+	case <-t.C:
+		g.shed.Add(1)
+		return fmt.Errorf("%w: queued longer than %s", dualtable.ErrServerBusy, g.maxWait)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees the slot claimed by a successful acquire.
+func (g *gate) release() { <-g.sem }
+
+// gates hands out one gate per tenant, created on demand with the
+// server's configured limits.
+type gates struct {
+	mu      sync.Mutex
+	m       map[string]*gate
+	cap     int
+	depth   int
+	maxWait time.Duration
+}
+
+func newGates(capacity, depth int, maxWait time.Duration) *gates {
+	return &gates{m: map[string]*gate{}, cap: capacity, depth: depth, maxWait: maxWait}
+}
+
+func (gs *gates) forTenant(tenant string) *gate {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	g, ok := gs.m[tenant]
+	if !ok {
+		g = newGate(gs.cap, gs.depth, gs.maxWait)
+		gs.m[tenant] = g
+	}
+	return g
+}
+
+// snapshot sums admission stats across tenants.
+func (gs *gates) snapshot() (admitted, queued, shed int64) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	for _, g := range gs.m {
+		admitted += g.admitted.Load()
+		queued += g.queued.Load()
+		shed += g.shed.Load()
+	}
+	return
+}

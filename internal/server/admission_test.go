@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dualtable"
+)
+
+func TestGateAdmitsUpToCapacity(t *testing.T) {
+	g := newGate(3, 0, time.Second)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := g.acquire(ctx); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	// Capacity full, queue depth 0: the next acquire sheds immediately.
+	err := g.acquire(ctx)
+	if !errors.Is(err, dualtable.ErrServerBusy) {
+		t.Fatalf("want ErrServerBusy, got %v", err)
+	}
+	g.release()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestGateQueueAdmitsWhenSlotFrees(t *testing.T) {
+	g := newGate(1, 4, 5*time.Second)
+	ctx := context.Background()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.acquire(ctx) }()
+	// The waiter queues; freeing the slot admits it.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("acquire returned %v before slot freed", err)
+	default:
+	}
+	g.release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued acquire never admitted")
+	}
+	if got := g.queued.Load(); got != 1 {
+		t.Fatalf("queued stat = %d, want 1", got)
+	}
+}
+
+func TestGateQueueDeadlineSheds(t *testing.T) {
+	g := newGate(1, 4, 30*time.Millisecond)
+	ctx := context.Background()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	err := g.acquire(ctx) // queues, then times out
+	if !errors.Is(err, dualtable.ErrServerBusy) {
+		t.Fatalf("want ErrServerBusy after queue deadline, got %v", err)
+	}
+	if got := g.shed.Load(); got != 1 {
+		t.Fatalf("shed stat = %d, want 1", got)
+	}
+}
+
+func TestGateQueueDepthBounded(t *testing.T) {
+	g := newGate(1, 2, 5*time.Second)
+	ctx := context.Background()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- g.acquire(ctx)
+		}()
+	}
+	// With one slot held, at most 2 of the 8 can queue; the other 6
+	// shed immediately. Wait for the sheds, then free the slot thrice
+	// so the queued ones drain.
+	deadline := time.After(2 * time.Second)
+	shed := 0
+	for shed < 6 {
+		select {
+		case err := <-results:
+			if !errors.Is(err, dualtable.ErrServerBusy) {
+				t.Fatalf("want ErrServerBusy, got %v", err)
+			}
+			shed++
+		case <-deadline:
+			t.Fatalf("only %d sheds after 2s, want 6", shed)
+		}
+	}
+	g.release()
+	g.release() // admits the two queued waiters in turn
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+	}
+}
+
+func TestGateAcquireHonorsContext(t *testing.T) {
+	g := newGate(1, 4, 5*time.Second)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.acquire(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled acquire never returned")
+	}
+}
+
+func TestGatesPerTenantIsolation(t *testing.T) {
+	gs := newGates(1, 0, time.Second)
+	a, b := gs.forTenant("a"), gs.forTenant("b")
+	if a == b {
+		t.Fatal("tenants a and b share a gate")
+	}
+	if gs.forTenant("a") != a {
+		t.Fatal("forTenant not stable")
+	}
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant a saturated; tenant b is unaffected.
+	if err := b.acquire(ctx); err != nil {
+		t.Fatalf("tenant b blocked by tenant a: %v", err)
+	}
+	if err := a.acquire(ctx); !errors.Is(err, dualtable.ErrServerBusy) {
+		t.Fatalf("tenant a should shed, got %v", err)
+	}
+}

@@ -1,0 +1,477 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dualtable"
+	"dualtable/internal/datum"
+	"dualtable/internal/wire"
+)
+
+// conn serves one client connection: its own *dualtable.Session, its
+// prepared statements, and its in-flight operations. The read loop
+// never blocks on statement execution — Exec/Query run on op
+// goroutines so Cancel and Fetch frames keep flowing — and teardown
+// (client disconnect or server Close) cancels every op and closes the
+// session, which releases pinned snapshots and cancels jobs.
+type conn struct {
+	srv    *Server
+	wc     *wire.Conn
+	sess   *dualtable.Session
+	gate   *gate
+	tenant string
+	id     uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	opWG   sync.WaitGroup
+
+	mu    sync.Mutex
+	ops   map[uint64]*activeOp
+	stmts map[uint64]*dualtable.Stmt
+}
+
+// activeOp is one in-flight Exec or Query.
+type activeOp struct {
+	ctxVal  context.Context
+	cancel  context.CancelFunc
+	credits chan uint32
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	c := &conn{
+		srv:   s,
+		wc:    wire.NewConn(nc),
+		ops:   map[uint64]*activeOp{},
+		stmts: map[uint64]*dualtable.Stmt{},
+	}
+	c.ctx, c.cancel = context.WithCancel(s.baseCtx)
+	return c
+}
+
+// shutdown force-closes the connection from outside the serve loop
+// (server Close).
+func (c *conn) shutdown() {
+	c.cancel()
+	c.wc.Close()
+}
+
+func (c *conn) serve() {
+	defer c.teardown()
+	if err := c.handshake(); err != nil {
+		c.srv.logf("conn %d: handshake: %v", c.id, err)
+		return
+	}
+	for {
+		t, payload, err := c.wc.Recv()
+		if err != nil {
+			return // disconnect (clean EOF or otherwise)
+		}
+		if err := c.dispatch(t, payload); err != nil {
+			// Protocol violation: report and drop the connection.
+			c.sendError(0, fmt.Errorf("%w: %v", dualtable.ErrProtocol, err))
+			c.srv.logf("conn %d: protocol: %v", c.id, err)
+			return
+		}
+		if t == wire.TypeQuit {
+			return
+		}
+	}
+}
+
+// teardown cancels in-flight ops, waits for their goroutines, and
+// closes the session — releasing every snapshot and job the
+// connection held.
+func (c *conn) teardown() {
+	c.cancel()
+	c.wc.Close()
+	c.opWG.Wait()
+	if c.sess != nil {
+		c.sess.Close()
+	}
+}
+
+// handshake enforces Hello-first within the configured timeout.
+func (c *conn) handshake() error {
+	raw := c.wc.Raw()
+	raw.SetReadDeadline(time.Now().Add(c.srv.cfg.HandshakeTimeout))
+	defer raw.SetReadDeadline(time.Time{})
+
+	t, payload, err := c.wc.Recv()
+	if err != nil {
+		return err
+	}
+	if t != wire.TypeHello {
+		c.sendError(0, fmt.Errorf("%w: expected HELLO, got %v", dualtable.ErrProtocol, t))
+		return fmt.Errorf("expected HELLO, got %v", t)
+	}
+	var hello wire.Hello
+	if err := hello.Decode(payload); err != nil {
+		c.sendError(0, fmt.Errorf("%w: %v", dualtable.ErrProtocol, err))
+		return err
+	}
+	if hello.Proto != wire.ProtoVersion {
+		err := fmt.Errorf("%w: protocol version %d not supported (server speaks %d)",
+			dualtable.ErrProtocol, hello.Proto, wire.ProtoVersion)
+		c.sendError(0, err)
+		return err
+	}
+	if auth := c.srv.cfg.Auth; auth != nil {
+		if err := auth(hello.User, hello.Token); err != nil {
+			c.sendError(0, err)
+			return err
+		}
+	}
+	c.tenant = hello.Tenant
+	if c.tenant == "" {
+		c.tenant = hello.User
+	}
+	if c.tenant == "" {
+		c.tenant = "default"
+	}
+	c.gate = c.srv.gates.forTenant(c.tenant)
+	c.sess = c.srv.db.Session()
+	c.id = c.srv.nextSession.Add(1)
+	ok := wire.HelloOK{Proto: wire.ProtoVersion, Server: serverName(), SessionID: c.id}
+	return c.wc.Send(wire.TypeHelloOK, ok.Encode())
+}
+
+// dispatch routes one frame. A returned error is a protocol violation
+// that drops the connection; statement-level errors are sent as error
+// frames instead.
+func (c *conn) dispatch(t wire.Type, payload []byte) error {
+	switch t {
+	case wire.TypeSet:
+		var m wire.Set
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		if m.Value == "" {
+			c.sess.Unset(m.Key)
+		} else {
+			c.sess.Set(m.Key, m.Value)
+		}
+		return c.wc.Send(wire.TypeOK, (&wire.OK{}).Encode())
+
+	case wire.TypePing:
+		var m wire.OK
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		return c.wc.Send(wire.TypeOK, (&wire.OK{OpID: m.OpID}).Encode())
+
+	case wire.TypePrepare:
+		var m wire.Prepare
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		if m.StmtID == 0 {
+			return fmt.Errorf("PREPARE with reserved stmt id 0")
+		}
+		st, err := c.sess.Prepare(m.SQL)
+		if err != nil {
+			c.sendError(m.StmtID, err)
+			return nil
+		}
+		c.mu.Lock()
+		c.stmts[m.StmtID] = st
+		c.mu.Unlock()
+		ok := wire.PrepareOK{StmtID: m.StmtID, NumParams: uint32(st.NumParams())}
+		return c.wc.Send(wire.TypePrepareOK, ok.Encode())
+
+	case wire.TypeCloseStmt:
+		var m wire.CloseStmt
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if st, ok := c.stmts[m.StmtID]; ok {
+			st.Close()
+			delete(c.stmts, m.StmtID)
+		}
+		c.mu.Unlock()
+		return nil // fire-and-forget
+
+	case wire.TypeExec:
+		var m wire.Exec
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		op, err := c.registerOp(m.OpID)
+		if err != nil {
+			return err
+		}
+		c.opWG.Add(1)
+		go func() {
+			defer c.opWG.Done()
+			defer c.unregisterOp(m.OpID)
+			c.runExec(op, &m)
+		}()
+		return nil
+
+	case wire.TypeQuery:
+		var m wire.Query
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		op, err := c.registerOp(m.OpID)
+		if err != nil {
+			return err
+		}
+		c.opWG.Add(1)
+		go func() {
+			defer c.opWG.Done()
+			defer c.unregisterOp(m.OpID)
+			c.runQuery(op, &m)
+		}()
+		return nil
+
+	case wire.TypeFetch:
+		var m wire.Fetch
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		op := c.ops[m.OpID]
+		c.mu.Unlock()
+		if op != nil {
+			select {
+			case op.credits <- m.Credits:
+			default: // credit buffer full: the op is far behind anyway
+			}
+		}
+		return nil // unknown op: finished already, drop silently
+
+	case wire.TypeCancel, wire.TypeCloseQuery:
+		// Both abort an in-flight op; CloseQuery is the explicit
+		// client-side Rows.Close, Cancel the context path.
+		var m wire.Cancel
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		op := c.ops[m.OpID]
+		c.mu.Unlock()
+		if op != nil {
+			op.cancel()
+		}
+		return nil
+
+	case wire.TypeQuit:
+		return nil
+
+	default:
+		return fmt.Errorf("unexpected frame %v", t)
+	}
+}
+
+func (c *conn) registerOp(opID uint64) (*activeOp, error) {
+	opCtx, cancel := context.WithCancel(c.ctx)
+	op := &activeOp{ctxVal: opCtx, cancel: cancel, credits: make(chan uint32, 128)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.ops[opID]; dup {
+		cancel()
+		return nil, fmt.Errorf("duplicate op id %d", opID)
+	}
+	c.ops[opID] = op
+	return op, nil
+}
+
+func (c *conn) unregisterOp(opID uint64) {
+	c.mu.Lock()
+	op := c.ops[opID]
+	delete(c.ops, opID)
+	c.mu.Unlock()
+	if op != nil {
+		op.cancel()
+	}
+}
+
+// runExec executes a statement to completion and answers with one
+// Result or Error frame.
+func (c *conn) runExec(op *activeOp, m *wire.Exec) {
+	c.srv.activeOps.Add(1)
+	defer c.srv.activeOps.Add(-1)
+	ctx := op.ctxVal
+	if err := c.gate.acquire(ctx); err != nil {
+		c.sendError(m.OpID, err)
+		return
+	}
+	defer c.gate.release()
+
+	rs, err := c.execStatement(ctx, m)
+	if err != nil {
+		c.sendError(m.OpID, err)
+		return
+	}
+	res := wire.Result{OpID: m.OpID}
+	if rs != nil {
+		res.Columns = rs.Columns
+		res.Rows = rs.Rows
+		res.Affected = rs.Affected
+		res.SimSeconds = rs.SimSeconds
+		res.Plan = rs.Plan
+	}
+	if err := c.wc.Send(wire.TypeResult, res.Encode()); err != nil {
+		c.srv.logf("conn %d: send result: %v", c.id, err)
+	}
+}
+
+func (c *conn) execStatement(ctx context.Context, m *wire.Exec) (*dualtable.ResultSet, error) {
+	args := datumArgs(m.Args)
+	switch {
+	case m.StmtID != 0:
+		st, err := c.stmt(m.StmtID)
+		if err != nil {
+			return nil, err
+		}
+		return st.ExecContext(ctx, args...)
+	case len(args) > 0:
+		st, err := c.sess.Prepare(m.SQL)
+		if err != nil {
+			return nil, err
+		}
+		return st.ExecContext(ctx, args...)
+	default:
+		// Scripts (semicolon-separated) and single statements share
+		// this path; the last statement's result is returned.
+		return c.sess.ExecScriptContext(ctx, m.SQL)
+	}
+}
+
+// runQuery streams a SELECT: RowHeader, then RowBatch frames under
+// credit-based flow control, then QueryEnd (clean, failed or
+// canceled — the stream always terminates with QueryEnd once the
+// header went out).
+func (c *conn) runQuery(op *activeOp, m *wire.Query) {
+	c.srv.activeOps.Add(1)
+	defer c.srv.activeOps.Add(-1)
+	ctx := op.ctxVal
+	if err := c.gate.acquire(ctx); err != nil {
+		c.sendError(m.OpID, err)
+		return
+	}
+	defer c.gate.release()
+
+	rows, err := c.queryStatement(ctx, m)
+	if err != nil {
+		c.sendError(m.OpID, err)
+		return
+	}
+	defer rows.Close()
+
+	hdr := wire.RowHeader{OpID: m.OpID, Columns: rows.Columns()}
+	if err := c.wc.Send(wire.TypeRowHeader, hdr.Encode()); err != nil {
+		return
+	}
+
+	credits := int64(m.Window)
+	if credits < 1 {
+		credits = 1
+	}
+	batchCap := c.srv.cfg.BatchRows
+	batch := make([]datum.Row, 0, batchCap)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		for credits == 0 {
+			select {
+			case n := <-op.credits:
+				credits += int64(n)
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		credits--
+		rb := wire.RowBatch{OpID: m.OpID, Rows: batch}
+		if err := c.wc.Send(wire.TypeRowBatch, rb.Encode()); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+
+	var streamErr error
+	for rows.Next() {
+		batch = append(batch, rows.Row())
+		if len(batch) >= batchCap {
+			if streamErr = flush(); streamErr != nil {
+				break
+			}
+		}
+	}
+	if streamErr == nil {
+		streamErr = rows.Err()
+	}
+	if streamErr == nil {
+		streamErr = flush()
+	}
+	if streamErr == nil && ctx.Err() != nil {
+		streamErr = ctx.Err()
+	}
+	end := wire.QueryEnd{OpID: m.OpID, SimSeconds: rows.SimSeconds()}
+	if streamErr != nil {
+		end.Code = uint32(dualtable.CodeOf(streamErr))
+		end.Msg = streamErr.Error()
+	}
+	if err := c.wc.Send(wire.TypeQueryEnd, end.Encode()); err != nil {
+		c.srv.logf("conn %d: send query end: %v", c.id, err)
+	}
+}
+
+func (c *conn) queryStatement(ctx context.Context, m *wire.Query) (*dualtable.Rows, error) {
+	args := datumArgs(m.Args)
+	switch {
+	case m.StmtID != 0:
+		st, err := c.stmt(m.StmtID)
+		if err != nil {
+			return nil, err
+		}
+		return st.QueryContext(ctx, args...)
+	case len(args) > 0:
+		st, err := c.sess.Prepare(m.SQL)
+		if err != nil {
+			return nil, err
+		}
+		return st.QueryContext(ctx, args...)
+	default:
+		return c.sess.QueryContext(ctx, m.SQL)
+	}
+}
+
+func (c *conn) stmt(id uint64) (*dualtable.Stmt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.stmts[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown prepared statement %d", dualtable.ErrProtocol, id)
+	}
+	return st, nil
+}
+
+// sendError reports a failed request with its stable code; delivery
+// is best-effort (the peer may already be gone).
+func (c *conn) sendError(opID uint64, err error) {
+	ef := wire.ErrorFrame{OpID: opID, Code: uint32(dualtable.CodeOf(err)), Msg: err.Error()}
+	if serr := c.wc.Send(wire.TypeError, ef.Encode()); serr != nil {
+		c.srv.logf("conn %d: send error frame: %v", c.id, serr)
+	}
+}
+
+// datumArgs widens wire datums to the session API's any-args.
+func datumArgs(ds []datum.Datum) []any {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]any, len(ds))
+	for i, d := range ds {
+		out[i] = d
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package server is the dtserver network serving layer: a TCP server
+// that owns a dualtable.DB, speaks the internal/wire framed protocol,
+// maps each connection to its own *dualtable.Session, and routes
+// statements through per-tenant admission control (cap concurrent
+// executing jobs, queue up to a bounded depth with deadline-aware
+// waits, shed the rest with the typed dualtable.ErrServerBusy).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dualtable"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:7717").
+	Addr string
+	// MaxConcurrent caps concurrently executing statements per tenant
+	// (default 8).
+	MaxConcurrent int
+	// QueueDepth bounds how many statements per tenant may wait for a
+	// slot beyond the cap; further statements are shed immediately
+	// (default 16).
+	QueueDepth int
+	// QueueWait bounds how long a queued statement waits before being
+	// shed (default 2s).
+	QueueWait time.Duration
+	// Auth validates the handshake's (user, token) pair. Nil accepts
+	// everyone — the protocol's auth stub.
+	Auth func(user, token string) error
+	// BatchRows is the row count per streamed RowBatch frame
+	// (default 256).
+	BatchRows int
+	// HandshakeTimeout bounds how long a fresh connection may take to
+	// send its Hello (default 10s).
+	HandshakeTimeout time.Duration
+	// Logf, when set, receives server diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Addr == "" {
+		out.Addr = "127.0.0.1:7717"
+	}
+	if out.MaxConcurrent <= 0 {
+		out.MaxConcurrent = 8
+	}
+	if out.QueueDepth < 0 {
+		out.QueueDepth = 0
+	} else if out.QueueDepth == 0 {
+		out.QueueDepth = 16
+	}
+	if out.QueueWait <= 0 {
+		out.QueueWait = 2 * time.Second
+	}
+	if out.BatchRows <= 0 {
+		out.BatchRows = 256
+	}
+	if out.HandshakeTimeout <= 0 {
+		out.HandshakeTimeout = 10 * time.Second
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of server activity.
+type Stats struct {
+	// Conns is the number of live connections.
+	Conns int64
+	// ActiveOps is the number of statements currently executing or
+	// streaming.
+	ActiveOps int64
+	// Admitted / Queued / Shed are cumulative admission-control
+	// outcomes across tenants (Queued counts statements that waited;
+	// Shed counts the typed busy errors returned).
+	Admitted int64
+	Queued   int64
+	Shed     int64
+}
+
+// Server serves a dualtable.DB over the wire protocol.
+type Server struct {
+	db    *dualtable.DB
+	cfg   Config
+	gates *gates
+
+	ln          net.Listener
+	baseCtx     context.Context
+	baseCancel  context.CancelFunc
+	wg          sync.WaitGroup
+	nextSession atomic.Uint64
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+
+	liveConns atomic.Int64
+	activeOps atomic.Int64
+}
+
+// New builds a server over an open DB. Call Start (or Listen+Serve)
+// to begin accepting connections.
+func New(db *dualtable.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:    db,
+		cfg:   cfg,
+		gates: newGates(cfg.MaxConcurrent, cfg.QueueDepth, cfg.QueueWait),
+		conns: map[*conn]struct{}{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s
+}
+
+// Listen binds the configured address without serving yet.
+func (s *Server) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve runs the accept loop until Close. Listen must have been
+// called.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.baseCtx.Err() != nil {
+				return nil // orderly shutdown
+			}
+			return err
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.liveConns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.liveConns.Add(-1)
+			defer s.dropConn(c)
+			c.serve()
+		}()
+	}
+}
+
+// Start is Listen plus Serve on a background goroutine, returning the
+// bound address (use ":0" in Config.Addr for an ephemeral port).
+func (s *Server) Start() (net.Addr, error) {
+	addr, err := s.Listen()
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve()
+	return addr, nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, tears down every connection (canceling
+// in-flight statements and closing their sessions), and waits for
+// connection goroutines to drain. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.baseCancel()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.shutdown()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Stats snapshots server activity.
+func (s *Server) Stats() Stats {
+	adm, q, shed := s.gates.snapshot()
+	return Stats{
+		Conns:     s.liveConns.Load(),
+		ActiveOps: s.activeOps.Load(),
+		Admitted:  adm,
+		Queued:    q,
+		Shed:      shed,
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// serverName identifies the build in HelloOK frames.
+func serverName() string { return fmt.Sprintf("dtserver/%d", 1) }

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"dualtable"
+	"dualtable/internal/wire"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	db, err := dualtable.Open(dualtable.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 2 * time.Second
+	}
+	s := New(db, cfg)
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dialRaw(t *testing.T, s *Server) net.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	t.Cleanup(func() { nc.Close() })
+	return nc
+}
+
+// handshake performs a well-formed Hello/HelloOK exchange.
+func handshake(t *testing.T, nc net.Conn) {
+	t.Helper()
+	hello := wire.Hello{Proto: wire.ProtoVersion, User: "test"}
+	if err := wire.WriteFrame(nc, wire.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != wire.TypeHelloOK {
+		t.Fatalf("handshake answered with %v", ft)
+	}
+	var ok wire.HelloOK
+	if err := ok.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ping verifies the connection (and thus the server) is serviceable.
+func ping(t *testing.T, nc net.Conn) {
+	t.Helper()
+	if err := wire.WriteFrame(nc, wire.TypePing, (&wire.OK{OpID: 7}).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != wire.TypeOK {
+		t.Fatalf("ping answered with %v", ft)
+	}
+	var ok wire.OK
+	if err := ok.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if ok.OpID != 7 {
+		t.Fatalf("ping echoed op %d, want 7", ok.OpID)
+	}
+}
+
+// readError expects a TypeError frame and returns its decoded code.
+func readError(t *testing.T, nc net.Conn) dualtable.ErrCode {
+	t.Helper()
+	ft, payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != wire.TypeError {
+		t.Fatalf("expected ERROR frame, got %v", ft)
+	}
+	var ef wire.ErrorFrame
+	if err := ef.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	return dualtable.ErrCode(ef.Code)
+}
+
+// expectClosed asserts the server hangs up (EOF or reset) rather than
+// hanging or answering further.
+func expectClosed(t *testing.T, nc net.Conn) {
+	t.Helper()
+	_, _, err := wire.ReadFrame(nc)
+	if err == nil {
+		t.Fatal("connection still serving frames, want close")
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		t.Fatalf("read timed out instead of server closing: %v", err)
+	}
+	// Any other network error (e.g. connection reset) is a close too.
+}
+
+func TestHandshakeFirstFrameMustBeHello(t *testing.T) {
+	s := newTestServer(t, Config{})
+	nc := dialRaw(t, s)
+	ex := wire.Exec{OpID: 1, SQL: "SELECT 1"}
+	if err := wire.WriteFrame(nc, wire.TypeExec, ex.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if code := readError(t, nc); code != dualtable.CodeProtocol {
+		t.Fatalf("code = %v, want CodeProtocol", code)
+	}
+	expectClosed(t, nc)
+}
+
+func TestHandshakeProtoMismatch(t *testing.T) {
+	s := newTestServer(t, Config{})
+	nc := dialRaw(t, s)
+	hello := wire.Hello{Proto: 99, User: "future"}
+	if err := wire.WriteFrame(nc, wire.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if code := readError(t, nc); code != dualtable.CodeProtocol {
+		t.Fatalf("code = %v, want CodeProtocol", code)
+	}
+	expectClosed(t, nc)
+}
+
+func TestHandshakeAuthStub(t *testing.T) {
+	s := newTestServer(t, Config{
+		Auth: func(user, token string) error {
+			if token != "sesame" {
+				return errors.New("bad token")
+			}
+			return nil
+		},
+	})
+
+	bad := dialRaw(t, s)
+	hello := wire.Hello{Proto: wire.ProtoVersion, User: "u", Token: "nope"}
+	if err := wire.WriteFrame(bad, wire.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	ft, _, err := wire.ReadFrame(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != wire.TypeError {
+		t.Fatalf("bad token answered with %v, want ERROR", ft)
+	}
+	expectClosed(t, bad)
+
+	good := dialRaw(t, s)
+	hello.Token = "sesame"
+	if err := wire.WriteFrame(good, wire.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	ft, _, err = wire.ReadFrame(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != wire.TypeHelloOK {
+		t.Fatalf("good token answered with %v, want HELLO_OK", ft)
+	}
+}
+
+// TestMalformedFramesCleanClose throws malformed byte streams at the
+// server: it must drop each connection cleanly (no panic, no hang) and
+// keep serving well-formed clients afterwards.
+func TestMalformedFramesCleanClose(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	cases := []struct {
+		name string
+		send func(t *testing.T, nc net.Conn)
+	}{
+		{"oversize length claim", func(t *testing.T, nc net.Conn) {
+			// Header claiming a 1 GB payload; MaxFrame rejects it before
+			// any allocation.
+			nc.Write([]byte{0x40, 0x00, 0x00, 0x00, byte(wire.TypeHello)})
+		}},
+		{"truncated payload", func(t *testing.T, nc net.Conn) {
+			// Claims 100 payload bytes, delivers 4, hangs up.
+			nc.Write([]byte{0x00, 0x00, 0x00, 0x64, byte(wire.TypeHello), 1, 2, 3, 4})
+			if cw, ok := nc.(*net.TCPConn); ok {
+				cw.CloseWrite()
+			}
+		}},
+		{"garbage hello payload", func(t *testing.T, nc net.Conn) {
+			wire.WriteFrame(nc, wire.TypeHello, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+		}},
+		{"unknown frame type after handshake", func(t *testing.T, nc net.Conn) {
+			handshake(t, nc)
+			wire.WriteFrame(nc, wire.Type(0x7f), nil)
+		}},
+		{"garbage exec payload after handshake", func(t *testing.T, nc net.Conn) {
+			handshake(t, nc)
+			wire.WriteFrame(nc, wire.TypeExec, []byte{0xde, 0xad, 0xbe, 0xef})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nc := dialRaw(t, s)
+			tc.send(t, nc)
+			// The server must hang up within the read deadline — an
+			// error frame first is fine, then close.
+			for i := 0; i < 4; i++ {
+				if _, _, err := wire.ReadFrame(nc); err != nil {
+					var ne net.Error
+					if errors.As(err, &ne) && ne.Timeout() {
+						t.Fatalf("server hung instead of closing: %v", err)
+					}
+					return
+				}
+			}
+			t.Fatal("server kept answering a malformed connection")
+		})
+	}
+
+	// The server survived all of it.
+	nc := dialRaw(t, s)
+	handshake(t, nc)
+	ping(t, nc)
+}
+
+func TestQuitDisconnectsCleanly(t *testing.T) {
+	s := newTestServer(t, Config{})
+	nc := dialRaw(t, s)
+	handshake(t, nc)
+	if err := wire.WriteFrame(nc, wire.TypeQuit, nil); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, nc)
+	waitFor(t, func() bool { return s.Stats().Conns == 0 })
+}
+
+func TestServerCloseTearsDownLiveConns(t *testing.T) {
+	s := newTestServer(t, Config{})
+	nc := dialRaw(t, s)
+	handshake(t, nc)
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with a live connection")
+	}
+	expectClosed(t, nc)
+}
+
+// waitFor polls cond until it holds or a deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

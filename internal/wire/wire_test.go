@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"dualtable/internal/datum"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 100_000)}
+	types := []Type{TypeHello, TypeQuery, TypeRowBatch, TypeError}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, types[i], p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i, p := range payloads {
+		ft, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if ft != types[i] {
+			t.Fatalf("frame %d type = %v, want %v", i, ft, types[i])
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d payload mismatch: %d vs %d bytes", i, len(got), len(p))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("read at end = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	if err := WriteFrame(io.Discard, TypeExec, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("WriteFrame accepted an oversized payload")
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrame+1)
+	hdr[4] = byte(TypeExec)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("ReadFrame accepted an oversized length prefix")
+	}
+}
+
+// message is the common shape of every wire message.
+type message interface {
+	Encode() []byte
+	Decode([]byte) error
+}
+
+func roundTrips() []struct {
+	name string
+	in   message
+	out  message
+} {
+	rows := []datum.Row{
+		{datum.Int(1), datum.String_("a"), datum.Float(1.5), datum.Bool(true)},
+		{datum.Null, datum.String_(""), datum.Float(-0.0), datum.Bool(false)},
+	}
+	return []struct {
+		name string
+		in   message
+		out  message
+	}{
+		{"hello", &Hello{Proto: 1, User: "u", Tenant: "acme", Token: "tok"}, &Hello{}},
+		{"hello_ok", &HelloOK{Proto: 1, Server: "dtserver/1", SessionID: 42}, &HelloOK{}},
+		{"set", &Set{Key: "dualtable.force.plan", Value: "EDIT"}, &Set{}},
+		{"prepare", &Prepare{StmtID: 7, SQL: "SELECT * FROM t WHERE id = ?"}, &Prepare{}},
+		{"prepare_ok", &PrepareOK{StmtID: 7, NumParams: 3}, &PrepareOK{}},
+		{"exec_stmt", &Exec{OpID: 9, StmtID: 7, Args: []datum.Datum{datum.Int(-5), datum.Null}}, &Exec{}},
+		{"exec_sql", &Exec{OpID: 10, SQL: "UPDATE t SET v = 1 WHERE id = 2"}, &Exec{}},
+		{"query", &Query{OpID: 11, SQL: "SELECT * FROM t", Args: []datum.Datum{datum.String_("x'y")}, Window: 8}, &Query{}},
+		{"fetch", &Fetch{OpID: 11, Credits: 4}, &Fetch{}},
+		{"cancel", &Cancel{OpID: 11}, &Cancel{}},
+		{"close_stmt", &CloseStmt{StmtID: 7}, &CloseStmt{}},
+		{"close_query", &CloseQuery{OpID: 11}, &CloseQuery{}},
+		{"ok", &OK{OpID: 3}, &OK{}},
+		{"result", &Result{OpID: 9, Columns: []string{"id", "v"}, Rows: rows, Affected: -1, SimSeconds: 2.25, Plan: "EDIT"}, &Result{}},
+		{"row_header", &RowHeader{OpID: 11, Columns: []string{"id", "day", "kwh", "ok"}}, &RowHeader{}},
+		{"row_batch", &RowBatch{OpID: 11, Rows: rows}, &RowBatch{}},
+		{"query_end", &QueryEnd{OpID: 11, SimSeconds: 0.5, Code: 7, Msg: "context canceled"}, &QueryEnd{}},
+		{"error", &ErrorFrame{OpID: 9, Code: 5, Msg: "server busy"}, &ErrorFrame{}},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, tc := range roundTrips() {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.in.Encode()
+			if err := tc.out.Decode(b); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			// Normalize nil-vs-empty slices before deep comparison.
+			if !reflect.DeepEqual(normalize(tc.in), normalize(tc.out)) {
+				t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", tc.in, tc.out)
+			}
+		})
+	}
+}
+
+// normalize re-encodes a message so nil and empty slices compare
+// equal.
+func normalize(m message) string { return string(m.Encode()) }
+
+// TestMalformedPayloads feeds truncated and corrupted payloads to
+// every decoder: each must return an error (never panic, never
+// succeed on trailing garbage).
+func TestMalformedPayloads(t *testing.T) {
+	for _, tc := range roundTrips() {
+		b := tc.in.Encode()
+		// Every strict prefix must fail or be detected as short —
+		// decoding a truncation must never panic.
+		for cut := 0; cut < len(b); cut++ {
+			fresh := reflect.New(reflect.TypeOf(tc.out).Elem()).Interface().(message)
+			if err := fresh.Decode(b[:cut]); err == nil {
+				t.Errorf("%s: decode of %d/%d-byte prefix succeeded", tc.name, cut, len(b))
+			}
+		}
+		// Trailing garbage is rejected.
+		fresh := reflect.New(reflect.TypeOf(tc.out).Elem()).Interface().(message)
+		if err := fresh.Decode(append(append([]byte(nil), b...), 0xFF)); err == nil {
+			t.Errorf("%s: decode accepted trailing garbage", tc.name)
+		}
+	}
+}
+
+// TestMalformedLengthClaims checks the hostile-length paths: counts
+// that claim more elements than the payload could hold must error
+// without huge allocations.
+func TestMalformedLengthClaims(t *testing.T) {
+	huge := binary.AppendUvarint(nil, 1<<40)
+	cases := []struct {
+		name string
+		msg  message
+		b    []byte
+	}{
+		{"row_batch count", &RowBatch{}, append(binary.AppendUvarint(nil, 1), huge...)},
+		{"result columns", &Result{}, append(binary.AppendUvarint(nil, 1), huge...)},
+		{"exec args", &Exec{}, append(append(append(binary.AppendUvarint(nil, 1), 0), 0), huge...)},
+		{"header cols", &RowHeader{}, append(binary.AppendUvarint(nil, 1), huge...)},
+		{"hello string", &Hello{}, append(binary.AppendUvarint(nil, 1), huge...)},
+	}
+	for _, tc := range cases {
+		if err := tc.msg.Decode(tc.b); err == nil {
+			t.Errorf("%s: decode succeeded on hostile length claim", tc.name)
+		}
+	}
+}
+
+// TestShortReadOverPipe exercises ReadFrame against a peer that
+// closes mid-frame: header-only, partial header, and partial payload
+// all surface clean errors.
+func TestShortReadOverPipe(t *testing.T) {
+	cases := []struct {
+		name  string
+		bytes []byte
+	}{
+		{"partial header", []byte{0x00, 0x00}},
+		{"header only", func() []byte {
+			var h [5]byte
+			binary.BigEndian.PutUint32(h[:4], 100)
+			h[4] = byte(TypeExec)
+			return h[:]
+		}()},
+		{"partial payload", func() []byte {
+			var h [5]byte
+			binary.BigEndian.PutUint32(h[:4], 100)
+			h[4] = byte(TypeExec)
+			return append(h[:], make([]byte, 10)...)
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			client, server := net.Pipe()
+			go func() {
+				client.Write(tc.bytes)
+				client.Close()
+			}()
+			server.SetReadDeadline(time.Now().Add(5 * time.Second))
+			_, _, err := ReadFrame(server)
+			if err == nil {
+				t.Fatal("ReadFrame succeeded on a truncated frame")
+			}
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("err = %v, want io.ErrUnexpectedEOF wrap", err)
+			}
+			server.Close()
+		})
+	}
+}

@@ -75,18 +75,26 @@ func (s *Session) Submit(sql string) (*Job, error) {
 }
 
 // SubmitContext is Submit under a parent context: canceling the
-// parent cancels the job as Job.Cancel does.
+// parent cancels the job as Job.Cancel does. The job is tracked by
+// its session: Session.Close cancels and awaits it. A closed session
+// returns ErrSessionClosed.
 func (s *Session) SubmitContext(ctx context.Context, sql string) (*Job, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	jctx, cancel := context.WithCancel(ctx)
+	octx, release, err := s.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	jctx, cancel := context.WithCancel(octx)
 	j := &Job{sql: sql, cancel: cancel, done: make(chan struct{})}
 	j.state.Store(int32(JobRunning))
+	s.trackJob(j)
 	go func() {
 		defer close(j.done)
+		defer release()
 		defer cancel()
-		rs, err := s.ExecContext(jctx, sql)
+		rs, err := s.db.Engine.ExecuteCtx(s.ec(jctx), sql)
 		j.rs, j.err = rs, err
 		switch {
 		case err == nil:
@@ -96,8 +104,26 @@ func (s *Session) SubmitContext(ctx context.Context, sql string) (*Job, error) {
 		default:
 			j.state.Store(int32(JobFailed))
 		}
+		s.untrackJob(j)
 	}()
 	return j, nil
+}
+
+// trackJob registers a live job with its session.
+func (s *Session) trackJob(j *Job) {
+	s.mu.Lock()
+	if s.jobs == nil {
+		s.jobs = map[*Job]struct{}{}
+	}
+	s.jobs[j] = struct{}{}
+	s.mu.Unlock()
+}
+
+// untrackJob drops a finished job from the session's live set.
+func (s *Session) untrackJob(j *Job) {
+	s.mu.Lock()
+	delete(s.jobs, j)
+	s.mu.Unlock()
 }
 
 // Poll returns the job's current status without blocking.

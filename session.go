@@ -23,18 +23,114 @@ type PlanDecision = core.PlanDecision
 // log, so concurrent sessions with conflicting settings are safe and
 // race-free. Sessions are cheap; create one per logical client or
 // goroutine. A Session itself may be used from multiple goroutines.
+//
+// A Session tracks the resources it hands out — streaming Rows pin
+// table snapshots, Submit jobs run engine statements — and Close
+// releases all of them: live Rows are closed (unpinning their
+// snapshots), live jobs are canceled and awaited. Servers rely on
+// this as the per-connection teardown path.
 type Session struct {
 	db        *DB
 	vars      *hive.SessionVars
 	planStats hive.PlanCacheStats
 
+	// closeCtx is canceled by Close; every operation's context is a
+	// child of both the caller's context and this one, so in-flight
+	// statements abort when the session closes.
+	closeCtx context.Context
+	closeFn  context.CancelFunc
+
 	mu      sync.Mutex
 	planLog []PlanDecision
+	closed  bool
+	rows    map[*Rows]struct{}
+	jobs    map[*Job]struct{}
 }
 
 // Session opens a new session over the database.
 func (db *DB) Session() *Session {
-	return &Session{db: db, vars: hive.NewSessionVars()}
+	s := &Session{db: db, vars: hive.NewSessionVars()}
+	s.closeCtx, s.closeFn = context.WithCancel(context.Background())
+	return s
+}
+
+// begin gates an operation on the session being open and derives its
+// context: the returned context cancels when the caller's ctx does or
+// when the session closes, whichever first. The release func must be
+// called when the operation (including any streaming result it
+// produced) is finished.
+func (s *Session) begin(ctx context.Context) (context.Context, context.CancelFunc, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, nil, ErrSessionClosed
+	}
+	octx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(s.closeCtx, cancel)
+	return octx, func() { stop(); cancel() }, nil
+}
+
+// Close shuts the session down: it cancels and awaits every live
+// Submit job, closes every live Rows (releasing their pinned
+// snapshots and aborting their jobs), aborts in-flight synchronous
+// statements, and fails all future calls with ErrSessionClosed.
+// Idempotent: the second and later calls return nil immediately.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	rows := make([]*Rows, 0, len(s.rows))
+	for r := range s.rows {
+		rows = append(rows, r)
+	}
+	jobs := make([]*Job, 0, len(s.jobs))
+	for j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+
+	// Cancel every op context first so streaming producers and jobs
+	// start unwinding before we wait on them.
+	s.closeFn()
+	for _, r := range rows {
+		r.Close()
+	}
+	for _, j := range jobs {
+		j.Cancel()
+		<-j.done
+	}
+	return nil
+}
+
+// trackRows registers a streaming result with the session and arranges
+// for its close hook to release the operation context.
+func (s *Session) trackRows(r *Rows, release context.CancelFunc) {
+	// The hook must be in place before the Rows becomes visible to
+	// Close's teardown sweep (publication through s.mu orders it).
+	r.SetCloseHook(func() {
+		s.mu.Lock()
+		delete(s.rows, r)
+		s.mu.Unlock()
+		release()
+	})
+	s.mu.Lock()
+	closedEarly := s.closed
+	if !closedEarly {
+		if s.rows == nil {
+			s.rows = map[*Rows]struct{}{}
+		}
+		s.rows[r] = struct{}{}
+	}
+	s.mu.Unlock()
+	// The session closed between begin and registration: this Rows
+	// missed the teardown sweep, so close it here.
+	if closedEarly {
+		r.Close()
+	}
 }
 
 // ec builds the per-call execution context: the caller's cancellation
@@ -66,9 +162,15 @@ func (s *Session) Exec(sql string) (*ResultSet, error) {
 
 // ExecContext runs one SQL statement under a cancellation context.
 // Long scans and DML abort between MapReduce records once ctx is
-// canceled, returning ctx.Err().
+// canceled, returning ctx.Err(). A closed session returns
+// ErrSessionClosed.
 func (s *Session) ExecContext(ctx context.Context, sql string) (*ResultSet, error) {
-	return s.db.Engine.ExecuteCtx(s.ec(ctx), sql)
+	octx, release, err := s.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.db.Engine.ExecuteCtx(s.ec(octx), sql)
 }
 
 // ExecScript runs a semicolon-separated script, returning the last
@@ -79,7 +181,12 @@ func (s *Session) ExecScript(sql string) (*ResultSet, error) {
 
 // ExecScriptContext runs a script under a cancellation context.
 func (s *Session) ExecScriptContext(ctx context.Context, sql string) (*ResultSet, error) {
-	return s.db.Engine.ExecuteScriptCtx(s.ec(ctx), sql)
+	octx, release, err := s.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.db.Engine.ExecuteScriptCtx(s.ec(octx), sql)
 }
 
 // MustExec runs a statement and panics on error (examples, tests).
@@ -99,9 +206,20 @@ func (s *Session) Query(sql string) (*Rows, error) {
 // QueryContext runs a SELECT under a cancellation context. Streamable
 // queries (no aggregation, DISTINCT or ORDER BY) deliver rows while
 // the MapReduce job runs, in bounded memory; canceling ctx or closing
-// the Rows early aborts the job.
+// the Rows early aborts the job. The returned Rows is tracked by the
+// session: Session.Close closes it (and every other live handle).
 func (s *Session) QueryContext(ctx context.Context, sql string) (*Rows, error) {
-	return s.db.Engine.QueryCtx(s.ec(ctx), sql)
+	octx, release, err := s.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.db.Engine.QueryCtx(s.ec(octx), sql)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	s.trackRows(rows, release)
+	return rows, nil
 }
 
 // Prepare compiles a statement with '?' placeholders once; the
@@ -109,7 +227,12 @@ func (s *Session) QueryContext(ctx context.Context, sql string) (*Rows, error) {
 // Compiled plans are shared through the engine's LRU plan cache, so
 // preparing the same text across sessions parses it once.
 func (s *Session) Prepare(sql string) (*Stmt, error) {
-	p, err := s.db.Engine.PrepareCtx(s.ec(context.Background()), sql)
+	octx, release, err := s.begin(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	p, err := s.db.Engine.PrepareCtx(s.ec(octx), sql)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +323,12 @@ func (st *Stmt) ExecContext(ctx context.Context, args ...any) (*ResultSet, error
 	if err != nil {
 		return nil, err
 	}
-	return st.sess.db.Engine.ExecuteStmtCtx(st.sess.ec(ctx), bound)
+	octx, release, err := st.sess.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return st.sess.db.Engine.ExecuteStmtCtx(st.sess.ec(octx), bound)
 }
 
 // Query binds the arguments and runs the statement as a streaming
@@ -219,7 +347,17 @@ func (st *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("dualtable: Query requires a SELECT, got %T (use Exec)", bound)
 	}
-	return st.sess.db.Engine.QueryStmtCtx(st.sess.ec(ctx), sel)
+	octx, release, err := st.sess.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := st.sess.db.Engine.QueryStmtCtx(st.sess.ec(octx), sel)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	st.sess.trackRows(rows, release)
+	return rows, nil
 }
 
 // Close releases the statement. The compiled plan stays in the

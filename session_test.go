@@ -7,7 +7,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"dualtable"
 	"dualtable/internal/datum"
 )
 
@@ -535,4 +537,157 @@ func TestPreparedLimitParameter(t *testing.T) {
 	if got := stats.NormalizedHits.Load() - before; got < 1 {
 		t.Fatalf("LIMIT variants should share a normalized template (normalized hits %d)", got)
 	}
+}
+
+// TestSessionCloseReleasesResources is the lifecycle regression test:
+// Close is idempotent, live streaming Rows are closed (dropping their
+// snapshot pins so reclamation can proceed), live Submit jobs are
+// awaited, and every subsequent operation fails with ErrSessionClosed.
+func TestSessionCloseReleasesResources(t *testing.T) {
+	db := openDB(t)
+	s := db.Session()
+	s.MustExec("CREATE TABLE sc (id BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	vals := make([]string, 200)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("(%d, %d.5)", i, i)
+	}
+	s.MustExec("INSERT INTO sc VALUES " + strings.Join(vals, ", "))
+	// Fold the freshly inserted rows into master files so the scan has
+	// files to pin.
+	s.MustExec("COMPACT TABLE sc")
+
+	// Baseline: the manifest chain holds a standing pin per current
+	// master file even with no scans live.
+	desc, err := db.Engine.MS.Get("sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := listTree(t, db, desc.Location)
+	base := 0
+	for _, p := range files {
+		base += db.FS.Pins(p)
+	}
+
+	// A mid-flight stream holds extra snapshot pins on the master
+	// files (the row count exceeds the stream buffer, so the producer
+	// is still scanning — and still pinning — while we hold the
+	// iterator).
+	rows, err := s.Query("SELECT id, v FROM sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("empty stream: %v", rows.Err())
+	}
+	pinned := 0
+	for _, p := range files {
+		pinned += db.FS.Pins(p)
+	}
+	if pinned <= base {
+		t.Fatalf("live stream holds no extra file pins (%d, baseline %d)", pinned, base)
+	}
+
+	// A live async job; Close must await its goroutine.
+	job, err := s.Submit("SELECT COUNT(*) FROM sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+
+	// The job goroutine has fully wound down (done channel closed).
+	select {
+	case <-job.Done():
+	default:
+		t.Fatal("job still running after Close")
+	}
+
+	// The stream was closed and its snapshot pins dropped back to the
+	// baseline.
+	for rows.Next() {
+		t.Fatal("closed session's Rows still yields rows")
+	}
+	after := 0
+	for _, p := range files {
+		after += db.FS.Pins(p)
+	}
+	if after != base {
+		t.Fatalf("pins after Close = %d, want baseline %d", after, base)
+	}
+
+	// Everything on the closed session fails with the typed sentinel.
+	if _, err := s.Exec("SELECT 1"); !errors.Is(err, dualtable.ErrSessionClosed) {
+		t.Fatalf("Exec after Close = %v, want ErrSessionClosed", err)
+	}
+	if _, err := s.Query("SELECT id FROM sc"); !errors.Is(err, dualtable.ErrSessionClosed) {
+		t.Fatalf("Query after Close = %v, want ErrSessionClosed", err)
+	}
+	if _, err := s.Prepare("SELECT id FROM sc"); !errors.Is(err, dualtable.ErrSessionClosed) {
+		t.Fatalf("Prepare after Close = %v, want ErrSessionClosed", err)
+	}
+	if _, err := s.Submit("SELECT 1"); !errors.Is(err, dualtable.ErrSessionClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrSessionClosed", err)
+	}
+
+	// No pins linger: a DROP from a fresh session reclaims the table
+	// immediately instead of deferring behind leaked snapshots.
+	other := db.Session()
+	other.MustExec("DROP TABLE sc")
+	if db.FS.Exists(desc.Location) {
+		t.Fatalf("%s not reclaimed after DROP — leaked pins", desc.Location)
+	}
+}
+
+// TestSessionCloseAbortsInFlightStatement checks Close cancels a
+// statement blocked inside the engine (via the session's close
+// context) rather than waiting for it.
+func TestSessionCloseAbortsInFlightStatement(t *testing.T) {
+	db := openDB(t)
+	s := db.Session()
+	s.MustExec("CREATE TABLE ab (id BIGINT, v DOUBLE) STORED AS DUALTABLE")
+	for i := 0; i < 50; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO ab VALUES (%d, %d.0)", i, i))
+	}
+	rows, err := s.Query("SELECT id, v FROM ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("empty stream: %v", rows.Err())
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Close()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a live stream")
+	}
+	for rows.Next() {
+	}
+}
+
+// listTree returns every regular file under dir, recursively.
+func listTree(t *testing.T, db *dualtable.DB, dir string) []string {
+	t.Helper()
+	infos, err := db.FS.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, fi := range infos {
+		if fi.IsDir {
+			out = append(out, listTree(t, db, fi.Path)...)
+		} else {
+			out = append(out, fi.Path)
+		}
+	}
+	return out
 }
