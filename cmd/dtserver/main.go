@@ -9,9 +9,12 @@
 // per connection); statements run under per-tenant admission control:
 // -max-concurrent caps concurrently executing statements, up to
 // -queue-depth more wait at most -queue-wait for a slot, and the rest
-// are shed with the typed "server busy" error. SIGINT/SIGTERM shut
-// down cleanly: in-flight statements are canceled, sessions closed,
-// and the process exits 0.
+// are shed with the typed "server busy" error. SIGINT/SIGTERM drain
+// gracefully: the listener closes, new statements are rejected with
+// the retryable busy error, in-flight statements get -drain-timeout
+// to finish, stragglers are hard-canceled via their contexts, and the
+// process prints drain stats and exits 0. Connections silent past
+// -idle-timeout with nothing in flight are reaped.
 package main
 
 import (
@@ -36,6 +39,8 @@ func main() {
 		queueWait = flag.Duration("queue-wait", 2*time.Second, "max time a queued statement waits before being shed")
 		initFile  = flag.String("init", "", "SQL script executed on the default session before serving")
 		quiet     = flag.Bool("q", false, "suppress per-connection logging")
+		drainTO   = flag.Duration("drain-timeout", 10*time.Second, "max time in-flight statements get to finish on SIGTERM/SIGINT")
+		idleTO    = flag.Duration("idle-timeout", 0, "close connections idle this long with nothing in flight (0 = never)")
 	)
 	flag.Parse()
 
@@ -66,6 +71,7 @@ func main() {
 		MaxConcurrent: *maxConc,
 		QueueDepth:    *queueDep,
 		QueueWait:     *queueWait,
+		IdleTimeout:   *idleTO,
 	}
 	if !*quiet {
 		scfg.Logf = func(format string, args ...any) {
@@ -88,9 +94,10 @@ func main() {
 
 	select {
 	case sig := <-sigc:
-		fmt.Printf("dtserver: %s, shutting down\n", sig)
-		srv.Close()
+		fmt.Printf("dtserver: %s, draining (up to %s)\n", sig, *drainTO)
+		ds := srv.Shutdown(*drainTO)
 		st := srv.Stats()
+		fmt.Printf("dtserver: drain finished=%d hard-cancelled=%d\n", ds.Finished, ds.HardCancelled)
 		fmt.Printf("dtserver: served %d statements (%d queued, %d shed), bye\n",
 			st.Admitted, st.Queued, st.Shed)
 	case err := <-errc:

@@ -146,11 +146,27 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.
 	return c.query(ctx, 0, query, ds)
 }
 
-// exec runs one Exec round trip. The response is awaited even after
-// ctx cancels — the watcher sends a wire cancel frame and the server
-// always answers, keeping the frame stream in sync for the next
-// request.
+// exec runs an Exec round trip, transparently retrying busy sheds
+// (which the server issues before the statement runs, so a retry can
+// never double-apply) with jittered backoff.
 func (c *conn) exec(ctx context.Context, stmtID uint64, sql string, args []datum.Datum) (sqldriver.Result, error) {
+	attempts := c.cfg.retryAttempts()
+	for attempt := 0; ; attempt++ {
+		res, err := c.execOnce(ctx, stmtID, sql, args)
+		if err == nil || attempt >= attempts || !c.retryableStatement(err) {
+			return res, err
+		}
+		if serr := backoffSleep(ctx, attempt, c.cfg.retryBase()); serr != nil {
+			return nil, err
+		}
+	}
+}
+
+// execOnce runs one Exec round trip. The response is awaited even
+// after ctx cancels — the watcher sends a wire cancel frame and the
+// server always answers, keeping the frame stream in sync for the next
+// request.
+func (c *conn) execOnce(ctx context.Context, stmtID uint64, sql string, args []datum.Datum) (sqldriver.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -193,8 +209,23 @@ func (c *conn) exec(ctx context.Context, stmtID uint64, sql string, args []datum
 	}
 }
 
-// query runs one Query request and returns the response stream.
+// query runs a Query request with the same busy-shed retry as exec
+// (reads are idempotent besides).
 func (c *conn) query(ctx context.Context, stmtID uint64, sql string, args []datum.Datum) (sqldriver.Rows, error) {
+	attempts := c.cfg.retryAttempts()
+	for attempt := 0; ; attempt++ {
+		rs, err := c.queryOnce(ctx, stmtID, sql, args)
+		if err == nil || attempt >= attempts || !c.retryableStatement(err) {
+			return rs, err
+		}
+		if serr := backoffSleep(ctx, attempt, c.cfg.retryBase()); serr != nil {
+			return nil, err
+		}
+	}
+}
+
+// queryOnce runs one Query request and returns the response stream.
+func (c *conn) queryOnce(ctx context.Context, stmtID uint64, sql string, args []datum.Datum) (sqldriver.Rows, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -16,11 +16,15 @@
 //
 // DSN form:
 //
-//	dt://host:port[?user=u&tenant=t&token=k&window=8&dial_timeout=5s]
+//	dt://host:port[?user=u&tenant=t&token=k&window=8&dial_timeout=5s&retries=3&retry_backoff=25ms]
 //
 // tenant selects the server-side admission-control gate (defaults to
 // user, then "default"); window is the streaming flow-control window
-// in row batches.
+// in row batches. Busy rejections (admission shed, server draining)
+// and connection-setup failures are transparently retried up to
+// retries times with jittered exponential backoff from retry_backoff —
+// both are issued before any statement executes, so retry never
+// double-applies a write. retries=0 disables.
 //
 // Session variables (SET dualtable.force.plan = EDIT, SET read.epoch
 // = 3, ...) are per-connection server state: use a single-connection
@@ -32,6 +36,7 @@ import (
 	"context"
 	"database/sql"
 	sqldriver "database/sql/driver"
+	"errors"
 	"fmt"
 	"net"
 	"net/url"
@@ -62,6 +67,15 @@ type Config struct {
 	Window uint32
 	// DialTimeout bounds the TCP connect (default 5s).
 	DialTimeout time.Duration
+	// Retries bounds transparent retries of retryable failures: the
+	// server's busy shed (admission control or drain — always issued
+	// before the statement executes, so retrying never double-applies
+	// a write) and connection-setup failures. 0 selects DefaultRetries;
+	// negative disables retry.
+	Retries int
+	// RetryBackoff is the base backoff between retries (exponential,
+	// jittered; default DefaultRetryBackoff).
+	RetryBackoff time.Duration
 }
 
 // ParseDSN parses a dt:// connection string.
@@ -111,6 +125,24 @@ func ParseDSN(dsn string) (Config, error) {
 		}
 		cfg.DialTimeout = d
 	}
+	if v := q.Get("retries"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return Config{}, fmt.Errorf("driver: bad retries %q", v)
+		}
+		if n == 0 {
+			cfg.Retries = -1 // explicit zero disables
+		} else {
+			cfg.Retries = n
+		}
+	}
+	if v := q.Get("retry_backoff"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return Config{}, fmt.Errorf("driver: bad retry_backoff %q", v)
+		}
+		cfg.RetryBackoff = d
+	}
 	return cfg, nil
 }
 
@@ -154,8 +186,31 @@ func NewConnector(cfg Config) *Connector {
 	return &Connector{cfg: cfg, drv: &Driver{}}
 }
 
-// Connect dials the server and performs the wire handshake.
+// Connect dials the server and performs the wire handshake, retrying
+// setup failures (refused dials, connections dropped mid-handshake,
+// busy rejections) with jittered backoff. Deterministic rejections —
+// bad credentials, protocol mismatch — fail immediately.
 func (c *Connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
+	attempts := c.cfg.retryAttempts()
+	for attempt := 0; ; attempt++ {
+		cn, err := c.connectOnce(ctx)
+		if err == nil {
+			return cn, nil
+		}
+		var term terminalConnectError
+		if errors.As(err, &term) {
+			return nil, term.err
+		}
+		if attempt >= attempts {
+			return nil, err
+		}
+		if serr := backoffSleep(ctx, attempt, c.cfg.retryBase()); serr != nil {
+			return nil, err
+		}
+	}
+}
+
+func (c *Connector) connectOnce(ctx context.Context) (sqldriver.Conn, error) {
 	d := net.Dialer{Timeout: c.cfg.DialTimeout}
 	nc, err := d.DialContext(ctx, "tcp", c.cfg.Addr)
 	if err != nil {
@@ -192,10 +247,14 @@ func (c *Connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
 			return nil, err
 		}
 		wc.Close()
-		return nil, dualtable.CodeError(dualtable.ErrCode(ef.Code), ef.Msg)
+		rejErr := dualtable.CodeError(dualtable.ErrCode(ef.Code), ef.Msg)
+		if errors.Is(rejErr, dualtable.ErrServerBusy) {
+			return nil, rejErr // transient: the retry loop may redial
+		}
+		return nil, terminalConnectError{rejErr}
 	default:
 		wc.Close()
-		return nil, fmt.Errorf("%w: handshake answered with %v", dualtable.ErrProtocol, t)
+		return nil, terminalConnectError{fmt.Errorf("%w: handshake answered with %v", dualtable.ErrProtocol, t)}
 	}
 }
 

@@ -419,7 +419,9 @@ func TestAdmissionControlSheds(t *testing.T) {
 		QueueDepth:    -1, // no queue: shed immediately
 		BatchRows:     4,
 	})
-	db := openSQL(t, addr, "window=1")
+	// retries=0: this test asserts the shed is visible, so the
+	// driver's transparent busy retry must stay out of the way.
+	db := openSQL(t, addr, "window=1&retries=0")
 
 	if _, err := db.Exec(`CREATE TABLE adm (id BIGINT, v DOUBLE) STORED AS DUALTABLE`); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,79 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"dualtable"
+)
+
+// Retry defaults: a shed statement or failed dial is retried up to
+// DefaultRetries more times with exponential backoff starting at
+// DefaultRetryBackoff (±50% jitter, capped at maxRetryBackoff).
+const (
+	DefaultRetries      = 3
+	DefaultRetryBackoff = 25 * time.Millisecond
+	maxRetryBackoff     = time.Second
+)
+
+// retryAttempts resolves Config.Retries: 0 selects the default,
+// negative disables retry entirely.
+func (cfg Config) retryAttempts() int {
+	switch {
+	case cfg.Retries < 0:
+		return 0
+	case cfg.Retries == 0:
+		return DefaultRetries
+	default:
+		return cfg.Retries
+	}
+}
+
+func (cfg Config) retryBase() time.Duration {
+	if cfg.RetryBackoff <= 0 {
+		return DefaultRetryBackoff
+	}
+	return cfg.RetryBackoff
+}
+
+// backoffSleep waits out the attempt-th backoff — exponential from
+// base, capped, with ±50% jitter so a herd of shed clients does not
+// return in lockstep — or returns early when ctx ends.
+func backoffSleep(ctx context.Context, attempt int, base time.Duration) error {
+	d := base
+	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryableStatement reports whether a statement error is safe to
+// resend on the same connection. Only the server's busy shed
+// qualifies: by construction it is returned before the statement
+// executes (admission control or drain rejection), so the retry can
+// never double-apply a write. I/O errors poison the connection and are
+// the pool's problem; every other server error is deterministic.
+func (c *conn) retryableStatement(err error) bool {
+	return errors.Is(err, dualtable.ErrServerBusy) && !c.broken.Load()
+}
+
+// terminalConnectError marks a connection-setup failure that must not
+// be retried: the server answered deterministically (bad credentials,
+// protocol mismatch), so trying again buys nothing but latency.
+type terminalConnectError struct{ err error }
+
+func (e terminalConnectError) Error() string { return e.err.Error() }
+func (e terminalConnectError) Unwrap() error { return e.err }

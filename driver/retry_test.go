@@ -1,0 +1,238 @@
+package driver_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dualtable"
+	"dualtable/driver"
+	"dualtable/internal/server"
+	"dualtable/internal/wire"
+)
+
+func TestParseDSNRetryParams(t *testing.T) {
+	cfg, err := driver.ParseDSN("dt://h:1?retries=5&retry_backoff=7ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Retries != 5 || cfg.RetryBackoff != 7*time.Millisecond {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+
+	// retries=0 disables (negative Retries internally).
+	cfg, err = driver.ParseDSN("dt://h:1?retries=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Retries >= 0 {
+		t.Fatalf("retries=0 parsed to %d, want negative (disabled)", cfg.Retries)
+	}
+
+	for _, bad := range []string{"dt://h:1?retries=-2", "dt://h:1?retries=x", "dt://h:1?retry_backoff=0"} {
+		if _, err := driver.ParseDSN(bad); err == nil {
+			t.Fatalf("ParseDSN(%q) accepted", bad)
+		}
+	}
+}
+
+// TestExecRetriesBusyShed wedges the tenant's only execution slot with
+// a credit-starved stream, then runs a statement: the first attempt is
+// shed with the busy error, the stream is drained once the shed shows
+// up in stats, and a retry lands in the freed slot — the caller never
+// sees the busy error.
+func TestExecRetriesBusyShed(t *testing.T) {
+	srv, _, addr := startServer(t, server.Config{
+		MaxConcurrent: 1,
+		QueueDepth:    -1, // shed immediately, no queue
+		BatchRows:     4,
+	})
+	db := openSQL(t, addr, "window=1&retries=8&retry_backoff=5ms")
+
+	if _, err := db.Exec(`CREATE TABLE rtb (id BIGINT, v DOUBLE) STORED AS DUALTABLE`); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if _, err := db.Exec(`INSERT INTO rtb VALUES (?, ?)`, i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stall := openSQL(t, addr, "window=1&retries=0")
+	stall.SetMaxOpenConns(1)
+	rows, err := stall.Query(`SELECT id, v FROM rtb`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return srv.Stats().ActiveOps == 1 })
+
+	// Free the slot as soon as the first attempt has been shed.
+	released := make(chan struct{})
+	go func() {
+		defer close(released)
+		for srv.Stats().Shed == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		rows.Close()
+	}()
+
+	if _, err := db.Exec(`UPDATE rtb SET v = 0 WHERE id = 1`); err != nil {
+		t.Fatalf("exec with retry surfaced: %v", err)
+	}
+	<-released
+	if shed := srv.Stats().Shed; shed == 0 {
+		t.Fatal("no shed recorded: the retry was never exercised")
+	}
+}
+
+// TestQueryRetriesBusyShed covers the query path the same way.
+func TestQueryRetriesBusyShed(t *testing.T) {
+	srv, _, addr := startServer(t, server.Config{
+		MaxConcurrent: 1,
+		QueueDepth:    -1,
+		BatchRows:     4,
+	})
+	db := openSQL(t, addr, "window=1&retries=8&retry_backoff=5ms")
+	if _, err := db.Exec(`CREATE TABLE rtq (id BIGINT) STORED AS DUALTABLE`); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if _, err := db.Exec(`INSERT INTO rtq VALUES (?)`, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stall := openSQL(t, addr, "window=1&retries=0")
+	stall.SetMaxOpenConns(1)
+	hold, err := stall.Query(`SELECT id FROM rtq`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return srv.Stats().ActiveOps == 1 })
+	go func() {
+		for srv.Stats().Shed == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		hold.Close()
+	}()
+
+	rs, err := db.Query(`SELECT id FROM rtq WHERE id < 3`)
+	if err != nil {
+		t.Fatalf("query with retry surfaced: %v", err)
+	}
+	n := 0
+	for rs.Next() {
+		n++
+	}
+	rs.Close()
+	if n != 3 {
+		t.Fatalf("got %d rows, want 3", n)
+	}
+}
+
+// TestConnectRetriesSetupFailure: a listener that slams the door on
+// the first connection (a mid-handshake failure) and answers the
+// second properly. The connector's retry makes Connect succeed.
+func TestConnectRetriesSetupFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var accepted atomic.Int32
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted.Add(1)
+		nc.Close() // first attempt: dropped before HelloOK
+
+		nc2, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted.Add(1)
+		wc := wire.NewConn(nc2)
+		wc.Recv() // Hello
+		ok := wire.HelloOK{Proto: wire.ProtoVersion, Server: "fake", SessionID: 1}
+		wc.Send(wire.TypeHelloOK, ok.Encode())
+		wc.Recv() // hold until Quit/close
+		wc.Close()
+	}()
+
+	ctor := driver.NewConnector(driver.Config{
+		Addr:         ln.Addr().String(),
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	})
+	cn, err := ctor.Connect(context.Background())
+	if err != nil {
+		t.Fatalf("Connect with retry: %v", err)
+	}
+	cn.Close()
+	if got := accepted.Load(); got != 2 {
+		t.Fatalf("server accepted %d connections, want 2", got)
+	}
+}
+
+// TestConnectDoesNotRetryAuthReject: a deterministic handshake
+// rejection must fail once, not retries+1 times.
+func TestConnectDoesNotRetryAuthReject(t *testing.T) {
+	var authCalls atomic.Int32
+	_, _, addr := startServer(t, server.Config{
+		Auth: func(user, token string) error {
+			authCalls.Add(1)
+			return errors.New("bad credentials")
+		},
+	})
+	ctor := driver.NewConnector(driver.Config{
+		Addr:         addr,
+		Retries:      5,
+		RetryBackoff: time.Millisecond,
+	})
+	if _, err := ctor.Connect(context.Background()); err == nil {
+		t.Fatal("Connect succeeded against rejecting auth")
+	}
+	if got := authCalls.Load(); got != 1 {
+		t.Fatalf("auth evaluated %d times, want 1 (no retry on deterministic rejection)", got)
+	}
+}
+
+// TestShedErrorStillTypedWhenRetriesExhausted: with the slot never
+// freed, the retried statement must still surface the typed busy
+// error so callers can errors.Is it.
+func TestShedErrorStillTypedWhenRetriesExhausted(t *testing.T) {
+	srv, _, addr := startServer(t, server.Config{
+		MaxConcurrent: 1,
+		QueueDepth:    -1,
+		BatchRows:     4,
+	})
+	db := openSQL(t, addr, "window=1&retries=2&retry_backoff=1ms")
+	if _, err := db.Exec(`CREATE TABLE rte (id BIGINT) STORED AS DUALTABLE`); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if _, err := db.Exec(`INSERT INTO rte VALUES (?)`, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stall := openSQL(t, addr, "window=1&retries=0")
+	stall.SetMaxOpenConns(1)
+	rows, err := stall.Query(`SELECT id FROM rte`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	waitFor(t, func() bool { return srv.Stats().ActiveOps == 1 })
+
+	if _, err := db.Exec(`UPDATE rte SET id = 0 WHERE id = 1`); !errors.Is(err, dualtable.ErrServerBusy) {
+		t.Fatalf("exhausted retry err = %v, want ErrServerBusy", err)
+	}
+	if shed := srv.Stats().Shed; shed < 3 {
+		t.Fatalf("shed %d times, want >= 3 (initial + 2 retries)", shed)
+	}
+}

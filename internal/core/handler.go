@@ -71,6 +71,14 @@ type Handler struct {
 	// finishes but before its epoch publishes (test hook for holding a
 	// compaction mid-flight while concurrent scans run).
 	onCompactStaged func(table string)
+
+	// cleanupMu guards the crash-consistency ledgers (recovery.go):
+	// condemned holds staged/orphaned files whose removal exhausted its
+	// retries, pinDebt counts Unpins that could not be delivered. Both
+	// are re-driven after every publish and by RecoverOrphans.
+	cleanupMu sync.Mutex
+	condemned map[string]bool
+	pinDebt   map[string]int
 }
 
 // PlanDecision records one cost-model decision.
@@ -313,7 +321,7 @@ func (h *Handler) Drop(desc *metastore.TableDesc) error {
 	// the files' deferred deletions can fire once scans let go.
 	for _, re := range st.retained {
 		for _, f := range re.files {
-			h.e.FS.Unpin(f.Path)
+			h.unpinDeferred(f.Path)
 		}
 	}
 	st.retained = nil
@@ -324,11 +332,14 @@ func (h *Handler) Drop(desc *metastore.TableDesc) error {
 	st.pub.Unlock()
 
 	// Condemn the current manifest's files: removed immediately unless
-	// a pinned snapshot still reads them. Best effort — a file already
-	// gone needs no deletion.
+	// a pinned snapshot still reads them. Transient faults retry; a
+	// path that still fails lands in the condemned ledger so a later
+	// publish or recovery scan re-drives it.
 	if manErr == nil {
 		for _, f := range man.Files {
-			_ = h.e.FS.DeleteDeferred(f.Path)
+			if err := h.removeMasterFile(f.Path); err != nil {
+				h.condemn(f.Path)
+			}
 		}
 	}
 	if reclaimNow {
@@ -362,7 +373,8 @@ func (h *Handler) reclaim(job *dropJob) error {
 		firstErr = err
 	}
 	if h.e.FS.Exists(job.masterDir) {
-		if err := h.e.FS.Delete(job.masterDir, true); err != nil && firstErr == nil {
+		err := retryDFS(func() error { return h.e.FS.Delete(job.masterDir, true) })
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -622,10 +634,21 @@ type publishCommitter struct {
 
 func (c *publishCommitter) Commit() error {
 	defer c.unlock()
+	var err error
 	if c.replace {
-		return c.h.publishReplace(c.desc, c.factory.files())
+		err = c.h.publishReplace(c.desc, c.factory.files())
+	} else {
+		err = c.h.publishAppend(c.desc, c.factory.files())
 	}
-	return c.h.publishAppend(c.desc, c.factory.files())
+	if err != nil {
+		// The manifest swap is the commit point and it did not happen:
+		// the staged files are invisible and must not outlive the
+		// statement (callers report the publish error and move on, so
+		// nobody else will ever discard them).
+		_ = c.factory.discard()
+		return err
+	}
+	return nil
 }
 
 func (c *publishCommitter) Abort() error {
@@ -643,16 +666,31 @@ type masterOutputFactory struct {
 
 	mu      sync.Mutex
 	written []metastore.ManifestFile
+	// opened tracks files created but not yet recorded: a task that
+	// errors out (or a torn write) leaves its in-flight file unclosed
+	// and unrecorded, and discard must reclaim those too.
+	opened map[string]bool
 }
 
 func (f *masterOutputFactory) NewCollector(taskID int, m *sim.Meter) (mapred.Collector, error) {
 	return &masterCollector{f: f, taskID: taskID, meter: m}, nil
 }
 
+// noteOpened registers an in-flight file the moment it is created.
+func (f *masterOutputFactory) noteOpened(p string) {
+	f.mu.Lock()
+	if f.opened == nil {
+		f.opened = map[string]bool{}
+	}
+	f.opened[p] = true
+	f.mu.Unlock()
+}
+
 // record registers one finished master file.
 func (f *masterOutputFactory) record(mf metastore.ManifestFile) {
 	f.mu.Lock()
 	f.written = append(f.written, mf)
+	delete(f.opened, mf.Path)
 	f.mu.Unlock()
 }
 
@@ -667,18 +705,33 @@ func (f *masterOutputFactory) files() []metastore.ManifestFile {
 	return out
 }
 
-// discard deletes every written file (abort path; none were
-// published).
+// discard deletes every file this factory created — finished and
+// in-flight alike (abort path; none were published). Abandoned write
+// leases are recovered, transient faults retried, and paths that still
+// fail are condemned to the handler ledger, so an abort never leaks a
+// staged file no matter how the DFS misbehaves.
 func (f *masterOutputFactory) discard() error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	var firstErr error
+	paths := make([]string, 0, len(f.written)+len(f.opened))
 	for _, mf := range f.written {
-		if err := f.h.e.FS.Delete(mf.Path, false); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		paths = append(paths, mf.Path)
+	}
+	for p := range f.opened {
+		paths = append(paths, p)
 	}
 	f.written = nil
+	f.opened = nil
+	f.mu.Unlock()
+
+	var firstErr error
+	for _, p := range paths {
+		if err := f.h.removeMasterFile(p); err != nil {
+			f.h.condemn(p)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
 	return firstErr
 }
 
@@ -705,6 +758,7 @@ func (c *masterCollector) Collect(row datum.Row) error {
 		if err != nil {
 			return err
 		}
+		c.f.noteOpened(p)
 		fw.SetFileID(uint64(fid))
 		fw.SetUserMeta(fileIDMetaKey, fmt.Sprintf("%d", fid))
 		w, err := orcfile.NewWriter(fw, c.f.desc.Schema, orcfile.WriterOptions{

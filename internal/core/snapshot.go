@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dualtable/internal/dfs"
 	"dualtable/internal/kvstore"
 	"dualtable/internal/mapred"
 	"dualtable/internal/metastore"
@@ -457,7 +458,9 @@ func (s *Snapshot) unpinFiles() {
 
 func (s *Snapshot) unpinFilesDone() {
 	for _, p := range s.pinned {
-		s.h.e.FS.Unpin(p)
+		// Retried delivery: a dropped Unpin would strand the file's
+		// deferred deletion forever.
+		s.h.unpinRetry(p)
 	}
 	if s.st == nil {
 		return // open failed before the snapshot was counted
@@ -531,6 +534,7 @@ func (h *Handler) publishAppend(desc *metastore.TableDesc, added []metastore.Man
 	expired := h.expireRetainedLocked(desc, st, next.Epoch)
 	st.pub.Unlock()
 	h.purgeExpired(desc, expired)
+	h.drainCleanup()
 	return nil
 }
 
@@ -608,11 +612,17 @@ func (h *Handler) publishReplace(desc *metastore.TableDesc, files []metastore.Ma
 		h.e.KV.TruncateTable(attachedName(desc))
 	}
 	for _, f := range cur.Files {
-		h.e.FS.DeleteDeferred(f.Path)
+		// Single attempt under the publish lock (retry backoff here
+		// would stall snapshot opens); failures go to the condemned
+		// ledger, re-driven after the lock drops.
+		if err := h.e.FS.DeleteDeferred(f.Path); err != nil && !errors.Is(err, dfs.ErrNotFound) {
+			h.condemn(f.Path)
+		}
 	}
 	expired := h.expireRetainedLocked(desc, st, next.Epoch)
 	st.pub.Unlock()
 	h.purgeExpired(desc, expired)
+	h.drainCleanup()
 	return nil
 }
 
@@ -650,6 +660,7 @@ func (h *Handler) publishWatermark(desc *metastore.TableDesc) error {
 	}
 	st.pub.Unlock()
 	h.purgeExpired(desc, expired)
+	h.drainCleanup()
 	return nil
 }
 
@@ -698,7 +709,7 @@ func (h *Handler) expireRetainedLocked(desc *metastore.TableDesc, st *tableState
 		// is inside the window iff current-e <= n.
 		if re.supersededAt+uint64(n) <= current {
 			for _, f := range re.files {
-				h.e.FS.Unpin(f.Path)
+				h.unpinDeferred(f.Path)
 			}
 			if re.supersededAt > st.floorEpoch {
 				st.floorEpoch = re.supersededAt

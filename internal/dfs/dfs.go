@@ -102,6 +102,10 @@ type FileSystem struct {
 
 	safeMode atomic.Bool
 
+	faultMu        sync.RWMutex
+	fault          FaultInjector
+	faultsInjected atomic.Int64
+
 	// Metrics.
 	bytesRead       atomic.Int64
 	bytesWritten    atomic.Int64
@@ -365,6 +369,9 @@ func (fs *FileSystem) Delete(p string, recursive bool) error {
 	if err := fs.checkWritable(); err != nil {
 		return err
 	}
+	if f := fs.inject(OpDelete, p); f != nil {
+		return f.Err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	parent, name, err := fs.lookupParent(p)
@@ -407,6 +414,9 @@ func (fs *FileSystem) Pin(p string) error {
 // condemned file drops, the file is removed and its blocks freed —
 // never before, so in-flight snapshot reads always complete.
 func (fs *FileSystem) Unpin(p string) error {
+	if f := fs.inject(OpUnpin, p); f != nil {
+		return f.Err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	parent, name, err := fs.lookupParent(p)
@@ -421,7 +431,7 @@ func (fs *FileSystem) Unpin(p string) error {
 		return fmt.Errorf("%w: %q", ErrIsDirectory, p)
 	}
 	if n.file.pins <= 0 {
-		return fmt.Errorf("dfs: unpin of unpinned file %q", p)
+		return fmt.Errorf("%w: %q", ErrNotPinned, p)
 	}
 	n.file.pins--
 	if n.file.pins == 0 && n.file.condemned {
@@ -440,6 +450,9 @@ func (fs *FileSystem) Unpin(p string) error {
 func (fs *FileSystem) DeleteDeferred(p string) error {
 	if err := fs.checkWritable(); err != nil {
 		return err
+	}
+	if f := fs.inject(OpDelete, p); f != nil {
+		return f.Err
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -517,6 +530,9 @@ func (fs *FileSystem) releaseTree(n *node) {
 func (fs *FileSystem) Rename(src, dst string) error {
 	if err := fs.checkWritable(); err != nil {
 		return err
+	}
+	if f := fs.inject(OpRename, src); f != nil {
+		return f.Err
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()

@@ -16,6 +16,7 @@ type FileWriter struct {
 	fs     *FileSystem
 	meta   *fileMeta
 	meter  *sim.Meter
+	path   string
 	closed bool
 	// tail is the currently open (unsealed) block, if any.
 	tail blockID
@@ -33,6 +34,9 @@ func (fs *FileSystem) CreateMeter(p string, m *sim.Meter) (*FileWriter, error) {
 	if err := fs.checkWritable(); err != nil {
 		return nil, err
 	}
+	if f := fs.inject(OpCreate, p); f != nil {
+		return nil, f.Err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	parent, name, err := fs.lookupParent(p)
@@ -49,7 +53,7 @@ func (fs *FileSystem) CreateMeter(p string, m *sim.Meter) (*FileWriter, error) {
 	parent.children[name] = &node{name: name, file: meta}
 	fs.filesCreated.Add(1)
 	m.DFSOpen()
-	return &FileWriter{fs: fs, meta: meta, meter: m}, nil
+	return &FileWriter{fs: fs, meta: meta, meter: m, path: path.Clean(p)}, nil
 }
 
 // Append reopens an existing file for appending at its tail,
@@ -78,7 +82,7 @@ func (fs *FileSystem) AppendMeter(p string, m *sim.Meter) (*FileWriter, error) {
 	}
 	n.file.writing = true
 	n.file.mtime = fs.tick()
-	w := &FileWriter{fs: fs, meta: n.file, meter: m}
+	w := &FileWriter{fs: fs, meta: n.file, meter: m, path: path.Clean(p)}
 	// Resume the last block if it has room.
 	if len(n.file.blocks) > 0 {
 		last := n.file.blocks[len(n.file.blocks)-1]
@@ -92,11 +96,32 @@ func (fs *FileSystem) AppendMeter(p string, m *sim.Meter) (*FileWriter, error) {
 }
 
 // Write appends p to the file, spilling into new blocks at BlockSize
-// boundaries. It never fails short except after Close.
+// boundaries. It never fails short except after Close or under an
+// injected fault.
 func (w *FileWriter) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, ErrClosed
 	}
+	if f := w.fs.inject(OpWrite, w.path); f != nil {
+		// A torn write persists a prefix before the pipeline dies.
+		n := 0
+		if f.TearBytes > 0 {
+			tear := f.TearBytes
+			if tear > len(p) {
+				tear = len(p)
+			}
+			n, _ = w.write(p[:tear])
+		}
+		// The simulated client is dead: poison the handle but leave the
+		// lease held (meta.writing stays true), as after a real crash.
+		// Cleanup must RecoverLease before the file can be deleted.
+		w.closed = true
+		return n, f.Err
+	}
+	return w.write(p)
+}
+
+func (w *FileWriter) write(p []byte) (int, error) {
 	w.fs.mu.RLock()
 	fenced := !w.meta.writing
 	w.fs.mu.RUnlock()

@@ -183,6 +183,27 @@ func (m *Metastore) ManifestAt(table string, epoch uint64) (*Manifest, error) {
 		ErrEpochFuture, table, epoch, ch.current.Epoch)
 }
 
+// ManifestHistoryFiles returns the set of file paths referenced by any
+// manifest still in the table's bounded history — every file a current
+// or time-travel read could legitimately resolve. ok is false when the
+// table has no manifest chain. A startup recovery scan treats master
+// files outside this set as orphans of a crashed publish.
+func (m *Metastore) ManifestHistoryFiles(table string) (map[string]bool, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ch, ok := m.manifests[strings.ToLower(table)]
+	if !ok {
+		return nil, false
+	}
+	files := map[string]bool{}
+	for _, man := range ch.history {
+		for _, f := range man.Files {
+			files[f.Path] = true
+		}
+	}
+	return files, true
+}
+
 // ManifestChainID returns the identity of the table's current manifest
 // chain (false when the table has no chain). A pin-aware DROP records
 // it so the deferred chain removal at last-pin release cannot destroy

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dualtable"
@@ -30,6 +31,10 @@ type conn struct {
 	cancel context.CancelFunc
 	opWG   sync.WaitGroup
 
+	// lastActive is the unix-nano time of the last received frame or
+	// retired op; the idle reaper compares it against IdleTimeout.
+	lastActive atomic.Int64
+
 	mu    sync.Mutex
 	ops   map[uint64]*activeOp
 	stmts map[uint64]*dualtable.Stmt
@@ -50,6 +55,7 @@ func newConn(s *Server, nc net.Conn) *conn {
 		stmts: map[uint64]*dualtable.Stmt{},
 	}
 	c.ctx, c.cancel = context.WithCancel(s.baseCtx)
+	c.lastActive.Store(time.Now().UnixNano())
 	return c
 }
 
@@ -62,6 +68,15 @@ func (c *conn) shutdown() {
 
 func (c *conn) serve() {
 	defer c.teardown()
+	// A panic in the read loop or dispatch must not take the process
+	// (or sibling connections) down with it: recover, report, and let
+	// teardown close just this connection.
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.logf("conn %d: panic in read loop: %v", c.id, r)
+			c.sendError(0, fmt.Errorf("internal error: %v", r))
+		}
+	}()
 	if err := c.handshake(); err != nil {
 		c.srv.logf("conn %d: handshake: %v", c.id, err)
 		return
@@ -71,6 +86,7 @@ func (c *conn) serve() {
 		if err != nil {
 			return // disconnect (clean EOF or otherwise)
 		}
+		c.lastActive.Store(time.Now().UnixNano())
 		if err := c.dispatch(t, payload); err != nil {
 			// Protocol violation: report and drop the connection.
 			c.sendError(0, fmt.Errorf("%w: %v", dualtable.ErrProtocol, err))
@@ -290,11 +306,44 @@ func (c *conn) unregisterOp(opID uint64) {
 	if op != nil {
 		op.cancel()
 	}
+	// An op just retired means the client was (legitimately) waiting
+	// on it; reset the idle clock so the reaper gives it a fresh grace
+	// period to send its next request.
+	c.lastActive.Store(time.Now().UnixNano())
+}
+
+func (c *conn) activeOpCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ops)
+}
+
+// recoverOpPanic turns a panicking statement into an Error frame on
+// its op instead of a dead process. Deferred first in runExec/runQuery
+// so it runs after the gate and counter defers — a panicked op must
+// not leak its admission slot or wedge the activeOps count.
+func (c *conn) recoverOpPanic(opID uint64) {
+	if r := recover(); r != nil {
+		c.srv.logf("conn %d: op %d panic: %v", c.id, opID, r)
+		c.sendError(opID, fmt.Errorf("internal error: %v", r))
+	}
+}
+
+// errDraining is the rejection handed to statements arriving during a
+// graceful shutdown; it carries the busy code, which retry-enabled
+// clients treat as transient.
+func errDraining() error {
+	return fmt.Errorf("%w: server draining", dualtable.ErrServerBusy)
 }
 
 // runExec executes a statement to completion and answers with one
 // Result or Error frame.
 func (c *conn) runExec(op *activeOp, m *wire.Exec) {
+	defer c.recoverOpPanic(m.OpID)
+	if c.srv.draining.Load() {
+		c.sendError(m.OpID, errDraining())
+		return
+	}
 	c.srv.activeOps.Add(1)
 	defer c.srv.activeOps.Add(-1)
 	ctx := op.ctxVal
@@ -323,6 +372,9 @@ func (c *conn) runExec(op *activeOp, m *wire.Exec) {
 }
 
 func (c *conn) execStatement(ctx context.Context, m *wire.Exec) (*dualtable.ResultSet, error) {
+	if h := c.srv.execHook; h != nil {
+		h(m.SQL)
+	}
 	args := datumArgs(m.Args)
 	switch {
 	case m.StmtID != 0:
@@ -349,6 +401,11 @@ func (c *conn) execStatement(ctx context.Context, m *wire.Exec) (*dualtable.Resu
 // canceled — the stream always terminates with QueryEnd once the
 // header went out).
 func (c *conn) runQuery(op *activeOp, m *wire.Query) {
+	defer c.recoverOpPanic(m.OpID)
+	if c.srv.draining.Load() {
+		c.sendError(m.OpID, errDraining())
+		return
+	}
 	c.srv.activeOps.Add(1)
 	defer c.srv.activeOps.Add(-1)
 	ctx := op.ctxVal
@@ -426,6 +483,9 @@ func (c *conn) runQuery(op *activeOp, m *wire.Query) {
 }
 
 func (c *conn) queryStatement(ctx context.Context, m *wire.Query) (*dualtable.Rows, error) {
+	if h := c.srv.execHook; h != nil {
+		h(m.SQL)
+	}
 	args := datumArgs(m.Args)
 	switch {
 	case m.StmtID != 0:

@@ -41,6 +41,10 @@ type Config struct {
 	// HandshakeTimeout bounds how long a fresh connection may take to
 	// send its Hello (default 10s).
 	HandshakeTimeout time.Duration
+	// IdleTimeout, when positive, closes connections that have sent no
+	// frame for that long and have no in-flight operation (a client
+	// waiting on results is never idle). Zero disables the reaper.
+	IdleTimeout time.Duration
 	// Logf, when set, receives server diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -103,6 +107,16 @@ type Server struct {
 
 	liveConns atomic.Int64
 	activeOps atomic.Int64
+
+	// draining flips when Shutdown begins: the listener is closed and
+	// new statements are rejected with the typed busy error (safe for
+	// clients to retry elsewhere) while in-flight ones run out.
+	draining atomic.Bool
+
+	// execHook, when set (tests), runs at the top of every statement
+	// execution with the statement SQL — a seam for injecting blocking
+	// and panics without touching the engine.
+	execHook func(sql string)
 }
 
 // New builds a server over an open DB. Call Start (or Listen+Serve)
@@ -142,10 +156,14 @@ func (s *Server) Serve() error {
 	if s.ln == nil {
 		return errors.New("server: Serve before Listen")
 	}
+	if s.cfg.IdleTimeout > 0 {
+		s.wg.Add(1)
+		go s.reapIdle()
+	}
 	for {
 		nc, err := s.ln.Accept()
 		if err != nil {
-			if s.baseCtx.Err() != nil {
+			if s.baseCtx.Err() != nil || s.draining.Load() {
 				return nil // orderly shutdown
 			}
 			return err
@@ -216,6 +234,77 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return nil
+}
+
+// DrainStats reports how a graceful Shutdown went.
+type DrainStats struct {
+	// Finished counts in-flight statements that completed within the
+	// drain deadline.
+	Finished int64
+	// HardCancelled counts statements still running at the deadline;
+	// their op contexts were cancelled and the connections torn down.
+	HardCancelled int64
+}
+
+// Shutdown drains the server: stop accepting connections, reject new
+// statements with the typed busy error (clients with retry enabled
+// fail over or back off), let in-flight statements finish until the
+// deadline passes, then hard-cancel the stragglers via their op
+// contexts and tear down like Close. Safe to call concurrently with
+// Serve; idempotent with Close.
+func (s *Server) Shutdown(timeout time.Duration) DrainStats {
+	initial := s.activeOps.Load() // in flight as the drain begins
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close() // unblocks Accept; Serve sees draining and exits nil
+	}
+	deadline := time.Now().Add(timeout)
+	for s.activeOps.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	remaining := s.activeOps.Load()
+	s.Close()
+	finished := initial - remaining
+	if finished < 0 {
+		finished = 0 // ops raced in behind the initial count
+	}
+	return DrainStats{Finished: finished, HardCancelled: remaining}
+}
+
+// reapIdle periodically closes connections idle past IdleTimeout. A
+// connection with an in-flight op is spared no matter how long the
+// client has been silent: it is entitled to wait for its results.
+func (s *Server) reapIdle() {
+	defer s.wg.Done()
+	interval := s.cfg.IdleTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+		s.mu.Lock()
+		var idle []*conn
+		for c := range s.conns {
+			if c.lastActive.Load() < cutoff && c.activeOpCount() == 0 {
+				idle = append(idle, c)
+			}
+		}
+		s.mu.Unlock()
+		for _, c := range idle {
+			s.logf("conn %d: idle past %v, closing", c.id, s.cfg.IdleTimeout)
+			c.shutdown()
+		}
+	}
 }
 
 func (s *Server) dropConn(c *conn) {
