@@ -41,6 +41,13 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress per-connection logging")
 		drainTO   = flag.Duration("drain-timeout", 10*time.Second, "max time in-flight statements get to finish on SIGTERM/SIGINT")
 		idleTO    = flag.Duration("idle-timeout", 0, "close connections idle this long with nothing in flight (0 = never)")
+		stmtTO    = flag.Duration("statement-timeout", 0, "default per-statement execution deadline (0 = none; sessions override via SET statement.timeout)")
+		maxStmtTO = flag.Duration("max-statement-timeout", 0, "hard cap on the per-statement deadline; sessions cannot raise or disable past it (0 = uncapped)")
+		writeTO   = flag.Duration("write-timeout", 30*time.Second, "per-frame write deadline; a client not draining its socket fails the op (<0 = disabled)")
+		progTO    = flag.Duration("progress-timeout", 30*time.Second, "reap a streaming query whose client grants no flow-control credits for this long (<0 = disabled)")
+		maxRows   = flag.Int64("max-rows-per-statement", 0, "per-tenant cap on rows returned/streamed by one statement (0 = unlimited)")
+		maxBytes  = flag.Int64("max-bytes-per-statement", 0, "per-tenant cap on encoded result bytes sent by one statement (0 = unlimited)")
+		maxTenant = flag.Int64("max-tenant-bytes", 0, "cap on a tenant's total in-flight result memory across statements (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -67,11 +74,18 @@ func main() {
 	}
 
 	scfg := server.Config{
-		Addr:          *addr,
-		MaxConcurrent: *maxConc,
-		QueueDepth:    *queueDep,
-		QueueWait:     *queueWait,
-		IdleTimeout:   *idleTO,
+		Addr:                    *addr,
+		MaxConcurrent:           *maxConc,
+		QueueDepth:              *queueDep,
+		QueueWait:               *queueWait,
+		IdleTimeout:             *idleTO,
+		DefaultStatementTimeout: *stmtTO,
+		MaxStatementTimeout:     *maxStmtTO,
+		WriteTimeout:            *writeTO,
+		ProgressTimeout:         *progTO,
+		MaxRowsPerStatement:     *maxRows,
+		MaxBytesPerStatement:    *maxBytes,
+		MaxTenantBytes:          *maxTenant,
 	}
 	if !*quiet {
 		scfg.Logf = func(format string, args ...any) {

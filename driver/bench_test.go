@@ -18,13 +18,25 @@ import (
 // concurrent database/sql clients run a mixed workload of point
 // UPDATEs (1 in 4 operations) and UNION READ scans against one
 // dtserver over TCP. Reported metrics: throughput in qps and p99
-// statement latency in ms — the numbers recorded in BENCH_pr6.json.
-func BenchmarkWireMixedWorkload(b *testing.B) {
-	const clients = 8
+// statement latency in ms — the numbers recorded in BENCH_pr6.json
+// (8 clients) and BENCH_pr8.json (64 clients, slow-client mix).
+func BenchmarkWireMixedWorkload(b *testing.B)   { runWireMixed(b, 8, 0) }
+func BenchmarkWireMixedWorkload64(b *testing.B) { runWireMixed(b, 64, 0) }
+
+// BenchmarkWireSlowClientMix adds 4 pathological clients to the
+// 64-client workload: each opens a window=1 streaming scan, consumes
+// one batch, then stops granting flow-control credits. The server's
+// progress watchdog must reap them (ErrSlowClient, pins released,
+// gate slot freed) fast enough that the healthy clients' p99 stays
+// insulated — compare against BenchmarkWireMixedWorkload64.
+func BenchmarkWireSlowClientMix(b *testing.B) { runWireMixed(b, 64, 4) }
+
+func runWireMixed(b *testing.B, clients, slowClients int) {
 	srv, _, addr := startServer(b, server.Config{
-		MaxConcurrent: 16,
-		QueueDepth:    256,
-		QueueWait:     time.Minute,
+		MaxConcurrent:   16,
+		QueueDepth:      256,
+		QueueWait:       time.Minute,
+		ProgressTimeout: 250 * time.Millisecond,
 	})
 	defer srv.Close()
 
@@ -65,6 +77,37 @@ func BenchmarkWireMixedWorkload(b *testing.B) {
 		dbs[c] = &benchClient{upd: upd, scan: scan, rng: rand.New(rand.NewSource(int64(c + 1)))}
 	}
 
+	// Pathological clients: take one batch of a window=1 scan, then
+	// sit on the stream without granting credits until the server's
+	// progress watchdog reaps the op; repeat.
+	stopSlow := make(chan struct{})
+	var slowWG sync.WaitGroup
+	for i := 0; i < slowClients; i++ {
+		db := openSQL(b, addr, "window=1")
+		db.SetMaxOpenConns(1)
+		slowWG.Add(1)
+		go func() {
+			defer slowWG.Done()
+			for {
+				select {
+				case <-stopSlow:
+					return
+				default:
+				}
+				rows, err := db.Query(`SELECT id, v FROM bench`)
+				if err != nil {
+					continue
+				}
+				rows.Next() // consume one batch, then starve the stream
+				select {
+				case <-stopSlow:
+				case <-time.After(2 * time.Second):
+				}
+				rows.Close()
+			}
+		}()
+	}
+
 	var (
 		mu   sync.Mutex
 		lats []time.Duration
@@ -99,6 +142,8 @@ func BenchmarkWireMixedWorkload(b *testing.B) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	b.StopTimer()
+	close(stopSlow)
+	slowWG.Wait()
 
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

@@ -5,13 +5,29 @@ import (
 	sqldriver "database/sql/driver"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"dualtable"
 	"dualtable/internal/datum"
+	"dualtable/internal/hive"
 	"dualtable/internal/wire"
 )
+
+// ErrResultUnknown reports a connection that died after a statement
+// was fully sent but before its response arrived: the statement may
+// or may not have executed. The driver never retries in this state —
+// resending could double-apply a write — so the caller must decide
+// (re-check state, or retry an idempotent statement). Send failures,
+// by contrast, are retried transparently by the pool: the server only
+// executes complete frames, so a partially written request never ran.
+var ErrResultUnknown = errors.New("dualtable driver: connection failed mid-statement (result unknown)")
+
+// cancelGrace bounds how long a cancelled operation waits for the
+// server's acknowledging response before the pending read is forced
+// to fail — a dead server must not wedge a cancelled statement.
+const cancelGrace = 2 * time.Second
 
 // conn is one wire connection. database/sql serializes all calls on a
 // driver.Conn, so the request/response protocol needs no client-side
@@ -28,6 +44,11 @@ type conn struct {
 
 	closed bool
 	broken atomic.Bool // a mid-stream network error poisons the conn
+
+	// dirty marks that a SET statement may have changed server-side
+	// session state. ResetSession only pays the RESET round trip for
+	// dirty connections, so pooled reuse of clean ones stays free.
+	dirty bool
 }
 
 var _ sqldriver.Conn = (*conn)(nil)
@@ -36,6 +57,7 @@ var _ sqldriver.QueryerContext = (*conn)(nil)
 var _ sqldriver.ConnPrepareContext = (*conn)(nil)
 var _ sqldriver.Pinger = (*conn)(nil)
 var _ sqldriver.Validator = (*conn)(nil)
+var _ sqldriver.SessionResetter = (*conn)(nil)
 
 // markBroken poisons the connection after an I/O failure so the pool
 // retires it instead of reusing a desynchronized frame stream.
@@ -43,6 +65,76 @@ func (c *conn) markBroken() { c.broken.Store(true) }
 
 // IsValid lets the pool drop poisoned connections.
 func (c *conn) IsValid() bool { return !c.broken.Load() && !c.closed }
+
+// ResetSession scrubs server-side session state before the pool hands
+// this connection to a new borrower. Clean connections return
+// immediately; dirty ones (a SET ran) do a RESET round trip and
+// re-apply the DSN's base settings. Any failure retires the
+// connection — a borrower must never inherit unknown session state.
+func (c *conn) ResetSession(ctx context.Context) error {
+	if c.closed || c.broken.Load() {
+		return sqldriver.ErrBadConn
+	}
+	if !c.dirty {
+		return nil
+	}
+	if err := c.wc.Send(wire.TypeReset, (&wire.OK{}).Encode()); err != nil {
+		c.markBroken()
+		return sqldriver.ErrBadConn
+	}
+	raw := c.wc.Raw()
+	raw.SetReadDeadline(time.Now().Add(cancelGrace))
+	t, _, err := c.wc.Recv()
+	raw.SetReadDeadline(time.Time{})
+	if err != nil || t != wire.TypeOK {
+		c.markBroken()
+		return sqldriver.ErrBadConn
+	}
+	if err := c.applyBaseVars(); err != nil {
+		c.markBroken()
+		return sqldriver.ErrBadConn
+	}
+	c.dirty = false
+	return nil
+}
+
+// applyBaseVars pushes the DSN-derived session settings onto a fresh
+// (or freshly reset) connection.
+func (c *conn) applyBaseVars() error {
+	if c.cfg.StatementTimeout <= 0 {
+		return nil
+	}
+	m := wire.Set{Key: hive.VarStatementTimeout, Value: c.cfg.StatementTimeout.String()}
+	if err := c.wc.Send(wire.TypeSet, m.Encode()); err != nil {
+		return err
+	}
+	t, payload, err := c.wc.Recv()
+	if err != nil {
+		return err
+	}
+	switch t {
+	case wire.TypeOK:
+		return nil
+	case wire.TypeError:
+		return c.decodeError(payload)
+	default:
+		return fmt.Errorf("%w: SET answered with %v", dualtable.ErrProtocol, t)
+	}
+}
+
+// sqlMutatesSession reports whether inline SQL contains a SET
+// statement (checked per semicolon-separated chunk) — the signal that
+// the connection must be reset before pooled reuse.
+func sqlMutatesSession(sql string) bool {
+	for _, chunk := range strings.Split(sql, ";") {
+		s := strings.TrimSpace(chunk)
+		if len(s) > 3 && strings.EqualFold(s[:3], "SET") &&
+			(s[3] == ' ' || s[3] == '\t' || s[3] == '\n' || s[3] == '\r') {
+			return true
+		}
+	}
+	return false
+}
 
 // Prepare compiles a statement server-side.
 func (c *conn) Prepare(query string) (sqldriver.Stmt, error) {
@@ -59,13 +151,16 @@ func (c *conn) PrepareContext(ctx context.Context, query string) (sqldriver.Stmt
 	id := c.nextStmt.Add(1)
 	req := wire.Prepare{StmtID: id, SQL: query}
 	if err := c.wc.Send(wire.TypePrepare, req.Encode()); err != nil {
+		// The server only acts on complete frames, so a send failure
+		// means the prepare never ran: safe for the pool to retry on a
+		// fresh connection.
 		c.markBroken()
-		return nil, err
+		return nil, sqldriver.ErrBadConn
 	}
 	t, payload, err := c.wc.Recv()
 	if err != nil {
 		c.markBroken()
-		return nil, err
+		return nil, sqldriver.ErrBadConn // prepare is side-effect-free
 	}
 	switch t {
 	case wire.TypePrepareOK:
@@ -74,7 +169,8 @@ func (c *conn) PrepareContext(ctx context.Context, query string) (sqldriver.Stmt
 			c.markBroken()
 			return nil, err
 		}
-		return &stmt{c: c, id: ok.StmtID, numParams: int(ok.NumParams)}, nil
+		return &stmt{c: c, id: ok.StmtID, numParams: int(ok.NumParams),
+			mutatesSession: sqlMutatesSession(query)}, nil
 	case wire.TypeError:
 		return nil, c.decodeError(payload)
 	default:
@@ -134,6 +230,9 @@ func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.N
 	if err != nil {
 		return nil, err
 	}
+	if sqlMutatesSession(query) {
+		c.dirty = true
+	}
 	return c.exec(ctx, 0, query, ds)
 }
 
@@ -142,6 +241,9 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.
 	ds, err := namedToDatums(args)
 	if err != nil {
 		return nil, err
+	}
+	if sqlMutatesSession(query) {
+		c.dirty = true
 	}
 	return c.query(ctx, 0, query, ds)
 }
@@ -173,16 +275,25 @@ func (c *conn) execOnce(ctx context.Context, stmtID uint64, sql string, args []d
 	opID := c.nextOp.Add(1)
 	req := wire.Exec{OpID: opID, StmtID: stmtID, SQL: sql, Args: args}
 	if err := c.wc.Send(wire.TypeExec, req.Encode()); err != nil {
+		// The server only acts on complete frames, so a send failure —
+		// even one that flushed a prefix — means the statement never
+		// ran. Safe for the pool to retry on a fresh connection.
 		c.markBroken()
-		return nil, err
+		return nil, sqldriver.ErrBadConn
 	}
 	stopWatch := c.watchCancel(ctx, opID)
 	defer stopWatch()
 	for {
 		t, payload, err := c.wc.Recv()
 		if err != nil {
+			// The request was fully sent; the server may or may not
+			// have executed it. Never ErrBadConn here — the pool would
+			// silently resend and could double-apply a write.
 			c.markBroken()
-			return nil, err
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("%w: %v", ErrResultUnknown, err)
 		}
 		switch t {
 		case wire.TypeResult:
@@ -232,54 +343,72 @@ func (c *conn) queryOnce(ctx context.Context, stmtID uint64, sql string, args []
 	opID := c.nextOp.Add(1)
 	req := wire.Query{OpID: opID, StmtID: stmtID, SQL: sql, Args: args, Window: c.cfg.Window}
 	if err := c.wc.Send(wire.TypeQuery, req.Encode()); err != nil {
+		// Incomplete request frame: the query never started. The pool
+		// may retry on a fresh connection.
 		c.markBroken()
-		return nil, err
+		return nil, sqldriver.ErrBadConn
 	}
-	// The watcher covers the planning window (send → RowHeader).
-	// After the header, database/sql's own ctx monitor closes the
-	// Rows on cancellation, which sends the cancel frame and drains.
+	// The watcher covers the whole stream, not just the planning
+	// window: database/sql's ctx monitor cannot close a Rows whose
+	// Next is blocked mid-Recv (Next holds the Rows lock), so the
+	// driver itself must turn cancellation into a cancel frame plus a
+	// read deadline that unblocks the pending read. On success the
+	// watcher is handed to the rows, which stops it on Close.
 	stopWatch := c.watchCancel(ctx, opID)
-	defer stopWatch()
 	t, payload, err := c.wc.Recv()
 	if err != nil {
+		stopWatch()
 		c.markBroken()
-		return nil, err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("%w: %v", ErrResultUnknown, err)
 	}
 	switch t {
 	case wire.TypeRowHeader:
 		var hdr wire.RowHeader
 		if err := hdr.Decode(payload); err != nil {
+			stopWatch()
 			c.markBroken()
 			return nil, err
 		}
 		if hdr.OpID != opID {
+			stopWatch()
 			c.markBroken()
 			return nil, fmt.Errorf("%w: header for op %d, want %d", dualtable.ErrProtocol, hdr.OpID, opID)
 		}
-		return &rows{c: c, opID: opID, cols: hdr.Columns}, nil
+		return &rows{c: c, opID: opID, cols: hdr.Columns, stopWatch: stopWatch}, nil
 	case wire.TypeError:
+		stopWatch()
 		err := c.decodeError(payload)
 		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
 			return nil, ctx.Err()
 		}
 		return nil, err
 	default:
+		stopWatch()
 		c.markBroken()
 		return nil, fmt.Errorf("%w: QUERY answered with %v", dualtable.ErrProtocol, t)
 	}
 }
 
 // watchCancel propagates ctx cancellation as a wire cancel frame
-// until the returned stop func runs.
+// until the returned stop func runs. After the cancel frame it arms a
+// read deadline of cancelGrace: the server normally answers a
+// cancelled op promptly, but a dead or stalled server must not wedge
+// the operation's pending Recv forever.
 func (c *conn) watchCancel(ctx context.Context, opID uint64) func() {
 	if ctx.Done() == nil {
 		return func() {}
 	}
 	stop := make(chan struct{})
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		select {
 		case <-ctx.Done():
 			c.wc.Send(wire.TypeCancel, (&wire.Cancel{OpID: opID}).Encode())
+			c.wc.Raw().SetReadDeadline(time.Now().Add(cancelGrace))
 		case <-stop:
 		}
 	}()
@@ -287,6 +416,12 @@ func (c *conn) watchCancel(ctx context.Context, opID uint64) func() {
 	return func() {
 		if !once.Swap(true) {
 			close(stop)
+			<-done
+			if ctx.Err() != nil {
+				// The watcher may have armed the grace deadline;
+				// disarm it so the next request reads unbounded.
+				c.wc.Raw().SetReadDeadline(time.Time{})
+			}
 		}
 	}
 }
@@ -316,6 +451,10 @@ type stmt struct {
 	id        uint64
 	numParams int
 	closed    bool
+
+	// mutatesSession records that the prepared SQL contains a SET, so
+	// every execution dirties the owning connection's session state.
+	mutatesSession bool
 }
 
 var _ sqldriver.Stmt = (*stmt)(nil)
@@ -336,12 +475,21 @@ func (s *stmt) Close() error {
 // NumInput returns the '?' placeholder count.
 func (s *stmt) NumInput() int { return s.numParams }
 
+// markDirty flags the owning conn when this statement mutates session
+// state.
+func (s *stmt) markDirty() {
+	if s.mutatesSession {
+		s.c.dirty = true
+	}
+}
+
 // Exec runs the statement with bound arguments.
 func (s *stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
 	ds, err := valuesToDatums(args)
 	if err != nil {
 		return nil, err
 	}
+	s.markDirty()
 	return s.c.exec(context.Background(), s.id, "", ds)
 }
 
@@ -351,6 +499,7 @@ func (s *stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sq
 	if err != nil {
 		return nil, err
 	}
+	s.markDirty()
 	return s.c.exec(ctx, s.id, "", ds)
 }
 
@@ -360,6 +509,7 @@ func (s *stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.markDirty()
 	return s.c.query(context.Background(), s.id, "", ds)
 }
 
@@ -369,6 +519,7 @@ func (s *stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (s
 	if err != nil {
 		return nil, err
 	}
+	s.markDirty()
 	return s.c.query(ctx, s.id, "", ds)
 }
 

@@ -16,7 +16,7 @@
 //
 // DSN form:
 //
-//	dt://host:port[?user=u&tenant=t&token=k&window=8&dial_timeout=5s&retries=3&retry_backoff=25ms]
+//	dt://host:port[?user=u&tenant=t&token=k&window=8&dial_timeout=5s&retries=3&retry_backoff=25ms&statement_timeout=30s]
 //
 // tenant selects the server-side admission-control gate (defaults to
 // user, then "default"); window is the streaming flow-control window
@@ -24,12 +24,20 @@
 // and connection-setup failures are transparently retried up to
 // retries times with jittered exponential backoff from retry_backoff —
 // both are issued before any statement executes, so retry never
-// double-applies a write. retries=0 disables.
+// double-applies a write. retries=0 disables. statement_timeout sets
+// the server-side execution deadline on every connection (SET
+// statement.timeout); statements that outlive it fail with
+// dualtable.ErrStatementTimeout.
 //
 // Session variables (SET dualtable.force.plan = EDIT, SET read.epoch
-// = 3, ...) are per-connection server state: use a single-connection
-// pool (db.SetMaxOpenConns(1)) or a sql.Conn when you need them to
-// stick.
+// = 3, ...) are per-connection server state: use a sql.Conn when you
+// need them to stick across statements. Connections returned to the
+// pool are reset (the wire RESET frame) before reuse, so one
+// borrower's SET state never leaks to the next — which also means SET
+// state does not survive pool borrows, even with SetMaxOpenConns(1).
+// A connection that fails mid-statement is retired from the pool;
+// pair long-lived pools with db.SetConnMaxIdleTime (a few minutes) so
+// idle connections are refreshed ahead of server-side idle reaping.
 package driver
 
 import (
@@ -76,6 +84,15 @@ type Config struct {
 	// RetryBackoff is the base backoff between retries (exponential,
 	// jittered; default DefaultRetryBackoff).
 	RetryBackoff time.Duration
+	// StatementTimeout, when positive, is pushed to every connection as
+	// SET statement.timeout after the handshake (and re-applied after a
+	// pool session reset): the server cancels statements that run
+	// longer, surfacing dualtable.ErrStatementTimeout.
+	StatementTimeout time.Duration
+	// Dial, when set, replaces the default TCP dial — the seam the
+	// network chaos harness uses to wrap client connections with fault
+	// injectors (programmatic via NewConnector; not settable by DSN).
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
 }
 
 // ParseDSN parses a dt:// connection string.
@@ -142,6 +159,13 @@ func ParseDSN(dsn string) (Config, error) {
 			return Config{}, fmt.Errorf("driver: bad retry_backoff %q", v)
 		}
 		cfg.RetryBackoff = d
+	}
+	if v := q.Get("statement_timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return Config{}, fmt.Errorf("driver: bad statement_timeout %q", v)
+		}
+		cfg.StatementTimeout = d
 	}
 	return cfg, nil
 }
@@ -211,12 +235,20 @@ func (c *Connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
 }
 
 func (c *Connector) connectOnce(ctx context.Context) (sqldriver.Conn, error) {
-	d := net.Dialer{Timeout: c.cfg.DialTimeout}
-	nc, err := d.DialContext(ctx, "tcp", c.cfg.Addr)
+	dial := c.cfg.Dial
+	if dial == nil {
+		d := net.Dialer{Timeout: c.cfg.DialTimeout}
+		dial = d.DialContext
+	}
+	nc, err := dial(ctx, "tcp", c.cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
 	wc := wire.NewConn(nc)
+	// The whole handshake — not just the dial — is bounded: a server
+	// that accepts but never answers Hello must not wedge the pool.
+	nc.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	defer nc.SetReadDeadline(time.Time{})
 	hello := wire.Hello{
 		Proto:  wire.ProtoVersion,
 		User:   c.cfg.User,
@@ -239,7 +271,12 @@ func (c *Connector) connectOnce(ctx context.Context) (sqldriver.Conn, error) {
 			wc.Close()
 			return nil, err
 		}
-		return &conn{wc: wc, cfg: c.cfg, sessionID: ok.SessionID}, nil
+		cn := &conn{wc: wc, cfg: c.cfg, sessionID: ok.SessionID}
+		if err := cn.applyBaseVars(); err != nil {
+			wc.Close()
+			return nil, err
+		}
+		return cn, nil
 	case wire.TypeError:
 		var ef wire.ErrorFrame
 		if err := ef.Decode(payload); err != nil {

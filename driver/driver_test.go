@@ -461,11 +461,13 @@ func TestAdmissionControlSheds(t *testing.T) {
 
 // TestSessionVarsStickOnConnection sets read.epoch over the wire and
 // checks it pins subsequent reads on that connection — and only that
-// connection.
+// connection. Session state only sticks within one borrow, so the
+// SET-dependent half runs on a dedicated sql.Conn (the pool resets SET
+// state between borrows; see TestPooledConnSessionReset).
 func TestSessionVarsStickOnConnection(t *testing.T) {
 	_, backing, addr := startServer(t, server.Config{})
 	db := openSQL(t, addr, "")
-	db.SetMaxOpenConns(1) // one conn, so SET statements stick
+	ctx := context.Background()
 
 	if _, err := db.Exec(`CREATE TABLE tv (id BIGINT, v DOUBLE) STORED AS DUALTABLE`); err != nil {
 		t.Fatal(err)
@@ -481,50 +483,58 @@ func TestSessionVarsStickOnConnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Exec(`SET dualtable.force.plan = EDIT`); err != nil {
+
+	cn, err := db.Conn(ctx)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Exec(`UPDATE tv SET v = 99.0 WHERE id = 2`); err != nil {
+	defer cn.Close()
+
+	if _, err := cn.ExecContext(ctx, `SET dualtable.force.plan = EDIT`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cn.ExecContext(ctx, `UPDATE tv SET v = 99.0 WHERE id = 2`); err != nil {
 		t.Fatal(err)
 	}
 
-	sum := func(d *sql.DB) float64 {
+	sum := func(q interface {
+		QueryRowContext(context.Context, string, ...any) *sql.Row
+	}) float64 {
 		t.Helper()
 		var s float64
-		if err := d.QueryRow(`SELECT SUM(v) FROM tv`).Scan(&s); err != nil {
+		if err := q.QueryRowContext(ctx, `SELECT SUM(v) FROM tv`).Scan(&s); err != nil {
 			t.Fatal(err)
 		}
 		return s
 	}
-	if got := sum(db); got != 100.0 {
+	if got := sum(cn); got != 100.0 {
 		t.Fatalf("current sum = %g, want 100", got)
 	}
 
 	// Pin this connection at the pre-update epoch.
-	if _, err := db.Exec(fmt.Sprintf(`SET read.epoch = %d`, epBefore)); err != nil {
+	if _, err := cn.ExecContext(ctx, fmt.Sprintf(`SET read.epoch = %d`, epBefore)); err != nil {
 		t.Fatal(err)
 	}
-	if got := sum(db); got != 3.0 {
+	if got := sum(cn); got != 3.0 {
 		t.Fatalf("pinned sum = %g, want 3 (pre-update)", got)
 	}
-	// Another connection is unaffected.
-	other := openSQL(t, addr, "")
-	if got := sum(other); got != 100.0 {
-		t.Fatalf("other conn sum = %g, want 100", got)
+	// Pooled borrows are unaffected by the dedicated conn's pin.
+	if got := sum(db); got != 100.0 {
+		t.Fatalf("pool conn sum = %g, want 100", got)
 	}
 	// Unpin restores current reads.
-	if _, err := db.Exec(`SET read.epoch = current`); err != nil {
+	if _, err := cn.ExecContext(ctx, `SET read.epoch = current`); err != nil {
 		t.Fatal(err)
 	}
-	if got := sum(db); got != 100.0 {
+	if got := sum(cn); got != 100.0 {
 		t.Fatalf("unpinned sum = %g, want 100", got)
 	}
 
 	// A future epoch fails with the typed sentinel over the wire.
-	if _, err := db.Exec(`SET read.epoch = 999999`); err != nil {
+	if _, err := cn.ExecContext(ctx, `SET read.epoch = 999999`); err != nil {
 		t.Fatal(err)
 	}
-	_, err = db.Query(`SELECT SUM(v) FROM tv`)
+	_, err = cn.QueryContext(ctx, `SELECT SUM(v) FROM tv`)
 	if !errors.Is(err, dualtable.ErrEpochFuture) {
 		t.Fatalf("future-epoch err = %v, want ErrEpochFuture", err)
 	}

@@ -1,0 +1,98 @@
+package driver_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dualtable/driver"
+)
+
+func TestParseDSNStatementTimeout(t *testing.T) {
+	cases := []struct {
+		dsn     string
+		want    time.Duration
+		wantErr bool
+	}{
+		{"dt://h:1?statement_timeout=30s", 30 * time.Second, false},
+		{"dt://h:1?statement_timeout=1h30m", 90 * time.Minute, false},
+		{"dt://h:1?statement_timeout=0", 0, false}, // explicit zero: no SET pushed
+		{"dt://h:1", 0, false},
+		{"dt://h:1?statement_timeout=banana", 0, true},
+		{"dt://h:1?statement_timeout=-5s", 0, true},
+		{"dt://h:1?statement_timeout=30", 0, true}, // bare number: no unit
+	}
+	for _, c := range cases {
+		cfg, err := driver.ParseDSN(c.dsn)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseDSN(%q): nil error, want bad statement_timeout", c.dsn)
+			} else if !strings.Contains(err.Error(), "statement_timeout") {
+				t.Errorf("ParseDSN(%q) error %v does not name statement_timeout", c.dsn, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseDSN(%q): %v", c.dsn, err)
+			continue
+		}
+		if cfg.StatementTimeout != c.want {
+			t.Errorf("ParseDSN(%q).StatementTimeout = %v, want %v", c.dsn, cfg.StatementTimeout, c.want)
+		}
+	}
+}
+
+func TestParseDSNRejectsGarbage(t *testing.T) {
+	for _, dsn := range []string{
+		"",
+		"http://h:1",
+		"dt://",
+		"dt://h:1?window=0",
+		"dt://h:1?window=banana",
+		"dt://h:1?dial_timeout=-1s",
+		"dt://h:1?retries=-2",
+		"dt://h:1?retry_backoff=x",
+	} {
+		if _, err := driver.ParseDSN(dsn); err == nil {
+			t.Errorf("ParseDSN(%q): nil error, want rejection", dsn)
+		}
+	}
+}
+
+// FuzzParseDSN: ParseDSN must never panic, and a nil-error parse must
+// yield a usable Config (non-empty address, sane defaults).
+func FuzzParseDSN(f *testing.F) {
+	for _, seed := range []string{
+		"dt://127.0.0.1:7717?tenant=acme",
+		"dualtable://u:tok@h:1?window=8&dial_timeout=5s&retries=3",
+		"dt://h:1?statement_timeout=30s&retry_backoff=25ms",
+		"dt://h:1?statement_timeout=-1ns",
+		"dt://h:1?window=65536",
+		"dt://%gh",
+		"::::",
+		"dt://h:1?statement_timeout=9223372036854775807ns",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, dsn string) {
+		cfg, err := driver.ParseDSN(dsn)
+		if err != nil {
+			var probe interface{ Unwrap() error }
+			_ = errors.As(err, &probe) // error chains must be well-formed
+			return
+		}
+		if cfg.Addr == "" {
+			t.Fatalf("ParseDSN(%q) accepted an empty address", dsn)
+		}
+		if cfg.Window == 0 {
+			t.Fatalf("ParseDSN(%q) accepted window 0", dsn)
+		}
+		if cfg.DialTimeout <= 0 {
+			t.Fatalf("ParseDSN(%q) yielded dial timeout %v", dsn, cfg.DialTimeout)
+		}
+		if cfg.StatementTimeout < 0 {
+			t.Fatalf("ParseDSN(%q) yielded negative statement timeout", dsn)
+		}
+	})
+}

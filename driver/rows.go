@@ -4,11 +4,17 @@ import (
 	sqldriver "database/sql/driver"
 	"fmt"
 	"io"
+	"time"
 
 	"dualtable"
 	"dualtable/internal/datum"
 	"dualtable/internal/wire"
 )
+
+// drainTimeout bounds how long an abandoned stream waits for the
+// server's terminal QueryEnd after CloseQuery — a dead server must not
+// wedge rows.Close (and with it the pool's conn teardown).
+const drainTimeout = 5 * time.Second
 
 // rows consumes one query's response stream: RowBatch frames under
 // credit-based flow control, terminated by QueryEnd. Each consumed
@@ -24,6 +30,11 @@ type rows struct {
 
 	done bool  // QueryEnd received
 	err  error // terminal stream error (from QueryEnd's code)
+
+	// stopWatch ends the query's ctx-cancel watcher (armed in
+	// queryOnce, alive for the stream's whole life so a cancelled ctx
+	// can unblock a Next waiting on a dead server).
+	stopWatch func()
 
 	simSeconds float64
 	closed     bool
@@ -114,6 +125,9 @@ func (r *rows) Close() error {
 		return nil
 	}
 	r.closed = true
+	if r.stopWatch != nil {
+		defer r.stopWatch()
+	}
 	if r.done {
 		return nil
 	}
@@ -124,12 +138,15 @@ func (r *rows) Close() error {
 		r.c.markBroken()
 		return nil
 	}
+	raw := r.c.wc.Raw()
+	raw.SetReadDeadline(time.Now().Add(drainTimeout))
 	for !r.done {
 		if err := r.recvFrame(); err != nil {
 			break
 		}
 		r.buf, r.idx = nil, 0 // discard undelivered rows
 	}
+	raw.SetReadDeadline(time.Time{})
 	return nil
 }
 

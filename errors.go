@@ -29,8 +29,27 @@ var (
 	// run on it.
 	ErrSessionClosed = errors.New("dualtable: session is closed")
 	// ErrProtocol: the wire peer violated the framing protocol
-	// (malformed frame, oversized length, bad handshake).
+	// (malformed frame, oversized length, frame checksum mismatch, bad
+	// handshake).
 	ErrProtocol = errors.New("dualtable: wire protocol error")
+	// ErrStatementTimeout: the statement ran longer than the session's
+	// statement.timeout (or the server's default/max) and was cancelled
+	// server-side. The connection survives; the statement does not.
+	// Not retried automatically — a statement that timed out once will
+	// time out again.
+	ErrStatementTimeout = errors.New("dualtable: statement timeout")
+	// ErrQuotaExceeded: the statement hit a per-tenant resource quota
+	// (rows or bytes streamed per statement, or the tenant's in-flight
+	// result-memory cap). Deterministic, never retried automatically:
+	// narrow the statement or raise the quota.
+	ErrQuotaExceeded = errors.New("dualtable: tenant quota exceeded")
+	// ErrSlowClient: the server's stream-progress watchdog cancelled
+	// the statement because the client stopped consuming its result
+	// stream (no flow-control credits granted within the progress
+	// window) or stopped draining its TCP receive buffer. The op's
+	// snapshot pins and memory are released; the connection is usually
+	// torn down with it.
+	ErrSlowClient = errors.New("dualtable: client too slow consuming result stream")
 )
 
 // ErrCode is a stable numeric error code carried in wire-protocol
@@ -60,6 +79,15 @@ const (
 	CodeCanceled ErrCode = 7
 	// CodeProtocol maps ErrProtocol.
 	CodeProtocol ErrCode = 8
+	// CodeStatementTimeout maps ErrStatementTimeout (server-side
+	// statement deadline exceeded).
+	CodeStatementTimeout ErrCode = 9
+	// CodeQuotaExceeded maps ErrQuotaExceeded (per-tenant row/byte/
+	// memory quota hit).
+	CodeQuotaExceeded ErrCode = 10
+	// CodeSlowClient maps ErrSlowClient (stream-progress watchdog
+	// reaped the statement).
+	CodeSlowClient ErrCode = 11
 )
 
 // CodeOf classifies an error into its stable wire code.
@@ -77,6 +105,16 @@ func CodeOf(err error) ErrCode {
 		return CodeServerBusy
 	case errors.Is(err, ErrSessionClosed):
 		return CodeSessionClosed
+	// The deadline/quota/watchdog sentinels are tested before the
+	// generic cancellation identities: a statement killed by its
+	// deadline unwraps to both ErrStatementTimeout and (often)
+	// context.DeadlineExceeded, and the specific code must win.
+	case errors.Is(err, ErrStatementTimeout):
+		return CodeStatementTimeout
+	case errors.Is(err, ErrQuotaExceeded):
+		return CodeQuotaExceeded
+	case errors.Is(err, ErrSlowClient):
+		return CodeSlowClient
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return CodeCanceled
 	case errors.Is(err, ErrProtocol):
@@ -104,6 +142,12 @@ func (c ErrCode) sentinel() error {
 		return context.Canceled
 	case CodeProtocol:
 		return ErrProtocol
+	case CodeStatementTimeout:
+		return ErrStatementTimeout
+	case CodeQuotaExceeded:
+		return ErrQuotaExceeded
+	case CodeSlowClient:
+		return ErrSlowClient
 	default:
 		return nil
 	}

@@ -26,6 +26,13 @@ const (
 	// the session setting. UPDATE and DELETE refuse to run while it is
 	// set (their table rewrites would silently read stale data).
 	VarReadEpoch = "read.epoch"
+	// VarStatementTimeout bounds each statement's server-side
+	// execution time when the session is served over the wire (a Go
+	// duration string, e.g. "500ms" or "30s"; "0" disables, subject to
+	// the server's configured maximum). The engine itself does not
+	// enforce it — the serving layer derives a context deadline from
+	// it; in-process callers use context.WithTimeout directly.
+	VarStatementTimeout = "statement.timeout"
 )
 
 // SessionVars holds the per-session settings that used to be
@@ -57,6 +64,16 @@ func (v *SessionVars) Unset(key string) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	delete(v.settings, strings.ToLower(key))
+}
+
+// Reset clears every setting and ratio hint, restoring the session to
+// its initial state. The serving layer uses it to scrub connection
+// state before a pooled connection is reused by a new borrower.
+func (v *SessionVars) Reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	clear(v.settings)
+	clear(v.ratioHints)
 }
 
 // Lookup returns a setting and whether it was ever set. A present but

@@ -22,13 +22,19 @@ type gate struct {
 
 	waiting atomic.Int64
 
+	// maxBytes caps the tenant's total in-flight result memory —
+	// encoded response frames reserved (reserveBytes) while they are
+	// built and written. Zero disables the cap.
+	maxBytes int64
+	bytes    atomic.Int64
+
 	// Stats.
 	admitted atomic.Int64
 	queued   atomic.Int64
 	shed     atomic.Int64
 }
 
-func newGate(capacity, depth int, maxWait time.Duration) *gate {
+func newGate(capacity, depth int, maxWait time.Duration, maxBytes int64) *gate {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -38,7 +44,10 @@ func newGate(capacity, depth int, maxWait time.Duration) *gate {
 	if maxWait <= 0 {
 		maxWait = 2 * time.Second
 	}
-	return &gate{sem: make(chan struct{}, capacity), depth: int64(depth), maxWait: maxWait}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &gate{sem: make(chan struct{}, capacity), depth: int64(depth), maxWait: maxWait, maxBytes: maxBytes}
 }
 
 // acquire claims an execution slot. Fast path: a free slot admits
@@ -78,18 +87,41 @@ func (g *gate) acquire(ctx context.Context) error {
 // release frees the slot claimed by a successful acquire.
 func (g *gate) release() { <-g.sem }
 
+// reserveBytes claims n bytes of the tenant's in-flight result-memory
+// budget, failing with the typed quota error when the cap would be
+// exceeded. The caller must releaseBytes(n) iff reserve returned nil.
+func (g *gate) reserveBytes(n int64) error {
+	if g.maxBytes <= 0 || n <= 0 {
+		return nil
+	}
+	if g.bytes.Add(n) > g.maxBytes {
+		g.bytes.Add(-n)
+		return fmt.Errorf("%w: tenant in-flight result memory cap %d bytes reached",
+			dualtable.ErrQuotaExceeded, g.maxBytes)
+	}
+	return nil
+}
+
+// releaseBytes returns a reservation made by reserveBytes.
+func (g *gate) releaseBytes(n int64) {
+	if g.maxBytes > 0 && n > 0 {
+		g.bytes.Add(-n)
+	}
+}
+
 // gates hands out one gate per tenant, created on demand with the
 // server's configured limits.
 type gates struct {
-	mu      sync.Mutex
-	m       map[string]*gate
-	cap     int
-	depth   int
-	maxWait time.Duration
+	mu       sync.Mutex
+	m        map[string]*gate
+	cap      int
+	depth    int
+	maxWait  time.Duration
+	maxBytes int64
 }
 
-func newGates(capacity, depth int, maxWait time.Duration) *gates {
-	return &gates{m: map[string]*gate{}, cap: capacity, depth: depth, maxWait: maxWait}
+func newGates(capacity, depth int, maxWait time.Duration, maxBytes int64) *gates {
+	return &gates{m: map[string]*gate{}, cap: capacity, depth: depth, maxWait: maxWait, maxBytes: maxBytes}
 }
 
 func (gs *gates) forTenant(tenant string) *gate {
@@ -97,7 +129,7 @@ func (gs *gates) forTenant(tenant string) *gate {
 	defer gs.mu.Unlock()
 	g, ok := gs.m[tenant]
 	if !ok {
-		g = newGate(gs.cap, gs.depth, gs.maxWait)
+		g = newGate(gs.cap, gs.depth, gs.maxWait, gs.maxBytes)
 		gs.m[tenant] = g
 	}
 	return g

@@ -11,7 +11,7 @@ import (
 )
 
 func TestGateAdmitsUpToCapacity(t *testing.T) {
-	g := newGate(3, 0, time.Second)
+	g := newGate(3, 0, time.Second, 0)
 	ctx := context.Background()
 	for i := 0; i < 3; i++ {
 		if err := g.acquire(ctx); err != nil {
@@ -30,7 +30,7 @@ func TestGateAdmitsUpToCapacity(t *testing.T) {
 }
 
 func TestGateQueueAdmitsWhenSlotFrees(t *testing.T) {
-	g := newGate(1, 4, 5*time.Second)
+	g := newGate(1, 4, 5*time.Second, 0)
 	ctx := context.Background()
 	if err := g.acquire(ctx); err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func TestGateQueueAdmitsWhenSlotFrees(t *testing.T) {
 }
 
 func TestGateQueueDeadlineSheds(t *testing.T) {
-	g := newGate(1, 4, 30*time.Millisecond)
+	g := newGate(1, 4, 30*time.Millisecond, 0)
 	ctx := context.Background()
 	if err := g.acquire(ctx); err != nil {
 		t.Fatal(err)
@@ -74,7 +74,7 @@ func TestGateQueueDeadlineSheds(t *testing.T) {
 }
 
 func TestGateQueueDepthBounded(t *testing.T) {
-	g := newGate(1, 2, 5*time.Second)
+	g := newGate(1, 2, 5*time.Second, 0)
 	ctx := context.Background()
 	if err := g.acquire(ctx); err != nil {
 		t.Fatal(err)
@@ -115,7 +115,7 @@ func TestGateQueueDepthBounded(t *testing.T) {
 }
 
 func TestGateAcquireHonorsContext(t *testing.T) {
-	g := newGate(1, 4, 5*time.Second)
+	g := newGate(1, 4, 5*time.Second, 0)
 	if err := g.acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestGateAcquireHonorsContext(t *testing.T) {
 }
 
 func TestGatesPerTenantIsolation(t *testing.T) {
-	gs := newGates(1, 0, time.Second)
+	gs := newGates(1, 0, time.Second, 0)
 	a, b := gs.forTenant("a"), gs.forTenant("b")
 	if a == b {
 		t.Fatal("tenants a and b share a gate")

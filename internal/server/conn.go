@@ -2,14 +2,18 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dualtable"
 	"dualtable/internal/datum"
+	"dualtable/internal/hive"
+	"dualtable/internal/sqlparser"
 	"dualtable/internal/wire"
 )
 
@@ -55,6 +59,7 @@ func newConn(s *Server, nc net.Conn) *conn {
 		stmts: map[uint64]*dualtable.Stmt{},
 	}
 	c.ctx, c.cancel = context.WithCancel(s.baseCtx)
+	c.wc.SetWriteTimeout(s.cfg.WriteTimeout)
 	c.lastActive.Store(time.Now().UnixNano())
 	return c
 }
@@ -166,12 +171,24 @@ func (c *conn) dispatch(t wire.Type, payload []byte) error {
 		if err := m.Decode(payload); err != nil {
 			return err
 		}
+		if err := validateSetting(m.Key, m.Value); err != nil {
+			c.sendError(0, err)
+			return nil
+		}
 		if m.Value == "" {
 			c.sess.Unset(m.Key)
 		} else {
 			c.sess.Set(m.Key, m.Value)
 		}
 		return c.wc.Send(wire.TypeOK, (&wire.OK{}).Encode())
+
+	case wire.TypeReset:
+		var m wire.OK
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		c.sess.ResetVars()
+		return c.wc.Send(wire.TypeOK, (&wire.OK{OpID: m.OpID}).Encode())
 
 	case wire.TypePing:
 		var m wire.OK
@@ -336,6 +353,95 @@ func errDraining() error {
 	return fmt.Errorf("%w: server draining", dualtable.ErrServerBusy)
 }
 
+// parseTimeout parses a statement.timeout value: a non-negative Go
+// duration string; "" and "0" mean no session deadline.
+func parseTimeout(v string) (time.Duration, error) {
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("invalid statement.timeout %q: want a non-negative Go duration (e.g. \"500ms\")", v)
+	}
+	return d, nil
+}
+
+// validateSetting rejects SET values the serving layer itself
+// interprets — storing a malformed statement.timeout would fail every
+// later statement on the session, so it is refused up front.
+func validateSetting(key, value string) error {
+	if key == hive.VarStatementTimeout && value != "" {
+		_, err := parseTimeout(value)
+		return err
+	}
+	return nil
+}
+
+// sessionControlOnly reports whether a script consists solely of SET
+// statements. Session-control statements are exempt from the session
+// deadline: a statement.timeout short enough to kill the very SET
+// that would raise it would otherwise brick the session permanently
+// (the wire-level Set frame already bypasses the deadline; SQL-level
+// SET must behave the same).
+func sessionControlOnly(sql string) bool {
+	t := strings.TrimSpace(sql)
+	if len(t) < 3 || !strings.EqualFold(t[:3], "SET") {
+		return false
+	}
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil || len(stmts) == 0 {
+		return false
+	}
+	for _, st := range stmts {
+		if _, ok := st.(*sqlparser.SetStmt); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// statementCtx derives a statement's execution context from its op
+// context: the session's statement.timeout overrides the server
+// default, and the server max (when set) clamps the result — a
+// session may lower its deadline but never escape the cap, including
+// by disabling it. The returned cancel must always be called.
+func (c *conn) statementCtx(parent context.Context) (context.Context, context.CancelFunc, error) {
+	d := c.srv.cfg.DefaultStatementTimeout
+	if v, ok := c.sess.Setting(hive.VarStatementTimeout); ok {
+		pd, err := parseTimeout(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		d = pd
+	}
+	if max := c.srv.cfg.MaxStatementTimeout; max > 0 && (d <= 0 || d > max) {
+		d = max
+	}
+	if d <= 0 {
+		return parent, func() {}, nil
+	}
+	cause := fmt.Errorf("%w: statement exceeded %v", dualtable.ErrStatementTimeout, d)
+	ctx, cancel := context.WithTimeoutCause(parent, d, cause)
+	return ctx, cancel, nil
+}
+
+// statementErr substitutes the typed cancellation cause when a
+// statement died to its deadline: the engine reports a bare
+// context.DeadlineExceeded, but the wire error must say why —
+// statement timeout, not generic cancellation.
+func statementErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		if cause := context.Cause(ctx); cause != nil &&
+			!errors.Is(cause, context.Canceled) && !errors.Is(cause, context.DeadlineExceeded) {
+			return cause
+		}
+	}
+	return err
+}
+
 // runExec executes a statement to completion and answers with one
 // Result or Error frame.
 func (c *conn) runExec(op *activeOp, m *wire.Exec) {
@@ -346,16 +452,25 @@ func (c *conn) runExec(op *activeOp, m *wire.Exec) {
 	}
 	c.srv.activeOps.Add(1)
 	defer c.srv.activeOps.Add(-1)
-	ctx := op.ctxVal
+	ctx, cancel := op.ctxVal, context.CancelFunc(func() {})
+	if m.StmtID != 0 || !sessionControlOnly(m.SQL) {
+		var err error
+		ctx, cancel, err = c.statementCtx(op.ctxVal)
+		if err != nil {
+			c.sendError(m.OpID, err)
+			return
+		}
+	}
+	defer cancel()
 	if err := c.gate.acquire(ctx); err != nil {
-		c.sendError(m.OpID, err)
+		c.sendError(m.OpID, statementErr(ctx, err))
 		return
 	}
 	defer c.gate.release()
 
 	rs, err := c.execStatement(ctx, m)
 	if err != nil {
-		c.sendError(m.OpID, err)
+		c.sendError(m.OpID, statementErr(ctx, err))
 		return
 	}
 	res := wire.Result{OpID: m.OpID}
@@ -366,7 +481,24 @@ func (c *conn) runExec(op *activeOp, m *wire.Exec) {
 		res.SimSeconds = rs.SimSeconds
 		res.Plan = rs.Plan
 	}
-	if err := c.wc.Send(wire.TypeResult, res.Encode()); err != nil {
+	if max := c.srv.cfg.MaxRowsPerStatement; max > 0 && int64(len(res.Rows)) > max {
+		c.sendError(m.OpID, fmt.Errorf("%w: statement returned %d rows (per-statement cap %d)",
+			dualtable.ErrQuotaExceeded, len(res.Rows), max))
+		return
+	}
+	payload := res.Encode()
+	if max := c.srv.cfg.MaxBytesPerStatement; max > 0 && int64(len(payload)) > max {
+		c.sendError(m.OpID, fmt.Errorf("%w: result is %d bytes (per-statement cap %d)",
+			dualtable.ErrQuotaExceeded, len(payload), max))
+		return
+	}
+	if err := c.gate.reserveBytes(int64(len(payload))); err != nil {
+		c.sendError(m.OpID, err)
+		return
+	}
+	err = c.wc.Send(wire.TypeResult, payload)
+	c.gate.releaseBytes(int64(len(payload)))
+	if err != nil {
 		c.srv.logf("conn %d: send result: %v", c.id, err)
 	}
 }
@@ -408,16 +540,21 @@ func (c *conn) runQuery(op *activeOp, m *wire.Query) {
 	}
 	c.srv.activeOps.Add(1)
 	defer c.srv.activeOps.Add(-1)
-	ctx := op.ctxVal
-	if err := c.gate.acquire(ctx); err != nil {
+	ctx, cancel, err := c.statementCtx(op.ctxVal)
+	if err != nil {
 		c.sendError(m.OpID, err)
+		return
+	}
+	defer cancel()
+	if err := c.gate.acquire(ctx); err != nil {
+		c.sendError(m.OpID, statementErr(ctx, err))
 		return
 	}
 	defer c.gate.release()
 
 	rows, err := c.queryStatement(ctx, m)
 	if err != nil {
-		c.sendError(m.OpID, err)
+		c.sendError(m.OpID, statementErr(ctx, err))
 		return
 	}
 	defer rows.Close()
@@ -432,22 +569,60 @@ func (c *conn) runQuery(op *activeOp, m *wire.Query) {
 		credits = 1
 	}
 	batchCap := c.srv.cfg.BatchRows
+	maxRows := c.srv.cfg.MaxRowsPerStatement
+	maxBytes := c.srv.cfg.MaxBytesPerStatement
+	progress := c.srv.cfg.ProgressTimeout
+	var sentRows, sentBytes int64
 	batch := make([]datum.Row, 0, batchCap)
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
 		for credits == 0 {
+			// The progress watchdog: a client that neither grants
+			// credits nor cancels is reaped so its op stops pinning
+			// snapshots and memory.
+			var watchdog <-chan time.Time
+			var wt *time.Timer
+			if progress > 0 {
+				wt = time.NewTimer(progress)
+				watchdog = wt.C
+			}
 			select {
 			case n := <-op.credits:
 				credits += int64(n)
 			case <-ctx.Done():
+				if wt != nil {
+					wt.Stop()
+				}
 				return ctx.Err()
+			case <-watchdog:
+				return fmt.Errorf("%w: no flow-control credits granted in %v",
+					dualtable.ErrSlowClient, progress)
+			}
+			if wt != nil {
+				wt.Stop()
 			}
 		}
 		credits--
+		sentRows += int64(len(batch))
+		if maxRows > 0 && sentRows > maxRows {
+			return fmt.Errorf("%w: statement streamed more than %d rows (per-statement cap)",
+				dualtable.ErrQuotaExceeded, maxRows)
+		}
 		rb := wire.RowBatch{OpID: m.OpID, Rows: batch}
-		if err := c.wc.Send(wire.TypeRowBatch, rb.Encode()); err != nil {
+		payload := rb.Encode()
+		sentBytes += int64(len(payload))
+		if maxBytes > 0 && sentBytes > maxBytes {
+			return fmt.Errorf("%w: statement streamed more than %d bytes (per-statement cap)",
+				dualtable.ErrQuotaExceeded, maxBytes)
+		}
+		if err := c.gate.reserveBytes(int64(len(payload))); err != nil {
+			return err
+		}
+		err := c.wc.Send(wire.TypeRowBatch, payload)
+		c.gate.releaseBytes(int64(len(payload)))
+		if err != nil {
 			return err
 		}
 		batch = batch[:0]
@@ -472,6 +647,7 @@ func (c *conn) runQuery(op *activeOp, m *wire.Query) {
 	if streamErr == nil && ctx.Err() != nil {
 		streamErr = ctx.Err()
 	}
+	streamErr = statementErr(ctx, streamErr)
 	end := wire.QueryEnd{OpID: m.OpID, SimSeconds: rows.SimSeconds()}
 	if streamErr != nil {
 		end.Code = uint32(dualtable.CodeOf(streamErr))

@@ -45,6 +45,42 @@ type Config struct {
 	// frame for that long and have no in-flight operation (a client
 	// waiting on results is never idle). Zero disables the reaper.
 	IdleTimeout time.Duration
+	// DefaultStatementTimeout bounds every statement's execution unless
+	// the session overrides it via SET statement.timeout. Zero means no
+	// default deadline.
+	DefaultStatementTimeout time.Duration
+	// MaxStatementTimeout, when positive, clamps the effective
+	// statement deadline: sessions may lower it but not raise it past
+	// the cap, and "SET statement.timeout = 0" (disable) is clamped to
+	// the cap too.
+	MaxStatementTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write, so a client that
+	// stops draining its TCP receive buffer (or silently died) fails
+	// the send instead of blocking the op goroutine forever
+	// (default 30s; negative disables).
+	WriteTimeout time.Duration
+	// ProgressTimeout bounds how long a streaming query waits for the
+	// client to grant flow-control credits before the watchdog reaps
+	// the op with dualtable.ErrSlowClient, releasing its snapshot pins
+	// and memory (default 30s; negative disables).
+	ProgressTimeout time.Duration
+	// MaxRowsPerStatement, when positive, caps the rows a single
+	// statement may return or stream before it fails with
+	// dualtable.ErrQuotaExceeded.
+	MaxRowsPerStatement int64
+	// MaxBytesPerStatement, when positive, caps the encoded result
+	// bytes a single statement may send before it fails with
+	// dualtable.ErrQuotaExceeded.
+	MaxBytesPerStatement int64
+	// MaxTenantBytes, when positive, caps a tenant's total in-flight
+	// result memory (encoded frames reserved across all its concurrent
+	// statements); a statement that would exceed the cap fails with
+	// dualtable.ErrQuotaExceeded.
+	MaxTenantBytes int64
+	// WrapConn, when set, wraps every accepted connection before the
+	// server reads from it — the seam the network chaos harness uses to
+	// inject faults (see internal/netfault).
+	WrapConn func(net.Conn) net.Conn
 	// Logf, when set, receives server diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -70,6 +106,16 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.HandshakeTimeout <= 0 {
 		out.HandshakeTimeout = 10 * time.Second
+	}
+	if out.WriteTimeout < 0 {
+		out.WriteTimeout = 0
+	} else if out.WriteTimeout == 0 {
+		out.WriteTimeout = 30 * time.Second
+	}
+	if out.ProgressTimeout < 0 {
+		out.ProgressTimeout = 0
+	} else if out.ProgressTimeout == 0 {
+		out.ProgressTimeout = 30 * time.Second
 	}
 	return out
 }
@@ -126,7 +172,7 @@ func New(db *dualtable.DB, cfg Config) *Server {
 	s := &Server{
 		db:    db,
 		cfg:   cfg,
-		gates: newGates(cfg.MaxConcurrent, cfg.QueueDepth, cfg.QueueWait),
+		gates: newGates(cfg.MaxConcurrent, cfg.QueueDepth, cfg.QueueWait, cfg.MaxTenantBytes),
 		conns: map[*conn]struct{}{},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -167,6 +213,9 @@ func (s *Server) Serve() error {
 				return nil // orderly shutdown
 			}
 			return err
+		}
+		if s.cfg.WrapConn != nil {
+			nc = s.cfg.WrapConn(nc)
 		}
 		c := newConn(s, nc)
 		s.mu.Lock()

@@ -9,9 +9,16 @@
 //
 // Frame layout:
 //
-//	uint32 big-endian  payload length (excludes the 5-byte header)
+//	uint32 big-endian  payload length (excludes the 9-byte header)
 //	byte               frame type
+//	uint32 big-endian  CRC-32C (Castagnoli) of the payload
 //	payload            type-specific message encoding
+//
+// The checksum makes byte-level corruption on the wire a detectable,
+// typed failure (the frame is rejected and the connection dropped)
+// instead of a silently wrong row or a misparsed statement — TCP's
+// own checksum is too weak to stake correctness on, and chaos tests
+// corrupt frames on purpose.
 //
 // A single statement executes as one client request frame answered by
 // one response frame (Exec → Result | Error) or a response stream
@@ -28,20 +35,32 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // ProtoVersion is the protocol revision sent in the handshake. A
 // server refuses a Hello with a newer major version than its own.
-const ProtoVersion = 1
+// Revision 2 added the per-frame payload checksum.
+const ProtoVersion = 2
 
 // MaxFrame bounds a single frame's payload so a malformed or hostile
 // length prefix cannot make either side allocate unbounded memory.
 const MaxFrame = 16 << 20
 
-const headerSize = 5
+const headerSize = 9
+
+// castagnoli is the CRC-32C table shared by every frame writer and
+// reader (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum reports a frame whose payload bytes did not match the
+// checksum in its header: corruption on the wire (or a desynchronized
+// stream). The connection is unusable past this point.
+var ErrChecksum = fmt.Errorf("wire: frame checksum mismatch")
 
 // Type identifies a frame. Client-originated types have the high bit
 // clear, server-originated types have it set.
@@ -78,6 +97,11 @@ const (
 	TypeQuit Type = 0x0A
 	// TypePing asks for a TypeOK round trip (connection liveness).
 	TypePing Type = 0x0B
+	// TypeReset restores the connection's session to its
+	// post-handshake state — every SET variable is cleared. Answered
+	// with TypeOK; the driver's pool sends it before handing a reused
+	// connection to a new borrower.
+	TypeReset Type = 0x0C
 
 	// TypeHelloOK accepts a handshake.
 	TypeHelloOK Type = 0x81
@@ -123,6 +147,8 @@ func (t Type) String() string {
 		return "QUIT"
 	case TypePing:
 		return "PING"
+	case TypeReset:
+		return "RESET"
 	case TypeHelloOK:
 		return "HELLO_OK"
 	case TypeOK:
@@ -152,6 +178,7 @@ func WriteFrame(w io.Writer, t Type, payload []byte) error {
 	var hdr [headerSize]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = byte(t)
+	binary.BigEndian.PutUint32(hdr[5:9], crc32.Checksum(payload, castagnoli))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -179,7 +206,11 @@ func ReadFrame(r io.Reader) (Type, []byte, error) {
 		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, MaxFrame)
 	}
 	t := Type(hdr[4])
+	sum := binary.BigEndian.Uint32(hdr[5:9])
 	if n == 0 {
+		if sum != 0 {
+			return 0, nil, ErrChecksum
+		}
 		return t, nil, nil
 	}
 	payload := make([]byte, n)
@@ -188,6 +219,9 @@ func ReadFrame(r io.Reader) (Type, []byte, error) {
 			err = io.ErrUnexpectedEOF
 		}
 		return 0, nil, fmt.Errorf("wire: truncated frame payload: %w", err)
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return 0, nil, ErrChecksum
 	}
 	return t, payload, nil
 }
@@ -202,6 +236,11 @@ type Conn struct {
 
 	wmu sync.Mutex
 	w   *bufio.Writer
+	// wt, when positive, bounds each Send with a per-frame write
+	// deadline on the raw connection: a peer that stops draining its
+	// receive buffer (or silently died) fails the write instead of
+	// blocking the sender forever.
+	wt time.Duration
 }
 
 // NewConn wraps a network connection for frame I/O.
@@ -213,11 +252,25 @@ func NewConn(c net.Conn) *Conn {
 	}
 }
 
+// SetWriteTimeout installs a per-frame write deadline applied to
+// every subsequent Send (0 disables). Safe to call concurrently with
+// Send.
+func (c *Conn) SetWriteTimeout(d time.Duration) {
+	c.wmu.Lock()
+	c.wt = d
+	c.wmu.Unlock()
+}
+
 // Send writes one frame and flushes it. Each frame is written
-// atomically with respect to concurrent Send calls.
+// atomically with respect to concurrent Send calls. With a write
+// timeout set, a frame that cannot be flushed within the window fails
+// with a deadline error and the connection is no longer usable.
 func (c *Conn) Send(t Type, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.wt > 0 {
+		c.raw.SetWriteDeadline(time.Now().Add(c.wt))
+	}
 	if err := WriteFrame(c.w, t, payload); err != nil {
 		return err
 	}

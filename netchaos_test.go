@@ -1,0 +1,318 @@
+package dualtable_test
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dualtable"
+	"dualtable/driver"
+	"dualtable/internal/dfs"
+	"dualtable/internal/netfault"
+	"dualtable/internal/server"
+)
+
+// Network chaos suite: the storage chaos harness's contract, moved to
+// the wire. A seeded netfault injector sits on both sides of every
+// connection (latency spikes, byte corruption, mid-frame truncation,
+// resets, server-side stalls) while a concurrent workload runs through
+// database/sql against a dtserver with tight resilience settings
+// (statement deadlines, write timeouts, progress watchdog). After the
+// storm the suite asserts:
+//
+//   - no acknowledged INSERT is lost and none double-applies (the
+//     driver only retries requests the server provably never executed):
+//     acked ⊆ visible ⊆ issued, each visible exactly once;
+//   - every mid-storm scan that returns rows is a consistent snapshot
+//     (no duplicate ids, no never-issued ids) — corruption surfaces as
+//     a typed checksum failure, never as silently wrong rows;
+//   - once the server shuts down, connections, active ops and snapshot
+//     pins all drain to zero: DROP TABLE reclaims the directory and
+//     every pin;
+//   - no panic reaches the server log, and no goroutine wedges (the
+//     suite runs under -race with a test timeout in CI).
+//
+// Seeds are fixed so a failure reproduces exactly.
+
+var netChaosSeeds = []int64{3, 11, 23}
+
+func TestNetworkChaosSeededFaults(t *testing.T) {
+	for _, seed := range netChaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runNetChaos(t, seed)
+		})
+	}
+}
+
+func runNetChaos(t *testing.T, seed int64) {
+	backing, err := dualtable.Open(dualtable.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := backing.Session()
+	defer setup.Close()
+	if _, err := setup.Exec(`CREATE TABLE netchaos (id BIGINT, v DOUBLE) STORED AS DUALTABLE`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec(`INSERT INTO netchaos VALUES (-1, 0.0), (-2, 0.0), (-3, 0.0)`); err != nil {
+		t.Fatal(err)
+	}
+
+	var logMu sync.Mutex
+	var logBuf strings.Builder
+
+	// Server-side faults keep stalls enabled: the server's teardown
+	// path (statement deadlines, write timeouts, Close) is exactly
+	// what must unwedge them. Client-side stalls are disabled — a
+	// stalled client read sits below the driver's deadlines, so only
+	// conn teardown would unblock it and the pool has no reason to
+	// tear down a conn it believes is mid-statement.
+	srvInj := netfault.NewSeededInjector(seed+1000, 0.04)
+	cliInj := netfault.NewSeededInjector(seed, 0.06).DisableStalls()
+
+	srv := server.New(backing, server.Config{
+		Addr:                    "127.0.0.1:0",
+		DefaultStatementTimeout: 5 * time.Second,
+		WriteTimeout:            time.Second,
+		ProgressTimeout:         time.Second,
+		QueueWait:               500 * time.Millisecond,
+		WrapConn: func(nc net.Conn) net.Conn {
+			return netfault.WrapConn(nc, srvInj)
+		},
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			fmt.Fprintf(&logBuf, format+"\n", args...)
+			logMu.Unlock()
+		},
+	})
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pool := sql.OpenDB(driver.NewConnector(driver.Config{
+		Addr:         addr.String(),
+		Window:       2,
+		DialTimeout:  2 * time.Second,
+		Retries:      2,
+		RetryBackoff: 10 * time.Millisecond,
+		Dial: func(ctx context.Context, network, address string) (net.Conn, error) {
+			d := net.Dialer{Timeout: 2 * time.Second}
+			nc, err := d.DialContext(ctx, network, address)
+			if err != nil {
+				return nil, err
+			}
+			return netfault.WrapConn(nc, cliInj), nil
+		},
+	}))
+	pool.SetMaxOpenConns(8)
+
+	var (
+		mu     sync.Mutex
+		acked  = map[int64]bool{-1: true, -2: true, -3: true}
+		issued = map[int64]bool{-1: true, -2: true, -3: true}
+	)
+	var wg sync.WaitGroup
+	worker := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	stmtCtx := func() (context.Context, context.CancelFunc) {
+		return context.WithTimeout(context.Background(), 5*time.Second)
+	}
+
+	// Inserters with disjoint ID ranges keep an acked-write ledger. A
+	// nil error means the row must be visible after the storm; a
+	// non-nil error leaves the row in limbo (issued, maybe visible) —
+	// the driver guarantees it never retried a request the server
+	// might have executed, so "visible exactly once" still holds.
+	for w := 0; w < 2; w++ {
+		base := int64(1+w) * 1_000_000
+		worker(func() {
+			for i := int64(0); i < 30; i++ {
+				id := base + i
+				mu.Lock()
+				issued[id] = true
+				mu.Unlock()
+				ctx, cancel := stmtCtx()
+				_, err := pool.ExecContext(ctx, fmt.Sprintf(`INSERT INTO netchaos VALUES (%d, %d.5)`, id, i))
+				cancel()
+				if err == nil {
+					mu.Lock()
+					acked[id] = true
+					mu.Unlock()
+				}
+			}
+		})
+	}
+
+	// Updater: EDIT plans under wire fault. Errors are fine — a failed
+	// update must simply not corrupt the id set.
+	worker(func() {
+		for i := 0; i < 20; i++ {
+			ctx, cancel := stmtCtx()
+			pool.ExecContext(ctx, fmt.Sprintf(`UPDATE netchaos SET v = v + 1 WHERE id = -%d`, i%3+1))
+			cancel()
+		}
+	})
+
+	// Compactor: the heaviest stage/publish path, driven over the wire.
+	worker(func() {
+		for i := 0; i < 6; i++ {
+			ctx, cancel := stmtCtx()
+			pool.ExecContext(ctx, `COMPACT TABLE netchaos`)
+			cancel()
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+
+	// Scanner: every mid-storm scan that yields rows must be a
+	// consistent snapshot. Stream errors (checksum, reset, slow-client
+	// reap) abort the scan — they must never hand back wrong rows.
+	worker(func() {
+		for i := 0; i < 15; i++ {
+			ctx, cancel := stmtCtx()
+			rows, err := pool.QueryContext(ctx, `SELECT id FROM netchaos`)
+			if err != nil {
+				cancel()
+				continue
+			}
+			seen := map[int64]bool{}
+			for rows.Next() {
+				var id int64
+				if err := rows.Scan(&id); err != nil {
+					break
+				}
+				if seen[id] {
+					t.Errorf("seed %d: duplicate id %d in one scan", seed, id)
+				}
+				seen[id] = true
+				mu.Lock()
+				ok := issued[id]
+				mu.Unlock()
+				if !ok {
+					t.Errorf("seed %d: scan returned never-issued id %d", seed, id)
+				}
+			}
+			rows.Close()
+			cancel()
+		}
+	})
+
+	// Cancel storm: queries abandoned almost immediately, exercising
+	// the cancel-frame path and the server's mid-stream teardown.
+	worker(func() {
+		for i := 0; i < 15; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+			rows, err := pool.QueryContext(ctx, `SELECT id, v FROM netchaos`)
+			if err == nil {
+				rows.Close()
+			}
+			cancel()
+		}
+	})
+
+	wg.Wait()
+	pool.Close()
+
+	// Shut the server down: stalled ops unwedge, conns tear down, and
+	// everything must drain — no leaked op, no leaked pin.
+	srv.Close()
+	waitForCond(t, func() bool {
+		st := srv.Stats()
+		return st.Conns == 0 && st.ActiveOps == 0
+	})
+	t.Logf("seed %d: %d server-side, %d client-side faults injected",
+		seed, srvInj.Injected(), cliInj.Injected())
+
+	// Invariant 1: acked ⊆ visible ⊆ issued, exactly once each.
+	ids, err := scanTableIDs(setup, "netchaos")
+	if err != nil {
+		t.Fatalf("seed %d: final scan: %v", seed, err)
+	}
+	visible := map[int64]bool{}
+	for _, id := range ids {
+		if visible[id] {
+			t.Fatalf("seed %d: id %d visible twice after the storm", seed, id)
+		}
+		visible[id] = true
+	}
+	for id := range acked {
+		if !visible[id] {
+			t.Fatalf("seed %d: acknowledged insert %d lost", seed, id)
+		}
+	}
+	for id := range visible {
+		if !issued[id] {
+			t.Fatalf("seed %d: id %d resurrected from nowhere", seed, id)
+		}
+	}
+
+	// Invariant 2: DROP reclaims the table directory and every pin —
+	// nothing the reaped/cancelled streams pinned is still held.
+	infos, err := backing.FS.ListFiles("/warehouse/netchaos")
+	if err != nil {
+		t.Fatalf("seed %d: list master dir: %v", seed, err)
+	}
+	if _, err := setup.Exec(`DROP TABLE netchaos`); err != nil {
+		t.Fatalf("seed %d: final drop: %v", seed, err)
+	}
+	waitForCond(t, func() bool {
+		left, err := backing.FS.ListFiles("/warehouse/netchaos")
+		return errors.Is(err, dfs.ErrNotFound) || (err == nil && len(left) == 0)
+	})
+	for _, fi := range infos {
+		if n := backing.FS.Pins(fi.Path); n != 0 {
+			t.Fatalf("seed %d: %s still holds %d pins after drop", seed, fi.Path, n)
+		}
+	}
+
+	// Invariant 3: nothing panicked server-side.
+	logMu.Lock()
+	logged := logBuf.String()
+	logMu.Unlock()
+	if strings.Contains(logged, "panic") {
+		t.Fatalf("seed %d: server log recorded a panic:\n%s", seed, logged)
+	}
+}
+
+// waitForCond polls cond for up to 10s.
+func waitForCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 10s")
+}
+
+// scanTableIDs reads every id in table through the in-process API.
+func scanTableIDs(sess *dualtable.Session, table string) ([]int64, error) {
+	rows, err := sess.Query(`SELECT id FROM ` + table)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []int64
+	for rows.Next() {
+		var id int64
+		if err := rows.Scan(&id); err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, rows.Err()
+}

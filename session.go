@@ -250,6 +250,15 @@ func (s *Session) Unset(key string) { s.vars.Unset(key) }
 // Settings returns the session's settings as sorted key/value pairs.
 func (s *Session) Settings() [][2]string { return s.vars.All() }
 
+// Setting looks up one session setting and whether it was ever set.
+func (s *Session) Setting(key string) (string, bool) { return s.vars.Lookup(key) }
+
+// ResetVars clears every session setting and ratio hint, restoring
+// the session to its just-opened state. The serving layer calls it for
+// the wire protocol's RESET frame so a pooled connection never leaks
+// one borrower's SET state to the next.
+func (s *Session) ResetVars() { s.vars.Reset() }
+
 // SetForcePlan forces EDIT or OVERWRITE plans on DualTable DML for
 // this session only ("" restores cost-model selection).
 func (s *Session) SetForcePlan(plan string) { s.vars.Set(hive.VarForcePlan, plan) }
