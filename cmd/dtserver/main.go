@@ -18,12 +18,16 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	_ "net/http/pprof"
 
 	"dualtable"
 	"dualtable/internal/server"
@@ -48,6 +52,7 @@ func main() {
 		maxRows   = flag.Int64("max-rows-per-statement", 0, "per-tenant cap on rows returned/streamed by one statement (0 = unlimited)")
 		maxBytes  = flag.Int64("max-bytes-per-statement", 0, "per-tenant cap on encoded result bytes sent by one statement (0 = unlimited)")
 		maxTenant = flag.Int64("max-tenant-bytes", 0, "cap on a tenant's total in-flight result memory across statements (0 = unlimited)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar debug endpoints on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -100,6 +105,20 @@ func main() {
 	}
 	fmt.Printf("dtserver listening on %s (cluster=%s, max-concurrent=%d, queue-depth=%d, queue-wait=%s)\n",
 		bound, cfg.Cluster.Name, *maxConc, *queueDep, *queueWait)
+
+	if *debugAddr != "" {
+		// Admission/serving counters under /debug/vars, CPU and heap
+		// profiles under /debug/pprof/ — both register themselves on
+		// http.DefaultServeMux. Bind to localhost; the endpoints are
+		// unauthenticated.
+		expvar.Publish("dtserver", expvar.Func(func() any { return srv.Stats() }))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dtserver: debug endpoint:", err)
+			}
+		}()
+		fmt.Printf("dtserver debug endpoints (expvar, pprof) on http://%s/debug/\n", *debugAddr)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -86,6 +86,36 @@ func resetStrs(s []string, n int) []string {
 	return s
 }
 
+// Fill resets the vector to n rows all holding d — the broadcast
+// builder for a literal operand. A NULL d leaves every row NULL.
+func (v *ColumnVector) Fill(d Datum, n int) {
+	v.Reset(d.K, n)
+	if d.IsNull() {
+		return
+	}
+	for i := range v.Nulls {
+		v.Nulls[i] = false
+	}
+	switch d.K {
+	case KindInt:
+		for i := range v.Ints {
+			v.Ints[i] = d.I
+		}
+	case KindFloat:
+		for i := range v.Floats {
+			v.Floats[i] = d.F
+		}
+	case KindBool:
+		for i := range v.Bools {
+			v.Bools[i] = d.B
+		}
+	case KindString:
+		for i := range v.Strs {
+			v.Strs[i] = d.S
+		}
+	}
+}
+
 // Len returns the number of rows in the vector.
 func (v *ColumnVector) Len() int { return len(v.Nulls) }
 

@@ -2,6 +2,7 @@ package hive
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -121,11 +122,28 @@ func (e *Engine) execSelect(ec *ExecContext, sel *sqlparser.SelectStmt, meter *s
 		meter.CPURows(int64(len(rows)))
 		rows = out
 	}
+	limit, err := sel.EffectiveLimit()
+	if err != nil {
+		return nil, nil, err
+	}
 	// ORDER BY on hidden key columns (appended by the stages).
 	if len(sel.OrderBy) > 0 {
 		desc := make([]bool, len(sel.OrderBy))
 		for i, o := range sel.OrderBy {
 			desc[i] = o.Desc
+		}
+		n := len(rows)
+		if limit >= 0 && int64(len(rows)) > limit {
+			// Bounded selection first: only the limit best rows under
+			// (order keys, arrival order) can survive the sort+truncate,
+			// and the heap returns them in arrival order, so the stable
+			// sort below yields the exact same prefix while touching
+			// limit rows instead of all of them.
+			h := &topHeap{limit: limit, keyAt: nVisible, desc: desc}
+			for _, r := range rows {
+				h.push(r)
+			}
+			rows = h.survivors()
 		}
 		sort.SliceStable(rows, func(i, j int) bool {
 			for k := 0; k < len(sel.OrderBy); k++ {
@@ -139,13 +157,9 @@ func (e *Engine) execSelect(ec *ExecContext, sel *sqlparser.SelectStmt, meter *s
 			}
 			return false
 		})
-		// A total sort runs on a single reducer in Hive; charge the
-		// pass.
-		meter.CPURows(int64(len(rows)) * 2)
-	}
-	limit, err := sel.EffectiveLimit()
-	if err != nil {
-		return nil, nil, err
+		// A total sort still runs on a single reducer in Hive and reads
+		// every row; charge the full pass.
+		meter.CPURows(int64(n) * 2)
 	}
 	if limit >= 0 && int64(len(rows)) > limit {
 		rows = rows[:limit]
@@ -246,21 +260,42 @@ func (e *Engine) execSimpleSelect(ec *ExecContext, sel *sqlparser.SelectStmt, it
 		if !orderIsAlias[i] {
 			if idx, ok := colRefIndex(sel.OrderBy[i].Expr, rel.sc); ok {
 				orderVec[i].col = idx
+			} else if prog, ok := compileVexpr(sel.OrderBy[i].Expr, rel.sc); ok {
+				orderVec[i].prog = prog
 			}
 		}
+	}
+
+	// ORDER BY ... LIMIT streams through a per-task top-N heap.
+	// DISTINCT dedups across the whole result before the sort, so its
+	// tasks must keep everything.
+	limit, err := sel.EffectiveLimit()
+	if err != nil {
+		return nil, nil, err
+	}
+	topN := limit >= 0 && len(sel.OrderBy) > 0 && !sel.Distinct
+	desc := make([]bool, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		desc[i] = o.Desc
 	}
 
 	job := &mapred.Job{
 		Name:   "select",
 		Splits: rel.splits,
 		NewMapper: func() mapred.Mapper {
-			return &simpleScanMapper{
+			// Each mapper owns its vecExpr slices: compiled programs are
+			// shared, but per-batch program state is not.
+			m := &simpleScanMapper{
 				whereFn:  whereFn,
 				preds:    preds,
 				usePreds: usePreds && whereFn != nil,
-				projs:    projVec,
-				orders:   orderVec,
+				projs:    slices.Clone(projVec),
+				orders:   slices.Clone(orderVec),
 			}
+			if topN {
+				m.top = &topHeap{limit: limit, keyAt: len(projVec), desc: desc}
+			}
+			return m
 		},
 	}
 	res, err := e.MR.RunContext(ec.Context(), job)
@@ -283,15 +318,30 @@ func itemExprs(items []sqlparser.SelectItem) []sqlparser.Expr {
 // simpleScanMapper is the filter+project mapper. Map handles one row
 // (the classic path); MapBatch filters a whole batch with vector
 // predicates and materializes only surviving rows — and of those only
-// the columns an expression actually needs.
+// the columns an expression actually needs. For ORDER BY ... LIMIT n
+// queries the task streams its rows through a bounded top-N heap and
+// emits at most n at Flush, in arrival order: only a task's n best
+// rows can survive the global stable sort + truncate, so the final
+// result is unchanged while the job stops materializing full result
+// sets.
 type simpleScanMapper struct {
 	whereFn  evalFn
 	preds    []vecPred
 	usePreds bool
 	projs    []vecExpr
 	orders   []vecExpr
+	top      *topHeap // nil unless ORDER BY ... LIMIT
 	sel      []int32
 	brow     batchRow
+}
+
+// emitRow routes one projected row to the collector or the top-N heap.
+func (m *simpleScanMapper) emitRow(out datum.Row, emit mapred.Emitter) error {
+	if m.top == nil {
+		return emit(nil, out)
+	}
+	m.top.push(out)
+	return nil
 }
 
 func (m *simpleScanMapper) Map(row datum.Row, _ mapred.RecordMeta, emit mapred.Emitter) error {
@@ -319,10 +369,20 @@ func (m *simpleScanMapper) Map(row datum.Row, _ mapred.RecordMeta, emit mapred.E
 		}
 		out = append(out, d)
 	}
-	return emit(nil, out)
+	return m.emitRow(out, emit)
 }
 
-func (m *simpleScanMapper) Flush(emit mapred.Emitter) error { return nil }
+func (m *simpleScanMapper) Flush(emit mapred.Emitter) error {
+	if m.top == nil {
+		return nil
+	}
+	for _, row := range m.top.survivors() {
+		if err := emit(nil, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func (m *simpleScanMapper) MapBatch(b *mapred.RecordBatch, emit mapred.Emitter) error {
 	m.brow.filled = -1
@@ -333,6 +393,10 @@ func (m *simpleScanMapper) MapBatch(b *mapred.RecordBatch, emit mapred.Emitter) 
 	count := b.Len
 	if vectorized {
 		count = len(m.sel)
+	}
+	if count > 0 && b.Cols != nil {
+		beginBatchAll(m.projs, b)
+		beginBatchAll(m.orders, b)
 	}
 	for k := 0; k < count; k++ {
 		i := k
@@ -362,11 +426,94 @@ func (m *simpleScanMapper) MapBatch(b *mapred.RecordBatch, emit mapred.Emitter) 
 			}
 			out = append(out, d)
 		}
-		if err := emit(nil, out); err != nil {
+		if err := m.emitRow(out, emit); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// topRow pairs a kept row with its arrival ordinal.
+type topRow struct {
+	row datum.Row
+	seq int64
+}
+
+// topHeap keeps the limit best rows under (order keys ascending with
+// desc flags, then arrival order) — a bounded max-heap whose root is
+// the worst kept row. (keys, seq) is a strict total order, so the
+// kept set is exactly the rows a stable sort + truncate would keep,
+// and survivors() returns them in arrival order: feeding them to the
+// existing stable sort reproduces the unbounded result byte for byte.
+type topHeap struct {
+	limit int64
+	keyAt int // order key columns start at row[keyAt:]
+	desc  []bool
+	rows  []topRow
+	seq   int64
+}
+
+// worse reports whether a sorts strictly after b.
+func (h *topHeap) worse(a, b topRow) bool {
+	for k := range h.desc {
+		c := datum.Compare(a.row[h.keyAt+k], b.row[h.keyAt+k])
+		if c != 0 {
+			if h.desc[k] {
+				return c < 0
+			}
+			return c > 0
+		}
+	}
+	return a.seq > b.seq
+}
+
+// push offers one row to the heap, keeping at most limit.
+func (h *topHeap) push(row datum.Row) {
+	t := topRow{row: row, seq: h.seq}
+	h.seq++
+	if int64(len(h.rows)) < h.limit {
+		h.rows = append(h.rows, t)
+		for i := len(h.rows) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !h.worse(h.rows[i], h.rows[parent]) {
+				break
+			}
+			h.rows[i], h.rows[parent] = h.rows[parent], h.rows[i]
+			i = parent
+		}
+		return
+	}
+	if h.limit == 0 || !h.worse(h.rows[0], t) {
+		return // the newcomer is no better than the worst kept row
+	}
+	h.rows[0] = t
+	// Sift the new root down.
+	i := 0
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h.rows) && h.worse(h.rows[l], h.rows[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h.rows) && h.worse(h.rows[r], h.rows[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.rows[i], h.rows[worst] = h.rows[worst], h.rows[i]
+		i = worst
+	}
+}
+
+// survivors drains the heap, returning the kept rows in arrival order.
+func (h *topHeap) survivors() []datum.Row {
+	sort.Slice(h.rows, func(i, j int) bool { return h.rows[i].seq < h.rows[j].seq })
+	out := make([]datum.Row, len(h.rows))
+	for i := range h.rows {
+		out[i] = h.rows[i].row
+	}
+	h.rows = h.rows[:0]
+	return out
 }
 
 // compileOrderKey resolves an ORDER BY expression against the select
@@ -716,6 +863,44 @@ func updatePartial(p datum.Row, d datum.Datum) {
 	}
 }
 
+// updatePartialVec folds row i of a typed vector into a partial
+// segment — exactly updatePartial(p, v.Datum(i)) without the Datum
+// round-trip on the int/float hot path. Non-numeric kinds, and a
+// min/max accumulator holding a different kind after mixed-kind
+// input, take the generic path.
+func updatePartialVec(p datum.Row, v *datum.ColumnVector, i int) {
+	if v.Kind == datum.KindNull || v.Nulls[i] {
+		return
+	}
+	if (v.Kind != datum.KindInt && v.Kind != datum.KindFloat) ||
+		(!p[4].IsNull() && p[4].K != v.Kind) || (!p[5].IsNull() && p[5].K != v.Kind) {
+		updatePartial(p, v.Datum(i))
+		return
+	}
+	p[0].I++
+	if v.Kind == datum.KindInt {
+		x := v.Ints[i]
+		p[1].F += float64(x)
+		p[2].I += x
+		if p[4].IsNull() || x < p[4].I {
+			p[4] = datum.Int(x)
+		}
+		if p[5].IsNull() || x > p[5].I {
+			p[5] = datum.Int(x)
+		}
+		return
+	}
+	f := v.Floats[i]
+	p[1].F += f
+	p[3].B = false
+	if p[4].IsNull() || f < p[4].F {
+		p[4] = datum.Float(f)
+	}
+	if p[5].IsNull() || f > p[5].F {
+		p[5] = datum.Float(f)
+	}
+}
+
 // mergePartial folds src into dst (both aggPartialWidth segments).
 func mergePartial(dst, src datum.Row) {
 	dst[0] = datum.Int(dst[0].I + src[0].I)
@@ -768,6 +953,14 @@ type aggScanSpec struct {
 	groups   []vecExpr
 	args     []vecExpr
 	aggs     []aggSpec
+}
+
+// cloneForMapper copies the spec with private vecExpr slices: compiled
+// programs are shared across mappers, per-batch program state is not.
+func (s aggScanSpec) cloneForMapper() aggScanSpec {
+	s.groups = slices.Clone(s.groups)
+	s.args = slices.Clone(s.args)
+	return s
 }
 
 // maxHashGroups bounds the map-side hash table; past it the mapper
@@ -837,26 +1030,9 @@ func (m *aggScanMapper) emitRecord(get func(*vecExpr) (datum.Datum, error), emit
 		}
 		grp[i] = d
 	}
-	m.keyBuf = datum.SortableRowKey(m.keyBuf[:0], grp)
-	if m.accum == nil {
-		m.accum = make(map[string]datum.Row)
-	}
-	acc, ok := m.accum[string(m.keyBuf)]
-	if !ok {
-		if len(m.accum) >= maxHashGroups {
-			if err := m.Flush(emit); err != nil {
-				return err
-			}
-			m.accum = make(map[string]datum.Row)
-		}
-		acc = make(datum.Row, 0, nGroup+len(m.aggs)*aggPartialWidth)
-		acc = append(acc, grp...)
-		for range m.aggs {
-			acc = append(acc, datum.Int(0), datum.Float(0), datum.Int(0), datum.Bool(true), datum.Null, datum.Null)
-		}
-		key := string(m.keyBuf)
-		m.accum[key] = acc
-		m.order = append(m.order, key)
+	acc, err := m.accFor(grp, emit)
+	if err != nil {
+		return err
 	}
 	for i := range m.aggs {
 		var d datum.Datum
@@ -870,6 +1046,75 @@ func (m *aggScanMapper) emitRecord(get func(*vecExpr) (datum.Datum, error), emit
 			}
 		}
 		updatePartial(acc[nGroup+i*aggPartialWidth:], d)
+	}
+	return nil
+}
+
+// accFor returns the partial accumulator for the group values,
+// creating it (and flushing the table when full) on first sight.
+func (m *aggScanMapper) accFor(grp datum.Row, emit mapred.Emitter) (datum.Row, error) {
+	nGroup := len(m.groups)
+	m.keyBuf = datum.SortableRowKey(m.keyBuf[:0], grp)
+	if m.accum == nil {
+		m.accum = make(map[string]datum.Row)
+	}
+	acc, ok := m.accum[string(m.keyBuf)]
+	if !ok {
+		if len(m.accum) >= maxHashGroups {
+			if err := m.Flush(emit); err != nil {
+				return nil, err
+			}
+			m.accum = make(map[string]datum.Row)
+		}
+		acc = make(datum.Row, 0, nGroup+len(m.aggs)*aggPartialWidth)
+		acc = append(acc, grp...)
+		for range m.aggs {
+			acc = append(acc, datum.Int(0), datum.Float(0), datum.Int(0), datum.Bool(true), datum.Null, datum.Null)
+		}
+		key := string(m.keyBuf)
+		m.accum[key] = acc
+		m.order = append(m.order, key)
+	}
+	return acc, nil
+}
+
+// emitRecordBatch folds one batch row in partial mode: group keys and
+// arguments come off the resolved vectors where available, and numeric
+// argument vectors fold through the typed updatePartialVec instead of
+// boxing a Datum per (record, aggregate).
+func (m *aggScanMapper) emitRecordBatch(b *mapred.RecordBatch, i int, emit mapred.Emitter) error {
+	nGroup := len(m.groups)
+	if cap(m.groupRw) < nGroup {
+		m.groupRw = make(datum.Row, nGroup)
+	}
+	grp := m.groupRw[:nGroup]
+	for gi := range m.groups {
+		d, err := m.groups[gi].eval(b, i, &m.brow)
+		if err != nil {
+			return err
+		}
+		grp[gi] = d
+	}
+	acc, err := m.accFor(grp, emit)
+	if err != nil {
+		return err
+	}
+	for ai := range m.aggs {
+		seg := acc[nGroup+ai*aggPartialWidth:]
+		if m.aggs[ai].star {
+			updatePartial(seg, datum.Bool(true))
+			continue
+		}
+		x := &m.args[ai]
+		if v := x.vec(b); v != nil {
+			updatePartialVec(seg, v, i)
+			continue
+		}
+		d, err := x.eval(b, i, &m.brow)
+		if err != nil {
+			return err
+		}
+		updatePartial(seg, d)
 	}
 	return nil
 }
@@ -910,6 +1155,10 @@ func (m *aggScanMapper) MapBatch(b *mapred.RecordBatch, emit mapred.Emitter) err
 	if vectorized {
 		count = len(m.sel)
 	}
+	if count > 0 && b.Cols != nil {
+		beginBatchAll(m.groups, b)
+		beginBatchAll(m.args, b)
+	}
 	for k := 0; k < count; k++ {
 		i := k
 		if vectorized {
@@ -923,7 +1172,12 @@ func (m *aggScanMapper) MapBatch(b *mapred.RecordBatch, emit mapred.Emitter) err
 				continue
 			}
 		}
-		err := m.emitRecord(func(x *vecExpr) (datum.Datum, error) { return x.eval(b, i, &m.brow) }, emit)
+		var err error
+		if m.partial {
+			err = m.emitRecordBatch(b, i, emit)
+		} else {
+			err = m.emitRecord(func(x *vecExpr) (datum.Datum, error) { return x.eval(b, i, &m.brow) }, emit)
+		}
 		if err != nil {
 			return err
 		}
@@ -932,41 +1186,45 @@ func (m *aggScanMapper) MapBatch(b *mapred.RecordBatch, emit mapred.Emitter) err
 }
 
 // partialAggJob shuffles partial aggregates with a map-side combiner
-// (Hive's hive.map.aggr).
+// (Hive's hive.map.aggr). Group rows reaching the combiner and the
+// reducer are engine-owned views into the shuffle runs, and a combiner
+// emit copies into the output run, so both fold into a per-task
+// scratch row instead of cloning per group.
 func (e *Engine) partialAggJob(rel *relation, scan aggScanSpec) *mapred.Job {
 	aggs := scan.aggs
 	nGroup := len(scan.groups)
-	merge := mapred.ReduceFunc(func(key []byte, rows []datum.Row, emit mapred.Emitter) error {
-		acc := rows[0].Clone()
+	mergeInto := func(scratch datum.Row, rows []datum.Row) datum.Row {
+		scratch = append(scratch[:0], rows[0]...)
 		for _, r := range rows[1:] {
 			for i := range aggs {
 				off := nGroup + i*aggPartialWidth
-				mergePartial(acc[off:off+aggPartialWidth], r[off:off+aggPartialWidth])
+				mergePartial(scratch[off:off+aggPartialWidth], r[off:off+aggPartialWidth])
 			}
 		}
-		return emit(key, acc)
-	})
+		return scratch
+	}
 	return &mapred.Job{
 		Name:   "groupby",
 		Splits: rel.splits,
 		NewMapper: func() mapred.Mapper {
-			return &aggScanMapper{aggScanSpec: scan, partial: true}
+			return &aggScanMapper{aggScanSpec: scan.cloneForMapper(), partial: true}
 		},
-		NewCombiner: func() mapred.Reducer { return merge },
-		NewReducer: func() mapred.Reducer {
+		NewCombiner: func() mapred.Reducer {
+			var scratch datum.Row
 			return mapred.ReduceFunc(func(key []byte, rows []datum.Row, emit mapred.Emitter) error {
-				acc := rows[0].Clone()
-				for _, r := range rows[1:] {
-					for i := range aggs {
-						off := nGroup + i*aggPartialWidth
-						mergePartial(acc[off:off+aggPartialWidth], r[off:off+aggPartialWidth])
-					}
-				}
+				scratch = mergeInto(scratch, rows)
+				return emit(key, scratch)
+			})
+		},
+		NewReducer: func() mapred.Reducer {
+			var scratch datum.Row
+			return mapred.ReduceFunc(func(key []byte, rows []datum.Row, emit mapred.Emitter) error {
+				scratch = mergeInto(scratch, rows)
 				out := make(datum.Row, 0, nGroup+len(aggs))
-				out = append(out, acc[:nGroup]...)
+				out = append(out, scratch[:nGroup]...)
 				for i := range aggs {
 					off := nGroup + i*aggPartialWidth
-					out = append(out, finalizePartial(aggs[i].call.Name, acc[off:off+aggPartialWidth]))
+					out = append(out, finalizePartial(aggs[i].call.Name, scratch[off:off+aggPartialWidth]))
 				}
 				return emit(nil, out)
 			})
@@ -983,7 +1241,7 @@ func (e *Engine) rawAggJob(rel *relation, scan aggScanSpec) *mapred.Job {
 		Name:   "groupby-distinct",
 		Splits: rel.splits,
 		NewMapper: func() mapred.Mapper {
-			return &aggScanMapper{aggScanSpec: scan}
+			return &aggScanMapper{aggScanSpec: scan.cloneForMapper()}
 		},
 		NewReducer: func() mapred.Reducer {
 			return mapred.ReduceFunc(func(_ []byte, rows []datum.Row, emit mapred.Emitter) error {

@@ -84,7 +84,13 @@ func flipCmp(op string) string {
 
 // cmpMatches maps a datum.Compare result through the operator.
 func (p *vecPred) cmpMatches(c int) bool {
-	switch p.op {
+	return cmpOpMatches(p.op, c)
+}
+
+// cmpOpMatches maps a datum.Compare result through a comparison
+// operator symbol.
+func cmpOpMatches(op string, c int) bool {
+	switch op {
 	case "=":
 		return c == 0
 	case "!=":
@@ -193,14 +199,24 @@ func colRefIndex(expr sqlparser.Expr, sc *scope) (int, bool) {
 }
 
 // vecExpr evaluates one select/group/aggregate-argument expression
-// against a batch: either a direct vector read (bare column ref) or
-// the compiled evalFn over a lazily materialized row.
+// against a batch, fastest path first: a direct vector read (bare
+// column ref), a compiled vector program (arithmetic, CASE,
+// comparisons — see vexpr.go), or the row-at-a-time evalFn over a
+// lazily materialized row.
+//
+// col, fn and prog are immutable and shared across map tasks; st and
+// res are per-mapper evaluation state, so mappers that run batches in
+// parallel must each own their vecExpr slice (clone it per mapper).
 type vecExpr struct {
-	col int // vector index when direct
-	fn  evalFn
+	col  int // vector index when direct
+	fn   evalFn
+	prog *vexprProg
+
+	st  *vexprState         // per-mapper program scratch
+	res *datum.ColumnVector // prog result for the current batch
 }
 
-// compileVecExprs pairs each expression with its fast path.
+// compileVecExprs pairs each expression with its fastest path.
 func compileVecExprs(exprs []sqlparser.Expr, fns []evalFn, sc *scope) []vecExpr {
 	out := make([]vecExpr, len(fns))
 	for i := range fns {
@@ -208,10 +224,30 @@ func compileVecExprs(exprs []sqlparser.Expr, fns []evalFn, sc *scope) []vecExpr 
 		if i < len(exprs) && exprs[i] != nil {
 			if idx, ok := colRefIndex(exprs[i], sc); ok {
 				out[i].col = idx
+			} else if prog, ok := compileVexpr(exprs[i], sc); ok {
+				out[i].prog = prog
 			}
 		}
 	}
 	return out
+}
+
+// beginBatch runs the compiled program (if any) once for the batch, so
+// per-row eval calls read the result vector instead of re-deriving
+// each value. res stays nil on a runtime kind mismatch and eval falls
+// back to the row path for this batch.
+func (x *vecExpr) beginBatch(b *mapred.RecordBatch) {
+	x.res = nil
+	if x.prog != nil && b.Cols != nil {
+		x.res = x.prog.evalBatch(&x.st, b)
+	}
+}
+
+// beginBatchAll resolves every expression's vector for the batch.
+func beginBatchAll(xs []vecExpr, b *mapred.RecordBatch) {
+	for i := range xs {
+		xs[i].beginBatch(b)
+	}
 }
 
 // batchRow lazily materializes one batch row for evalFn fallbacks: the
@@ -233,10 +269,28 @@ func (br *batchRow) row(b *mapred.RecordBatch, i int) datum.Row {
 	return br.buf
 }
 
+// vec returns the batch vector backing this expression, if any: the
+// aliased batch column for a bare ref, or the program's result for
+// this batch. Callers use it for typed whole-vector folds.
+func (x *vecExpr) vec(b *mapred.RecordBatch) *datum.ColumnVector {
+	if b.Cols == nil {
+		return nil
+	}
+	if x.col >= 0 {
+		return &b.Cols[x.col]
+	}
+	return x.res
+}
+
 // eval evaluates one vecExpr for batch row i.
 func (x *vecExpr) eval(b *mapred.RecordBatch, i int, br *batchRow) (datum.Datum, error) {
-	if x.col >= 0 && b.Cols != nil {
-		return b.Cols[x.col].Datum(i), nil
+	if b.Cols != nil {
+		if x.col >= 0 {
+			return b.Cols[x.col].Datum(i), nil
+		}
+		if x.res != nil {
+			return x.res.Datum(i), nil
+		}
 	}
 	return x.fn(br.row(b, i))
 }

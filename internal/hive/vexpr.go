@@ -1,0 +1,611 @@
+package hive
+
+import (
+	"math"
+
+	"dualtable/internal/datum"
+	"dualtable/internal/mapred"
+	"dualtable/internal/sqlparser"
+)
+
+// This file holds the expression-to-vector compiler: it widens the
+// vectorized scan path beyond bare column reads to arithmetic
+// (+ - * / %), unary minus/NOT, column-column and column-literal
+// comparisons, AND/OR, CASE WHEN and IF — enough to evaluate TPC-H
+// Q1's disc_price/charge aggregation arguments without materializing
+// rows.
+//
+// An expression compiles into a small register program: each register
+// is a ColumnVector, instructions run one typed loop over the whole
+// batch, and column operands alias the batch's vectors (zero copy).
+// Compilation is static on the scope's schema kinds; anything the
+// compiler cannot prove (string arithmetic, mixed-kind CASE branches,
+// operations whose row semantics depend on runtime kinds) returns
+// ok=false and the caller keeps the row-at-a-time evalFn, so batch
+// and row execution stay byte-identical by construction. The compiled
+// program is immutable and shared across map tasks; all mutable state
+// lives in a per-mapper vexprState.
+//
+// Per-row semantics mirror compile.go exactly: SQL three-valued
+// logic, int+int staying int with Go wrap-around (except "/"), datum
+// division/modulo by zero yielding NULL, and datum.Compare ordering
+// for comparisons.
+
+type vop uint8
+
+const (
+	vopCol     vop = iota // alias batch column colIdx into dst
+	vopConst              // broadcast lit into dst
+	vopToFloat            // float-convert int register a into dst
+	vopNeg                // arithmetic negate register a into dst
+	vopNot                // 3VL NOT of bool register a into dst
+	vopArith              // sym over registers a, b (same kind) into dst
+	vopCmp                // sym over registers a, b into bool dst
+	vopAnd                // 3VL AND of bool registers a, b into dst
+	vopOr                 // 3VL OR of bool registers a, b into dst
+	vopCase               // first true conds[i] selects thens[i], else els
+)
+
+type vinst struct {
+	op     vop
+	sym    string // operator symbol for vopArith / vopCmp
+	a, b   int32  // register operands
+	colIdx int32  // vopCol source column
+	dst    int32
+	lit    datum.Datum
+	conds  []int32 // vopCase: bool condition registers
+	thens  []int32 // vopCase: value registers (kind = result kind or NULL)
+	els    int32   // vopCase: else register, -1 = NULL
+}
+
+// vexprProg is one compiled vectorized expression. Immutable.
+type vexprProg struct {
+	insts []vinst
+	kinds []datum.Kind // static result kind per register
+	nregs int
+	out   int32 // result register
+}
+
+// vexprState is the per-mapper evaluation scratch: one vector per
+// register (aliased for vopCol, owned otherwise), reused across
+// batches.
+type vexprState struct {
+	regs  []*datum.ColumnVector
+	store []datum.ColumnVector
+}
+
+// ---- Compilation ----
+
+// vexprCompiler accumulates instructions while walking an expression.
+type vexprCompiler struct {
+	sc    *scope
+	prog  vexprProg
+	valid bool
+}
+
+// compileVexpr compiles expr into a vector program, or reports
+// ok=false when any node falls outside the supported, provably
+// row-equivalent subset.
+func compileVexpr(expr sqlparser.Expr, sc *scope) (*vexprProg, bool) {
+	c := &vexprCompiler{sc: sc, valid: true}
+	out, _ := c.compile(expr)
+	if !c.valid {
+		return nil, false
+	}
+	c.prog.out = out
+	// A bare column or constant has cheaper dedicated paths; a program
+	// is only worth running when it computes something.
+	if len(c.prog.insts) <= 1 {
+		return nil, false
+	}
+	return &c.prog, true
+}
+
+// newReg allocates a register of the given static kind.
+func (c *vexprCompiler) newReg(k datum.Kind) int32 {
+	c.prog.kinds = append(c.prog.kinds, k)
+	c.prog.nregs++
+	return int32(c.prog.nregs - 1)
+}
+
+func (c *vexprCompiler) emit(in vinst) int32 {
+	c.prog.insts = append(c.prog.insts, in)
+	return in.dst
+}
+
+func (c *vexprCompiler) fail() (int32, datum.Kind) {
+	c.valid = false
+	return 0, datum.KindNull
+}
+
+func numericKind(k datum.Kind) bool {
+	return k == datum.KindInt || k == datum.KindFloat
+}
+
+// constReg broadcasts a literal. NULL literals get a KindNull register
+// (every read yields NULL).
+func (c *vexprCompiler) constReg(d datum.Datum) (int32, datum.Kind) {
+	dst := c.newReg(d.K)
+	return c.emit(vinst{op: vopConst, lit: d, dst: dst}), d.K
+}
+
+// toFloat inserts a conversion when the register is not already float.
+// Kinds are restricted to numeric before calling, so the conversion is
+// exactly the row path's AsFloat on an int.
+func (c *vexprCompiler) toFloat(r int32, k datum.Kind) int32 {
+	if k == datum.KindFloat {
+		return r
+	}
+	dst := c.newReg(datum.KindFloat)
+	return c.emit(vinst{op: vopToFloat, a: r, dst: dst})
+}
+
+// compile returns the register holding expr's value and its static
+// kind. On unsupported input it flags the compiler invalid.
+func (c *vexprCompiler) compile(expr sqlparser.Expr) (int32, datum.Kind) {
+	if !c.valid {
+		return 0, datum.KindNull
+	}
+	switch v := expr.(type) {
+	case *sqlparser.Literal:
+		return c.constReg(v.Value)
+
+	case *sqlparser.ColumnRef:
+		idx, err := c.sc.resolve(v)
+		if err != nil {
+			return c.fail()
+		}
+		k := c.sc.cols[idx].kind
+		if k == datum.KindNull {
+			return c.fail()
+		}
+		dst := c.newReg(k)
+		return c.emit(vinst{op: vopCol, colIdx: int32(idx), dst: dst}), k
+
+	case *sqlparser.UnaryExpr:
+		r, k := c.compile(v.X)
+		if !c.valid {
+			return 0, datum.KindNull
+		}
+		switch v.Op {
+		case "-":
+			if k == datum.KindNull {
+				return c.constReg(datum.Null)
+			}
+			if !numericKind(k) {
+				return c.fail()
+			}
+			dst := c.newReg(k)
+			return c.emit(vinst{op: vopNeg, a: r, dst: dst}), k
+		case "NOT":
+			if k == datum.KindNull {
+				return c.constReg(datum.Null)
+			}
+			if k != datum.KindBool {
+				return c.fail()
+			}
+			dst := c.newReg(datum.KindBool)
+			return c.emit(vinst{op: vopNot, a: r, dst: dst}), datum.KindBool
+		default:
+			return c.fail()
+		}
+
+	case *sqlparser.BinaryExpr:
+		return c.compileBinary(v)
+
+	case *sqlparser.CaseExpr:
+		return c.compileCase(v)
+
+	case *sqlparser.FuncCall:
+		// IF(c, t, f) is exactly CASE WHEN c THEN t ELSE f END.
+		if v.Name == "IF" && len(v.Args) == 3 && !v.Star && !v.Distinct {
+			return c.compileCase(&sqlparser.CaseExpr{
+				Whens: []sqlparser.WhenClause{{Cond: v.Args[0], Then: v.Args[1]}},
+				Else:  v.Args[2],
+			})
+		}
+		return c.fail()
+
+	default:
+		return c.fail()
+	}
+}
+
+func (c *vexprCompiler) compileBinary(v *sqlparser.BinaryExpr) (int32, datum.Kind) {
+	l, lk := c.compile(v.L)
+	r, rk := c.compile(v.R)
+	if !c.valid {
+		return 0, datum.KindNull
+	}
+	switch v.Op {
+	case "+", "-", "*", "/", "%":
+		// NULL op anything is NULL.
+		if lk == datum.KindNull || rk == datum.KindNull {
+			return c.constReg(datum.Null)
+		}
+		// Restrict to statically numeric operands: the row path
+		// AsFloat-coerces strings and booleans, which a typed loop
+		// cannot reproduce without per-row kind dispatch.
+		if !numericKind(lk) || !numericKind(rk) {
+			return c.fail()
+		}
+		if lk == datum.KindInt && rk == datum.KindInt && v.Op != "/" {
+			dst := c.newReg(datum.KindInt)
+			return c.emit(vinst{op: vopArith, sym: v.Op, a: l, b: r, dst: dst}), datum.KindInt
+		}
+		lf := c.toFloat(l, lk)
+		rf := c.toFloat(r, rk)
+		dst := c.newReg(datum.KindFloat)
+		return c.emit(vinst{op: vopArith, sym: v.Op, a: lf, b: rf, dst: dst}), datum.KindFloat
+
+	case "=", "!=", "<", "<=", ">", ">=":
+		if lk == datum.KindNull || rk == datum.KindNull {
+			return c.constReg(datum.Null)
+		}
+		// datum.Compare semantics per kind pair: exact int compare,
+		// mixed numerics through float, strings and bools within
+		// kind. Cross-kind non-numeric pairs order by kind tag —
+		// reject those rather than replicate them.
+		switch {
+		case lk == datum.KindInt && rk == datum.KindInt:
+		case numericKind(lk) && numericKind(rk):
+			l = c.toFloat(l, lk)
+			r = c.toFloat(r, rk)
+		case lk == rk && (lk == datum.KindString || lk == datum.KindBool):
+		default:
+			return c.fail()
+		}
+		dst := c.newReg(datum.KindBool)
+		return c.emit(vinst{op: vopCmp, sym: v.Op, a: l, b: r, dst: dst}), datum.KindBool
+
+	case "AND", "OR":
+		// 3VL with NULL operands is not constant-foldable (NULL AND
+		// FALSE = FALSE), so require statically bool operands.
+		if lk != datum.KindBool || rk != datum.KindBool {
+			return c.fail()
+		}
+		op := vopAnd
+		if v.Op == "OR" {
+			op = vopOr
+		}
+		dst := c.newReg(datum.KindBool)
+		return c.emit(vinst{op: op, a: l, b: r, dst: dst}), datum.KindBool
+
+	default:
+		return c.fail()
+	}
+}
+
+func (c *vexprCompiler) compileCase(v *sqlparser.CaseExpr) (int32, datum.Kind) {
+	// Operand form rewrites to searched form: CASE x WHEN w THEN t
+	// matches iff x = w is TRUE, which is exactly the row path's
+	// non-NULL Compare==0 test under 3VL equality.
+	var opReg int32
+	var opKind datum.Kind
+	if v.Operand != nil {
+		opReg, opKind = c.compile(v.Operand)
+		if !c.valid {
+			return 0, datum.KindNull
+		}
+	}
+	conds := make([]int32, 0, len(v.Whens))
+	thens := make([]int32, 0, len(v.Whens))
+	resKind := datum.KindNull
+	mergeKind := func(k datum.Kind) bool {
+		if k == datum.KindNull {
+			return true // NULL branch adopts the others' kind
+		}
+		if resKind == datum.KindNull {
+			resKind = k
+			return true
+		}
+		return resKind == k
+	}
+	for _, w := range v.Whens {
+		var cond int32
+		if v.Operand != nil {
+			wr, wk := c.compile(w.Cond)
+			if !c.valid {
+				return 0, datum.KindNull
+			}
+			switch {
+			case opKind == datum.KindNull || wk == datum.KindNull:
+				// Operand-form match requires both sides non-NULL, so
+				// a statically NULL side never matches.
+				cond, _ = c.constReg(datum.Null)
+				c.prog.kinds[cond] = datum.KindBool
+			case opKind == datum.KindInt && wk == datum.KindInt:
+				cond = c.newReg(datum.KindBool)
+				c.emit(vinst{op: vopCmp, sym: "=", a: opReg, b: wr, dst: cond})
+			case numericKind(opKind) && numericKind(wk):
+				cond = c.newReg(datum.KindBool)
+				c.emit(vinst{op: vopCmp, sym: "=", a: c.toFloat(opReg, opKind), b: c.toFloat(wr, wk), dst: cond})
+			case opKind == wk && (opKind == datum.KindString || opKind == datum.KindBool):
+				cond = c.newReg(datum.KindBool)
+				c.emit(vinst{op: vopCmp, sym: "=", a: opReg, b: wr, dst: cond})
+			default:
+				return c.fail()
+			}
+		} else {
+			var ck datum.Kind
+			cond, ck = c.compile(w.Cond)
+			if !c.valid {
+				return 0, datum.KindNull
+			}
+			// Truthy() is false for every non-bool datum; a statically
+			// non-bool condition never selects its branch.
+			if ck != datum.KindBool {
+				return c.fail()
+			}
+		}
+		tr, tk := c.compile(w.Then)
+		if !c.valid {
+			return 0, datum.KindNull
+		}
+		if !mergeKind(tk) {
+			return c.fail()
+		}
+		conds = append(conds, cond)
+		thens = append(thens, tr)
+	}
+	els := int32(-1)
+	if v.Else != nil {
+		er, ek := c.compile(v.Else)
+		if !c.valid {
+			return 0, datum.KindNull
+		}
+		if !mergeKind(ek) {
+			return c.fail()
+		}
+		els = er
+	}
+	if resKind == datum.KindNull {
+		// Every branch is NULL.
+		return c.constReg(datum.Null)
+	}
+	dst := c.newReg(resKind)
+	return c.emit(vinst{op: vopCase, conds: conds, thens: thens, els: els, dst: dst}), resKind
+}
+
+// ---- Evaluation ----
+
+// evalBatch runs the program over a batch, returning the result
+// vector, or nil when a batch column's runtime kind contradicts the
+// static kind the program was compiled for (the caller then falls
+// back to row evaluation for this batch). The state pointer is
+// allocated lazily and reused across batches.
+func (p *vexprProg) evalBatch(stp **vexprState, b *mapred.RecordBatch) *datum.ColumnVector {
+	st := *stp
+	if st == nil {
+		st = &vexprState{
+			regs:  make([]*datum.ColumnVector, p.nregs),
+			store: make([]datum.ColumnVector, p.nregs),
+		}
+		*stp = st
+	}
+	n := b.Len
+	for ii := range p.insts {
+		in := &p.insts[ii]
+		if in.op == vopCol {
+			v := &b.Cols[in.colIdx]
+			// An all-NULL vector (KindNull) is fine — every read is
+			// guarded by the null mask. Any other mismatch means the
+			// data contradicts the schema; bail out to the row path.
+			if v.Kind != p.kinds[in.dst] && v.Kind != datum.KindNull {
+				return nil
+			}
+			st.regs[in.dst] = v
+			continue
+		}
+		out := &st.store[in.dst]
+		st.regs[in.dst] = out
+		switch in.op {
+		case vopConst:
+			out.Fill(in.lit, n)
+		case vopToFloat:
+			a := st.regs[in.a]
+			out.Reset(datum.KindFloat, n)
+			for i := 0; i < n; i++ {
+				if !a.Nulls[i] {
+					out.Floats[i] = float64(a.Ints[i])
+					out.Nulls[i] = false
+				}
+			}
+		case vopNeg:
+			a := st.regs[in.a]
+			out.Reset(p.kinds[in.dst], n)
+			if out.Kind == datum.KindInt {
+				for i := 0; i < n; i++ {
+					if !a.Nulls[i] {
+						out.Ints[i] = -a.Ints[i]
+						out.Nulls[i] = false
+					}
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					if !a.Nulls[i] {
+						out.Floats[i] = -a.Floats[i]
+						out.Nulls[i] = false
+					}
+				}
+			}
+		case vopNot:
+			a := st.regs[in.a]
+			out.Reset(datum.KindBool, n)
+			for i := 0; i < n; i++ {
+				if !a.Nulls[i] {
+					out.Bools[i] = !a.Bools[i]
+					out.Nulls[i] = false
+				}
+			}
+		case vopArith:
+			evalArith(in, st.regs[in.a], st.regs[in.b], out, p.kinds[in.dst], n)
+		case vopCmp:
+			evalCmp(in, st.regs[in.a], st.regs[in.b], out, p.kinds[in.a], n)
+		case vopAnd:
+			a, bb := st.regs[in.a], st.regs[in.b]
+			out.Reset(datum.KindBool, n)
+			for i := 0; i < n; i++ {
+				af, bf := !a.Nulls[i] && !a.Bools[i], !bb.Nulls[i] && !bb.Bools[i]
+				switch {
+				case af || bf:
+					out.Bools[i], out.Nulls[i] = false, false
+				case a.Nulls[i] || bb.Nulls[i]:
+					// stays NULL
+				default:
+					out.Bools[i], out.Nulls[i] = true, false
+				}
+			}
+		case vopOr:
+			a, bb := st.regs[in.a], st.regs[in.b]
+			out.Reset(datum.KindBool, n)
+			for i := 0; i < n; i++ {
+				at, bt := !a.Nulls[i] && a.Bools[i], !bb.Nulls[i] && bb.Bools[i]
+				switch {
+				case at || bt:
+					out.Bools[i], out.Nulls[i] = true, false
+				case a.Nulls[i] || bb.Nulls[i]:
+					// stays NULL
+				default:
+					out.Bools[i], out.Nulls[i] = false, false
+				}
+			}
+		case vopCase:
+			p.evalCase(st, in, out, n)
+		}
+	}
+	return st.regs[p.out]
+}
+
+// evalArith runs one typed arithmetic loop. Operands share the result
+// kind (the compiler inserts conversions); NULL propagates, and
+// division / modulo by zero yields NULL like the row path.
+func evalArith(in *vinst, a, b, out *datum.ColumnVector, kind datum.Kind, n int) {
+	out.Reset(kind, n)
+	if kind == datum.KindInt {
+		for i := 0; i < n; i++ {
+			if a.Nulls[i] || b.Nulls[i] {
+				continue
+			}
+			x, y := a.Ints[i], b.Ints[i]
+			switch in.sym {
+			case "+":
+				out.Ints[i] = x + y
+			case "-":
+				out.Ints[i] = x - y
+			case "*":
+				out.Ints[i] = x * y
+			case "%":
+				if y == 0 {
+					continue // NULL
+				}
+				out.Ints[i] = x % y
+			}
+			out.Nulls[i] = false
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		if a.Nulls[i] || b.Nulls[i] {
+			continue
+		}
+		x, y := a.Floats[i], b.Floats[i]
+		switch in.sym {
+		case "+":
+			out.Floats[i] = x + y
+		case "-":
+			out.Floats[i] = x - y
+		case "*":
+			out.Floats[i] = x * y
+		case "/":
+			if y == 0 {
+				continue // NULL
+			}
+			out.Floats[i] = x / y
+		case "%":
+			if y == 0 {
+				continue // NULL
+			}
+			out.Floats[i] = math.Mod(x, y)
+		}
+		out.Nulls[i] = false
+	}
+}
+
+// evalCmp runs one typed comparison loop with datum.Compare ordering
+// (NaN compares neither above nor below, exactly like the row path).
+func evalCmp(in *vinst, a, b, out *datum.ColumnVector, operandKind datum.Kind, n int) {
+	out.Reset(datum.KindBool, n)
+	for i := 0; i < n; i++ {
+		if a.Nulls[i] || b.Nulls[i] {
+			continue
+		}
+		c := 0
+		switch operandKind {
+		case datum.KindInt:
+			x, y := a.Ints[i], b.Ints[i]
+			if x < y {
+				c = -1
+			} else if x > y {
+				c = 1
+			}
+		case datum.KindFloat:
+			x, y := a.Floats[i], b.Floats[i]
+			if x < y {
+				c = -1
+			} else if x > y {
+				c = 1
+			}
+		case datum.KindString:
+			x, y := a.Strs[i], b.Strs[i]
+			if x < y {
+				c = -1
+			} else if x > y {
+				c = 1
+			}
+		case datum.KindBool:
+			x, y := a.Bools[i], b.Bools[i]
+			if !x && y {
+				c = -1
+			} else if x && !y {
+				c = 1
+			}
+		}
+		out.Bools[i] = cmpOpMatches(in.sym, c)
+		out.Nulls[i] = false
+	}
+}
+
+// evalCase picks, per row, the first branch whose condition is TRUE.
+func (p *vexprProg) evalCase(st *vexprState, in *vinst, out *datum.ColumnVector, n int) {
+	kind := p.kinds[in.dst]
+	out.Reset(kind, n)
+	for i := 0; i < n; i++ {
+		src := in.els
+		for k := range in.conds {
+			cv := st.regs[in.conds[k]]
+			if !cv.Nulls[i] && cv.Bools[i] {
+				src = in.thens[k]
+				break
+			}
+		}
+		if src < 0 {
+			continue // NULL
+		}
+		v := st.regs[src]
+		if v.Kind == datum.KindNull || v.Nulls[i] {
+			continue // NULL branch value
+		}
+		out.Nulls[i] = false
+		switch kind {
+		case datum.KindInt:
+			out.Ints[i] = v.Ints[i]
+		case datum.KindFloat:
+			out.Floats[i] = v.Floats[i]
+		case datum.KindBool:
+			out.Bools[i] = v.Bools[i]
+		case datum.KindString:
+			out.Strs[i] = v.Strs[i]
+		}
+	}
+}

@@ -20,41 +20,45 @@
 //
 // # Shuffle
 //
-// The per-record hot path is lock-free and allocation-light. Each map
-// task owns a private shuffleWriter: emitted keys are copied into a
-// per-task arena (no per-key allocation), rows are stored without
-// cloning, and partition byte sizes accumulate at emit time. After the
-// map function (and optional combiner) finishes, the task sorts each
-// of its partitions into a run ordered by (key, emission order) — a
-// stable concrete-type sort, no reflection. A reduce task then streams
+// The per-record hot path is lock-free and allocation-free. Each map
+// task owns a private shuffleWriter holding one columnar run per
+// reduce partition: emitted keys and row datums are appended into flat
+// segments with offset vectors (no per-pair record, no per-emit
+// allocation), and partition byte sizes accumulate at emit time. After
+// the map function (and optional combiner) finishes, the task seals
+// each run into (key, emission order) — a selection-vector permutation
+// sort that swaps 4-byte indexes, never records, and skips entirely
+// when the run was emitted in key order. A reduce task then streams
 // its key groups out of the pre-sorted runs with a k-way merge in map
 // task order, which reproduces the engine's deterministic total order
 // (key, then map task, then emission order) without re-sorting and
-// independently of worker parallelism. In-memory job output is
-// collected into per-task shards and assembled in task order, so
-// Result.Rows is byte-identical across parallelism levels.
+// independently of worker parallelism; group rows are zero-copy views
+// into the runs' segments. In-memory job output is collected into
+// per-task shards and assembled in task order, so Result.Rows is
+// byte-identical across parallelism levels.
 //
 // # Ownership and row reuse
 //
-// Emitter and Collector calls hand rows over to the engine:
+// Emitter and Collector calls follow a copy-on-shuffle contract:
 //
 //   - The key passed to an Emitter is copied by the engine; callers
 //     may (and should) reuse one key buffer across emits.
-//   - The value row's ownership transfers on emit. Mappers, combiners
-//     and reducers must emit rows they own and must not mutate them
-//     afterwards. The engine stores them without cloning.
-//   - A RecordReader may reuse its row buffer between Next calls (the
-//     ORC reader does). Mappers must therefore not retain or emit an
-//     input row into a shuffle; forwarding an input row with
-//     emit(nil, row) is legal only for map-only jobs whose collector
-//     consumes rows synchronously (all storage collectors encode the
-//     row before returning; the in-memory collector is only used by
-//     jobs whose operators emit fresh rows).
+//   - A shuffle emit (map phase or combiner of a job with reducers)
+//     copies the value row's datums into the task's run segments, so
+//     mappers and combiners may reuse one row buffer across emits —
+//     including a RecordReader's reused input row.
+//   - A collector emit (map-only jobs, reducer output) transfers
+//     ownership: the row is stored without cloning, so it must be
+//     owned by the emitter and not mutated afterwards. Reducers may
+//     forward group rows here — group rows are immutable views into
+//     the job's shuffle segments and stay valid through the run.
 //   - The rows slice passed to Reducer.Reduce is reused between
 //     groups: retain its datum.Row elements freely, never the slice.
+//     The rows themselves are engine-owned views; do not mutate them.
 package mapred
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -293,13 +297,14 @@ func (c *Cluster) RunContext(ctx context.Context, job *Job) (*Result, error) {
 			meter := sim.NewMeter(&c.Params)
 			// Gather this partition's pre-sorted runs in map task
 			// order; byte sizes were accumulated at emit time.
-			runs := make([][]kvPair, 0, len(mapOuts))
+			runs := make([]*shuffleRun, 0, len(mapOuts))
 			var shuffleBytes int64
 			for i := range mapOuts {
-				if p := mapOuts[i].shuffle.parts[r]; len(p) > 0 {
-					runs = append(runs, p)
+				part := &mapOuts[i].shuffle.runs[r]
+				if part.len() > 0 {
+					runs = append(runs, part)
 				}
-				shuffleBytes += mapOuts[i].shuffle.bytes[r]
+				shuffleBytes += part.bytes
 			}
 			meter.Shuffle(shuffleBytes)
 			cnt.Lock()
@@ -395,22 +400,18 @@ func (c *Cluster) runMapTask(ctx context.Context, job *Job, taskID int, meter *s
 
 	combined := outRecords
 	if sw != nil {
-		// Sort each partition into a run map-side; the combiner needs
-		// sorted groups and the reducer merges the sorted runs.
-		sw.sortAll()
+		// Seal each partition into a sorted run map-side; the combiner
+		// needs sorted groups and the reducer merges the sorted runs.
+		sw.sealAll()
 		if job.NewCombiner != nil {
 			combined = 0
-			for p := range sw.parts {
-				sw.parts[p], err = runCombiner(job.NewCombiner(), sw.parts[p], &sw.arena)
+			for p := range sw.runs {
+				sw.runs[p], err = runCombiner(job.NewCombiner(), &sw.runs[p])
 				if err != nil {
 					return fmt.Errorf("mapred: combiner task %d: %w", taskID, err)
 				}
-				// Combiner output is emitted in group order; re-sort
-				// only if a Flush emission broke the run.
-				sortPairs(sw.parts[p])
-				combined += int64(len(sw.parts[p]))
+				combined += int64(sw.runs[p].len())
 			}
-			sw.recountBytes()
 			meter.CPURows(outRecords)
 		}
 		out.shuffle = sw
@@ -440,38 +441,56 @@ type mapTaskOutput struct {
 	secs    float64
 }
 
-// runCombiner folds one sorted partition through a combiner. The
-// input pairs already form a sorted run; combined pairs reuse the
-// group's arena-backed key.
-func runCombiner(comb Reducer, part []kvPair, arena *keyArena) ([]kvPair, error) {
-	var out []kvPair
+// runCombiner folds one sealed partition through a combiner, walking
+// its sorted key groups in permutation order and appending the
+// combined records into a fresh run. Wire sizes accumulate as the
+// (small) output is appended, so no recount pass is needed; the output
+// run is sealed before it replaces the input (combiners emit in group
+// order, so the seal almost always resolves to the identity — only a
+// Flush emission can break the order and force a permutation).
+func runCombiner(comb Reducer, in *shuffleRun) (shuffleRun, error) {
+	var out shuffleRun
 	flushEmit := func(key []byte, value datum.Row) error {
-		out = append(out, kvPair{key: arena.copyKey(key), row: value, ord: int32(len(out))})
+		out.appendSized(key, value)
 		return nil
 	}
-	if len(part) == 0 {
+	n := in.len()
+	if n == 0 {
 		// Still run Flush for stateful combiners.
 		err := comb.Flush(flushEmit)
+		out.seal()
 		return out, err
 	}
-	out = make([]kvPair, 0, len(part)/2+1)
-	it := &groupIter{runs: [][]kvPair{part}, pos: []int{0}, heap: []int{0}}
-	for it.next() {
-		key := it.key
-		if err := comb.Reduce(key, it.rows, func(_ []byte, value datum.Row) error {
-			out = append(out, kvPair{key: key, row: value, ord: int32(len(out))})
+	var rows []datum.Row
+	for i := 0; i < n; {
+		key := in.key(in.idx(i))
+		rows = rows[:0]
+		j := i
+		for ; j < n; j++ {
+			p := in.idx(j)
+			if !bytes.Equal(in.key(p), key) {
+				break
+			}
+			rows = append(rows, in.row(p))
+		}
+		// In-group emissions carry the group key regardless of the key
+		// the combiner passes, matching the reducer-side group shape.
+		if err := comb.Reduce(key, rows, func(_ []byte, value datum.Row) error {
+			out.appendSized(key, value)
 			return nil
 		}); err != nil {
-			return nil, err
+			return out, err
 		}
+		i = j
 	}
 	if err := comb.Flush(flushEmit); err != nil {
-		return nil, err
+		return out, err
 	}
+	out.seal()
 	return out, nil
 }
 
-func (c *Cluster) runReduceTask(ctx context.Context, job *Job, taskID int, meter *sim.Meter, runs [][]kvPair,
+func (c *Cluster) runReduceTask(ctx context.Context, job *Job, taskID int, meter *sim.Meter, runs []*shuffleRun,
 	outFactory OutputFactory, cnt *Counters, mu *sync.Mutex) error {
 	collector, err := outFactory.NewCollector(len(job.Splits)+taskID, meter)
 	if err != nil {

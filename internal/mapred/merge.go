@@ -6,30 +6,34 @@ import (
 	"dualtable/internal/datum"
 )
 
-// groupIter streams key groups out of pre-sorted shuffle runs with a
-// k-way merge, replacing the old concat-then-full-sort reduce input.
-// Runs are the map tasks' partitions in task order; ties between runs
-// break toward the earlier task, and pairs within a run are already in
-// emission order, so group contents arrive exactly as the stable
+// groupIter streams key groups out of pre-sorted columnar shuffle runs
+// with a k-way merge, replacing the old concat-then-full-sort reduce
+// input. Runs are the map tasks' partitions in task order; ties
+// between runs break toward the earlier task, and records within a
+// run are already in emission order (via the run's selection-vector
+// permutation), so group contents arrive exactly as the stable
 // (key, task, emission-order) sort would produce them.
 //
-// The rows slice returned for each group is reused between groups:
-// reducers may retain the datum.Row elements, but must not retain the
-// slice itself past the Reduce call.
+// Group rows are zero-copy views into the runs' datum segments — no
+// per-pair decode or copy happens on the reduce side. The rows slice
+// returned for each group is reused between groups: reducers may
+// retain the datum.Row elements (they stay valid as long as the job's
+// shuffle output), but must not retain the slice itself past the
+// Reduce call.
 type groupIter struct {
-	runs [][]kvPair // each sorted by key, stable
-	pos  []int      // cursor into each run
-	heap []int      // min-heap of run indexes, ordered by (head key, run index)
+	runs []*shuffleRun
+	pos  []int // logical (sorted-order) cursor into each run
+	heap []int // min-heap of run indexes, ordered by (head key, run index)
 
 	key  []byte
 	rows []datum.Row
 }
 
 // newGroupIter builds an iterator over the non-empty runs.
-func newGroupIter(runs [][]kvPair) *groupIter {
+func newGroupIter(runs []*shuffleRun) *groupIter {
 	it := &groupIter{runs: runs, pos: make([]int, len(runs))}
 	for r := range runs {
-		if len(runs[r]) > 0 {
+		if runs[r].len() > 0 {
 			it.heap = append(it.heap, r)
 		}
 	}
@@ -41,15 +45,16 @@ func newGroupIter(runs [][]kvPair) *groupIter {
 	return it
 }
 
-// head returns the current first pair of run r.
-func (it *groupIter) head(r int) *kvPair {
-	return &it.runs[r][it.pos[r]]
+// headKey returns the current first key of run r.
+func (it *groupIter) headKey(r int) []byte {
+	run := it.runs[r]
+	return run.key(run.idx(it.pos[r]))
 }
 
 // less orders heap entries by (head key, run index).
 func (it *groupIter) less(a, b int) bool {
 	ra, rb := it.heap[a], it.heap[b]
-	if c := bytes.Compare(it.head(ra).key, it.head(rb).key); c != 0 {
+	if c := bytes.Compare(it.headKey(ra), it.headKey(rb)); c != 0 {
 		return c < 0
 	}
 	return ra < rb
@@ -82,22 +87,27 @@ func (it *groupIter) next() bool {
 	}
 	it.rows = it.rows[:0]
 	top := it.heap[0]
-	it.key = it.head(top).key
+	it.key = it.headKey(top)
 	for len(it.heap) > 0 {
 		r := it.heap[0]
-		if !bytes.Equal(it.head(r).key, it.key) {
+		if !bytes.Equal(it.headKey(r), it.key) {
 			break
 		}
 		// Consume the whole equal-key prefix of this run; within a run
 		// equal keys are consecutive and in emission order.
 		run := it.runs[r]
+		n := run.len()
 		i := it.pos[r]
-		for i < len(run) && bytes.Equal(run[i].key, it.key) {
-			it.rows = append(it.rows, run[i].row)
+		for i < n {
+			p := run.idx(i)
+			if !bytes.Equal(run.key(p), it.key) {
+				break
+			}
+			it.rows = append(it.rows, run.row(p))
 			i++
 		}
 		it.pos[r] = i
-		if i >= len(run) {
+		if i >= n {
 			// Run exhausted: drop it from the heap.
 			last := len(it.heap) - 1
 			it.heap[0] = it.heap[last]
@@ -111,10 +121,10 @@ func (it *groupIter) next() bool {
 }
 
 // totalPairs sums the run lengths (the reducer's input record count).
-func totalPairs(runs [][]kvPair) int64 {
+func totalPairs(runs []*shuffleRun) int64 {
 	var n int64
 	for _, r := range runs {
-		n += int64(len(r))
+		n += int64(r.len())
 	}
 	return n
 }

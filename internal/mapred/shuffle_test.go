@@ -151,21 +151,21 @@ func TestMapOnlyOutputDeterministic(t *testing.T) {
 // directly: duplicate keys within and across runs must come out in
 // (key, run order, emission order) sequence.
 func TestGroupIterDuplicateKeysAcrossRuns(t *testing.T) {
-	mk := func(entries ...string) []kvPair {
-		// entry format "key=value"; pairs are appended in emission
-		// order and then sorted like a map task would.
-		var part []kvPair
+	mk := func(entries ...string) *shuffleRun {
+		// entry format "key=value"; records are appended in emission
+		// order and then sealed like a map task would.
+		run := &shuffleRun{}
 		for _, e := range entries {
 			k, v, _ := strings.Cut(e, "=")
-			part = append(part, kvPair{key: []byte(k), row: datum.Row{datum.String_(v)}, ord: int32(len(part))})
+			run.append([]byte(k), datum.Row{datum.String_(v)})
 		}
-		sortPairs(part)
-		return part
+		run.seal()
+		return run
 	}
-	runs := [][]kvPair{
+	runs := []*shuffleRun{
 		mk("b=r0b1", "a=r0a1", "b=r0b2", "d=r0d1"),
 		mk("a=r1a1", "c=r1c1", "a=r1a2"),
-		{}, // empty run must be harmless
+		mk(), // empty run must be harmless
 		mk("b=r2b1", "a=r2a1"),
 	}
 	want := []struct {
