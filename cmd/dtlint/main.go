@@ -1,0 +1,206 @@
+// Command dtlint is DualTable's static-analysis gate: it runs the
+// internal/analysis suite — the engine's concurrency, pinning, and
+// wire contracts encoded as analyzers — over the module and exits
+// non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/dtlint ./...          # whole module (the CI gate)
+//	go run ./cmd/dtlint ./internal/core ./internal/server
+//	go run ./cmd/dtlint -list          # print the analyzers and exit
+//
+// Findings print as file:line:col: analyzer: message. A finding can
+// be silenced in place with a reasoned directive on the same line or
+// the line above:
+//
+//	//lint:ignore dtlint/ctxflow nil ExecContext means no caller ctx
+//
+// Directives without a reason are themselves findings. Test files
+// are not analyzed (the contracts govern production code; tests
+// exercise violations on purpose), and testdata trees are skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dualtable/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dtlint [-list] [./... | dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := packageDirs(root, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			fatal(err)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(analyzers, fset, files, importPath(root, dir))
+		if err != nil {
+			fatal(err)
+		}
+		diags = analysis.Filter(fset, files, diags)
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			rel, rerr := filepath.Rel(root, pos.Filename)
+			if rerr != nil {
+				rel = pos.Filename
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Analyzer.Name, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "dtlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtlint:", err)
+	os.Exit(2)
+}
+
+// moduleRoot walks up from the working directory to the nearest
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// packageDirs resolves the argument patterns to package directories.
+// "./..." (or no arguments) walks the whole module; other arguments
+// name directories, with a trailing /... walking recursively.
+func packageDirs(root string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, arg := range args {
+		recursive := false
+		if strings.HasSuffix(arg, "/...") {
+			recursive = true
+			arg = strings.TrimSuffix(arg, "/...")
+		}
+		if arg == "." || arg == "" {
+			arg = root
+		}
+		base := arg
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, strings.TrimPrefix(arg, "./"))
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses a directory's production .go files (tests are not
+// analyzed: the contracts govern production code, and test helpers
+// exercise violations on purpose).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("no such directory: %s", dir)
+		}
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importPath maps a directory to its import path in the module.
+func importPath(root, dir string) string {
+	const module = "dualtable"
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return module
+	}
+	return module + "/" + filepath.ToSlash(rel)
+}

@@ -1,0 +1,233 @@
+// Package analysis is DualTable's static-analysis suite: custom
+// analyzers that encode the engine's concurrency, pinning, and wire
+// contracts so they are machine-checked on every build instead of
+// living only in comments and chaos tests.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) so each checker reads like a
+// standard vet-style analyzer, but it is implemented on the standard
+// library's go/ast toolchain alone: the module has no external
+// dependencies and the analyzers are purely syntactic, which keeps
+// `go run ./cmd/dtlint ./...` fast and hermetic. Syntactic analysis
+// is a deliberate trade: the contracts below are encoded as
+// name-shaped patterns (method names like OpenSnapshot / Release /
+// Pin / Unpin, lock paths ending in .pub), which is exact for this
+// codebase's idioms; anything a checker gets wrong can be silenced
+// in place with a reasoned //lint:ignore directive (see suppress.go).
+//
+// The analyzers and the invariants they encode:
+//
+//   - pinbalance: every snapshot/pin acquisition reaches a release on
+//     all return paths (PR 4's pin-counted deferred deletion, PR 7's
+//     ErrNotPinned work).
+//   - publock: nothing blocks while a tableState.pub publish lock is
+//     held (PR 7: retry-with-sleep never runs under the pub lock).
+//   - emitcopy: mapper/combiner code does not retain row buffers it
+//     passed to Emit, and never retains the reader-owned input row
+//     (the copy-on-shuffle ownership contract from PR 9,
+//     internal/mapred/mapred.go).
+//   - wirecode: the root sentinel errors, CodeOf classification, and
+//     sentinel() reverse mapping stay in lockstep so errors.Is
+//     round-trips the wire (PR 6/8 stable error codes).
+//   - ctxflow: no context.Background()/TODO() in request-path
+//     packages; exported APIs that sleep must take a context (PR 1
+//     threaded ctx through the engine; PR 8 added statement
+//     deadlines).
+//   - gopanic: goroutines spawned in internal/server carry panic
+//     recovery (PR 7's per-op isolation rule).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position and a message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Analyzer is one named checker.
+type Analyzer struct {
+	// Name is the short identifier used in output and in
+	// //lint:ignore directives (namespaced as dtlint/<name>).
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects a package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files (tests excluded by the
+	// driver), with comments.
+	Files []*ast.File
+	// Path is the package's import path within the module, e.g.
+	// "dualtable/internal/server". Analyzers scoped to particular
+	// packages filter on it.
+	Path string
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer,
+	})
+}
+
+// Diagnostics returns the findings reported so far, sorted by
+// position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
+	return p.diags
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		PinBalance,
+		PubLock,
+		EmitCopy,
+		WireCode,
+		CtxFlow,
+		GoPanic,
+	}
+}
+
+// RunAnalyzers runs every analyzer in as on one package and returns
+// the combined, position-sorted diagnostics.
+func RunAnalyzers(as []*Analyzer, fset *token.FileSet, files []*ast.File, path string) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range as {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Path: path}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		out = append(out, pass.Diagnostics()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// ---- shared syntax helpers ----
+
+// selPath renders a dotted selector chain ("s.st.pub.Lock"); it
+// returns "" for expressions that are not ident/selector chains.
+func selPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := selPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return selPath(e.X)
+	}
+	return ""
+}
+
+// calleeName returns the bare name of a call's callee: the method or
+// function identifier, ignoring the receiver chain.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// calleeRecv returns the dotted receiver chain of a call
+// ("h.e.FS" for h.e.FS.Pin(p)), or "" for plain function calls.
+func calleeRecv(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return selPath(sel.X)
+	}
+	return ""
+}
+
+// exprText renders a (small) expression back to source-ish text for
+// matching acquisition args against release args. Only ident chains,
+// calls, literals and index expressions need to round-trip.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[" + exprText(e.Index) + "]"
+	case *ast.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprText(a)
+		}
+		return exprText(e.Fun) + "(" + strings.Join(args, ",") + ")"
+	case *ast.ParenExpr:
+		return "(" + exprText(e.X) + ")"
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprText(e.X)
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+// importName returns the local name file binds the given import path
+// to ("" if the file does not import it). The default is the path's
+// base element.
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// funcBodies yields every function body in the package — declarations
+// and literals — with the enclosing declaration name ("" for
+// literals outside any decl).
+func funcBodies(files []*ast.File, fn func(name string, ft *ast.FuncType, body *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd.Name.Name, fd.Type, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(fd.Name.Name, lit.Type, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzerFixtures runs every analyzer over its fixture package:
+// each fixture contains at least one true positive (a `// want` line)
+// and deliberate near-miss legal patterns that must stay silent —
+// RunFixture fails on both missed findings and unexpected ones.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer   *Analyzer
+		importPath string
+	}{
+		// pinbalance/publock/emitcopy guard engine-wide contracts;
+		// any path exercises them.
+		{PinBalance, "dualtable/internal/example"},
+		{PubLock, "dualtable/internal/example"},
+		{EmitCopy, "dualtable/internal/example"},
+		// wirecode self-gates on the ErrCode registry, whatever the
+		// package path.
+		{WireCode, "dualtable"},
+		// ctxflow/gopanic are scoped to the request-path packages;
+		// the fixture runs as if it were internal/server.
+		{CtxFlow, "dualtable/internal/server"},
+		{GoPanic, "dualtable/internal/server"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			RunFixture(t, tc.analyzer, filepath.Join("testdata", tc.analyzer.Name), tc.importPath)
+		})
+	}
+}
+
+// TestScopedAnalyzersSilentOutsideScope proves the path-scoped
+// analyzers do not fire on the same syntax in unrelated packages: a
+// context.Background() in cmd or driver code is not a request-path
+// violation, and goroutines outside internal/server are not held to
+// the server's recovery rule.
+func TestScopedAnalyzersSilentOutsideScope(t *testing.T) {
+	for _, tc := range []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{CtxFlow, filepath.Join("testdata", "ctxflow")},
+		{GoPanic, filepath.Join("testdata", "gopanic")},
+	} {
+		diags, err := FixtureDiagnostics(tc.analyzer, tc.dir, "dualtable/cmd/dtbench")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.analyzer.Name, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s fired outside its package scope: %v", tc.analyzer.Name, diags)
+		}
+	}
+}
+
+// TestSuppressionDirectives pins the driver-side //lint:ignore
+// semantics: a reasoned directive silences exactly the named
+// analyzer on that line, a reasonless one is itself a finding, and
+// other analyzers stay unaffected.
+func TestSuppressionDirectives(t *testing.T) {
+	src := `package fixture
+
+import "context"
+
+func a() context.Context {
+	//lint:ignore dtlint/ctxflow deliberate root context for this test
+	return context.Background()
+}
+
+func b() context.Context {
+	//lint:ignore ctxflow bare analyzer names work too
+	return context.Background()
+}
+
+func c() context.Context {
+	//lint:ignore dtlint/ctxflow
+	return context.Background()
+}
+
+func d() context.Context {
+	//lint:ignore dtlint/pinbalance wrong analyzer does not cover ctxflow
+	return context.Background()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers([]*Analyzer{CtxFlow}, fset, []*ast.File{f}, "dualtable/internal/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Filter(fset, []*ast.File{f}, diags)
+	var msgs []string
+	for _, d := range got {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	// a and b are suppressed; c's directive is malformed (no reason)
+	// so both the directive finding and the Background finding
+	// survive; d's directive names the wrong analyzer.
+	if len(got) != 3 {
+		t.Fatalf("want 3 surviving findings (malformed directive + 2 Backgrounds), got %d:\n%s", len(got), joined)
+	}
+	if !strings.Contains(joined, "a suppression must carry a reason") {
+		t.Errorf("missing malformed-directive finding:\n%s", joined)
+	}
+	if strings.Count(joined, "context.Background in a request-path package") != 2 {
+		t.Errorf("want exactly 2 surviving Background findings (c and d):\n%s", joined)
+	}
+}
+
+// TestAllAnalyzersRegistered keeps the driver's suite in sync with
+// the files in this package.
+func TestAllAnalyzersRegistered(t *testing.T) {
+	want := []string{"pinbalance", "publock", "emitcopy", "wirecode", "ctxflow", "gopanic"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file is the fixture harness, modeled on
+// golang.org/x/tools/go/analysis/analysistest: a fixture directory
+// is one package; lines that must be flagged carry a
+// `// want "regexp"` comment; the harness runs one analyzer over the
+// package and diffs reported diagnostics against the expectations —
+// a diagnostic with no matching want, or a want with no matching
+// diagnostic, fails the test.
+
+// wantRe matches `// want "..."` or a backquoted form; the quoted
+// part is a regexp that must match the diagnostic message.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// TB is the subset of *testing.T the harness needs.
+type TB interface {
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+	Helper()
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// RunFixture parses the fixture directory as one package, runs the
+// analyzer with the given import path (so path-scoped analyzers see
+// the package they target), applies lint:ignore suppression exactly
+// like the driver, and diffs diagnostics against want comments.
+func RunFixture(t TB, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir %s: %v", dir, err)
+	}
+	var files []*ast.File
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pattern := m[1]
+			if m[2] != "" {
+				pattern = m[2]
+			}
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pattern, err)
+			}
+			expects = append(expects, &expectation{file: path, line: i + 1, re: re})
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture dir %s has no .go files", dir)
+	}
+
+	diags, err := RunAnalyzers([]*Analyzer{a}, fset, files, importPath)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	diags = Filter(fset, files, diags)
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, ex := range expects {
+			if ex.hit || ex.file != pos.Filename || ex.line != pos.Line {
+				continue
+			}
+			if ex.re.MatchString(d.Message) {
+				ex.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", formatPos(pos), d.Message)
+		}
+	}
+	for _, ex := range expects {
+		if !ex.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", ex.file, ex.line, ex.re)
+		}
+	}
+}
+
+// FixtureDiagnostics runs an analyzer over a fixture directory and
+// returns the post-suppression diagnostics as "file:line: message"
+// strings (used by harness self-tests).
+func FixtureDiagnostics(a *Analyzer, dir, importPath string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	diags, err := RunAnalyzers([]*Analyzer{a}, fset, files, importPath)
+	if err != nil {
+		return nil, err
+	}
+	diags = Filter(fset, files, diags)
+	var out []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func formatPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFlow enforces context threading through the request-path
+// packages (internal/server, internal/core, internal/hive): PR 1
+// threaded context.Context end to end, PR 8 hung statement deadlines
+// off it. A context.Background() or context.TODO() inside those
+// packages detaches a request from its caller's cancellation — a
+// statement cancel, connection teardown, or statement timeout
+// silently stops propagating.
+//
+// Two checks:
+//   - no context.Background()/context.TODO() calls (deliberate
+//     defaults are suppressed in place with //lint:ignore and a
+//     reason);
+//   - an exported function or method that sleeps (time.Sleep,
+//     <-time.After) must accept a context.Context (or the engine's
+//     *ExecContext carrier) so callers can bound the wait.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-path packages must not detach from caller contexts (no context.Background/TODO; exported sleepers take ctx)",
+	Run:  runCtxFlow,
+}
+
+var ctxFlowPackages = []string{
+	"dualtable/internal/server",
+	"dualtable/internal/core",
+	"dualtable/internal/hive",
+}
+
+func runCtxFlow(pass *Pass) error {
+	scoped := false
+	for _, p := range ctxFlowPackages {
+		if pass.Path == p || strings.HasPrefix(pass.Path, p+"/") {
+			scoped = true
+		}
+	}
+	if !scoped {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		ctxName := importName(f, "context")
+		// Check 1: Background/TODO calls.
+		if ctxName != "" {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch selPath(call.Fun) {
+				case ctxName + ".Background", ctxName + ".TODO":
+					pass.Reportf(call.Pos(), "%s in a request-path package detaches from the caller's cancellation; thread the request context instead (PR 1/8 context contract)",
+						selPath(call.Fun))
+				}
+				return true
+			})
+		}
+		// Check 2: exported sleepers without a context.
+		timeName := importName(f, "time")
+		if timeName == "" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if funcAcceptsContext(fd.Type, ctxName) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if selPath(call.Fun) == timeName+".Sleep" || selPath(call.Fun) == timeName+".After" {
+					pass.Reportf(call.Pos(), "exported %s sleeps via %s but accepts no context.Context: callers cannot bound or cancel the wait",
+						fd.Name.Name, selPath(call.Fun))
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// funcAcceptsContext reports whether the signature carries a
+// context.Context or an *ExecContext (the hive engine's context
+// carrier).
+func funcAcceptsContext(ft *ast.FuncType, ctxName string) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, p := range ft.Params.List {
+		t := p.Type
+		if se, ok := t.(*ast.StarExpr); ok {
+			t = se.X
+		}
+		switch path := selPath(t); {
+		case ctxName != "" && path == ctxName+".Context":
+			return true
+		case path == "ExecContext" || strings.HasSuffix(path, ".ExecContext"):
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// EmitCopy enforces the copy-on-shuffle ownership contract documented
+// in internal/mapred/mapred.go (and exploited by PR 9's columnar
+// shuffle):
+//
+//   - A collector emit transfers ownership of the value row: after
+//     `emit(key, row)`, the emitter must not retain `row` (store it
+//     in a field, append it whole to a slice, put it in a map) —
+//     the engine stored the same backing array without cloning, and
+//     a retained alias becomes a data race with the job output.
+//   - The input row a RecordReader hands to Map is a reused buffer:
+//     Map must never retain it whole either. Element access
+//     (row[i]) and spread copies (append(dst, row...)) are legal.
+//
+// Candidate functions are those that receive an Emitter — a
+// parameter of type (mapred.)Emitter or named emit — plus Map
+// methods with the (row, meta, emit) shape.
+var EmitCopy = &Analyzer{
+	Name: "emitcopy",
+	Doc:  "mapper/combiner code must not retain row buffers passed to Emit or received from the reader",
+	Run:  runEmitCopy,
+}
+
+func runEmitCopy(pass *Pass) error {
+	funcBodies(pass.Files, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+		emitParam, rowParam := emitterShape(ft)
+		if emitParam == "" {
+			return
+		}
+		checkEmitCopy(pass, emitParam, rowParam, body)
+	})
+	return nil
+}
+
+// emitterShape returns the Emitter-typed parameter's name and, for
+// Map-shaped functions, the reused input-row parameter's name.
+func emitterShape(ft *ast.FuncType) (emitParam, rowParam string) {
+	if ft.Params == nil {
+		return "", ""
+	}
+	for i, p := range ft.Params.List {
+		isEmitter := false
+		switch path := selPath(p.Type); path {
+		case "Emitter", "mapred.Emitter":
+			isEmitter = true
+		}
+		for _, n := range p.Names {
+			if isEmitter || n.Name == "emit" {
+				emitParam = n.Name
+				// A Map-shaped function's first parameter is the
+				// reader-owned reused row buffer.
+				if i >= 1 && len(ft.Params.List) >= 3 {
+					if rp := ft.Params.List[0]; len(rp.Names) == 1 {
+						if selPath(rp.Type) == "Row" || selPath(rp.Type) == "datum.Row" {
+							rowParam = rp.Names[0].Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return emitParam, rowParam
+}
+
+func checkEmitCopy(pass *Pass, emitParam, rowParam string, body *ast.BlockStmt) {
+	// First sweep: positions where an identifier is passed whole as
+	// an emit value.
+	emitted := map[string]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == emitParam && len(call.Args) == 2 {
+			if v, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok {
+				if _, seen := emitted[v.Name]; !seen {
+					emitted[v.Name] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	// Second sweep: retention sites. A whole-row retention of an
+	// emitted identifier after its emit, or of the reused input row
+	// anywhere, violates the contract.
+	violates := func(name string, pos token.Pos) (string, bool) {
+		if rowParam != "" && name == rowParam {
+			return "the reader-owned input row (reused between records)", true
+		}
+		if epos, ok := emitted[name]; ok && pos > epos {
+			return "a row already passed to " + emitParam + " (ownership transferred to the engine)", true
+		}
+		return "", false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// append(s, row) with the row as a whole element (not
+			// row... spread, which copies elements).
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && n.Ellipsis == token.NoPos {
+				for _, arg := range n.Args[1:] {
+					if v, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if what, bad := violates(v.Name, n.Pos()); bad {
+							pass.Reportf(n.Pos(), "append retains %s; copy it first (append(dst, %s...) or a clone)", what, v.Name)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// x.field = row / m[k] = row / s[i] = row.
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				v, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					if what, bad := violates(v.Name, n.Pos()); bad {
+						pass.Reportf(n.Pos(), "assignment retains %s; copy it first", what)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

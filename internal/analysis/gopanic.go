@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoPanic enforces PR 7's per-op isolation rule: every goroutine
+// spawned inside internal/server must have panic recovery, so a
+// panicking statement becomes a wire Error frame (or a logged,
+// contained failure) instead of a dead process serving hundreds of
+// connections.
+//
+// A goroutine counts as protected when:
+//   - its body (for `go func() {...}()`) contains a protective defer:
+//     `defer func() { ... recover() ... }()` or `defer x.someRecoverHelper(...)`
+//     where the helper's body calls recover(); or
+//   - its body calls a function/method of this package whose own body
+//     installs such a defer (the `go func() { ... c.runExec(op, m) }()`
+//     idiom — runExec defers c.recoverOpPanic); or
+//   - for `go x.method()`, the method itself installs one.
+var GoPanic = &Analyzer{
+	Name: "gopanic",
+	Doc:  "goroutines spawned in internal/server must have panic recovery",
+	Run:  runGoPanic,
+}
+
+func runGoPanic(pass *Pass) error {
+	if !strings.HasPrefix(pass.Path, "dualtable/internal/server") {
+		return nil
+	}
+
+	// Pass 1: functions whose body calls recover() directly (defer
+	// targets like recoverOpPanic).
+	recovers := map[string]bool{}
+	// Pass 2 input: functions whose body installs a protective defer.
+	protected := map[string]bool{}
+
+	collect := func() {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if callsRecover(fd.Body) {
+					recovers[fd.Name.Name] = true
+				}
+			}
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if hasProtectiveDefer(fd.Body, recovers) {
+					protected[fd.Name.Name] = true
+				}
+			}
+		}
+	}
+	collect()
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goStmtProtected(gs, recovers, protected) {
+				return true
+			}
+			pass.Reportf(gs.Go, "goroutine in internal/server without panic recovery: a panic here kills the whole server (PR 7 per-op isolation rule)")
+			return true
+		})
+	}
+	return nil
+}
+
+// callsRecover reports whether body contains a direct recover() call.
+func callsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasProtectiveDefer reports whether body installs a defer that
+// recovers: a deferred func literal calling recover(), or a deferred
+// call to a function known to call recover().
+func hasProtectiveDefer(body *ast.BlockStmt, recovers map[string]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && n != body {
+			// A defer inside a nested closure protects that closure,
+			// not this function — except we are called on closure
+			// bodies directly when needed.
+			_ = lit
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok && callsRecover(lit.Body) {
+			found = true
+			return false
+		}
+		if recovers[calleeName(ds.Call)] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// goStmtProtected decides whether one `go` statement carries
+// recovery.
+func goStmtProtected(gs *ast.GoStmt, recovers, protected map[string]bool) bool {
+	// go x.method() / go fn(): the callee must be protected.
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		if hasProtectiveDefer(lit.Body, recovers) {
+			return true
+		}
+		// The body may delegate to a protected function
+		// (go func() { ... c.runExec(op, &m) }()).
+		delegated := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if protected[calleeName(call)] {
+					delegated = true
+				}
+			}
+			return !delegated
+		})
+		return delegated
+	}
+	return protected[calleeName(gs.Call)] || recovers[calleeName(gs.Call)]
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// PubLock enforces the publish-lock discipline from PR 4/7: a
+// tableState.pub mutex is held only for the brief moment a writer
+// publishes a new epoch or a reader pins the current one — never
+// across anything that can block or sleep. Retry-with-sleep
+// (retryDFS), time.Sleep, channel operations, selects without a
+// default, WaitGroup/Cond waits, and MapReduce job runs are all
+// forbidden while a `.pub` lock is held.
+//
+// Detection is lexical: a region starts at a call whose selector
+// chain ends in `.pub.Lock` and ends at the matching `.pub.Unlock`
+// in the same statement list (a `defer x.pub.Unlock()` keeps the
+// region open to the end of the function). Branches inherit the
+// state at their entry.
+var PubLock = &Analyzer{
+	Name: "publock",
+	Doc:  "no blocking operations (sleep, retryDFS, channel ops, waits) while a tableState.pub lock is held",
+	Run:  runPubLock,
+}
+
+// pubLockBanned names callees that block; they must never run under
+// a pub lock.
+var pubLockBanned = map[string]string{
+	"Sleep":       "sleeps",
+	"retryDFS":    "retries with backoff sleeps",
+	"Wait":        "blocks on a wait",
+	"WaitContext": "blocks on a wait",
+	"Run":         "runs a MapReduce job",
+	"RunContext":  "runs a MapReduce job",
+}
+
+func runPubLock(pass *Pass) error {
+	funcBodies(pass.Files, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+		walkPubLock(pass, body.List, false)
+	})
+	return nil
+}
+
+// walkPubLock scans a statement list, tracking whether a .pub lock is
+// held at each point. It returns the held state at the end of the
+// list (so nested blocks propagate).
+func walkPubLock(pass *Pass, stmts []ast.Stmt, held bool) bool {
+	for _, stmt := range stmts {
+		held = pubLockStmt(pass, stmt, held)
+	}
+	return held
+}
+
+func pubLockStmt(pass *Pass, stmt ast.Stmt, held bool) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch pubLockCall(call) {
+			case "Lock":
+				return true
+			case "Unlock":
+				return false
+			}
+		}
+		if held {
+			reportBlocking(pass, stmt)
+		}
+		return held
+	case *ast.DeferStmt:
+		if pubLockCall(s.Call) == "Unlock" {
+			// Deferred unlock: the lock stays held to function end;
+			// everything after this defer runs under it.
+			return true
+		}
+		return held
+	case *ast.BlockStmt:
+		return walkPubLock(pass, s.List, held)
+	case *ast.IfStmt:
+		if held && s.Init != nil {
+			reportBlocking(pass, s.Init)
+		}
+		if held {
+			reportBlockingExpr(pass, s.Cond)
+		}
+		walkPubLock(pass, s.Body.List, held)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			walkPubLock(pass, e.List, held)
+		case *ast.IfStmt:
+			pubLockStmt(pass, e, held)
+		}
+		return held
+	case *ast.ForStmt:
+		walkPubLock(pass, s.Body.List, held)
+		return held
+	case *ast.RangeStmt:
+		walkPubLock(pass, s.Body.List, held)
+		return held
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CaseClause); ok {
+				walkPubLock(pass, cc.Body, held)
+				return false
+			}
+			return true
+		})
+		return held
+	case *ast.SelectStmt:
+		if held {
+			// A select with a default never blocks; anything else
+			// waits on channel traffic under the publish lock.
+			hasDefault := false
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CommClause); ok && c.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				pass.Reportf(s.Select, "select without default blocks while a tableState.pub lock is held")
+			}
+		}
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CommClause); ok {
+				walkPubLock(pass, c.Body, held)
+			}
+		}
+		return held
+	case *ast.GoStmt:
+		// The goroutine runs without the caller's lock.
+		return held
+	case *ast.LabeledStmt:
+		return pubLockStmt(pass, s.Stmt, held)
+	default:
+		if held {
+			reportBlocking(pass, stmt)
+		}
+		return held
+	}
+}
+
+// pubLockCall classifies a call as "Lock"/"Unlock" on a `.pub` mutex
+// (selector chain ending pub.Lock / pub.Unlock), else "".
+func pubLockCall(call *ast.CallExpr) string {
+	name := calleeName(call)
+	if name != "Lock" && name != "Unlock" {
+		return ""
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "pub" {
+			return name
+		}
+	}
+	return ""
+}
+
+// reportBlocking flags blocking constructs found in a non-control
+// statement executed under the lock. It does not descend into
+// function literals: a closure built under the lock runs later.
+func reportBlocking(pass *Pass, n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if why, ok := pubLockBanned[calleeName(node)]; ok {
+				pass.Reportf(node.Pos(), "%s %s while a tableState.pub lock is held",
+					exprText(node.Fun), why)
+			}
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				pass.Reportf(node.Pos(), "channel receive while a tableState.pub lock is held")
+			}
+		case *ast.SendStmt:
+			pass.Reportf(node.Pos(), "channel send while a tableState.pub lock is held")
+		}
+		return true
+	})
+}
+
+func reportBlockingExpr(pass *Pass, e ast.Expr) {
+	if e != nil {
+		reportBlocking(pass, e)
+	}
+}

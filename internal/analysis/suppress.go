@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression handles //lint:ignore directives, staticcheck-style:
+//
+//	//lint:ignore dtlint/ctxflow nil ExecContext means no caller ctx
+//	foo := context.Background()
+//
+// A directive on the flagged line, or on the line directly above it,
+// silences the named analyzer at that line. The analyzer name may be
+// written bare (ctxflow) or namespaced (dtlint/ctxflow); "all"
+// silences every analyzer. A directive with no reason is itself a
+// finding — suppressions must say why.
+
+// suppressions maps file -> line -> analyzer names suppressed there.
+type suppressions map[string]map[int][]string
+
+// collectSuppressions scans a package's comments for lint:ignore
+// directives. Malformed directives (no analyzer name, or no reason)
+// are reported as diagnostics in their own right.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, format string, args ...any)) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) == 0 {
+					if report != nil {
+						report(c.Pos(), "malformed lint:ignore directive: missing analyzer name")
+					}
+					continue
+				}
+				if len(fields) < 2 {
+					if report != nil {
+						report(c.Pos(), "lint:ignore %s: a suppression must carry a reason", fields[0])
+					}
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				name := strings.TrimPrefix(fields[0], "dtlint/")
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					sup[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], name)
+			}
+		}
+	}
+	return sup
+}
+
+// suppressed reports whether the diagnostic is covered by a
+// directive on its line or the line above.
+func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == "all" || name == d.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Filter removes suppressed diagnostics and appends a finding for
+// each malformed directive.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	var malformed []Diagnostic
+	sup := collectSuppressions(fset, files, func(pos token.Pos, format string, args ...any) {
+		p := &Pass{Analyzer: &Analyzer{Name: "dtlint"}, Fset: fset}
+		p.Reportf(pos, format, args...)
+		malformed = append(malformed, p.Diagnostics()...)
+	})
+	out := malformed
+	for _, d := range diags {
+		if !sup.suppressed(fset, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

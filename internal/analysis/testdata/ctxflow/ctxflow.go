@@ -1,0 +1,62 @@
+// Fixture for the ctxflow analyzer, run as if it were
+// dualtable/internal/server: request paths must not detach from the
+// caller's context, and exported sleepers must accept one.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// ExecContext stands in for the hive engine's context carrier.
+type ExecContext struct{ Ctx context.Context }
+
+// --- violations ---
+
+func handle(ctx context.Context) error {
+	bg := context.Background() // want `context.Background in a request-path package detaches`
+	_ = bg
+	todo := context.TODO() // want `context.TODO in a request-path package detaches`
+	_ = todo
+	_ = ctx
+	return nil
+}
+
+// Exported and sleeping with no way for the caller to bound it.
+func Retry(n int) {
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Millisecond) // want `exported Retry sleeps via time.Sleep but accepts no context.Context`
+	}
+}
+
+// --- legal patterns (must stay silent) ---
+
+// Accepting a context bounds the wait (whether or not it is used on
+// this line — staying cancellable is the caller's lever).
+func RetryCtx(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The engine's ExecContext carrier counts as a context.
+func RetryExec(ec *ExecContext, n int) {
+	_ = ec
+	time.Sleep(time.Millisecond)
+}
+
+// Unexported helpers may sleep; their exported callers carry the
+// context.
+func backoff() {
+	time.Sleep(time.Millisecond)
+}
+
+// A deliberate default, silenced in place with a reason — the same
+// mechanism the real tree uses for the server's base context.
+func root() context.Context {
+	//lint:ignore dtlint/ctxflow construction-time context root, not a request path
+	return context.Background()
+}

@@ -1,0 +1,73 @@
+// Fixture for the emitcopy analyzer: the copy-on-shuffle ownership
+// contract from internal/mapred — rows passed to an Emitter are
+// engine-owned afterwards, and the input row Map receives is a
+// reader-owned buffer reused between records.
+package fixture
+
+type Row []int
+
+type RecordMeta struct{ RecordID uint64 }
+
+type Emitter func(key []byte, value Row) error
+
+type mapper struct {
+	saved []Row
+	last  Row
+	byKey map[string]Row
+}
+
+// --- violations ---
+
+func (m *mapper) Map(row Row, meta RecordMeta, emit Emitter) error {
+	out := make(Row, 0, len(row))
+	out = append(out, row...)
+	if err := emit(nil, out); err != nil {
+		return err
+	}
+	m.saved = append(m.saved, out) // want `append retains a row already passed to emit`
+	m.last = row                   // want `assignment retains the reader-owned input row`
+	return nil
+}
+
+func (m *mapper) MapIndexed(row Row, meta RecordMeta, emit Emitter) error {
+	m.byKey["k"] = row // want `assignment retains the reader-owned input row`
+	return nil
+}
+
+// --- legal patterns (must stay silent) ---
+
+// Retain a copy, emit the copy's source: element-wise append (spread)
+// clones the backing array.
+func (m *mapper) MapCopies(row Row, meta RecordMeta, emit Emitter) error {
+	cp := append(Row(nil), row...)
+	m.saved = append(m.saved, cp)
+	return emit(nil, cp2(row))
+}
+
+func cp2(r Row) Row { return append(Row(nil), r...) }
+
+// The bounded top-N idiom: retain rows while collecting (no emit in
+// Map), hand them to the collector at Flush — ownership transfers at
+// the emit and the heap is dropped afterwards.
+func (m *mapper) Flush(emit Emitter) error {
+	for _, r := range m.saved {
+		if err := emit(nil, r); err != nil {
+			return err
+		}
+	}
+	m.saved = nil
+	return nil
+}
+
+// Reusing one output buffer across shuffle emits is the documented
+// fast path (the engine copies on shuffle emit): building and
+// emitting a fresh row per record stays silent.
+func (m *mapper) MapFresh(row Row, meta RecordMeta, emit Emitter) error {
+	for i := range row {
+		out := Row{row[i]}
+		if err := emit(nil, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Fixture for the gopanic analyzer, run as if it were
+// dualtable/internal/server: every spawned goroutine must carry
+// panic recovery (PR 7's per-op isolation rule).
+package fixture
+
+type srv struct{}
+
+func (s *srv) work()     {}
+func (s *srv) log(v any) {}
+func (s *srv) done()     {}
+
+// --- violations ---
+
+func spawnBare(s *srv) {
+	go func() { // want `goroutine in internal/server without panic recovery`
+		s.work()
+	}()
+}
+
+func spawnMethod(s *srv) {
+	go s.loop() // want `goroutine in internal/server without panic recovery`
+}
+
+// A defer that only cleans up is not recovery.
+func spawnCleanupOnly(s *srv) {
+	go func() { // want `goroutine in internal/server without panic recovery`
+		defer s.done()
+		s.work()
+	}()
+}
+
+func (s *srv) loop() { s.work() }
+
+// --- legal patterns (must stay silent) ---
+
+// Direct deferred recover.
+func spawnRecovered(s *srv) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.log(r)
+			}
+		}()
+		s.work()
+	}()
+}
+
+// The conn.go idiom: the goroutine body delegates to a function that
+// installs its own recovery defer (runOp defers recoverOp).
+func spawnDelegated(s *srv) {
+	go func() {
+		s.runOp()
+	}()
+}
+
+func (s *srv) runOp() {
+	defer s.recoverOp()
+	s.work()
+}
+
+func (s *srv) recoverOp() {
+	if r := recover(); r != nil {
+		s.log(r)
+	}
+}
+
+// go x.method() where the method itself is protected.
+func spawnProtectedMethod(s *srv) {
+	go s.serve()
+}
+
+func (s *srv) serve() {
+	defer func() {
+		if r := recover(); r != nil {
+			s.log(r)
+		}
+	}()
+	s.work()
+}

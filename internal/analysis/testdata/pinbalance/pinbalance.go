@@ -1,0 +1,144 @@
+// Fixture for the pinbalance analyzer: snapshot/pin acquisitions
+// must reach Release/Unpin on every return path. Self-contained
+// stand-ins for the core/dfs types — the analyzer is syntactic.
+package fixture
+
+import "errors"
+
+var errTooBig = errors.New("too big")
+
+type snapshot struct{ pinned []string }
+
+func (s *snapshot) Release()    {}
+func (s *snapshot) unpinFiles() {}
+
+type handler struct{ fs *fsys }
+
+func (h *handler) OpenSnapshot(name string) (*snapshot, error) { return &snapshot{}, nil }
+func (h *handler) OpenSnapshotAt(name string, epoch uint64) (*snapshot, error) {
+	return &snapshot{}, nil
+}
+
+type fsys struct{}
+
+func (f *fsys) Pin(p string) error   { return nil }
+func (f *fsys) Unpin(p string) error { return nil }
+
+func tooBig() bool { return false }
+
+// --- violations ---
+
+// The PR 7 bug class: an error return between acquisition and
+// release leaks the snapshot's pins forever.
+func leakOnErrorPath(h *handler) error {
+	snap, err := h.OpenSnapshot("t")
+	if err != nil {
+		return err // legal: the acquisition failed, nothing is held
+	}
+	if tooBig() {
+		return errTooBig // want `return leaks snapshot/relation .snap. from OpenSnapshot`
+	}
+	snap.Release()
+	return nil
+}
+
+func leakPinOnErrorPath(f *fsys, p string) error {
+	if err := f.Pin(p); err != nil {
+		return err // legal: pin failed
+	}
+	if tooBig() {
+		return errTooBig // want `return leaks pin on p`
+	}
+	return f.Unpin(p)
+}
+
+func leakHistorical(h *handler) error {
+	snap, err := h.OpenSnapshotAt("t", 3)
+	if err != nil {
+		return err
+	}
+	if tooBig() {
+		return nil // want `return leaks snapshot/relation .snap. from OpenSnapshotAt`
+	}
+	snap.Release()
+	return nil
+}
+
+// --- legal patterns (must stay silent) ---
+
+// The defer idiom releases on every path.
+func deferRelease(h *handler) error {
+	snap, err := h.OpenSnapshot("t")
+	if err != nil {
+		return err
+	}
+	defer snap.Release()
+	if tooBig() {
+		return errTooBig
+	}
+	return nil
+}
+
+// Returning the acquisition transfers ownership to the caller.
+func transferToCaller(h *handler) (*snapshot, error) {
+	snap, err := h.OpenSnapshot("t")
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Explicit release on each branch (the rows.go streaming idiom).
+func branchRelease(h *handler) error {
+	snap, err := h.OpenSnapshot("t")
+	if err != nil {
+		return err
+	}
+	if tooBig() {
+		snap.unpinFiles()
+		return errTooBig
+	}
+	snap.Release()
+	return nil
+}
+
+// The snapshot accumulator idiom: a pinned path stored into a
+// tracked pin set escapes — its owner's unpinFiles releases it.
+func pinAccumulator(f *fsys, snap *snapshot, paths []string) error {
+	for _, p := range paths {
+		if err := f.Pin(p); err != nil {
+			snap.unpinFiles()
+			return err
+		}
+		snap.pinned = append(snap.pinned, p)
+	}
+	return nil
+}
+
+// A deferred closure releasing the snapshot counts.
+func deferClosure(h *handler) error {
+	snap, err := h.OpenSnapshot("t")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		snap.Release()
+	}()
+	if tooBig() {
+		return errTooBig
+	}
+	return nil
+}
+
+// Capture by a goroutine closure transfers ownership to it.
+func handOffToGoroutine(h *handler, done chan struct{}) error {
+	snap, err := h.OpenSnapshot("t")
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer close(done)
+		snap.Release()
+	}()
+	return nil
+}

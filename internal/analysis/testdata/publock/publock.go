@@ -1,0 +1,91 @@
+// Fixture for the publock analyzer: nothing may block while a
+// tableState.pub publish lock is held. The writer lock has no such
+// rule — writers are allowed to wait on each other and on jobs.
+package fixture
+
+import "time"
+
+type mutex struct{}
+
+func (m *mutex) Lock()   {}
+func (m *mutex) Unlock() {}
+
+type tableState struct {
+	writer mutex
+	pub    mutex
+}
+
+func retryDFS(fn func() error) error { return fn() }
+
+// --- violations ---
+
+func blocksUnderPub(st *tableState, ch chan int) {
+	st.pub.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep sleeps while a tableState.pub lock is held`
+	<-ch                         // want `channel receive while a tableState.pub lock is held`
+	st.pub.Unlock()
+}
+
+func retriesUnderPub(st *tableState) {
+	st.pub.Lock()
+	retryDFS(func() error { return nil }) // want `retryDFS retries with backoff sleeps while a tableState.pub lock is held`
+	st.pub.Unlock()
+}
+
+func deferredUnlockStillHolds(st *tableState, ch chan int) {
+	st.pub.Lock()
+	defer st.pub.Unlock()
+	select { // want `select without default blocks while a tableState.pub lock is held`
+	case <-ch:
+	}
+}
+
+func sendsUnderPub(st *tableState, ch chan int) {
+	st.pub.Lock()
+	ch <- 1 // want `channel send while a tableState.pub lock is held`
+	st.pub.Unlock()
+}
+
+// --- legal patterns (must stay silent) ---
+
+// The writer lock serializes writers; blocking under it is the
+// design (COMPACT waits for jobs there).
+func blocksUnderWriter(st *tableState, ch chan int) {
+	st.writer.Lock()
+	time.Sleep(time.Millisecond)
+	<-ch
+	st.writer.Unlock()
+}
+
+// Sleeping after the unlock is fine.
+func sleepAfterUnlock(st *tableState) {
+	st.pub.Lock()
+	st.pub.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// A non-blocking select (with default) under pub is a legal poll.
+func pollUnderPub(st *tableState, ch chan int) {
+	st.pub.Lock()
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	st.pub.Unlock()
+}
+
+// A closure built under the lock runs later, without it.
+func closureBuiltUnderPub(st *tableState) func() {
+	st.pub.Lock()
+	fn := func() { time.Sleep(time.Millisecond) }
+	st.pub.Unlock()
+	return fn
+}
+
+// A goroutine spawned under the lock runs without it.
+func goroutineUnderPub(st *tableState, ch chan int) {
+	st.pub.Lock()
+	go func() { <-ch }()
+	st.pub.Unlock()
+}

@@ -1,0 +1,52 @@
+// Fixture for the wirecode analyzer: the sentinel vars, the CodeOf
+// classifier and the sentinel() reverse map must stay in lockstep,
+// or errors.Is stops round-tripping the wire.
+package fixture
+
+import "errors"
+
+var (
+	// Fully wired: a case in CodeOf and produced by sentinel().
+	ErrAlpha = errors.New("alpha")
+	ErrBeta  = errors.New("beta")  // want `sentinel ErrBeta has no case in CodeOf`
+	ErrGamma = errors.New("gamma") // want `sentinel ErrGamma is not produced by the sentinel\(\) reverse mapping`
+)
+
+// Unexported errors are engine-internal; the wire contract does not
+// cover them.
+var errInternal = errors.New("internal")
+
+type ErrCode uint32
+
+const (
+	CodeOK      ErrCode = 0
+	CodeUnknown ErrCode = 1
+	CodeAlpha   ErrCode = 2
+	CodeBeta    ErrCode = 3
+	CodeGamma   ErrCode = 4 // want `wire code CodeGamma has no case in the sentinel\(\) reverse mapping`
+)
+
+func CodeOf(err error) ErrCode {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, ErrAlpha):
+		return CodeAlpha
+	case errors.Is(err, ErrGamma):
+		return CodeGamma
+	default:
+		return CodeUnknown
+	}
+}
+
+func (c ErrCode) sentinel() error {
+	switch c {
+	case CodeAlpha:
+		return ErrAlpha
+	case CodeBeta:
+		return ErrBeta
+	}
+	return nil
+}
+
+func unrelated() error { return errInternal }

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// WireCode keeps the stable wire error codes and the root sentinel
+// errors in lockstep so errors.Is round-trips the wire (PR 6's
+// CodeError/CodeOf contract, extended in PR 8). The contract has
+// three legs, all in the package that defines ErrCode:
+//
+//   - every exported Err* sentinel var must have a case in CodeOf
+//     (otherwise a new sentinel silently classifies as CodeUnknown
+//     and the driver can never match it with errors.Is);
+//   - every such sentinel must be produced by the code→error reverse
+//     mapping (the sentinel method) so CodeError rebuilds the
+//     identity client-side;
+//   - every Code* constant (beyond the structural CodeOK /
+//     CodeUnknown / CodeCanceled) must appear in that reverse
+//     mapping, so no code is declared that cannot round-trip.
+//
+// The analyzer fires only in packages that declare both an ErrCode
+// type and a CodeOf function, i.e. the root dualtable package.
+var WireCode = &Analyzer{
+	Name: "wirecode",
+	Doc:  "root error sentinels, CodeOf, and the sentinel() reverse map must stay in lockstep",
+	Run:  runWireCode,
+}
+
+// wireCodeStructural are codes with no 1:1 sentinel var by design.
+var wireCodeStructural = map[string]bool{
+	"CodeOK":      true,
+	"CodeUnknown": true,
+	// CodeCanceled maps the stdlib context sentinels, not a root var.
+	"CodeCanceled": true,
+}
+
+func runWireCode(pass *Pass) error {
+	var (
+		sentinels  = map[string]token.Pos{} // exported Err* vars
+		codes      = map[string]token.Pos{} // Code* consts of type ErrCode
+		codeOf     *ast.FuncDecl
+		sentinelFn *ast.FuncDecl
+		hasErrCode bool
+	)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.Name == "ErrCode" {
+							hasErrCode = true
+						}
+					case *ast.ValueSpec:
+						isErrCodeTyped := sp.Type != nil && selPath(sp.Type) == "ErrCode"
+						for _, n := range sp.Names {
+							switch {
+							case d.Tok == token.VAR && strings.HasPrefix(n.Name, "Err") && n.IsExported():
+								sentinels[n.Name] = n.Pos()
+							case d.Tok == token.CONST && strings.HasPrefix(n.Name, "Code") &&
+								(isErrCodeTyped || sp.Type == nil):
+								codes[n.Name] = n.Pos()
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				switch {
+				case d.Name.Name == "CodeOf" && d.Recv == nil:
+					codeOf = d
+				case d.Name.Name == "sentinel" && d.Recv != nil:
+					sentinelFn = d
+				}
+			}
+		}
+	}
+
+	// Only the package that owns the code registry is checked.
+	if !hasErrCode || codeOf == nil {
+		return nil
+	}
+	if sentinelFn == nil {
+		pass.Reportf(codeOf.Pos(), "package declares ErrCode and CodeOf but no sentinel() reverse mapping: CodeError cannot rebuild error identities client-side")
+		return nil
+	}
+
+	identsIn := func(n ast.Node) map[string]bool {
+		set := map[string]bool{}
+		ast.Inspect(n, func(node ast.Node) bool {
+			if id, ok := node.(*ast.Ident); ok {
+				set[id.Name] = true
+			}
+			return true
+		})
+		return set
+	}
+	inCodeOf := identsIn(codeOf.Body)
+	inSentinel := identsIn(sentinelFn.Body)
+
+	for name, pos := range sentinels {
+		if !inCodeOf[name] {
+			pass.Reportf(pos, "sentinel %s has no case in CodeOf: it classifies as CodeUnknown and errors.Is(%s) can never match across the wire", name, name)
+		}
+		if !inSentinel[name] {
+			pass.Reportf(pos, "sentinel %s is not produced by the sentinel() reverse mapping: CodeError cannot rebuild it client-side", name)
+		}
+	}
+	for name, pos := range codes {
+		if wireCodeStructural[name] {
+			continue
+		}
+		if !inSentinel[name] {
+			pass.Reportf(pos, "wire code %s has no case in the sentinel() reverse mapping: errors carried with it cannot round-trip to a matchable identity", name)
+		}
+	}
+	return nil
+}

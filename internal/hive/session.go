@@ -170,6 +170,7 @@ func (ec *ExecContext) countPlanCache(hit, normalized bool) {
 // Context returns the call's context, defaulting to Background.
 func (ec *ExecContext) Context() context.Context {
 	if ec == nil || ec.Ctx == nil {
+		//lint:ignore dtlint/ctxflow a nil ExecContext means the caller has no context; Background is the documented default
 		return context.Background()
 	}
 	return ec.Ctx

@@ -175,6 +175,10 @@ func New(db *dualtable.DB, cfg Config) *Server {
 		gates: newGates(cfg.MaxConcurrent, cfg.QueueDepth, cfg.QueueWait, cfg.MaxTenantBytes),
 		conns: map[*conn]struct{}{},
 	}
+	// The server owns its lifetime: baseCtx is the root every per-op
+	// context hangs off, created at construction, before any request
+	// exists to inherit from.
+	//lint:ignore dtlint/ctxflow server construction is the context root, not a request path
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	return s
 }
@@ -198,7 +202,18 @@ func (s *Server) Listen() (net.Addr, error) {
 
 // Serve runs the accept loop until Close. Listen must have been
 // called.
-func (s *Server) Serve() error {
+func (s *Server) Serve() (err error) {
+	// Per-op panics are contained in the op goroutines (conn.go); a
+	// panic in the accept loop itself (listener teardown races, a
+	// misbehaving WrapConn hook) must not kill a process serving
+	// hundreds of healthy connections either: surface it as Serve's
+	// error and let the operator decide.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: accept loop panicked: %v", r)
+			s.logf("%v", err)
+		}
+	}()
 	if s.ln == nil {
 		return errors.New("server: Serve before Listen")
 	}
@@ -302,6 +317,17 @@ type DrainStats struct {
 // contexts and tear down like Close. Safe to call concurrently with
 // Serve; idempotent with Close.
 func (s *Server) Shutdown(timeout time.Duration) DrainStats {
+	// baseCtx as the parent makes a concurrent Close cut the drain
+	// short instead of racing it.
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	return s.ShutdownContext(ctx)
+}
+
+// ShutdownContext is Shutdown with the drain deadline (and an early
+// abort) under the caller's control: the drain waits for in-flight
+// statements until ctx is done, then hard-cancels the stragglers.
+func (s *Server) ShutdownContext(ctx context.Context) DrainStats {
 	initial := s.activeOps.Load() // in flight as the drain begins
 	s.draining.Store(true)
 	s.mu.Lock()
@@ -310,9 +336,13 @@ func (s *Server) Shutdown(timeout time.Duration) DrainStats {
 	if ln != nil {
 		ln.Close() // unblocks Accept; Serve sees draining and exits nil
 	}
-	deadline := time.Now().Add(timeout)
-	for s.activeOps.Load() > 0 && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for s.activeOps.Load() > 0 && ctx.Err() == nil {
+		select {
+		case <-ctx.Done():
+		case <-tick.C:
+		}
 	}
 	remaining := s.activeOps.Load()
 	s.Close()
@@ -328,6 +358,14 @@ func (s *Server) Shutdown(timeout time.Duration) DrainStats {
 // client has been silent: it is entitled to wait for its results.
 func (s *Server) reapIdle() {
 	defer s.wg.Done()
+	// The reaper is a background loop with no op context to absorb a
+	// panic (a shutdown race, a Logf hook throwing): contain it here —
+	// losing the reaper degrades idle cleanup, not the server.
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("idle reaper: recovered from panic: %v", r)
+		}
+	}()
 	interval := s.cfg.IdleTimeout / 4
 	if interval < 5*time.Millisecond {
 		interval = 5 * time.Millisecond
